@@ -1,0 +1,32 @@
+//! # cm-baselines
+//!
+//! Baseline placement algorithms the paper compares CloudMirror against
+//! (§5):
+//!
+//! * [`OvocPlacer`] — "OVOC": Oktopus-style placement of generalized VOC
+//!   models, with the paper's three improvements: it handles `Alloc`
+//!   failures (retrying at higher subtrees instead of aborting), it places
+//!   all clusters of one VOC under a common subtree to localize
+//!   inter-cluster traffic, and it accepts relaxed VOCs with arbitrary
+//!   per-cluster sizes, hose bandwidths and core bandwidths.
+//! * [`OktopusVcPlacer`] — the virtual-cluster (plain hose) baseline; the
+//!   paper found "VC always performed worse than VOC and TAG" and omitted
+//!   it, but we keep it runnable.
+//! * [`SecondNetPlacer`] — pipe-model placement in the spirit of SecondNet:
+//!   VMs are assigned one by one to the server that minimizes
+//!   bandwidth-weighted path length to their already-placed peers. The
+//!   published algorithm uses min-cost bipartite matching per cluster at
+//!   O(N³); our sequential greedy with hierarchical descent preserves its
+//!   locality objective and its complexity class — and, as in the paper,
+//!   it is orders of magnitude slower than CM/OVOC on large tenants.
+//!
+//! All placers share `cm-core`'s reservation engine, so capacity safety and
+//! exact cut pricing are identical across algorithms; only *policy* differs.
+
+mod ovoc;
+mod secondnet;
+mod vc;
+
+pub use ovoc::OvocPlacer;
+pub use secondnet::SecondNetPlacer;
+pub use vc::OktopusVcPlacer;

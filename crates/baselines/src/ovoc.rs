@@ -1,0 +1,330 @@
+//! Improved Oktopus VOC placement ("OVOC" in the paper's evaluation).
+
+use cm_core::cut::CutModel;
+use cm_core::model::{Tag, VocModel};
+use cm_core::placement::{find_lowest_subtree, RejectReason};
+use cm_core::reserve::{PlacementEntry, PlacementMap, TenantState};
+use cm_topology::{NodeId, Topology};
+
+/// Oktopus-style placer for (generalized) VOC models.
+///
+/// For each tenant it finds the lowest subtree that can hold the whole VOC
+/// (localizing inter-cluster traffic — improvement #2 of §5), then places
+/// clusters one at a time, largest bandwidth first, each with the classic
+/// Oktopus greedy: fill the fullest children first so a cluster occupies as
+/// few subtrees as possible. Bandwidth is priced with the exact VOC cut
+/// formula (footnote 7) through the shared reservation engine; any
+/// reservation failure rolls back the attempt and retries one level higher
+/// (improvement #1).
+#[derive(Debug, Clone, Default)]
+pub struct OvocPlacer {
+    _private: (),
+}
+
+impl OvocPlacer {
+    /// Create an OVOC placer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploy a TAG tenant by modeling it as a generalized VOC
+    /// ([`VocModel::from_tag`]) and placing that.
+    pub fn place_tag(
+        &mut self,
+        topo: &mut Topology,
+        tag: &Tag,
+    ) -> Result<TenantState<VocModel>, RejectReason> {
+        self.place(topo, VocModel::from_tag(tag))
+    }
+
+    /// Deploy a VOC tenant.
+    pub fn place(
+        &mut self,
+        topo: &mut Topology,
+        model: VocModel,
+    ) -> Result<TenantState<VocModel>, RejectReason> {
+        let total_vms = model.total_vms();
+        let ext = model.external_demand_kbps();
+        let mut state = TenantState::new(model);
+        let root_level = topo.num_levels() - 1;
+        let mut level = 0usize;
+
+        // Clusters ordered by total bandwidth intensity, heaviest first
+        // (Oktopus allocates the most constrained cluster first).
+        let mut order: Vec<usize> = (0..state.model().num_tiers()).collect();
+        let weight = |m: &VocModel, c: usize| {
+            let cl = &m.clusters()[c];
+            cl.size as u64 * (cl.hose_kbps + cl.core_snd_kbps + cl.core_rcv_kbps)
+        };
+        order.sort_by_key(|&c| std::cmp::Reverse(weight(state.model(), c)));
+
+        loop {
+            let st = match find_lowest_subtree(topo, level, total_vms, ext) {
+                Some(st) => st,
+                None => {
+                    if level >= root_level {
+                        return Err(reject_reason(topo, total_vms));
+                    }
+                    level += 1;
+                    continue;
+                }
+            };
+            let mut ok = true;
+            for &c in &order {
+                let size = state.model().tier_size(c);
+                let placed = alloc_cluster(topo, &mut state, c, size, st);
+                if placed < size {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let synced = match topo.parent(st) {
+                    Some(p) => state.sync_path_to_root(topo, p).is_ok(),
+                    None => true,
+                };
+                if synced {
+                    return Ok(state);
+                }
+            }
+            state.clear(topo);
+            if st == topo.root() {
+                return Err(reject_reason(topo, total_vms));
+            }
+            level = topo.level(st) as usize + 1;
+        }
+    }
+}
+
+fn reject_reason(topo: &Topology, total_vms: u64) -> RejectReason {
+    if topo.subtree_slots_free(topo.root()) < total_vms {
+        RejectReason::InsufficientSlots
+    } else {
+        RejectReason::InsufficientBandwidth
+    }
+}
+
+/// Place up to `remaining` VMs of cluster `c` under `node`, Oktopus-style:
+/// children with the most free slots first, each taking as many VMs as its
+/// slots and uplink allow. Returns the number placed; on a reservation
+/// failure at `node`'s uplink everything this call placed is rolled back
+/// (returning 0), which the caller treats as a failed subtree.
+fn alloc_cluster(
+    topo: &mut Topology,
+    state: &mut TenantState<VocModel>,
+    c: usize,
+    remaining: u32,
+    node: NodeId,
+) -> u32 {
+    if remaining == 0 {
+        return 0;
+    }
+    let mut map = PlacementMap::new();
+    let placed = if topo.is_server(node) {
+        let k = max_feasible_on_server(topo, state, c, remaining, node);
+        if k == 0 {
+            return 0;
+        }
+        state
+            .place(topo, node, c, k)
+            .expect("slot availability checked");
+        map.push(PlacementEntry {
+            server: node,
+            tier: c,
+            count: k,
+        });
+        k
+    } else {
+        let mut children: Vec<NodeId> = topo.children(node).collect();
+        // Fullest-feasible-first: prefer children that already hold VMs of
+        // this cluster (locality), then most free slots.
+        children.sort_by_key(|&ch| {
+            (
+                std::cmp::Reverse(state.count_of(ch, c)),
+                std::cmp::Reverse(topo.subtree_slots_free(ch)),
+                ch,
+            )
+        });
+        let mut placed = 0;
+        for ch in children {
+            if placed == remaining {
+                break;
+            }
+            placed += alloc_cluster(topo, state, c, remaining - placed, ch);
+        }
+        placed
+    };
+    if placed > 0 && state.sync_uplink(topo, node).is_err() {
+        state.rollback_map(topo, &map, node);
+        return if topo.is_server(node) { 0 } else { placed };
+        // Note: for internal nodes the children keep their placements and
+        // reservations; only this uplink failed. The caller's own sync (or
+        // the final path sync) will fail likewise and unwind via
+        // `TenantState::clear`, matching Oktopus's "try next subtree".
+    }
+    placed
+}
+
+/// The largest VM count of cluster `c` that fits on `server`, bounded by
+/// free slots and by a conservative linear estimate of the uplink cost
+/// (hose + per-VM core guarantees). The exact (cheaper) VOC cut is applied
+/// by the reservation sync afterwards.
+fn max_feasible_on_server(
+    topo: &Topology,
+    state: &TenantState<VocModel>,
+    c: usize,
+    remaining: u32,
+    server: NodeId,
+) -> u32 {
+    let free = topo.slots_free(server);
+    let mut k = remaining.min(free);
+    if k == 0 {
+        return 0;
+    }
+    let cl = &state.model().clusters()[c];
+    let (au, ad) = topo.uplink_avail(server).unwrap_or((u64::MAX, u64::MAX));
+    let per_vm_out = cl.hose_kbps + cl.core_snd_kbps;
+    let per_vm_in = cl.hose_kbps + cl.core_rcv_kbps;
+    if per_vm_out > 0 {
+        k = k.min((au / per_vm_out.max(1)).min(u32::MAX as u64) as u32);
+    }
+    if per_vm_in > 0 {
+        k = k.min((ad / per_vm_in.max(1)).min(u32::MAX as u64) as u32);
+    }
+    // The linear bound can forbid what the exact hose formula allows (e.g.
+    // a full cluster on one server costs zero): if the whole remainder fits
+    // by slots, test it against the exact cut delta.
+    if k < remaining && remaining <= free {
+        let mut counts = state.inside_counts(server).into_owned();
+        counts[c] += remaining;
+        let (want_out, want_in) = state.model().cut_kbps(&counts);
+        let (have_out, have_in) = state.reserved_on(server);
+        if want_out.saturating_sub(have_out) <= au && want_in.saturating_sub(have_in) <= ad {
+            return remaining;
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::model::TagBuilder;
+    use cm_topology::{mbps, TreeSpec};
+
+    fn topo_small() -> Topology {
+        Topology::build(&TreeSpec::small(
+            2,
+            2,
+            4,
+            4,
+            [mbps(1000.0), mbps(2000.0), mbps(4000.0)],
+        ))
+    }
+
+    fn storm_tag(s: u32, b: u64) -> Tag {
+        let mut t = TagBuilder::new("storm");
+        let spout1 = t.tier("spout1", s);
+        let bolt1 = t.tier("bolt1", s);
+        let bolt2 = t.tier("bolt2", s);
+        let bolt3 = t.tier("bolt3", s);
+        t.edge(spout1, bolt1, b, b).unwrap();
+        t.edge(spout1, bolt2, b, b).unwrap();
+        t.edge(bolt2, bolt3, b, b).unwrap();
+        t.build().unwrap()
+    }
+
+    #[test]
+    fn places_and_releases_cleanly() {
+        let mut topo = topo_small();
+        let mut placer = OvocPlacer::new();
+        let tag = storm_tag(3, mbps(10.0));
+        let mut state = placer.place_tag(&mut topo, &tag).expect("fits");
+        assert_eq!(state.total_placed(&topo), 12);
+        state.check_consistency(&topo).unwrap();
+        state.clear(&mut topo);
+        for l in 0..topo.num_levels() {
+            assert_eq!(topo.reserved_at_level(l), (0, 0));
+        }
+        topo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clusters_are_localized() {
+        // Each 4-VM cluster with a strong hose should land on one server
+        // (zero hose bandwidth), as Oktopus intends.
+        let mut topo = topo_small();
+        let mut placer = OvocPlacer::new();
+        let mut b = TagBuilder::new("two-hoses");
+        let u = b.tier("u", 4);
+        let v = b.tier("v", 4);
+        b.self_loop(u, mbps(100.0)).unwrap();
+        b.self_loop(v, mbps(100.0)).unwrap();
+        let tag = b.build().unwrap();
+        let state = placer.place_tag(&mut topo, &tag).unwrap();
+        let placement = state.placement(&topo);
+        for (_, counts) in &placement {
+            // No server mixes partial clusters: each holds a full cluster.
+            assert!(counts.iter().all(|&c| c == 0 || c == 4));
+        }
+        assert_eq!(topo.reserved_at_level(0), (0, 0));
+    }
+
+    #[test]
+    fn rejects_oversized_tenant() {
+        let mut topo = topo_small(); // 64 slots
+        let mut placer = OvocPlacer::new();
+        let mut b = TagBuilder::new("big");
+        let u = b.tier("u", 65);
+        b.self_loop(u, 1).unwrap();
+        let tag = b.build().unwrap();
+        assert_eq!(
+            placer.place_tag(&mut topo, &tag).err(),
+            Some(RejectReason::InsufficientSlots)
+        );
+        topo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_on_bandwidth_without_leaks() {
+        let mut topo = topo_small();
+        let mut placer = OvocPlacer::new();
+        let mut b = TagBuilder::new("heavy");
+        let u = b.tier("u", 20);
+        let v = b.tier("v", 20);
+        b.sym_edge(u, v, mbps(800.0)).unwrap();
+        let tag = b.build().unwrap();
+        assert_eq!(
+            placer.place_tag(&mut topo, &tag).err(),
+            Some(RejectReason::InsufficientBandwidth)
+        );
+        for l in 0..topo.num_levels() {
+            assert_eq!(topo.reserved_at_level(l), (0, 0));
+        }
+        assert_eq!(topo.subtree_slots_free(topo.root()), 64);
+    }
+
+    #[test]
+    fn voc_reserves_more_than_tag_for_storm_split() {
+        // Deploy the Fig. 3 Storm app with OVOC on a rack that forces a
+        // split; the VOC pricing on the cut is 2S·B where TAG would need
+        // S·B (tested at the model level in cm-core; here we verify the
+        // placer actually pays the VOC price).
+        let mut topo = topo_small();
+        let mut placer = OvocPlacer::new();
+        let tag = storm_tag(8, mbps(5.0)); // 32 VMs: spans ≥ 2 racks
+        let state = placer.place_tag(&mut topo, &tag).unwrap();
+        state.check_consistency(&topo).unwrap();
+        // Aggregate reserved bandwidth must be ≥ what TAG pricing of the
+        // same placement would reserve.
+        let mut tag_price = 0u64;
+        let voc_price: u64 = state.total_reserved_kbps();
+        for (server, counts) in state.placement(&topo) {
+            let _ = server;
+            let (o, i) = cm_core::CutModel::cut_kbps(&tag, &counts);
+            tag_price += o + i;
+        }
+        // (Server-level only, but enough to order the two.)
+        assert!(voc_price >= tag_price);
+    }
+}

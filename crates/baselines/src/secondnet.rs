@@ -1,0 +1,348 @@
+//! SecondNet-style pipe-model placement (§2.2, §5.1).
+//!
+//! SecondNet (Guo et al., CoNEXT 2010) allocates virtual datacenters
+//! specified as VM-to-VM pipes, matching VMs to servers cluster by cluster
+//! with a min-cost bipartite matching (O(N³)). We reproduce its essential
+//! behaviour with a sequential greedy: VMs are placed in decreasing demand
+//! order; each VM descends the tree from the chosen subtree, at every level
+//! entering the child that holds the most bandwidth towards its
+//! already-placed peers (weighted locality — the matching's objective),
+//! breaking ties towards free capacity. Reservations use the exact pipe cut
+//! through the shared engine.
+//!
+//! As in the paper, pipe placement is *fundamentally* more
+//! bandwidth-efficient than TAG (idealized pipes reserve less on every cut)
+//! but dramatically slower and less flexible — the runtime benches
+//! regenerate that comparison.
+
+use cm_core::cut::CutModel;
+use cm_core::model::{PipeModel, Tag};
+use cm_core::placement::{find_lowest_subtree, RejectReason};
+use cm_core::reserve::{PlacementEntry, TenantState};
+use cm_topology::{NodeId, Topology};
+use std::collections::HashSet;
+
+/// Greedy pipe-model placer in the spirit of SecondNet.
+#[derive(Debug, Clone, Default)]
+pub struct SecondNetPlacer {
+    _private: (),
+}
+
+impl SecondNetPlacer {
+    /// Create a SecondNet-style placer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploy a TAG tenant as idealized pipes
+    /// ([`PipeModel::from_tag_idealized`]).
+    pub fn place_tag(
+        &mut self,
+        topo: &mut Topology,
+        tag: &Tag,
+    ) -> Result<TenantState<PipeModel>, RejectReason> {
+        self.place(topo, PipeModel::from_tag_idealized(tag))
+    }
+
+    /// Deploy a pipe-model tenant.
+    pub fn place(
+        &mut self,
+        topo: &mut Topology,
+        model: PipeModel,
+    ) -> Result<TenantState<PipeModel>, RejectReason> {
+        let n = model.num_vms();
+        let total_vms = n as u64;
+        let ext = model.external_demand_kbps();
+
+        // Decreasing total-demand order: heavy VMs get first pick.
+        let mut order: Vec<u32> = (0..n).collect();
+        order.sort_by_key(|&v| {
+            let (s, r) = model.vm_demand(v);
+            std::cmp::Reverse(s + r)
+        });
+
+        let mut state = TenantState::new(model);
+        let root_level = topo.num_levels() - 1;
+        let mut level = 0usize;
+        loop {
+            let st = match find_lowest_subtree(topo, level, total_vms, ext) {
+                Some(st) => st,
+                None => {
+                    if level >= root_level {
+                        return Err(reject_reason(topo, total_vms));
+                    }
+                    level += 1;
+                    continue;
+                }
+            };
+            if self.try_place_under(topo, &mut state, &order, st) {
+                let synced = match topo.parent(st) {
+                    Some(p) => state.sync_path_to_root(topo, p).is_ok(),
+                    None => true,
+                };
+                if synced {
+                    return Ok(state);
+                }
+            }
+            state.clear(topo);
+            if st == topo.root() {
+                return Err(reject_reason(topo, total_vms));
+            }
+            level = topo.level(st) as usize + 1;
+        }
+    }
+
+    /// Assign every VM under `st`; returns false when some VM cannot be
+    /// placed (slots or server-uplink bandwidth). Switch-level uplinks are
+    /// synced once at the end (deferred, see module docs).
+    fn try_place_under(
+        &self,
+        topo: &mut Topology,
+        state: &mut TenantState<PipeModel>,
+        order: &[u32],
+        st: NodeId,
+    ) -> bool {
+        let n = state.model().num_vms() as usize;
+        let mut vm_server: Vec<Option<NodeId>> = vec![None; n];
+        for &vm in order {
+            let mut banned: HashSet<NodeId> = HashSet::new();
+            let mut placed = false;
+            // A few descent attempts, banning servers whose NIC rejected us.
+            for _ in 0..8 {
+                let Some(server) = self.descend(topo, state, &vm_server, vm, st, &banned) else {
+                    break;
+                };
+                state
+                    .place(topo, server, vm as usize, 1)
+                    .expect("descent only returns servers with a free slot");
+                if state.sync_uplink(topo, server).is_ok() {
+                    vm_server[vm as usize] = Some(server);
+                    placed = true;
+                    break;
+                }
+                state.rollback_map(
+                    topo,
+                    &[PlacementEntry {
+                        server,
+                        tier: vm as usize,
+                        count: 1,
+                    }],
+                    server,
+                );
+                banned.insert(server);
+            }
+            if !placed {
+                return false;
+            }
+        }
+        // Deferred switch-level reservations within the subtree.
+        self.sync_switches_under(topo, state, st).is_ok()
+    }
+
+    /// Walk from `st` down to a server, choosing at each level the child
+    /// with the largest pipe bandwidth towards already-placed peers
+    /// (ties: most free slots).
+    fn descend(
+        &self,
+        topo: &Topology,
+        state: &TenantState<PipeModel>,
+        vm_server: &[Option<NodeId>],
+        vm: u32,
+        st: NodeId,
+        banned: &HashSet<NodeId>,
+    ) -> Option<NodeId> {
+        // Peers and their weights.
+        let model = state.model();
+        let mut peers: Vec<(NodeId, u64)> = Vec::new();
+        for &(dst, bw) in model.pipes_from(vm) {
+            if let Some(s) = vm_server[dst as usize] {
+                peers.push((s, bw));
+            }
+        }
+        for &(src, bw) in model.pipes_to(vm) {
+            if let Some(s) = vm_server[src as usize] {
+                peers.push((s, bw));
+            }
+        }
+        let mut node = st;
+        loop {
+            if topo.is_server(node) {
+                return (topo.slots_free(node) > 0 && !banned.contains(&node)).then_some(node);
+            }
+            let mut best: Option<(u64, u64, NodeId)> = None; // (affinity, free, child)
+            for child in topo.children(node) {
+                let free = topo.subtree_slots_free(child);
+                if free == 0 {
+                    continue;
+                }
+                if topo.is_server(child) && banned.contains(&child) {
+                    continue;
+                }
+                // Affinity: bandwidth to peers whose server lies under child.
+                let affinity: u64 = peers
+                    .iter()
+                    .filter(|(s, _)| topo.is_ancestor(child, *s))
+                    .map(|&(_, bw)| bw)
+                    .sum();
+                let cand = (affinity, free, child);
+                let better = match best {
+                    None => true,
+                    Some((ba, bf, _)) => affinity > ba || (affinity == ba && free > bf),
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+            node = best?.2;
+        }
+    }
+
+    /// Sync the uplinks of every switch strictly below `st` (and `st`
+    /// itself) that hosts part of the tenant.
+    fn sync_switches_under(
+        &self,
+        topo: &mut Topology,
+        state: &mut TenantState<PipeModel>,
+        st: NodeId,
+    ) -> Result<(), cm_topology::TopologyError> {
+        // Gather touched switches bottom-up from the placed servers.
+        let mut touched: Vec<NodeId> = Vec::new();
+        for (server, _) in state.placement(topo) {
+            for a in topo.path_to_root(server) {
+                if a != server && !touched.contains(&a) {
+                    touched.push(a);
+                }
+                if a == st {
+                    break;
+                }
+            }
+        }
+        touched.sort_by_key(|&x| (topo.level(x), x));
+        for x in touched {
+            state.sync_uplink(topo, x)?;
+        }
+        Ok(())
+    }
+}
+
+fn reject_reason(topo: &Topology, total_vms: u64) -> RejectReason {
+    if topo.subtree_slots_free(topo.root()) < total_vms {
+        RejectReason::InsufficientSlots
+    } else {
+        RejectReason::InsufficientBandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::model::TagBuilder;
+    use cm_topology::{mbps, TreeSpec};
+
+    fn topo_small() -> Topology {
+        Topology::build(&TreeSpec::small(
+            2,
+            2,
+            4,
+            4,
+            [mbps(1000.0), mbps(2000.0), mbps(4000.0)],
+        ))
+    }
+
+    fn pair_tag(nu: u32, nv: u32, bw: u64) -> Tag {
+        let mut b = TagBuilder::new("pair");
+        let u = b.tier("u", nu);
+        let v = b.tier("v", nv);
+        b.sym_edge(u, v, bw).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn places_pipes_and_releases() {
+        let mut topo = topo_small();
+        let mut placer = SecondNetPlacer::new();
+        let tag = pair_tag(4, 4, mbps(50.0));
+        let mut state = placer.place_tag(&mut topo, &tag).expect("fits");
+        assert_eq!(state.total_placed(&topo), 8);
+        state.check_consistency(&topo).unwrap();
+        state.clear(&mut topo);
+        for l in 0..topo.num_levels() {
+            assert_eq!(topo.reserved_at_level(l), (0, 0));
+        }
+    }
+
+    #[test]
+    fn locality_pulls_communicating_vms_together() {
+        // 2+2 VMs with strong mutual pipes should all land under one rack
+        // (likely one/two servers), leaving ToR uplinks clean.
+        let mut topo = topo_small();
+        let mut placer = SecondNetPlacer::new();
+        let tag = pair_tag(2, 2, mbps(100.0));
+        let state = placer.place_tag(&mut topo, &tag).unwrap();
+        let (tor_up, tor_dn) = topo.reserved_at_level(1);
+        let _ = state;
+        assert_eq!(
+            (tor_up, tor_dn),
+            (0, 0),
+            "pipes should be rack-local under affinity descent"
+        );
+    }
+
+    #[test]
+    fn pipe_reservation_not_above_tag_price() {
+        // Idealized pipes are at most as expensive as TAG on every cut;
+        // verify at the deployment level.
+        let mut topo = topo_small();
+        let mut placer = SecondNetPlacer::new();
+        let tag = pair_tag(6, 6, mbps(30.0));
+        let state = placer.place_tag(&mut topo, &tag).unwrap();
+        state.check_consistency(&topo).unwrap();
+        // Recompute what TAG would reserve for the same server counts.
+        // Pipe tiers are single VMs; we must aggregate them back to TAG
+        // tiers: VMs 0..6 are tier u, 6..12 tier v (from_tag ordering).
+        let mut tag_total = 0u64;
+        let mut pipe_total = 0u64;
+        for (server, counts) in state.placement(&topo) {
+            let mut tag_counts = vec![0u32; 2];
+            for (vm, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    tag_counts[if vm < 6 { 0 } else { 1 }] += c;
+                }
+            }
+            let (to, ti) = CutModel::cut_kbps(&tag, &tag_counts);
+            tag_total += to + ti;
+            let (po, pi) = state.required_cut(server);
+            pipe_total += po + pi;
+        }
+        assert!(pipe_total <= tag_total);
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let mut topo = topo_small();
+        let mut placer = SecondNetPlacer::new();
+        let tag = pair_tag(40, 40, 1);
+        assert_eq!(
+            placer.place_tag(&mut topo, &tag).err(),
+            Some(RejectReason::InsufficientSlots)
+        );
+        topo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_on_bandwidth_without_leaks() {
+        let mut topo = topo_small();
+        let mut placer = SecondNetPlacer::new();
+        // Per-VM pipe demand beyond NIC capacity in aggregate and forced
+        // spread (tiers much larger than a server).
+        let tag = pair_tag(20, 20, mbps(800.0));
+        assert_eq!(
+            placer.place_tag(&mut topo, &tag).err(),
+            Some(RejectReason::InsufficientBandwidth)
+        );
+        for l in 0..topo.num_levels() {
+            assert_eq!(topo.reserved_at_level(l), (0, 0));
+        }
+        assert_eq!(topo.subtree_slots_free(topo.root()), 64);
+    }
+}

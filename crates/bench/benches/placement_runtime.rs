@@ -1,0 +1,65 @@
+//! §5.1 "Algorithm runtime": CM and Oktopus are comparable (sub-second for
+//! hundreds of VMs); SecondNet-style pipe placement is orders of magnitude
+//! slower. The paper reports CM (Python) under 200 ms for 100s of VMs and
+//! seconds at 1000 VMs; SecondNet "tens of minutes" for large tenants.
+
+use cm_baselines::{OvocPlacer, SecondNetPlacer};
+use cm_core::placement::{CmConfig, CmPlacer};
+use cm_topology::{Topology, TreeSpec};
+use cm_workloads::apps;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A representative TAG of roughly `n` VMs: three tiers plus a DB-style
+/// self-loop, sized n/3 each.
+fn tenant(n: u32) -> cm_core::Tag {
+    let per = (n / 3).max(1);
+    apps::three_tier(per, per, n - 2 * per, 200_000, 50_000, 20_000)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let spec = TreeSpec::paper_datacenter();
+    let mut g = c.benchmark_group("placement_runtime");
+    g.sample_size(10);
+    for &n in &[57u32, 200, 732] {
+        let tag = tenant(n);
+        g.bench_with_input(BenchmarkId::new("CM", n), &tag, |b, tag| {
+            b.iter_batched(
+                || Topology::build(&spec),
+                |mut topo| {
+                    let mut placer = CmPlacer::new(CmConfig::cm());
+                    black_box(placer.place(&mut topo, tag)).ok();
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("OVOC", n), &tag, |b, tag| {
+            b.iter_batched(
+                || Topology::build(&spec),
+                |mut topo| {
+                    let mut placer = OvocPlacer::new();
+                    black_box(placer.place_tag(&mut topo, tag)).ok();
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        // SecondNet at 732 VMs is the paper's "tens of minutes" data point;
+        // bench the pipe placer up to 200 VMs.
+        if n <= 200 {
+            g.bench_with_input(BenchmarkId::new("SecondNet", n), &tag, |b, tag| {
+                b.iter_batched(
+                    || Topology::build(&spec),
+                    |mut topo| {
+                        let mut placer = SecondNetPlacer::new();
+                        black_box(placer.place_tag(&mut topo, tag)).ok();
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

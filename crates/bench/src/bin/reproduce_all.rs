@@ -1,0 +1,38 @@
+//! Run every table/figure harness in sequence (the quick configurations;
+//! pass `--full` for paper-scale 10,000-arrival sweeps) and print all
+//! results. `cargo run -p cm-bench --release --bin reproduce_all`.
+
+use std::process::Command;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let bins = [
+        "fig1",
+        "fig3_fig4_fig6",
+        "table1",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "inference_ami",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n{}", "=".repeat(72));
+        println!("=== {bin} {}", if full { "(--full)" } else { "(quick)" });
+        println!("{}", "=".repeat(72));
+        let mut cmd = Command::new(dir.join(bin));
+        if full {
+            cmd.arg("--full");
+        }
+        let status = cmd.status().unwrap_or_else(|e| {
+            panic!("failed to spawn {bin}: {e} (build with `cargo build --release -p cm-bench` first)")
+        });
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,226 @@
+//! Colocation-saving conditions (§4.2, Eqs. 2–6).
+//!
+//! The placement algorithm colocates VMs only when doing so provably reduces
+//! the bandwidth that must be reserved on the enclosing subtree's uplink.
+//! This module holds the closed-form conditions the paper derives:
+//!
+//! * **Hose saving (Eq. 2)** — colocating VMs of a tier with a self-loop
+//!   saves hose bandwidth iff *more than half* the tier's VMs land in the
+//!   subtree.
+//! * **Trunk saving (Eqs. 3–6)** — colocating VMs of two tiers joined by a
+//!   trunk saves bandwidth iff `N^t_X·B_snd + N^t'_X·B_rcv > N^t'·B_rcv`
+//!   (Eq. 5); a necessary condition is that more than half of either tier is
+//!   inside (Eq. 6). Because Eq. 6 is necessary but not sufficient, the
+//!   placement algorithm always verifies the exact saving (Eq. 4) before
+//!   committing (§4.2 last paragraph).
+
+use crate::model::{Tag, TagEdge, TierId};
+use cm_topology::Kbps;
+
+/// Eq. 2: hose bandwidth saving requires strictly more than half of the
+/// tier's `total` VMs inside the subtree.
+#[inline]
+pub fn hose_saving_possible(total: u32, inside: u32) -> bool {
+    2 * inside as u64 > total as u64
+}
+
+/// The hose bandwidth (one direction) a tier with self-loop `sr` saves when
+/// `inside` of its `total` VMs are colocated, relative to fully spreading
+/// them: `max(0, 2·inside − total)·SR`.
+#[inline]
+pub fn hose_saving_kbps(sr: Kbps, total: u32, inside: u32) -> Kbps {
+    let inside = inside.min(total);
+    (2 * inside as u64).saturating_sub(total as u64) * sr
+}
+
+/// Eq. 6: necessary condition for trunk saving — more than half of `u` or
+/// more than half of `v` inside the subtree.
+#[inline]
+pub fn trunk_saving_possible(nu: u32, iu: u32, nv: u32, iv: u32) -> bool {
+    hose_saving_possible(nu, iu) || hose_saving_possible(nv, iv)
+}
+
+/// Eqs. 3–4 (generalized): the outgoing trunk bandwidth saved by holding
+/// `iu` senders of `u` and `iv` receivers of `v` in the subtree, relative to
+/// the worst case where all of `v` is outside:
+///
+/// ```text
+/// B2 − B1 = min(iu·S, Nv·R) − min(iu·S, (Nv−iv)·R)
+/// ```
+///
+/// The paper states Eq. 4 under the balanced assumption `Nu·S = Nv·R`; this
+/// form drops that assumption and reduces to Eq. 4 when it holds.
+#[inline]
+pub fn trunk_saving_kbps(snd: Kbps, rcv: Kbps, iu: u32, nv: u32, iv: u32) -> Kbps {
+    let iv = iv.min(nv);
+    let b2 = (iu as u64 * snd).min(nv as u64 * rcv);
+    let b1 = (iu as u64 * snd).min((nv - iv) as u64 * rcv);
+    b2 - b1
+}
+
+/// Exact per-edge saving report for a tentative colocation group, used by
+/// `FindTiersToColoc` to verify Eq. 4 before colocating (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeSaving {
+    /// The edge's sending tier.
+    pub from: TierId,
+    /// The edge's receiving tier.
+    pub to: TierId,
+    /// Saved kbps (both directions summed).
+    pub saved_kbps: Kbps,
+}
+
+/// Compute per-edge colocation savings for placing `counts[t]` VMs of each
+/// tier together in one subtree (on top of `existing[t]` already there),
+/// evaluating hose edges with Eq. 2's closed form and trunk edges with the
+/// exact Eq. 4 check in both directions.
+pub fn edge_savings(tag: &Tag, existing: &[u32], counts: &[u32]) -> Vec<EdgeSaving> {
+    let mut out = Vec::new();
+    for e in tag.edges() {
+        let saved = edge_saving(tag, e, existing, counts);
+        if saved > 0 {
+            out.push(EdgeSaving {
+                from: e.from,
+                to: e.to,
+                saved_kbps: saved,
+            });
+        }
+    }
+    out
+}
+
+/// The saving (out + in) contributed by a single TAG edge when the subtree's
+/// per-tier population grows from `existing` to `existing + counts`.
+pub fn edge_saving(tag: &Tag, e: &TagEdge, existing: &[u32], counts: &[u32]) -> Kbps {
+    let fi = e.from.index();
+    let ti = e.to.index();
+    if e.is_self_loop() {
+        let n = tag.tier(e.from).size;
+        let before = hose_saving_kbps(e.snd_kbps, n, existing[fi]);
+        let after = hose_saving_kbps(e.snd_kbps, n, existing[fi] + counts[fi]);
+        2 * (after - before) // hose saving applies in both directions
+    } else {
+        if tag.tier(e.from).external || tag.tier(e.to).external {
+            return 0; // external endpoints are never colocated
+        }
+        let nv = tag.tier(e.to).size;
+        let nu = tag.tier(e.from).size;
+        let (iu0, iv0) = (existing[fi], existing[ti]);
+        let (iu1, iv1) = (iu0 + counts[fi], iv0 + counts[ti]);
+        // Outgoing direction saving delta.
+        let out = trunk_saving_kbps(e.snd_kbps, e.rcv_kbps, iu1, nv, iv1)
+            .saturating_sub(trunk_saving_kbps(e.snd_kbps, e.rcv_kbps, iu0, nv, iv0));
+        // Incoming direction: swap roles (senders of `from` outside).
+        let inc = trunk_saving_kbps(e.rcv_kbps, e.snd_kbps, iv1, nu, iu1)
+            .saturating_sub(trunk_saving_kbps(e.rcv_kbps, e.snd_kbps, iv0, nu, iu0));
+        out + inc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TagBuilder;
+
+    #[test]
+    fn eq2_boundary() {
+        assert!(!hose_saving_possible(10, 5));
+        assert!(hose_saving_possible(10, 6));
+        assert!(!hose_saving_possible(1, 0));
+        assert!(hose_saving_possible(1, 1));
+        // Odd sizes: strictly more than half.
+        assert!(!hose_saving_possible(7, 3));
+        assert!(hose_saving_possible(7, 4));
+    }
+
+    #[test]
+    fn hose_saving_formula() {
+        assert_eq!(hose_saving_kbps(100, 10, 5), 0);
+        assert_eq!(hose_saving_kbps(100, 10, 6), 200);
+        assert_eq!(hose_saving_kbps(100, 10, 10), 1000);
+        // Clamp: inside > total treated as total.
+        assert_eq!(hose_saving_kbps(100, 10, 12), 1000);
+    }
+
+    #[test]
+    fn eq6_necessary_condition() {
+        assert!(!trunk_saving_possible(10, 5, 10, 5));
+        assert!(trunk_saving_possible(10, 6, 10, 0));
+        assert!(trunk_saving_possible(10, 0, 10, 6));
+    }
+
+    #[test]
+    fn trunk_saving_matches_eq4_balanced() {
+        // Balanced case Nu·S = Nv·R: Eq. 4 says saving =
+        // max(iu·S − (Nv−iv)·R, 0).
+        let (s, r) = (100, 100);
+        let (nu, nv) = (10, 10);
+        for iu in 0..=nu {
+            for iv in 0..=nv {
+                let got = trunk_saving_kbps(s, r, iu, nv, iv);
+                let eq4 = (iu as u64 * s).saturating_sub((nv - iv) as u64 * r);
+                assert_eq!(got, eq4, "iu={iu} iv={iv}");
+                // Eq. 6 (necessary): saving > 0 ⇒ more than half inside.
+                if got > 0 {
+                    assert!(trunk_saving_possible(nu, iu, nv, iv));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq6_is_not_sufficient() {
+        // More than half of u inside but all receivers of v outside with
+        // ample receive capacity ⇒ no saving: Eq. 6 holds, Eq. 4 says 0.
+        // u: 10 VMs at S=10; v: 10 VMs at R=100 (Nv·R = 1000 ≫ iu·S).
+        assert!(trunk_saving_possible(10, 6, 10, 0));
+        assert_eq!(trunk_saving_kbps(10, 100, 6, 10, 0), 0);
+    }
+
+    #[test]
+    fn edge_saving_counts_both_directions() {
+        let mut b = TagBuilder::new("t");
+        let u = b.tier("u", 4);
+        let v = b.tier("v", 4);
+        b.edge(u, v, 100, 100).unwrap();
+        let tag = b.build().unwrap();
+        let e = &tag.edges()[0];
+        // All VMs of both tiers colocated: out saving 400, in saving 400.
+        assert_eq!(edge_saving(&tag, e, &[0, 0], &[4, 4]), 800);
+    }
+
+    #[test]
+    fn edge_savings_reports_only_positive() {
+        let mut b = TagBuilder::new("t");
+        let u = b.tier("u", 10);
+        let v = b.tier("v", 10);
+        b.edge(u, v, 100, 100).unwrap();
+        b.self_loop(v, 50).unwrap();
+        let tag = b.build().unwrap();
+        // Only 2 VMs of v: below half for hose and trunk ⇒ nothing saved.
+        assert!(edge_savings(&tag, &[0, 0], &[0, 2]).is_empty());
+        // 8 of v colocated: the hose saves, but the trunk does not — with
+        // all senders of u outside, the in-cut equals the spread cost
+        // (colocating receivers alone buys nothing, Eq. 4).
+        let s = edge_savings(&tag, &[0, 0], &[0, 8]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].from, v);
+        assert_eq!(s[0].to, v);
+        // Colocating senders *and* receivers does save on the trunk.
+        let s = edge_savings(&tag, &[0, 0], &[8, 8]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn incremental_saving_adds_up() {
+        // Placing 8 at once saves the same as 5 then 3 more.
+        let mut b = TagBuilder::new("t");
+        let u = b.tier("u", 10);
+        b.self_loop(u, 70).unwrap();
+        let tag = b.build().unwrap();
+        let e = &tag.edges()[0];
+        let all = edge_saving(&tag, e, &[0], &[8]);
+        let step = edge_saving(&tag, e, &[0], &[5]) + edge_saving(&tag, e, &[5], &[3]);
+        assert_eq!(all, step);
+    }
+}

@@ -1,0 +1,134 @@
+//! The cut-bandwidth abstraction shared by all network models.
+//!
+//! Every abstraction model in the paper (TAG, VOC, VC/hose, pipe) answers the
+//! same question for the placement layer: *given that a subtree of the
+//! physical tree contains a particular multiset of tenant VMs, how much
+//! bandwidth must be allocated on the subtree's uplink in each direction?*
+//! (§4.1 computes this for TAG as Eq. 1 and for VOC in footnote 7.)
+//!
+//! [`CutModel`] captures exactly that interface, which lets one reservation
+//! engine ([`crate::reserve::TenantState`]) serve CloudMirror and every
+//! baseline, and lets Table 1 re-price the same placement under different
+//! models (the paper's "CM+VOC" row).
+
+use cm_topology::Kbps;
+
+/// A tenant network model that can price any subtree cut.
+pub trait CutModel {
+    /// Number of tiers (components); external components are included and
+    /// report [`CutModel::tier_size`] = 0.
+    fn num_tiers(&self) -> usize;
+
+    /// Number of *placeable* VMs of tier `t` (0 for external components).
+    fn tier_size(&self, t: usize) -> u32;
+
+    /// Bandwidth that must be allocated on the uplink of a subtree holding
+    /// `inside[t]` VMs of each tier, as `(outgoing, incoming)` kbps.
+    fn cut_kbps(&self, inside: &[u32]) -> (Kbps, Kbps);
+
+    /// Total placeable VMs across all tiers.
+    fn total_vms(&self) -> u64 {
+        (0..self.num_tiers()).map(|t| self.tier_size(t) as u64).sum()
+    }
+
+    /// The per-tier VM counts of a full placement (0 for external tiers).
+    fn placeable_counts(&self) -> Vec<u32> {
+        (0..self.num_tiers()).map(|t| self.tier_size(t)).collect()
+    }
+
+    /// The `(out, in)` bandwidth the tenant needs towards external
+    /// components — the cut price of the *fully placed* tenant, which must
+    /// be available on every link from its enclosing subtree to the root.
+    fn external_demand_kbps(&self) -> (Kbps, Kbps) {
+        self.cut_kbps(&self.placeable_counts())
+    }
+
+    /// Cut price of a *fully spread* placement of `counts`: each VM alone in
+    /// its own subtree, i.e. `Σ_t counts[t] · cut(unit_t)`. This is the
+    /// worst case against which colocation savings are measured (§4.2).
+    fn cut_spread_kbps(&self, counts: &[u32]) -> (Kbps, Kbps) {
+        let mut unit = vec![0u32; self.num_tiers()];
+        let mut out = 0u64;
+        let mut inc = 0u64;
+        for (t, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            unit[t] = 1;
+            let (o, i) = self.cut_kbps(&unit);
+            unit[t] = 0;
+            out += c as u64 * o;
+            inc += c as u64 * i;
+        }
+        (out, inc)
+    }
+
+    /// Bandwidth saved (out + in) by colocating the VM multiset `extra`
+    /// into a subtree that already holds `existing`, relative to spreading
+    /// `extra` one VM per subtree:
+    /// `cut(existing) + spread(extra) − cut(existing + extra)`.
+    ///
+    /// Non-negative by subadditivity of the cut formulas (property-tested).
+    fn coloc_saving_kbps(&self, existing: &[u32], extra: &[u32]) -> Kbps {
+        let (eo, ei) = self.cut_kbps(existing);
+        let (so, si) = self.cut_spread_kbps(extra);
+        let combined: Vec<u32> = existing
+            .iter()
+            .zip(extra.iter())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        let (co, ci) = self.cut_kbps(&combined);
+        (eo + so + ei + si).saturating_sub(co + ci)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TagBuilder;
+
+    #[test]
+    fn spread_cut_is_linear_in_counts() {
+        let mut b = TagBuilder::new("t");
+        let u = b.tier("u", 10);
+        let v = b.tier("v", 10);
+        b.edge(u, v, 100, 100).unwrap();
+        b.self_loop(v, 40).unwrap();
+        let tag = b.build().unwrap();
+        let (o1, i1) = tag.cut_spread_kbps(&[1, 0]);
+        let (o3, i3) = tag.cut_spread_kbps(&[3, 0]);
+        assert_eq!((o3, i3), (3 * o1, 3 * i1));
+    }
+
+    #[test]
+    fn coloc_saving_for_hose_matches_eq2() {
+        // 10-VM hose at SR=100: placing 7 together saves (2*7-10)*100 = 400
+        // out and in (relative to 7 spread VMs), i.e. 800 total.
+        let mut b = TagBuilder::new("hose");
+        let t = b.tier("t", 10);
+        b.self_loop(t, 100).unwrap();
+        let tag = b.build().unwrap();
+        assert_eq!(tag.coloc_saving_kbps(&[0], &[7]), 800);
+        // 5 or fewer colocated VMs save nothing (Eq. 2: need > N/2).
+        assert_eq!(tag.coloc_saving_kbps(&[0], &[5]), 0);
+        assert_eq!(tag.coloc_saving_kbps(&[0], &[3]), 0);
+        // Incremental: subtree already has 5, adding 2 more saves.
+        assert!(tag.coloc_saving_kbps(&[5], &[2]) > 0);
+    }
+
+    #[test]
+    fn coloc_saving_for_trunk_matches_eq4() {
+        // u(4) --<100,100>--> v(4). Colocating all of u and v zeroes the cut.
+        let mut b = TagBuilder::new("trunk");
+        let u = b.tier("u", 4);
+        let v = b.tier("v", 4);
+        b.edge(u, v, 100, 100).unwrap();
+        let tag = b.build().unwrap();
+        // spread(4,4) = 4*min(100, 4*100) + 4*0(out for v) ... = 400 out,
+        // and in = 400; cut(4,4) = 0 → saving 800.
+        assert_eq!(tag.coloc_saving_kbps(&[0, 0], &[4, 4]), 800);
+        // Half of u alone (2 VMs, receivers all outside) saves nothing:
+        // Eq. 6 requires > half of u or of v inside.
+        assert_eq!(tag.coloc_saving_kbps(&[0, 0], &[2, 0]), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # cm-core
+//!
+//! Core of the CloudMirror reproduction ("Application-Driven Bandwidth
+//! Guarantees in Datacenters", SIGCOMM 2014): the **Tenant Application
+//! Graph** abstraction, the bandwidth-cut mathematics, and the CloudMirror
+//! **VM placement algorithm** with its high-availability extensions.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cm_core::model::TagBuilder;
+//! use cm_core::placement::{CmConfig, CmPlacer};
+//! use cm_topology::{mbps, Topology, TreeSpec};
+//!
+//! // Describe the application (Fig. 2(a)): web/logic/db with inter-tier
+//! // guarantees and a db-internal hose.
+//! let mut b = TagBuilder::new("shop");
+//! let web = b.tier("web", 6);
+//! let logic = b.tier("logic", 6);
+//! let db = b.tier("db", 4);
+//! b.sym_edge(web, logic, mbps(500.0)).unwrap();
+//! b.sym_edge(logic, db, mbps(100.0)).unwrap();
+//! b.self_loop(db, mbps(50.0)).unwrap();
+//! let tag = b.build().unwrap();
+//!
+//! // Deploy it on a small datacenter.
+//! let mut topo = Topology::build(&TreeSpec::small(
+//!     2, 2, 4, 4, [mbps(1000.0), mbps(2000.0), mbps(4000.0)],
+//! ));
+//! let mut placer = CmPlacer::new(CmConfig::cm());
+//! let mut deployed = placer.place(&mut topo, &tag).expect("fits");
+//! assert_eq!(deployed.total_placed(&topo), 16);
+//!
+//! // ... and release it.
+//! deployed.clear(&mut topo);
+//! ```
+//!
+//! ## Modules
+//!
+//! * [`model`] — TAG, generalized VOC, VC and pipe models.
+//! * [`cut`] — the [`cut::CutModel`] trait: Eq. 1 / footnote 7 cut pricing.
+//! * [`coloc`] — the colocation-saving conditions (Eqs. 2–6).
+//! * [`reserve`] — per-tenant placement + bandwidth reservation ledger.
+//! * [`placement`] — the CloudMirror placer (Algorithm 1, §4.5 HA).
+
+pub mod coloc;
+pub mod cut;
+pub mod model;
+pub mod placement;
+pub mod reserve;
+
+pub use cut::CutModel;
+pub use model::{Tag, TagBuilder, TierId};
+pub use placement::{CmConfig, CmPlacer, HaPolicy, RejectReason};
+pub use reserve::TenantState;

@@ -1,0 +1,17 @@
+//! Tenant network-abstraction models.
+//!
+//! * [`Tag`] — the paper's contribution: the Tenant Application Graph (§3).
+//! * [`VocModel`] — generalized Virtual Oversubscribed Cluster and the VC
+//!   (generalized hose) special case, used as baselines (§2.2).
+//! * [`PipeModel`] — pairwise VM-to-VM pipes (§2.2).
+//!
+//! All models implement [`crate::cut::CutModel`] so that a single placement
+//! and reservation machinery serves every abstraction.
+
+mod pipe;
+mod tag;
+mod voc;
+
+pub use pipe::{PipeError, PipeModel};
+pub use tag::{Tag, TagBuilder, TagEdge, TagError, Tier, TierId};
+pub use voc::{VocCluster, VocModel};

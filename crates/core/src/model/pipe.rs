@@ -1,0 +1,311 @@
+//! The pipe model (§2.2): pairwise VM-to-VM bandwidth guarantees.
+//!
+//! Each ordered VM pair may carry a fixed "virtual pipe". The model prices a
+//! cut exactly (a pipe crosses a subtree's uplink iff exactly one endpoint is
+//! inside), which makes idealized pipe models fundamentally more
+//! bandwidth-efficient than TAG — but rigid (no statistical multiplexing)
+//! and tedious: a tenant of `N` VMs needs up to `N(N−1)` values, and
+//! placement over pipes is what makes SecondNet-style algorithms slow
+//! (§5.1).
+//!
+//! The paper evaluates pipes by "dividing each hose and trunk guarantee
+//! uniformly across the corresponding pipes" of the TAG model
+//! ([`PipeModel::from_tag_idealized`]).
+
+use crate::cut::CutModel;
+use crate::model::tag::Tag;
+use cm_topology::Kbps;
+
+/// A pipe-model tenant: `n` VMs and a sparse list of directed pipes.
+///
+/// As a [`CutModel`], every VM is its own size-1 tier, so `inside[i]` is 0
+/// or 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipeModel {
+    n: u32,
+    /// Directed pipes `(src, dst, kbps)`, `src != dst`, at most one per pair.
+    pipes: Vec<(u32, u32, Kbps)>,
+    /// Outgoing adjacency per VM, for O(inside·degree) cut evaluation.
+    out_adj: Vec<Vec<(u32, Kbps)>>,
+    /// Incoming adjacency per VM.
+    in_adj: Vec<Vec<(u32, Kbps)>>,
+}
+
+/// Errors from pipe-model construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeError {
+    /// An endpoint index was out of range.
+    BadEndpoint(u32),
+    /// A pipe had identical endpoints.
+    SelfPipe(u32),
+    /// Two pipes share the same (src, dst).
+    DuplicatePipe(u32, u32),
+}
+
+impl std::fmt::Display for PipeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipeError::BadEndpoint(v) => write!(f, "VM index {v} out of range"),
+            PipeError::SelfPipe(v) => write!(f, "pipe from VM {v} to itself"),
+            PipeError::DuplicatePipe(s, d) => write!(f, "duplicate pipe {s}->{d}"),
+        }
+    }
+}
+
+impl std::error::Error for PipeError {}
+
+impl PipeModel {
+    /// Build a pipe model over `n` VMs from directed `(src, dst, kbps)`
+    /// entries.
+    pub fn new(n: u32, pipes: Vec<(u32, u32, Kbps)>) -> Result<PipeModel, PipeError> {
+        let mut seen = std::collections::HashSet::new();
+        for &(s, d, _) in &pipes {
+            if s >= n {
+                return Err(PipeError::BadEndpoint(s));
+            }
+            if d >= n {
+                return Err(PipeError::BadEndpoint(d));
+            }
+            if s == d {
+                return Err(PipeError::SelfPipe(s));
+            }
+            if !seen.insert((s, d)) {
+                return Err(PipeError::DuplicatePipe(s, d));
+            }
+        }
+        Ok(Self::with_adjacency(n, pipes))
+    }
+
+    fn with_adjacency(n: u32, pipes: Vec<(u32, u32, Kbps)>) -> PipeModel {
+        let mut out_adj = vec![Vec::new(); n as usize];
+        let mut in_adj = vec![Vec::new(); n as usize];
+        for &(s, d, bw) in &pipes {
+            out_adj[s as usize].push((d, bw));
+            in_adj[d as usize].push((s, bw));
+        }
+        PipeModel {
+            n,
+            pipes,
+            out_adj,
+            in_adj,
+        }
+    }
+
+    /// Pipes leaving `vm` as `(dst, kbps)` pairs.
+    pub fn pipes_from(&self, vm: u32) -> &[(u32, Kbps)] {
+        &self.out_adj[vm as usize]
+    }
+
+    /// Pipes entering `vm` as `(src, kbps)` pairs.
+    pub fn pipes_to(&self, vm: u32) -> &[(u32, Kbps)] {
+        &self.in_adj[vm as usize]
+    }
+
+    /// Number of VMs.
+    pub fn num_vms(&self) -> u32 {
+        self.n
+    }
+
+    /// The directed pipes.
+    pub fn pipes(&self) -> &[(u32, u32, Kbps)] {
+        &self.pipes
+    }
+
+    /// Total demand of a VM as `(send, receive)` kbps.
+    pub fn vm_demand(&self, vm: u32) -> (Kbps, Kbps) {
+        let s = self.out_adj[vm as usize].iter().map(|&(_, bw)| bw).sum();
+        let r = self.in_adj[vm as usize].iter().map(|&(_, bw)| bw).sum();
+        (s, r)
+    }
+
+    /// The paper's §5.1 idealized conversion from a TAG: every trunk total
+    /// `B_{u→v} = min(S·N_u, R·N_v)` is divided uniformly over the
+    /// `N_u × N_v` pipes, and every self-loop's aggregate `N·SR` over the
+    /// `N(N−1)` intra-tier ordered pairs. Guarantees to external components
+    /// cannot be expressed as pipes and are dropped (the bing-style tenants
+    /// the paper converts have none).
+    ///
+    /// Division rounds to nearest kbps, which is the "idealized" part: the
+    /// resulting pipes assume perfectly uniform load balancing (§2.2 argues
+    /// a realistic pipe model must instead provision each pipe for its peak).
+    pub fn from_tag_idealized(tag: &Tag) -> PipeModel {
+        // Assign VM index ranges per internal tier.
+        let mut offset = vec![u32::MAX; tag.num_tiers()];
+        let mut n: u32 = 0;
+        for t in tag.internal_tiers() {
+            offset[t.index()] = n;
+            n += tag.tier(t).size;
+        }
+        let mut pipes = Vec::new();
+        for e in tag.edges() {
+            let fi = e.from.index();
+            let ti = e.to.index();
+            if offset[fi] == u32::MAX || offset[ti] == u32::MAX {
+                continue; // external edge: not expressible as pipes
+            }
+            let nu = tag.tier(e.from).size;
+            let nv = tag.tier(e.to).size;
+            if e.is_self_loop() {
+                if nu < 2 {
+                    continue;
+                }
+                let total = nu as u64 * e.snd_kbps;
+                let per = (total as f64 / (nu as u64 * (nu - 1) as u64) as f64).round() as Kbps;
+                if per == 0 {
+                    continue;
+                }
+                for i in 0..nu {
+                    for j in 0..nu {
+                        if i != j {
+                            pipes.push((offset[fi] + i, offset[fi] + j, per));
+                        }
+                    }
+                }
+            } else {
+                let total = tag.trunk_total(e);
+                let per = (total as f64 / (nu as u64 * nv as u64) as f64).round() as Kbps;
+                if per == 0 {
+                    continue;
+                }
+                for i in 0..nu {
+                    for j in 0..nv {
+                        pipes.push((offset[fi] + i, offset[ti] + j, per));
+                    }
+                }
+            }
+        }
+        Self::with_adjacency(n, pipes)
+    }
+}
+
+impl CutModel for PipeModel {
+    fn num_tiers(&self) -> usize {
+        self.n as usize
+    }
+
+    fn tier_size(&self, _t: usize) -> u32 {
+        1
+    }
+
+    fn cut_kbps(&self, inside: &[u32]) -> (Kbps, Kbps) {
+        debug_assert_eq!(inside.len(), self.n as usize);
+        // Iterate only the inside VMs' adjacency: a pipe crosses the cut iff
+        // exactly one endpoint is inside.
+        let mut out = 0;
+        let mut inc = 0;
+        for (vm, &i) in inside.iter().enumerate() {
+            if i == 0 {
+                continue;
+            }
+            for &(dst, bw) in &self.out_adj[vm] {
+                if inside[dst as usize] == 0 {
+                    out += bw;
+                }
+            }
+            for &(src, bw) in &self.in_adj[vm] {
+                if inside[src as usize] == 0 {
+                    inc += bw;
+                }
+            }
+        }
+        (out, inc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TagBuilder;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            PipeModel::new(2, vec![(0, 2, 5)]).unwrap_err(),
+            PipeError::BadEndpoint(2)
+        );
+        assert_eq!(
+            PipeModel::new(2, vec![(1, 1, 5)]).unwrap_err(),
+            PipeError::SelfPipe(1)
+        );
+        assert_eq!(
+            PipeModel::new(2, vec![(0, 1, 5), (0, 1, 7)]).unwrap_err(),
+            PipeError::DuplicatePipe(0, 1)
+        );
+    }
+
+    #[test]
+    fn cut_counts_crossing_pipes_exactly() {
+        let p = PipeModel::new(3, vec![(0, 1, 10), (1, 2, 20), (2, 0, 40)]).unwrap();
+        // {0} inside: out 0->1 =10 ; in 2->0 = 40.
+        assert_eq!(p.cut_kbps(&[1, 0, 0]), (10, 40));
+        // {0,1}: out 1->2 = 20; in 2->0 = 40.
+        assert_eq!(p.cut_kbps(&[1, 1, 0]), (20, 40));
+        // all inside: nothing crosses.
+        assert_eq!(p.cut_kbps(&[1, 1, 1]), (0, 0));
+    }
+
+    #[test]
+    fn from_tag_divides_trunks_uniformly() {
+        let mut b = TagBuilder::new("t");
+        let u = b.tier("u", 2);
+        let v = b.tier("v", 4);
+        b.edge(u, v, 400, 300).unwrap();
+        let tag = b.build().unwrap();
+        let p = PipeModel::from_tag_idealized(&tag);
+        assert_eq!(p.num_vms(), 6);
+        // trunk total = min(2*400, 4*300) = 800 over 8 pipes = 100 each.
+        assert_eq!(p.pipes().len(), 8);
+        assert!(p.pipes().iter().all(|&(_, _, bw)| bw == 100));
+        // Per-VM demand: each u VM sends 4*100 = 400.
+        assert_eq!(p.vm_demand(0), (400, 0));
+        assert_eq!(p.vm_demand(2), (0, 200));
+    }
+
+    #[test]
+    fn from_tag_divides_self_loops() {
+        let mut b = TagBuilder::new("t");
+        let u = b.tier("u", 4);
+        b.self_loop(u, 300).unwrap();
+        let tag = b.build().unwrap();
+        let p = PipeModel::from_tag_idealized(&tag);
+        // aggregate 4*300 over 12 ordered pairs = 100 per pipe.
+        assert_eq!(p.pipes().len(), 12);
+        assert!(p.pipes().iter().all(|&(_, _, bw)| bw == 100));
+    }
+
+    #[test]
+    fn idealized_pipe_cut_never_exceeds_tag_cut() {
+        // Pipes are fundamentally more efficient (§5.1): on any cut the
+        // idealized pipes reserve at most what TAG reserves.
+        let mut b = TagBuilder::new("t");
+        let u = b.tier("u", 3);
+        let v = b.tier("v", 3);
+        b.edge(u, v, 100, 100).unwrap();
+        b.self_loop(v, 90).unwrap();
+        let tag = b.build().unwrap();
+        let p = PipeModel::from_tag_idealized(&tag);
+        // Compare cut for subtree holding 2 u-VMs and 1 v-VM.
+        let tag_cut = tag.cut_kbps(&[2, 1]);
+        let pipe_cut = p.cut_kbps(&[1, 1, 0, 1, 0, 0]);
+        assert!(pipe_cut.0 <= tag_cut.0 && pipe_cut.1 <= tag_cut.1);
+    }
+
+    #[test]
+    fn singleton_tier_tag_equals_pipe_special_case() {
+        // §3: a TAG with one VM per component and no self-loops IS the pipe
+        // model. Check the cuts agree on every subset.
+        let mut b = TagBuilder::new("t");
+        let a = b.tier("a", 1);
+        let c = b.tier("b", 1);
+        let d = b.tier("c", 1);
+        b.edge(a, c, 10, 10).unwrap();
+        b.edge(c, d, 20, 20).unwrap();
+        b.edge(d, a, 40, 40).unwrap();
+        let tag = b.build().unwrap();
+        let p = PipeModel::from_tag_idealized(&tag);
+        for mask in 0u32..8 {
+            let inside: Vec<u32> = (0..3).map(|i| (mask >> i) & 1).collect();
+            assert_eq!(tag.cut_kbps(&inside), p.cut_kbps(&inside));
+        }
+    }
+}

@@ -1,0 +1,1364 @@
+//! The CloudMirror placement algorithm (Algorithm 1 + §4.5 extensions).
+
+
+use crate::model::{Tag, TierId};
+use crate::placement::{
+    need_is_zero, need_total, per_slot_avail_kbps, restore_need, wcs_cap, CmConfig, DemandPredictor,
+    HaPolicy, RejectReason,
+};
+use crate::reserve::{PlacementEntry, PlacementMap, TenantState};
+use cm_topology::{NodeId, Topology};
+use std::collections::HashSet;
+
+/// The CloudMirror VM scheduler.
+///
+/// A placer is stateful only through its [`DemandPredictor`] (used by
+/// opportunistic HA); placements themselves live in the returned
+/// [`TenantState`]s. See the [module docs](crate::placement) for the
+/// algorithm.
+#[derive(Debug, Clone)]
+pub struct CmPlacer {
+    cfg: CmConfig,
+    predictor: DemandPredictor,
+}
+
+impl CmPlacer {
+    /// Create a placer with the given configuration.
+    pub fn new(cfg: CmConfig) -> Self {
+        CmPlacer {
+            cfg,
+            predictor: DemandPredictor::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CmConfig {
+        &self.cfg
+    }
+
+    /// Deploy a TAG tenant (`AllocTenant` in Algorithm 1).
+    ///
+    /// On success the returned [`TenantState`] holds the placement and all
+    /// reservations; release it with [`TenantState::clear`]. On rejection
+    /// the topology is left exactly as before the call.
+    pub fn place(
+        &mut self,
+        topo: &mut Topology,
+        tag: &Tag,
+    ) -> Result<TenantState<Tag>, RejectReason> {
+        let demand_mix = self.predictor.observe(tag.avg_per_vm_demand_kbps());
+        let total_need = tag.placeable_counts();
+        let total_vms = need_total(&total_need);
+        let ext_demand = tag.external_demand_kbps();
+
+        let mut state = TenantState::new(tag.clone());
+        let root_level = topo.num_levels() - 1;
+        let mut level = self.start_level(topo, tag, demand_mix) as usize;
+
+        loop {
+            let st = match self.find_subtree(topo, level, total_vms, ext_demand) {
+                Some(st) => st,
+                None => {
+                    if level >= root_level {
+                        return Err(self.reject_reason(topo, total_vms));
+                    }
+                    level += 1;
+                    continue;
+                }
+            };
+            let mut need = total_need.clone();
+            let _map = self.alloc(topo, &mut state, tag, &mut need, st, demand_mix);
+            if need_is_zero(&need) {
+                // Reserve bandwidth for the tenant's external traffic on the
+                // path above st (`ReserveBW(map, root)`).
+                let ok = match topo.parent(st) {
+                    Some(p) => state.sync_path_to_root(topo, p).is_ok(),
+                    None => true,
+                };
+                if ok {
+                    return Ok(state);
+                }
+            }
+            // Failure below or above st: release everything and move up.
+            state.clear(topo);
+            if st == topo.root() {
+                return Err(self.reject_reason(topo, total_vms));
+            }
+            level = topo.level(st) as usize + 1;
+        }
+    }
+
+    /// Resize one tier of a *live* deployment to `new_size` VMs — the
+    /// auto-scaling operation the paper's §6 plans for ("large-scale
+    /// variations in load will trigger tenants to scale up or down ...
+    /// which is flexibly handled by the TAG model").
+    ///
+    /// Per-VM guarantees stay fixed; only the tier's size changes. Growing
+    /// reprices every existing reservation under the enlarged model (the
+    /// `min()` caps of Eq. 1 widen) and then places the new VMs with the
+    /// normal `Alloc` machinery; shrinking removes VMs from the
+    /// least-populated servers first and reprices afterwards. On any
+    /// failure the deployment is left exactly as before and an error is
+    /// returned.
+    pub fn scale_tier(
+        &mut self,
+        topo: &mut Topology,
+        state: &mut TenantState<Tag>,
+        tier: TierId,
+        new_size: u32,
+    ) -> Result<(), RejectReason> {
+        let old_tag = state.model().clone();
+        let old_size = old_tag.tier(tier).size;
+        if new_size == old_size {
+            return Ok(());
+        }
+        let new_tag = old_tag.resized(tier, new_size);
+        let demand_mix = self.predictor.observe(new_tag.avg_per_vm_demand_kbps());
+        if new_size > old_size {
+            self.grow_tier(topo, state, tier, &old_tag, &new_tag, demand_mix)
+        } else {
+            self.shrink_tier(topo, state, tier, &new_tag)
+        }
+    }
+
+    fn grow_tier(
+        &self,
+        topo: &mut Topology,
+        state: &mut TenantState<Tag>,
+        tier: TierId,
+        old_tag: &Tag,
+        new_tag: &Tag,
+        demand_mix: f64,
+    ) -> Result<(), RejectReason> {
+        let delta = new_tag.tier(tier).size - old_tag.tier(tier).size;
+        // Reprice existing reservations under the grown model first: with a
+        // larger receiver/sender population, Eq. 1's caps rise on links that
+        // hold part of the tier's peers.
+        if state.replace_model(topo, new_tag.clone()).is_err() {
+            return Err(RejectReason::InsufficientBandwidth);
+        }
+        let mut need = vec![0u32; new_tag.num_tiers()];
+        need[tier.index()] = delta;
+        let root_level = topo.num_levels() - 1;
+        let mut level = 0usize;
+        loop {
+            let st = match self.find_subtree(topo, level, delta as u64, (0, 0)) {
+                Some(st) => st,
+                None => {
+                    if level >= root_level {
+                        break;
+                    }
+                    level += 1;
+                    continue;
+                }
+            };
+            let map = self.alloc(topo, state, new_tag, &mut need, st, demand_mix);
+            if need_is_zero(&need) {
+                let ok = match topo.parent(st) {
+                    Some(p) => state.sync_path_to_root(topo, p).is_ok(),
+                    None => true,
+                };
+                if ok {
+                    return Ok(());
+                }
+            }
+            state.rollback_map(topo, &map, topo.root());
+            restore_need(&map, &mut need);
+            if st == topo.root() {
+                break;
+            }
+            level = topo.level(st) as usize + 1;
+        }
+        // Could not place the delta anywhere: restore the old model (its
+        // prices are the ones currently reserved, so this cannot fail).
+        state
+            .replace_model(topo, old_tag.clone())
+            .expect("restoring the pre-growth model frees capacity");
+        Err(self.reject_reason(topo, delta as u64))
+    }
+
+    fn shrink_tier(
+        &self,
+        topo: &mut Topology,
+        state: &mut TenantState<Tag>,
+        tier: TierId,
+        new_tag: &Tag,
+    ) -> Result<(), RejectReason> {
+        let delta = state.model().tier(tier).size - new_tag.tier(tier).size;
+        // Remove from the least-populated servers first: large colocated
+        // blocks (the bandwidth savers) survive.
+        let mut placement: Vec<(NodeId, u32)> = state
+            .placement(topo)
+            .into_iter()
+            .filter_map(|(s, c)| {
+                let k = c[tier.index()];
+                (k > 0).then_some((s, k))
+            })
+            .collect();
+        placement.sort_by_key(|&(s, k)| (k, s));
+        let mut removal: Vec<PlacementEntry> = Vec::new();
+        let mut left = delta;
+        for (server, k) in placement {
+            if left == 0 {
+                break;
+            }
+            let take = k.min(left);
+            removal.push(PlacementEntry {
+                server,
+                tier: tier.index(),
+                count: take,
+            });
+            left -= take;
+        }
+        assert_eq!(left, 0, "deployment holds fewer VMs than its model");
+        for e in &removal {
+            state.unplace(topo, e.server, e.tier, e.count);
+        }
+        // Re-sync the affected links bottom-up — still under the OLD model
+        // (counts changed; note that removing VMs can RAISE a hose price
+        // when the inside count drops below N/2, so this can fail).
+        let mut affected: Vec<NodeId> = Vec::new();
+        for e in &removal {
+            for n in topo.path_to_root(e.server) {
+                if !affected.contains(&n) {
+                    affected.push(n);
+                }
+            }
+        }
+        affected.sort_by_key(|&n| (topo.level(n), n));
+        let mut failed = false;
+        for &n in &affected {
+            if state.sync_uplink(topo, n).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if !failed {
+            failed = state.replace_model(topo, new_tag.clone()).is_err();
+        }
+        if failed {
+            // Put the removed VMs back exactly where they were; the
+            // original configuration fit, so this cannot fail.
+            for e in &removal {
+                state
+                    .place(topo, e.server, e.tier, e.count)
+                    .expect("slots were just freed");
+            }
+            for &n in &affected {
+                state
+                    .sync_uplink(topo, n)
+                    .expect("restoring the original placement must fit");
+            }
+            return Err(RejectReason::InsufficientBandwidth);
+        }
+        Ok(())
+    }
+
+    /// Classify the final failure: slots if the datacenter plainly lacks
+    /// room, bandwidth otherwise.
+    fn reject_reason(&self, topo: &Topology, total_vms: u64) -> RejectReason {
+        if topo.subtree_slots_free(topo.root()) < total_vms {
+            RejectReason::InsufficientSlots
+        } else {
+            RejectReason::InsufficientBandwidth
+        }
+    }
+
+    /// `FindLowestSubtree(g, level)`: see
+    /// [`crate::placement::find_lowest_subtree`].
+    fn find_subtree(
+        &self,
+        topo: &Topology,
+        level: usize,
+        total_vms: u64,
+        ext_demand: (u64, u64),
+    ) -> Option<NodeId> {
+        crate::placement::find_lowest_subtree(topo, level, total_vms, ext_demand)
+    }
+
+    /// `Alloc(g, st)`: place as much of `need` as possible under `st`,
+    /// returning the map of what was placed. `need` is decremented for every
+    /// placed VM. The reservation on `st`'s own uplink is synced before
+    /// returning; if that fails, everything this call placed is rolled back
+    /// and the map is empty.
+    fn alloc(
+        &self,
+        topo: &mut Topology,
+        state: &mut TenantState<Tag>,
+        tag: &Tag,
+        need: &mut [u32],
+        st: NodeId,
+        demand_mix: f64,
+    ) -> PlacementMap {
+        let mut map = PlacementMap::new();
+        if topo.is_server(st) {
+            self.alloc_on_server(topo, state, tag, need, st, &mut map);
+        } else {
+            if self.cfg.colocate && self.coloc_feasible(topo, state, tag, need, st, demand_mix) {
+                self.colocate(topo, state, tag, need, st, demand_mix, &mut map);
+            }
+            if !need_is_zero(need) {
+                if self.cfg.balance {
+                    self.balance(topo, state, tag, need, st, demand_mix, &mut map);
+                } else {
+                    self.first_fit(topo, state, tag, need, st, demand_mix, &mut map);
+                }
+            }
+        }
+        if !map.is_empty() && state.sync_uplink(topo, st).is_err() {
+            state.rollback_map(topo, &map, st);
+            restore_need(&map, need);
+            map.clear();
+        }
+        map
+    }
+
+    /// Server-level allocation: fill free slots with the highest-demand
+    /// tiers first (subject to HA headroom).
+    fn alloc_on_server(
+        &self,
+        topo: &mut Topology,
+        state: &mut TenantState<Tag>,
+        tag: &Tag,
+        need: &mut [u32],
+        server: NodeId,
+        map: &mut PlacementMap,
+    ) {
+        let mut left = topo.slots_free(server);
+        if left == 0 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..need.len()).filter(|&t| need[t] > 0).collect();
+        order.sort_by_key(|&t| std::cmp::Reverse(tag.per_vm_demand(TierId(t as u16))));
+        for t in order {
+            if left == 0 {
+                break;
+            }
+            let head = self.ha_headroom(topo, state, tag, server, t);
+            let k = need[t].min(left).min(head);
+            if k == 0 {
+                continue;
+            }
+            state
+                .place(topo, server, t, k)
+                .expect("slot count was checked");
+            need[t] -= k;
+            left -= k;
+            map.push(PlacementEntry {
+                server,
+                tier: t,
+                count: k,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Colocate
+    // ------------------------------------------------------------------
+
+    /// Cheap feasibility gate for `Colocate` (Algorithm 1 line 16): the
+    /// Eq. 2/6 size conditions can only hold if more than half of some
+    /// hose tier or trunk endpoint can land under a single child, within
+    /// HA headroom; under opportunistic HA, colocation must additionally be
+    /// *desirable* (§4.5).
+    fn coloc_feasible(
+        &self,
+        topo: &Topology,
+        state: &TenantState<Tag>,
+        tag: &Tag,
+        need: &[u32],
+        st: NodeId,
+        demand_mix: f64,
+    ) -> bool {
+        if matches!(self.cfg.ha, HaPolicy::Opportunistic { .. })
+            && !self.saving_desirable(topo, st, demand_mix)
+        {
+            return false;
+        }
+        // Potential inside count per tier at the best child.
+        let mut possible = vec![0u64; need.len()];
+        for child in topo.children(st) {
+            let slots = topo.subtree_slots_free(child);
+            for (t, &n) in need.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let head = self.ha_headroom(topo, state, tag, child, t) as u64;
+                let existing = state.count_of(child, t) as u64;
+                let pot = existing + (n as u64).min(slots).min(head);
+                possible[t] = possible[t].max(pot);
+            }
+        }
+        for e in tag.edges() {
+            let fi = e.from.index();
+            let ti = e.to.index();
+            if e.is_self_loop() {
+                if 2 * possible[fi] > tag.tier(e.from).size as u64 {
+                    return true;
+                }
+            } else if !tag.tier(e.from).external && !tag.tier(e.to).external {
+                let nu = tag.tier(e.from).size as u64;
+                let nv = tag.tier(e.to).size as u64;
+                if 2 * possible[fi] > nu || 2 * possible[ti] > nv {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// `Colocate(g, st)`: repeatedly pick a verified bandwidth-saving group
+    /// of tiers and recurse into the chosen child.
+    #[allow(clippy::too_many_arguments)]
+    fn colocate(
+        &self,
+        topo: &mut Topology,
+        state: &mut TenantState<Tag>,
+        tag: &Tag,
+        need: &mut [u32],
+        st: NodeId,
+        demand_mix: f64,
+        map: &mut PlacementMap,
+    ) {
+        let mut excluded: HashSet<NodeId> = HashSet::new();
+        // Children that produced no saving group for the current remainder;
+        // they can only become attractive again once they receive VMs (which
+        // removes them from the set below).
+        let mut no_group: HashSet<NodeId> = HashSet::new();
+        loop {
+            let Some((gsub, child)) =
+                self.find_tiers_to_coloc(topo, state, tag, need, st, &excluded, &mut no_group)
+            else {
+                break;
+            };
+            debug_assert!(gsub.iter().zip(need.iter()).all(|(&g, &n)| g <= n));
+            for (t, &g) in gsub.iter().enumerate() {
+                need[t] -= g;
+            }
+            let mut sub = gsub;
+            let m = self.alloc(topo, state, tag, &mut sub, child, demand_mix);
+            for (t, &s) in sub.iter().enumerate() {
+                need[t] += s; // return the unplaced remainder
+            }
+            if m.is_empty() {
+                excluded.insert(child);
+            } else {
+                no_group.remove(&child);
+            }
+            map.extend(m);
+        }
+    }
+
+    /// `FindTiersToColoc`: build the best verified-saving colocation group
+    /// for some child of `st`.
+    ///
+    /// Low-bandwidth tiers (per-VM demand at or below the children's
+    /// available bandwidth per free slot) are excluded — they are left for
+    /// `Balance` to pair with high-bandwidth VMs (§4.4, Fig. 6). Groups are
+    /// seeded by the single tier or trunk-edge pair with the largest exact
+    /// saving and grown greedily while the marginal saving stays positive.
+    #[allow(clippy::too_many_arguments)]
+    fn find_tiers_to_coloc(
+        &self,
+        topo: &Topology,
+        state: &TenantState<Tag>,
+        tag: &Tag,
+        need: &[u32],
+        st: NodeId,
+        excluded: &HashSet<NodeId>,
+        no_group: &mut HashSet<NodeId>,
+    ) -> Option<(Vec<u32>, NodeId)> {
+        let mut children: Vec<NodeId> = topo
+            .children(st)
+            .filter(|c| {
+                !excluded.contains(c) && !no_group.contains(c) && topo.subtree_slots_free(*c) > 0
+            })
+            .collect();
+        if children.is_empty() {
+            return None;
+        }
+        children.sort_by_key(|&c| (std::cmp::Reverse(topo.subtree_slots_free(c)), c));
+
+        // Low-bandwidth exclusion threshold (computed over all live
+        // children, not the shortlist, to keep the classification stable).
+        let thr = per_slot_avail_kbps(topo, children.iter().copied()).unwrap_or(0.0);
+        let hi: Vec<usize> = (0..need.len())
+            .filter(|&t| need[t] > 0 && tag.per_vm_demand(TierId(t as u16)) as f64 > thr)
+            .collect();
+        if hi.is_empty() {
+            return None;
+        }
+
+        for &child in &children {
+            if let Some(group) = self.build_group(topo, state, tag, need, child, &hi) {
+                return Some((group, child));
+            }
+            no_group.insert(child);
+        }
+        None
+    }
+
+    /// Grow a colocation group for one child; `None` unless the exact
+    /// cut-difference saving is positive.
+    ///
+    /// Savings are evaluated *incrementally*: adding VMs of tier `t` only
+    /// changes the Eq. 1 contribution of edges incident to `t`, so each
+    /// candidate costs O(degree) instead of O(edges). The total equals the
+    /// full cut-difference [`CutModel::coloc_saving_kbps`] exactly
+    /// (telescoping over the incident-edge deltas).
+    ///
+    /// Note: the exact cut-difference saving can be positive even when
+    /// every per-edge Eq. 2/Eq. 4 closed form reports zero — for unbalanced
+    /// trunk edges (`N_u·S ≠ N_v·R`), aggregating senders under one uplink
+    /// lets the receiver-side cap of Eq. 1's `min()` bind. The closed forms
+    /// assume the paper's balanced case; the cut difference is
+    /// authoritative.
+    fn build_group(
+        &self,
+        topo: &Topology,
+        state: &TenantState<Tag>,
+        tag: &Tag,
+        need: &[u32],
+        child: NodeId,
+        hi: &[usize],
+    ) -> Option<Vec<u32>> {
+        let slots = topo.subtree_slots_free(child).min(u32::MAX as u64) as u32;
+        let existing = state.inside_counts(child).into_owned();
+        let headroom: Vec<u32> = (0..need.len())
+            .map(|t| self.ha_headroom(topo, state, tag, child, t))
+            .collect();
+        // Spread price of one VM of each tier (what it costs alone in its
+        // own subtree) — the baseline colocation is measured against.
+        let spread_unit: Vec<u64> = (0..need.len())
+            .map(|t| {
+                let mut unit = vec![0u32; need.len()];
+                unit[t] = 1;
+                tag.incident_edges(TierId(t as u16))
+                    .iter()
+                    .map(|&ei| tag.edge_crossing_kbps(&tag.edges()[ei as usize], &unit))
+                    .sum()
+            })
+            .collect();
+
+        // `cur` = existing + group, mutated in place for candidate probes.
+        let mut cur = existing;
+        let mut group = vec![0u32; need.len()];
+        let mut used = 0u32;
+        let cap = |group: &[u32], t: usize, used: u32| -> u32 {
+            (need[t] - group[t])
+                .min(slots - used)
+                .min(headroom[t].saturating_sub(group[t]))
+        };
+        // Marginal saving (may be negative) of adding k VMs of the tiers in
+        // `adds` to `cur`.
+        let marginal = |cur: &mut Vec<u32>, adds: &[(usize, u32)]| -> i64 {
+            let mut edges: Vec<u16> = Vec::with_capacity(8);
+            for &(t, _) in adds {
+                for &ei in tag.incident_edges(TierId(t as u16)) {
+                    if !edges.contains(&ei) {
+                        edges.push(ei);
+                    }
+                }
+            }
+            let before: u64 = edges
+                .iter()
+                .map(|&ei| tag.edge_crossing_kbps(&tag.edges()[ei as usize], cur))
+                .sum();
+            for &(t, k) in adds {
+                cur[t] += k;
+            }
+            let after: u64 = edges
+                .iter()
+                .map(|&ei| tag.edge_crossing_kbps(&tag.edges()[ei as usize], cur))
+                .sum();
+            for &(t, k) in adds {
+                cur[t] -= k;
+            }
+            let spread: u64 = adds.iter().map(|&(t, k)| k as u64 * spread_unit[t]).sum();
+            spread as i64 - (after as i64 - before as i64)
+        };
+
+        // Seed: best single tier or trunk-edge pair by exact saving.
+        let mut best_seed: Option<(Vec<(usize, u32)>, i64)> = None;
+        for &t in hi {
+            let k = cap(&group, t, used);
+            if k == 0 {
+                continue;
+            }
+            let s = marginal(&mut cur, &[(t, k)]);
+            if s > 0 && best_seed.as_ref().map_or(true, |&(_, bs)| s > bs) {
+                best_seed = Some((vec![(t, k)], s));
+            }
+        }
+        for e in tag.edges() {
+            if e.is_self_loop() {
+                continue;
+            }
+            let (u, v) = (e.from.index(), e.to.index());
+            if !hi.contains(&u) || !hi.contains(&v) {
+                continue;
+            }
+            let ku = cap(&group, u, used).min(slots / 2 + slots % 2);
+            let kv = cap(&group, v, ku);
+            let ku = cap(&group, u, kv); // leftover room back to u
+            if ku + kv == 0 {
+                continue;
+            }
+            let s = marginal(&mut cur, &[(u, ku), (v, kv)]);
+            if s > 0 && best_seed.as_ref().map_or(true, |&(_, bs)| s > bs) {
+                best_seed = Some((vec![(u, ku), (v, kv)], s));
+            }
+        }
+        let (seed, _) = best_seed?;
+        for (t, k) in seed {
+            group[t] += k;
+            cur[t] += k;
+            used += k;
+        }
+
+        // Greedy growth while some tier's marginal saving stays positive.
+        loop {
+            let mut best: Option<(usize, u32, i64)> = None;
+            for &t in hi {
+                let k = cap(&group, t, used);
+                if k == 0 {
+                    continue;
+                }
+                let s = marginal(&mut cur, &[(t, k)]);
+                if s > 0 && best.map_or(true, |(_, _, bs)| s > bs) {
+                    best = Some((t, k, s));
+                }
+            }
+            match best {
+                Some((t, k, _)) => {
+                    group[t] += k;
+                    cur[t] += k;
+                    used += k;
+                }
+                None => break,
+            }
+        }
+        Some(group)
+    }
+
+    // ------------------------------------------------------------------
+    // Balance
+    // ------------------------------------------------------------------
+
+    /// `Balance(g, st)`: place the remaining (non-saving) VMs so that each
+    /// child's slot and bandwidth utilizations approach 100% together.
+    #[allow(clippy::too_many_arguments)]
+    fn balance(
+        &self,
+        topo: &mut Topology,
+        state: &mut TenantState<Tag>,
+        tag: &Tag,
+        need: &mut [u32],
+        st: NodeId,
+        demand_mix: f64,
+        map: &mut PlacementMap,
+    ) {
+        let mut excluded: HashSet<NodeId> = HashSet::new();
+        loop {
+            let Some((gsub, child)) =
+                self.md_subset_sum(topo, state, tag, need, st, &excluded, demand_mix)
+            else {
+                break;
+            };
+            for (t, &g) in gsub.iter().enumerate() {
+                need[t] -= g;
+            }
+            let mut sub = gsub;
+            let m = self.alloc(topo, state, tag, &mut sub, child, demand_mix);
+            for (t, &s) in sub.iter().enumerate() {
+                need[t] += s;
+            }
+            if m.is_empty() {
+                excluded.insert(child);
+            }
+            map.extend(m);
+        }
+    }
+
+    /// `MdSubsetSum`: pick the best child and VM set. Normal mode greedily
+    /// fills one child in three dimensions (slots, out-bw, in-bw); under
+    /// opportunistic HA with saving undesirable, it returns a single VM for
+    /// the child that stays most balanced (§4.5, third modification).
+    fn md_subset_sum(
+        &self,
+        topo: &Topology,
+        state: &TenantState<Tag>,
+        tag: &Tag,
+        need: &[u32],
+        st: NodeId,
+        excluded: &HashSet<NodeId>,
+        demand_mix: f64,
+    ) -> Option<(Vec<u32>, NodeId)> {
+        let mut children: Vec<NodeId> = topo
+            .children(st)
+            .filter(|c| !excluded.contains(c) && topo.subtree_slots_free(*c) > 0)
+            .collect();
+        if children.is_empty() {
+            return None;
+        }
+        let spread = matches!(self.cfg.ha, HaPolicy::Opportunistic { .. })
+            && !self.saving_desirable(topo, st, demand_mix);
+        if spread {
+            return self.single_vm_pick(topo, state, tag, need, &children);
+        }
+
+        // Evaluating the greedy fill for every child per Balance iteration
+        // is the dominant cost on wide trees; a shortlist of the best
+        // candidates by free slots and by available uplink bandwidth keeps
+        // the subset-sum quality while bounding the work.
+        if children.len() > 6 {
+            children.sort_by_key(|&c| (std::cmp::Reverse(topo.subtree_slots_free(c)), c));
+            let mut shortlist: Vec<NodeId> = children.iter().copied().take(4).collect();
+            let mut by_bw = children.clone();
+            by_bw.sort_by_key(|&c| {
+                let (u, d) = topo.uplink_avail(c).unwrap_or((0, 0));
+                (std::cmp::Reverse(u.min(d)), c)
+            });
+            for c in by_bw.into_iter().take(4) {
+                if !shortlist.contains(&c) {
+                    shortlist.push(c);
+                }
+            }
+            children = shortlist;
+        }
+
+        let mut best: Option<(f64, u64, NodeId, Vec<u32>)> = None;
+        for &child in &children {
+            let (sel, score) = self.greedy_fill(topo, state, tag, need, child);
+            let placed = need_total(&sel);
+            if placed == 0 {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bs, bp, _, _)) => {
+                    score > *bs || (score == *bs && placed > *bp)
+                }
+            };
+            if better {
+                best = Some((score, placed, child, sel));
+            }
+        }
+        best.map(|(_, _, c, sel)| (sel, c))
+    }
+
+    /// Opportunistic spread: one VM of the heaviest remaining tier, on the
+    /// child whose utilization stays lowest after the addition.
+    fn single_vm_pick(
+        &self,
+        topo: &Topology,
+        state: &TenantState<Tag>,
+        tag: &Tag,
+        need: &[u32],
+        children: &[NodeId],
+    ) -> Option<(Vec<u32>, NodeId)> {
+        let t = (0..need.len())
+            .filter(|&t| need[t] > 0)
+            .max_by_key(|&t| tag.per_vm_demand(TierId(t as u16)))?;
+        let tid = TierId(t as u16);
+        let (snd, rcv) = (tag.per_vm_snd(tid), tag.per_vm_rcv(tid));
+        let mut best: Option<(f64, NodeId)> = None;
+        for &child in children {
+            if self.ha_headroom(topo, state, tag, child, t) == 0 {
+                continue;
+            }
+            let free = topo.subtree_slots_free(child);
+            if free == 0 {
+                continue;
+            }
+            let (au, ad) = topo.uplink_avail(child).unwrap_or((u64::MAX, u64::MAX));
+            if au < snd || ad < rcv {
+                continue;
+            }
+            let (cu, cd) = topo.uplink_capacity(child).unwrap_or((u64::MAX, u64::MAX));
+            let total = topo.subtree_slots_total(child);
+            let u_slot = 1.0 - (free - 1) as f64 / total.max(1) as f64;
+            let u_up = 1.0 - (au - snd) as f64 / cu.max(1) as f64;
+            let u_dn = 1.0 - (ad - rcv) as f64 / cd.max(1) as f64;
+            let worst = u_slot.max(u_up).max(u_dn);
+            if best.map_or(true, |(b, _)| worst < b) {
+                best = Some((worst, child));
+            }
+        }
+        let (_, child) = best?;
+        let mut sel = vec![0u32; need.len()];
+        sel[t] = 1;
+        Some((sel, child))
+    }
+
+    /// Greedy 3-D subset-sum fill of one child. Iterates over tiers (not
+    /// VMs), at each step adding the chunk that keeps the three utilization
+    /// ratios (slots, out-bw, in-bw) most balanced. Returns the selection
+    /// and the child's score `min(u_slot, (u_up+u_dn)/2)` after the fill —
+    /// "lead both slot and uplink utilization of child to approach 100%".
+    fn greedy_fill(
+        &self,
+        topo: &Topology,
+        state: &TenantState<Tag>,
+        tag: &Tag,
+        need: &[u32],
+        child: NodeId,
+    ) -> (Vec<u32>, f64) {
+        let total_slots = topo.subtree_slots_total(child).max(1);
+        let mut rem_slots = topo.subtree_slots_free(child);
+        let (cap_up, cap_dn) = topo.uplink_capacity(child).unwrap_or((u64::MAX, u64::MAX));
+        let (mut rem_up, mut rem_dn) = topo.uplink_avail(child).unwrap_or((u64::MAX, u64::MAX));
+        let mut sel = vec![0u32; need.len()];
+
+        let util = |rem_slots: u64, rem_up: u64, rem_dn: u64| -> (f64, f64, f64) {
+            (
+                1.0 - rem_slots as f64 / total_slots as f64,
+                1.0 - rem_up as f64 / cap_up.max(1) as f64,
+                1.0 - rem_dn as f64 / cap_dn.max(1) as f64,
+            )
+        };
+
+        loop {
+            let mut best: Option<(f64, f64, usize, u32)> = None; // (imbalance, -min_util, tier, k)
+            for t in 0..need.len() {
+                let avail = need[t] - sel[t];
+                if avail == 0 || rem_slots == 0 {
+                    continue;
+                }
+                let tid = TierId(t as u16);
+                let (snd, rcv) = (tag.per_vm_snd(tid), tag.per_vm_rcv(tid));
+                let head = self
+                    .ha_headroom(topo, state, tag, child, t)
+                    .saturating_sub(sel[t]);
+                let mut k = avail.min(rem_slots.min(u32::MAX as u64) as u32).min(head);
+                if snd > 0 {
+                    k = k.min((rem_up / snd).min(u32::MAX as u64) as u32);
+                }
+                if rcv > 0 {
+                    k = k.min((rem_dn / rcv).min(u32::MAX as u64) as u32);
+                }
+                if k == 0 {
+                    continue;
+                }
+                let (us, uu, ud) = util(
+                    rem_slots - k as u64,
+                    rem_up - k as u64 * snd,
+                    rem_dn - k as u64 * rcv,
+                );
+                let imbalance = us.max(uu).max(ud) - us.min(uu).min(ud);
+                let min_util = us.min(uu).min(ud);
+                let cand = (imbalance, -min_util, t, k);
+                if best.map_or(true, |b| (cand.0, cand.1) < (b.0, b.1)) {
+                    best = Some(cand);
+                }
+            }
+            match best {
+                Some((_, _, t, k)) => {
+                    let tid = TierId(t as u16);
+                    sel[t] += k;
+                    rem_slots -= k as u64;
+                    rem_up -= k as u64 * tag.per_vm_snd(tid);
+                    rem_dn -= k as u64 * tag.per_vm_rcv(tid);
+                }
+                None => break,
+            }
+        }
+        let (us, uu, ud) = util(rem_slots, rem_up, rem_dn);
+        (sel, us.min((uu + ud) / 2.0))
+    }
+
+    /// Plain slot-first-fit used when `Balance` is disabled (Fig. 10's
+    /// Coloc-only ablation).
+    #[allow(clippy::too_many_arguments)]
+    fn first_fit(
+        &self,
+        topo: &mut Topology,
+        state: &mut TenantState<Tag>,
+        tag: &Tag,
+        need: &mut [u32],
+        st: NodeId,
+        demand_mix: f64,
+        map: &mut PlacementMap,
+    ) {
+        let mut children: Vec<NodeId> = topo.children(st).collect();
+        children.sort_by_key(|&c| (std::cmp::Reverse(topo.subtree_slots_free(c)), c));
+        for child in children {
+            if need_is_zero(need) {
+                break;
+            }
+            let slots = topo.subtree_slots_free(child).min(u32::MAX as u64) as u32;
+            if slots == 0 {
+                continue;
+            }
+            let mut gsub = vec![0u32; need.len()];
+            let mut used = 0;
+            for t in 0..need.len() {
+                let head = self.ha_headroom(topo, state, tag, child, t);
+                let k = need[t].min(slots - used).min(head);
+                gsub[t] = k;
+                used += k;
+                if used == slots {
+                    break;
+                }
+            }
+            if used == 0 {
+                continue;
+            }
+            for (t, &g) in gsub.iter().enumerate() {
+                need[t] -= g;
+            }
+            let mut sub = gsub;
+            let m = self.alloc(topo, state, tag, &mut sub, child, demand_mix);
+            for (t, &s) in sub.iter().enumerate() {
+                need[t] += s;
+            }
+            map.extend(m);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // HA helpers
+    // ------------------------------------------------------------------
+
+    /// Eq. 7 headroom: how many more VMs of `tier` may be placed under
+    /// `node` without violating the guaranteed-WCS cap of the fault domain
+    /// (the ancestor at `laa_level`) containing it. Unbounded when no
+    /// guarantee applies.
+    fn ha_headroom(
+        &self,
+        topo: &Topology,
+        state: &TenantState<Tag>,
+        tag: &Tag,
+        node: NodeId,
+        tier: usize,
+    ) -> u32 {
+        let HaPolicy::Guaranteed { rwcs, laa_level } = self.cfg.ha else {
+            return u32::MAX;
+        };
+        if topo.level(node) > laa_level {
+            return u32::MAX;
+        }
+        let domain = topo
+            .path_to_root(node)
+            .find(|&a| topo.level(a) == laa_level)
+            .expect("every node has an ancestor at laa_level");
+        let n = tag.tiers()[tier].size;
+        if tag.tiers()[tier].external {
+            return u32::MAX;
+        }
+        wcs_cap(n, rwcs).saturating_sub(state.count_of(domain, tier))
+    }
+
+    /// §4.5 desirability: saving on `st`'s children uplinks is worthwhile
+    /// iff their available bandwidth per unallocated slot is below the
+    /// (EWMA-blended) per-VM demand.
+    fn saving_desirable(&self, topo: &Topology, st: NodeId, demand_mix: f64) -> bool {
+        match per_slot_avail_kbps(topo, topo.children(st)) {
+            Some(per_slot) => per_slot < demand_mix,
+            None => true, // no free slots below: moot, let recursion fail
+        }
+    }
+
+    /// Starting level for `FindLowestSubtree`:
+    /// * guaranteed HA forces `laa_level + 1` whenever some tier's Eq. 7 cap
+    ///   is below its size (placing the whole tenant inside one fault domain
+    ///   would violate it);
+    /// * opportunistic HA starts at the lowest level where bandwidth saving
+    ///   is desirable (§4.5, second modification);
+    /// * otherwise the server level.
+    fn start_level(&self, topo: &Topology, tag: &Tag, demand_mix: f64) -> u8 {
+        match self.cfg.ha {
+            HaPolicy::None => 0,
+            HaPolicy::Guaranteed { rwcs, laa_level } => {
+                let needs_spread = tag
+                    .internal_tiers()
+                    .any(|t| wcs_cap(tag.tier(t).size, rwcs) < tag.tier(t).size);
+                if needs_spread {
+                    (laa_level + 1).min((topo.num_levels() - 1) as u8)
+                } else {
+                    0
+                }
+            }
+            HaPolicy::Opportunistic { .. } => {
+                let top = (topo.num_levels() - 1) as u8;
+                for l in 0..top {
+                    let nodes = topo.nodes_at_level(l as usize).iter().copied();
+                    if let Some(per_slot) = per_slot_avail_kbps(topo, nodes) {
+                        if per_slot < demand_mix {
+                            return l;
+                        }
+                    }
+                }
+                top
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TagBuilder;
+    use cm_topology::{mbps, TreeSpec};
+
+    fn topo_small() -> Topology {
+        // 2 pods × 2 racks × 4 servers, 4 slots each; 1 G NICs, 2 G ToR,
+        // 4 G agg.
+        Topology::build(&TreeSpec::small(
+            2,
+            2,
+            4,
+            4,
+            [mbps(1000.0), mbps(2000.0), mbps(4000.0)],
+        ))
+    }
+
+    fn hose(n: u32, sr: u64) -> Tag {
+        let mut b = TagBuilder::new("hose");
+        let t = b.tier("t", n);
+        b.self_loop(t, sr).unwrap();
+        b.build().unwrap()
+    }
+
+    fn three_tier(n: u32, b1: u64, b2: u64, b3: u64) -> Tag {
+        let mut b = TagBuilder::new("web3");
+        let web = b.tier("web", n);
+        let logic = b.tier("logic", n);
+        let db = b.tier("db", n);
+        b.sym_edge(web, logic, b1).unwrap();
+        b.sym_edge(logic, db, b2).unwrap();
+        b.self_loop(db, b3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn places_simple_hose_tenant() {
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let tag = hose(4, mbps(100.0));
+        let state = placer.place(&mut topo, &tag).expect("should fit");
+        assert_eq!(state.total_placed(&topo), 4);
+        state.check_consistency(&topo).unwrap();
+        topo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hose_tenant_colocates_onto_one_server() {
+        // 4 VMs fit one server; colocation saves the whole hose bandwidth,
+        // so nothing is reserved anywhere.
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let tag = hose(4, mbps(100.0));
+        let state = placer.place(&mut topo, &tag).unwrap();
+        let placement = state.placement(&topo);
+        assert_eq!(placement.len(), 1, "all VMs on one server");
+        for l in 0..topo.num_levels() {
+            assert_eq!(topo.reserved_at_level(l), (0, 0));
+        }
+    }
+
+    #[test]
+    fn release_restores_everything() {
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let tag = three_tier(3, mbps(100.0), mbps(50.0), mbps(20.0));
+        let mut state = placer.place(&mut topo, &tag).unwrap();
+        assert_eq!(state.total_placed(&topo), 9);
+        state.clear(&mut topo);
+        assert_eq!(topo.subtree_slots_free(topo.root()), 16 * 4);
+        for l in 0..topo.num_levels() {
+            assert_eq!(topo.reserved_at_level(l), (0, 0));
+        }
+        topo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_when_no_slots() {
+        let mut topo = topo_small(); // 64 slots
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let tag = hose(65, 1);
+        assert_eq!(
+            placer.place(&mut topo, &tag).err(),
+            Some(RejectReason::InsufficientSlots)
+        );
+        topo.check_invariants().unwrap();
+        assert_eq!(topo.subtree_slots_free(topo.root()), 64);
+    }
+
+    #[test]
+    fn rejects_on_bandwidth_and_leaves_no_trace() {
+        // A 2-tier trunk demanding more than the NIC can carry per VM
+        // cannot be placed (each tier is far bigger than a server, so
+        // cross-server traffic is unavoidable).
+        let mut topo = topo_small();
+        let baseline = topo.subtree_slots_free(topo.root());
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let mut b = TagBuilder::new("heavy");
+        let u = b.tier("u", 20);
+        let v = b.tier("v", 20);
+        b.sym_edge(u, v, mbps(800.0)).unwrap(); // per-VM 1.6 G > 1 G NIC
+        let tag = b.build().unwrap();
+        assert_eq!(
+            placer.place(&mut topo, &tag).err(),
+            Some(RejectReason::InsufficientBandwidth)
+        );
+        assert_eq!(topo.subtree_slots_free(topo.root()), baseline);
+        for l in 0..topo.num_levels() {
+            assert_eq!(topo.reserved_at_level(l), (0, 0));
+        }
+    }
+
+    #[test]
+    fn trunk_pair_colocated_to_save_bandwidth() {
+        // web(2) <-> logic(2) with heavy traffic: CM should put all 4 VMs
+        // under one server (slots 4), zeroing reservations.
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let mut b = TagBuilder::new("pair");
+        let u = b.tier("u", 2);
+        let v = b.tier("v", 2);
+        b.sym_edge(u, v, mbps(300.0)).unwrap();
+        let tag = b.build().unwrap();
+        let state = placer.place(&mut topo, &tag).unwrap();
+        assert_eq!(state.placement(&topo).len(), 1);
+        assert_eq!(topo.reserved_at_level(0), (0, 0));
+    }
+
+    #[test]
+    fn guaranteed_ha_respects_eq7_cap() {
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm_ha(0.5));
+        let tag = hose(8, mbps(10.0));
+        let state = placer.place(&mut topo, &tag).unwrap();
+        // No server may hold more than max(1, ⌊8·0.5⌋) = 4 VMs.
+        for (_, counts) in state.placement(&topo) {
+            assert!(counts[0] <= 4);
+        }
+        let wcs = state.wcs_at_level(&topo, 0);
+        assert!(wcs[0].unwrap() >= 0.5);
+    }
+
+    #[test]
+    fn guaranteed_ha_rwcs75_spreads_wider() {
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmPlacer::new(CmConfig::cm_ha(0.75)).cfg);
+        let tag = hose(8, mbps(10.0));
+        let state = placer.place(&mut topo, &tag).unwrap();
+        for (_, counts) in state.placement(&topo) {
+            assert!(counts[0] <= 2);
+        }
+        assert!(state.wcs_at_level(&topo, 0)[0].unwrap() >= 0.75);
+    }
+
+    #[test]
+    fn opportunistic_ha_spreads_when_bandwidth_plentiful() {
+        // Tiny demand vs 1 G NICs: saving is undesirable, VMs spread out.
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm_opp_ha());
+        let tag = hose(8, mbps(1.0));
+        let state = placer.place(&mut topo, &tag).unwrap();
+        let placement = state.placement(&topo);
+        assert!(
+            placement.len() >= 4,
+            "expected spread, got {} servers",
+            placement.len()
+        );
+        // All guarantees still hold (consistency implies reservations match
+        // the cut prices).
+        state.check_consistency(&topo).unwrap();
+    }
+
+    #[test]
+    fn singleton_tiers_always_placeable_under_ha() {
+        // Eq. 7's max(1, ·) lets single-VM tiers through even at RWCS 75%.
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm_ha(0.75));
+        let mut b = TagBuilder::new("tiny");
+        let u = b.tier("u", 1);
+        let v = b.tier("v", 1);
+        b.sym_edge(u, v, mbps(5.0)).unwrap();
+        let tag = b.build().unwrap();
+        placer.place(&mut topo, &tag).unwrap();
+    }
+
+    #[test]
+    fn fig6_balance_beats_blind_colocation() {
+        // Paper Fig. 6: rack of 4 servers × 2 slots, 10 Mbps NICs. Request:
+        // A (2 VMs, hose 4), B (2 VMs, hose 4), C (4 VMs, hose 6) — total
+        // 8 VMs, 40 Mbps demand. Blindly colocating A and B (Fig. 6(c))
+        // strands C with 12 Mbps on two NICs; the balanced placement of
+        // Fig. 6(d) pairs one C VM with one low-bandwidth VM per server,
+        // hitting exactly 10 Mbps per NIC.
+        let mut topo = Topology::build(&TreeSpec::fig6_rack());
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let mut b = TagBuilder::new("fig6");
+        let a = b.tier("A", 2);
+        let bb = b.tier("B", 2);
+        let c = b.tier("C", 4);
+        b.self_loop(a, mbps(4.0)).unwrap();
+        b.self_loop(bb, mbps(4.0)).unwrap();
+        b.self_loop(c, mbps(6.0)).unwrap();
+        let tag = b.build().unwrap();
+        let state = placer
+            .place(&mut topo, &tag)
+            .expect("balanced placement must fit (Fig. 6(d))");
+        state.check_consistency(&topo).unwrap();
+        // Two C VMs on one server would need min(2,2)·6 = 12 Mbps through a
+        // 10 Mbps NIC — the capacity check forbids it, so each server holds
+        // at most one C VM.
+        for (_, counts) in state.placement(&topo) {
+            assert!(counts[2] <= 1);
+        }
+        topo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fig6_colocation_only_variant_rejects() {
+        // With Balance disabled (Coloc + first-fit), the Fig. 6 request
+        // degenerates: A and B colocate per-server (saving their hoses) and
+        // C's four VMs are forced to double up — 12 Mbps > 10 Mbps NIC —
+        // so the request bounces, exactly the failure mode of Fig. 6(c).
+        let mut topo = Topology::build(&TreeSpec::fig6_rack());
+        let mut placer = CmPlacer::new(CmConfig::coloc_only());
+        let mut b = TagBuilder::new("fig6");
+        let a = b.tier("A", 2);
+        let bb = b.tier("B", 2);
+        let c = b.tier("C", 4);
+        b.self_loop(a, mbps(4.0)).unwrap();
+        b.self_loop(bb, mbps(4.0)).unwrap();
+        b.self_loop(c, mbps(6.0)).unwrap();
+        let tag = b.build().unwrap();
+        let result = placer.place(&mut topo, &tag);
+        assert_eq!(result.err(), Some(RejectReason::InsufficientBandwidth));
+        topo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn big_tenant_spans_levels() {
+        // 40 VMs > one rack (16 slots): needs a pod or more.
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let tag = hose(40, mbps(5.0));
+        let state = placer.place(&mut topo, &tag).unwrap();
+        assert_eq!(state.total_placed(&topo), 40);
+        state.check_consistency(&topo).unwrap();
+        topo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ablation_variants_still_place() {
+        for cfg in [CmConfig::coloc_only(), CmConfig::balance_only()] {
+            let mut topo = topo_small();
+            let mut placer = CmPlacer::new(cfg);
+            let tag = three_tier(4, mbps(50.0), mbps(25.0), mbps(10.0));
+            let state = placer.place(&mut topo, &tag).unwrap();
+            assert_eq!(state.total_placed(&topo), 12);
+            state.check_consistency(&topo).unwrap();
+        }
+    }
+
+    #[test]
+    fn scale_tier_grows_a_live_deployment() {
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let tag = three_tier(3, mbps(50.0), mbps(20.0), mbps(10.0));
+        let mut state = placer.place(&mut topo, &tag).unwrap();
+        placer
+            .scale_tier(&mut topo, &mut state, TierId(0), 8)
+            .unwrap();
+        assert_eq!(state.total_placed(&topo), 8 + 3 + 3);
+        assert_eq!(state.model().tier(TierId(0)).size, 8);
+        state.check_consistency(&topo).unwrap();
+        topo.check_invariants().unwrap();
+        // Per-VM guarantees unchanged by scaling (§3).
+        assert_eq!(state.model().edges(), tag.edges());
+        state.clear(&mut topo);
+        assert_eq!(topo.subtree_slots_free(topo.root()), 64);
+    }
+
+    #[test]
+    fn scale_tier_shrinks_and_releases_resources() {
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let tag = hose(12, mbps(20.0));
+        let mut state = placer.place(&mut topo, &tag).unwrap();
+        let before = topo.subtree_slots_free(topo.root());
+        placer
+            .scale_tier(&mut topo, &mut state, TierId(0), 5)
+            .unwrap();
+        assert_eq!(state.total_placed(&topo), 5);
+        assert_eq!(topo.subtree_slots_free(topo.root()), before + 7);
+        state.check_consistency(&topo).unwrap();
+        state.clear(&mut topo);
+        topo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scale_tier_failure_leaves_deployment_untouched() {
+        let mut topo = topo_small(); // 64 slots
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let tag = hose(10, mbps(20.0));
+        let mut state = placer.place(&mut topo, &tag).unwrap();
+        let snapshot_reserved = state.total_reserved_kbps();
+        let snapshot_slots = topo.subtree_slots_free(topo.root());
+        // Growing past the datacenter's slot capacity must fail cleanly.
+        assert_eq!(
+            placer
+                .scale_tier(&mut topo, &mut state, TierId(0), 200)
+                .err(),
+            Some(RejectReason::InsufficientSlots)
+        );
+        assert_eq!(state.total_placed(&topo), 10);
+        assert_eq!(state.model().tier(TierId(0)).size, 10);
+        assert_eq!(state.total_reserved_kbps(), snapshot_reserved);
+        assert_eq!(topo.subtree_slots_free(topo.root()), snapshot_slots);
+        state.check_consistency(&topo).unwrap();
+    }
+
+    #[test]
+    fn scale_tier_noop_and_repeated_cycles() {
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let tag = three_tier(2, mbps(30.0), mbps(10.0), mbps(5.0));
+        let mut state = placer.place(&mut topo, &tag).unwrap();
+        placer
+            .scale_tier(&mut topo, &mut state, TierId(1), 2)
+            .unwrap(); // no-op
+        for _ in 0..3 {
+            placer
+                .scale_tier(&mut topo, &mut state, TierId(1), 6)
+                .unwrap();
+            placer
+                .scale_tier(&mut topo, &mut state, TierId(1), 2)
+                .unwrap();
+            state.check_consistency(&topo).unwrap();
+        }
+        state.clear(&mut topo);
+        for l in 0..topo.num_levels() {
+            assert_eq!(topo.reserved_at_level(l), (0, 0));
+        }
+    }
+
+    #[test]
+    fn sequential_tenants_share_the_datacenter() {
+        let mut topo = topo_small();
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let mut states = Vec::new();
+        for i in 0..8 {
+            let tag = hose(6, mbps(20.0 + i as f64));
+            states.push(placer.place(&mut topo, &tag).unwrap());
+        }
+        assert_eq!(topo.subtree_slots_free(topo.root()), 64 - 48);
+        for s in &states {
+            s.check_consistency(&topo).unwrap();
+        }
+        // Release every other tenant and verify the ledger stays exact.
+        for (i, s) in states.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                s.clear(&mut topo);
+            }
+        }
+        assert_eq!(topo.subtree_slots_free(topo.root()), 64 - 24);
+        topo.check_invariants().unwrap();
+    }
+}

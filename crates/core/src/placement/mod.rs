@@ -1,0 +1,276 @@
+//! CloudMirror VM placement (§4.4–§4.5, Algorithm 1).
+//!
+//! [`CmPlacer`] deploys a TAG onto a tree topology. The algorithm:
+//!
+//! 1. `FindLowestSubtree` — find the lowest subtree likely to fit the whole
+//!    tenant (enough free slots; enough root-path bandwidth for the tenant's
+//!    external traffic).
+//! 2. `Alloc` — recursively distribute VMs over the subtree's children:
+//!    * `Colocate` groups tiers whose colocation *provably* saves bandwidth
+//!      (verified with the exact Eq. 4 / cut-difference check, gated by the
+//!      Eq. 2/6 size conditions);
+//!    * `Balance` packs the remaining VMs with a 3-dimensional
+//!      (slots, out-bw, in-bw) greedy subset-sum so that slot and bandwidth
+//!      utilization of each child approach 100% together (the paper's
+//!      `MdSubsetSum`, extending Przydatek's greedy 1-D heuristic).
+//! 3. On failure, everything is rolled back and the search moves one level
+//!    up, until the root fails and the tenant is rejected.
+//!
+//! High availability (§4.5) comes in two flavours:
+//! * [`HaPolicy::Guaranteed`] enforces Eq. 7 — no more than
+//!   `max(1, ⌊N·(1−RWCS)⌋)` VMs of a tier under any single fault domain
+//!   (subtree at level `laa_level`);
+//! * [`HaPolicy::Opportunistic`] spreads VMs whenever bandwidth saving is
+//!   not *desirable* (available bandwidth per free slot exceeds the expected
+//!   per-VM demand, EWMA-predicted from past arrivals), improving WCS for
+//!   free while preserving all bandwidth guarantees.
+
+mod cm;
+mod predictor;
+
+pub use cm::CmPlacer;
+pub use predictor::DemandPredictor;
+
+
+/// High-availability policy for the placer (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HaPolicy {
+    /// No HA consideration: pure bandwidth-efficiency placement (the
+    /// paper's "CM").
+    None,
+    /// Guarantee worst-case survivability: at most
+    /// `max(1, ⌊N^t·(1−rwcs)⌋)` VMs of tier `t` under any subtree at
+    /// `laa_level` (Eq. 7). The paper's "CM+HA"; default `laa_level` is the
+    /// server level (0).
+    Guaranteed {
+        /// Required worst-case survivability in `[0, 1)`.
+        rwcs: f64,
+        /// Anti-affinity level `L_AA` (0 = server).
+        laa_level: u8,
+    },
+    /// Opportunistically spread VMs when bandwidth saving is not desirable
+    /// (the paper's "CM+oppHA"). `laa_level` only affects WCS reporting.
+    Opportunistic {
+        /// Level at which survivability is of interest (0 = server).
+        laa_level: u8,
+    },
+}
+
+impl HaPolicy {
+    /// The anti-affinity level if the policy has one.
+    pub fn laa_level(&self) -> Option<u8> {
+        match self {
+            HaPolicy::None => None,
+            HaPolicy::Guaranteed { laa_level, .. } | HaPolicy::Opportunistic { laa_level } => {
+                Some(*laa_level)
+            }
+        }
+    }
+}
+
+/// Configuration of the CloudMirror placer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmConfig {
+    /// Enable the `Colocate` subroutine (disable for the Fig. 10
+    /// "Balance-only" ablation).
+    pub colocate: bool,
+    /// Enable the `Balance` subroutine (disable for the Fig. 10
+    /// "Coloc-only" ablation; a plain first-fit fills the gap, as the paper
+    /// leaves the non-saving remainder unspecified in that mode).
+    pub balance: bool,
+    /// High-availability policy.
+    pub ha: HaPolicy,
+}
+
+impl Default for CmConfig {
+    fn default() -> Self {
+        CmConfig {
+            colocate: true,
+            balance: true,
+            ha: HaPolicy::None,
+        }
+    }
+}
+
+impl CmConfig {
+    /// The paper's default CM (no HA).
+    pub fn cm() -> Self {
+        Self::default()
+    }
+
+    /// The paper's CM+HA at the server level.
+    pub fn cm_ha(rwcs: f64) -> Self {
+        CmConfig {
+            ha: HaPolicy::Guaranteed {
+                rwcs,
+                laa_level: 0,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// The paper's CM+oppHA.
+    pub fn cm_opp_ha() -> Self {
+        CmConfig {
+            ha: HaPolicy::Opportunistic { laa_level: 0 },
+            ..Self::default()
+        }
+    }
+
+    /// Fig. 10 ablation: colocation only.
+    pub fn coloc_only() -> Self {
+        CmConfig {
+            balance: false,
+            ..Self::default()
+        }
+    }
+
+    /// Fig. 10 ablation: balance only.
+    pub fn balance_only() -> Self {
+        CmConfig {
+            colocate: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a tenant was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Not enough free VM slots anywhere (Table 1 stops at the first such
+    /// rejection).
+    InsufficientSlots,
+    /// Slots existed but no placement satisfied the bandwidth guarantees.
+    InsufficientBandwidth,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::InsufficientSlots => write!(f, "insufficient VM slots"),
+            RejectReason::InsufficientBandwidth => write!(f, "insufficient bandwidth"),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+pub(crate) fn need_is_zero(need: &[u32]) -> bool {
+    need.iter().all(|&c| c == 0)
+}
+
+pub(crate) fn need_total(need: &[u32]) -> u64 {
+    need.iter().map(|&c| c as u64).sum()
+}
+
+/// Restore `need` after a rolled-back placement map.
+pub(crate) fn restore_need(map: &[crate::reserve::PlacementEntry], need: &mut [u32]) {
+    for e in map {
+        need[e.tier] += e.count;
+    }
+}
+
+/// Average available bandwidth per kbps-slot comparison value used by the
+/// opportunistic-HA desirability test (§4.5).
+pub(crate) fn per_slot_avail_kbps(
+    topo: &cm_topology::Topology,
+    nodes: impl Iterator<Item = cm_topology::NodeId>,
+) -> Option<f64> {
+    let mut bw: u128 = 0;
+    let mut slots: u64 = 0;
+    for n in nodes {
+        if let Some((u, d)) = topo.uplink_avail(n) {
+            bw += (u as u128 + d as u128) / 2;
+        }
+        slots += topo.subtree_slots_free(n);
+    }
+    if slots == 0 {
+        None
+    } else {
+        Some(bw as f64 / slots as f64)
+    }
+}
+
+/// Eq. 7 cap: the most VMs of a tier of size `n` that may share one fault
+/// domain while preserving `rwcs` worst-case survivability.
+pub(crate) fn wcs_cap(n: u32, rwcs: f64) -> u32 {
+    let cap = (n as f64 * (1.0 - rwcs)).floor() as u32;
+    cap.max(1)
+}
+
+/// `FindLowestSubtree(g, level)`: the best subtree at exactly `level` that
+/// can plausibly host a whole tenant — enough free slots for `total_vms` and
+/// enough available bandwidth on its root path for the tenant's external
+/// demand. Among candidates, most free slots wins ("likely to fit"), ties by
+/// id. Shared by CloudMirror and the baseline placers in `cm-baselines`.
+pub fn find_lowest_subtree(
+    topo: &cm_topology::Topology,
+    level: usize,
+    total_vms: u64,
+    ext_demand: (cm_topology::Kbps, cm_topology::Kbps),
+) -> Option<cm_topology::NodeId> {
+    if level >= topo.num_levels() {
+        return None;
+    }
+    let mut best: Option<(u64, cm_topology::NodeId)> = None;
+    for &n in topo.nodes_at_level(level) {
+        let free = topo.subtree_slots_free(n);
+        if free < total_vms {
+            continue;
+        }
+        let (up, dn) = topo.avail_to_root(n);
+        if up < ext_demand.0 || dn < ext_demand.1 {
+            continue;
+        }
+        if best.map_or(true, |(bf, _)| free > bf) {
+            best = Some((free, n));
+        }
+    }
+    best.map(|(_, n)| n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wcs_cap_matches_eq7() {
+        assert_eq!(wcs_cap(10, 0.0), 10);
+        assert_eq!(wcs_cap(10, 0.5), 5);
+        assert_eq!(wcs_cap(10, 0.75), 2);
+        assert_eq!(wcs_cap(10, 0.25), 7);
+        // max(1, ...) floor: even total anti-affinity allows one VM.
+        assert_eq!(wcs_cap(10, 0.99), 1);
+        assert_eq!(wcs_cap(1, 0.5), 1);
+    }
+
+    #[test]
+    fn config_presets() {
+        assert!(CmConfig::cm().colocate && CmConfig::cm().balance);
+        assert!(!CmConfig::coloc_only().balance);
+        assert!(!CmConfig::balance_only().colocate);
+        assert_eq!(
+            CmConfig::cm_ha(0.5).ha,
+            HaPolicy::Guaranteed {
+                rwcs: 0.5,
+                laa_level: 0
+            }
+        );
+        assert_eq!(HaPolicy::None.laa_level(), None);
+        assert_eq!(CmConfig::cm_opp_ha().ha.laa_level(), Some(0));
+    }
+
+    #[test]
+    fn need_helpers() {
+        let mut need = vec![2, 0, 3];
+        assert!(!need_is_zero(&need));
+        assert_eq!(need_total(&need), 5);
+        let map = vec![crate::reserve::PlacementEntry {
+            server: cm_topology::NodeId(0),
+            tier: 2,
+            count: 3,
+        }];
+        restore_need(&map, &mut need);
+        assert_eq!(need, vec![2, 0, 6]);
+    }
+}

@@ -1,0 +1,597 @@
+//! Per-tenant reservation engine.
+//!
+//! The engine tracks, for one tenant, (a) which servers hold how many VMs of
+//! each tier and (b) how much bandwidth is reserved on every uplink for the
+//! tenant. Reservations follow **recompute-from-set** semantics: the amount
+//! a tenant needs on a link is *defined* as its model's cut price
+//! ([`crate::cut::CutModel::cut_kbps`]) of the VM multiset currently below
+//! that link, and [`TenantState::sync_uplink`] applies the delta between
+//! that definition and what is currently reserved.
+//!
+//! This matters because the cut formulas are non-additive: placing the
+//! second half of a hose tier under a subtree *reduces* the requirement on
+//! its uplink (Eq. 2). Delta-based bookkeeping of individual placements
+//! would drift; recompute semantics are exact by construction and make
+//! deallocation trivially correct.
+//!
+//! The engine deliberately knows nothing about placement policy; it is
+//! shared by the CloudMirror placer and every baseline in `cm-baselines`.
+
+use crate::cut::CutModel;
+use cm_topology::{Kbps, NodeId, Topology, TopologyError};
+use std::collections::HashMap;
+
+/// One entry of a placement map: `count` VMs of `tier` on `server`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementEntry {
+    /// The server the VMs were placed on.
+    pub server: NodeId,
+    /// Tier index within the tenant's model.
+    pub tier: usize,
+    /// Number of VMs placed.
+    pub count: u32,
+}
+
+/// A list of placements performed by one allocation step (the pseudocode's
+/// `map`).
+pub type PlacementMap = Vec<PlacementEntry>;
+
+/// All placement and reservation state of a single deployed (or
+/// in-deployment) tenant.
+///
+/// Dropping a `TenantState` without calling [`TenantState::clear`] leaks the
+/// tenant's slots and bandwidth in the topology, so deployed tenants must be
+/// kept (e.g. by the simulator's registry) until released.
+#[derive(Debug, Clone)]
+pub struct TenantState<M: CutModel> {
+    model: M,
+    /// Per touched node: VM count per tier inside that node's subtree.
+    counts: HashMap<NodeId, Vec<u32>>,
+    /// Per touched uplink (keyed by the lower node): reserved (out, in).
+    reserved: HashMap<NodeId, (Kbps, Kbps)>,
+}
+
+impl<M: CutModel> TenantState<M> {
+    /// Start tracking a tenant with the given network model.
+    pub fn new(model: M) -> Self {
+        TenantState {
+            model,
+            counts: HashMap::new(),
+            reserved: HashMap::new(),
+        }
+    }
+
+    /// The tenant's network model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// VM counts per tier inside `node`'s subtree (all zeros if untouched).
+    pub fn inside_counts(&self, node: NodeId) -> std::borrow::Cow<'_, [u32]> {
+        match self.counts.get(&node) {
+            Some(v) => std::borrow::Cow::Borrowed(v),
+            None => std::borrow::Cow::Owned(vec![0u32; self.model.num_tiers()]),
+        }
+    }
+
+    /// VMs of `tier` inside `node`'s subtree.
+    pub fn count_of(&self, node: NodeId, tier: usize) -> u32 {
+        self.counts.get(&node).map_or(0, |v| v[tier])
+    }
+
+    /// Total VMs placed so far.
+    pub fn total_placed(&self, topo: &Topology) -> u64 {
+        self.counts
+            .get(&topo.root())
+            .map_or(0, |v| v.iter().map(|&c| c as u64).sum())
+    }
+
+    /// The final placement: per server, VM count per tier. Sorted by server
+    /// id for determinism.
+    pub fn placement(&self, topo: &Topology) -> Vec<(NodeId, Vec<u32>)> {
+        let mut v: Vec<(NodeId, Vec<u32>)> = self
+            .counts
+            .iter()
+            .filter(|(&n, _)| topo.is_server(n))
+            .map(|(&n, c)| (n, c.clone()))
+            .collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// Place `count` VMs of `tier` on `server`: allocates slots and updates
+    /// the per-subtree counts along the path to the root. Does **not**
+    /// reserve bandwidth — call [`TenantState::sync_uplink`] for the links
+    /// whose reservations should reflect the new counts.
+    pub fn place(
+        &mut self,
+        topo: &mut Topology,
+        server: NodeId,
+        tier: usize,
+        count: u32,
+    ) -> Result<(), TopologyError> {
+        if count == 0 {
+            return Ok(());
+        }
+        topo.alloc_slots(server, count)?;
+        let t = self.model.num_tiers();
+        for node in topo.path_to_root(server).collect::<Vec<_>>() {
+            let c = self.counts.entry(node).or_insert_with(|| vec![0; t]);
+            c[tier] += count;
+        }
+        Ok(())
+    }
+
+    /// Reverse of [`TenantState::place`]. Panics on accounting bugs
+    /// (unplacing more than was placed), since that can only arise from a
+    /// caller error and continuing would corrupt the ledger.
+    pub fn unplace(&mut self, topo: &mut Topology, server: NodeId, tier: usize, count: u32) {
+        if count == 0 {
+            return;
+        }
+        topo.release_slots(server, count)
+            .expect("unplace: slot release underflow");
+        for node in topo.path_to_root(server).collect::<Vec<_>>() {
+            let c = self
+                .counts
+                .get_mut(&node)
+                .expect("unplace: node has no counts");
+            assert!(c[tier] >= count, "unplace: tier count underflow");
+            c[tier] -= count;
+        }
+    }
+
+    /// The bandwidth this tenant requires on `node`'s uplink, per the model's
+    /// cut price of the VMs currently below it.
+    pub fn required_cut(&self, node: NodeId) -> (Kbps, Kbps) {
+        match self.counts.get(&node) {
+            Some(c) => self.model.cut_kbps(c),
+            None => (0, 0),
+        }
+    }
+
+    /// Currently reserved bandwidth on `node`'s uplink for this tenant.
+    pub fn reserved_on(&self, node: NodeId) -> (Kbps, Kbps) {
+        self.reserved.get(&node).copied().unwrap_or((0, 0))
+    }
+
+    /// Bring the reservation on `node`'s uplink in line with
+    /// [`TenantState::required_cut`] (the pseudocode's `ReserveBW` for a
+    /// single link). No-op on the root. Fails without side effects when the
+    /// uplink lacks capacity for an increase.
+    pub fn sync_uplink(&mut self, topo: &mut Topology, node: NodeId) -> Result<(), TopologyError> {
+        if node == topo.root() {
+            return Ok(());
+        }
+        let (want_out, want_in) = self.required_cut(node);
+        let (have_out, have_in) = self.reserved_on(node);
+        let d_out = want_out as i64 - have_out as i64;
+        let d_in = want_in as i64 - have_in as i64;
+        if d_out == 0 && d_in == 0 {
+            return Ok(());
+        }
+        topo.adjust_uplink(node, d_out, d_in)?;
+        if want_out == 0 && want_in == 0 {
+            self.reserved.remove(&node);
+        } else {
+            self.reserved.insert(node, (want_out, want_in));
+        }
+        Ok(())
+    }
+
+    /// Sync every uplink on the path from `node` (inclusive) to the root
+    /// (the pseudocode's `ReserveBW(map, root)` after a successful `Alloc`).
+    /// On failure the already-synced links of this call are rolled back to
+    /// their previous reservations.
+    pub fn sync_path_to_root(
+        &mut self,
+        topo: &mut Topology,
+        node: NodeId,
+    ) -> Result<(), TopologyError> {
+        let path: Vec<NodeId> = topo.path_to_root(node).collect();
+        let mut done: Vec<(NodeId, (Kbps, Kbps))> = Vec::new();
+        for n in path {
+            let before = self.reserved_on(n);
+            match self.sync_uplink(topo, n) {
+                Ok(()) => done.push((n, before)),
+                Err(e) => {
+                    // Roll back to the exact previous reservations.
+                    for (m, prev) in done.into_iter().rev() {
+                        self.force_reserve(topo, m, prev);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Set the reservation on a link to an exact prior value (rollback
+    /// helper; decreases or restores always succeed).
+    fn force_reserve(&mut self, topo: &mut Topology, node: NodeId, want: (Kbps, Kbps)) {
+        let (have_out, have_in) = self.reserved_on(node);
+        let d_out = want.0 as i64 - have_out as i64;
+        let d_in = want.1 as i64 - have_in as i64;
+        if d_out == 0 && d_in == 0 {
+            return;
+        }
+        topo.adjust_uplink(node, d_out, d_in)
+            .expect("rollback to previous reservation must succeed");
+        if want == (0, 0) {
+            self.reserved.remove(&node);
+        } else {
+            self.reserved.insert(node, want);
+        }
+    }
+
+    /// Undo a placement map produced during a failed allocation attempt:
+    /// unplace every entry, then re-sync the uplinks of all affected nodes
+    /// strictly below and including `ceiling`. Those syncs only ever
+    /// decrease reservations, so they cannot fail.
+    pub fn rollback_map(&mut self, topo: &mut Topology, map: &[PlacementEntry], ceiling: NodeId) {
+        if map.is_empty() {
+            return;
+        }
+        for e in map {
+            self.unplace(topo, e.server, e.tier, e.count);
+        }
+        // Collect affected links: ancestors of each touched server, stopping
+        // at the ceiling (inclusive).
+        let mut affected: Vec<NodeId> = Vec::new();
+        for e in map {
+            for n in topo.path_to_root(e.server) {
+                if !affected.contains(&n) {
+                    affected.push(n);
+                }
+                if n == ceiling {
+                    break;
+                }
+            }
+        }
+        // Sync lowest levels first (order does not affect correctness, only
+        // locality of the ledger updates).
+        affected.sort_by_key(|&n| (topo.level(n), n));
+        for n in affected {
+            self.sync_uplink(topo, n)
+                .expect("rollback sync can only decrease reservations");
+        }
+    }
+
+    /// Release everything this tenant holds: all bandwidth reservations and
+    /// all VM slots. The state is empty (reusable) afterwards.
+    pub fn clear(&mut self, topo: &mut Topology) {
+        let links: Vec<NodeId> = self.reserved.keys().copied().collect();
+        for n in links {
+            self.force_reserve(topo, n, (0, 0));
+        }
+        let servers: Vec<(NodeId, Vec<u32>)> = self
+            .counts
+            .iter()
+            .filter(|(&n, _)| topo.is_server(n))
+            .map(|(&n, c)| (n, c.clone()))
+            .collect();
+        for (server, tiers) in servers {
+            for (tier, &count) in tiers.iter().enumerate() {
+                if count > 0 {
+                    self.unplace(topo, server, tier, count);
+                }
+            }
+        }
+        debug_assert!(self
+            .counts
+            .values()
+            .all(|c| c.iter().all(|&x| x == 0)));
+        self.counts.clear();
+        self.reserved.clear();
+    }
+
+    /// Total bandwidth reserved by this tenant across all links (out + in).
+    pub fn total_reserved_kbps(&self) -> Kbps {
+        self.reserved.values().map(|&(o, i)| o + i).sum()
+    }
+
+    /// Swap the tenant's model and re-sync every touched link to the new
+    /// model's cut prices (the §6 auto-scaling primitive: a resized TAG has
+    /// different `min()` caps, so reservations must be repriced even where
+    /// no VM moved). On failure (a link cannot fit a higher new price) the
+    /// old model and all old reservations are restored exactly.
+    ///
+    /// The new model must have the same tier layout (`num_tiers`) and sizes
+    /// no smaller than the currently placed counts.
+    pub fn replace_model(&mut self, topo: &mut Topology, new_model: M) -> Result<(), TopologyError>
+    where
+        M: Clone,
+    {
+        assert_eq!(
+            new_model.num_tiers(),
+            self.model.num_tiers(),
+            "replace_model cannot change the tier layout"
+        );
+        if let Some(root_counts) = self.counts.get(&topo.root()) {
+            for (t, &c) in root_counts.iter().enumerate() {
+                assert!(
+                    c <= new_model.tier_size(t),
+                    "tier {t} holds {c} VMs but the new model allows {}",
+                    new_model.tier_size(t)
+                );
+            }
+        }
+        let old_model = std::mem::replace(&mut self.model, new_model);
+        let old_reserved = self.reserved.clone();
+        let mut links: Vec<NodeId> = self.counts.keys().copied().collect();
+        links.sort_by_key(|&n| (topo.level(n), n));
+        for (i, &n) in links.iter().enumerate() {
+            if n == topo.root() {
+                continue;
+            }
+            if let Err(e) = self.sync_uplink(topo, n) {
+                // Restore: already-synced links back to old values, model
+                // back to the old one.
+                for &m in &links[..i] {
+                    if m == topo.root() {
+                        continue;
+                    }
+                    let prev = old_reserved.get(&m).copied().unwrap_or((0, 0));
+                    self.force_reserve(topo, m, prev);
+                }
+                self.model = old_model;
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Worst-case survivability per tier at `level` (§4.5): the smallest
+    /// fraction of a tier's VMs that survive the failure of any single
+    /// subtree at that level, `1 − max_A N^t_A / N^t`. Returns one entry per
+    /// tier with at least one VM (`None` for empty/external tiers).
+    pub fn wcs_at_level(&self, topo: &Topology, level: u8) -> Vec<Option<f64>> {
+        let t = self.model.num_tiers();
+        let mut max_in_domain = vec![0u32; t];
+        for (&node, c) in &self.counts {
+            if topo.level(node) == level {
+                for (i, &x) in c.iter().enumerate() {
+                    max_in_domain[i] = max_in_domain[i].max(x);
+                }
+            }
+        }
+        (0..t)
+            .map(|i| {
+                let n = self.model.tier_size(i);
+                if n == 0 {
+                    None
+                } else {
+                    Some(1.0 - max_in_domain[i] as f64 / n as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Check the tenant's ledger against a from-scratch recomputation:
+    /// every touched link's reservation must equal the model's cut price of
+    /// the counts below it, and counts must be consistent bottom-up.
+    /// Intended for tests.
+    pub fn check_consistency(&self, topo: &Topology) -> Result<(), String> {
+        for (&node, c) in &self.counts {
+            if node != topo.root() {
+                let want = self.model.cut_kbps(c);
+                let have = self.reserved_on(node);
+                // A zero-requirement node may simply be absent from
+                // `reserved`; otherwise they must match.
+                if want != have {
+                    return Err(format!(
+                        "link {node}: reserved {have:?} != required {want:?}"
+                    ));
+                }
+            }
+            if !topo.is_server(node) {
+                let mut sum = vec![0u32; c.len()];
+                for ch in topo.children(node) {
+                    if let Some(cc) = self.counts.get(&ch) {
+                        for (i, &x) in cc.iter().enumerate() {
+                            sum[i] += x;
+                        }
+                    }
+                }
+                if &sum != c {
+                    return Err(format!("node {node}: child counts do not sum"));
+                }
+            }
+        }
+        for &n in self.reserved.keys() {
+            if !self.counts.contains_key(&n) {
+                return Err(format!("link {n} reserved without counts"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Tag, TagBuilder};
+    use cm_topology::{mbps, TreeSpec};
+
+    fn small_topo() -> Topology {
+        // 2 pods × 2 racks × 2 servers, 4 slots, 1 Gbps everywhere.
+        Topology::build(&TreeSpec::small(
+            2,
+            2,
+            2,
+            4,
+            [mbps(1000.0), mbps(1000.0), mbps(1000.0)],
+        ))
+    }
+
+    fn hose_tag(n: u32, sr: Kbps) -> Tag {
+        let mut b = TagBuilder::new("hose");
+        let t = b.tier("t", n);
+        b.self_loop(t, sr).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn place_updates_counts_along_path() {
+        let mut topo = small_topo();
+        let mut st = TenantState::new(hose_tag(4, 100));
+        let s = topo.servers()[0];
+        st.place(&mut topo, s, 0, 2).unwrap();
+        assert_eq!(st.count_of(s, 0), 2);
+        let tor = topo.parent(s).unwrap();
+        assert_eq!(st.count_of(tor, 0), 2);
+        assert_eq!(st.count_of(topo.root(), 0), 2);
+        assert_eq!(topo.slots_free(s), 2);
+        assert_eq!(st.total_placed(&topo), 2);
+    }
+
+    #[test]
+    fn sync_reserves_cut_price() {
+        let mut topo = small_topo();
+        let mut st = TenantState::new(hose_tag(4, 100));
+        let s = topo.servers()[0];
+        st.place(&mut topo, s, 0, 2).unwrap();
+        st.sync_uplink(&mut topo, s).unwrap();
+        // Hose: min(2, 2)*100 = 200 both ways.
+        assert_eq!(topo.uplink_used(s), Some((200, 200)));
+        assert_eq!(st.reserved_on(s), (200, 200));
+        // After syncing the full path the ledger is globally consistent.
+        st.sync_path_to_root(&mut topo, s).unwrap();
+        st.check_consistency(&topo).unwrap();
+    }
+
+    #[test]
+    fn sync_shrinks_when_second_half_arrives() {
+        let mut topo = small_topo();
+        let mut st = TenantState::new(hose_tag(4, 100));
+        let s = topo.servers()[0];
+        st.place(&mut topo, s, 0, 2).unwrap();
+        st.sync_uplink(&mut topo, s).unwrap();
+        assert_eq!(topo.uplink_used(s), Some((200, 200)));
+        // Second half lands on the same server: requirement drops to zero.
+        st.place(&mut topo, s, 0, 2).unwrap();
+        st.sync_uplink(&mut topo, s).unwrap();
+        assert_eq!(topo.uplink_used(s), Some((0, 0)));
+        st.check_consistency(&topo).unwrap();
+    }
+
+    #[test]
+    fn sync_path_rolls_back_on_failure() {
+        // ToR uplink too small for the tenant's cut: after the failed sync
+        // the server link reservation must be back to its prior value.
+        let mut topo = Topology::build(&TreeSpec::small(
+            1,
+            2,
+            2,
+            4,
+            [mbps(1000.0), mbps(50.0), mbps(1000.0)],
+        ));
+        let mut st = TenantState::new(hose_tag(4, mbps(100.0)));
+        let s = topo.servers()[0];
+        st.place(&mut topo, s, 0, 2).unwrap();
+        // server uplink needs 200 Mbps (fits); ToR uplink needs 200 (50 cap).
+        assert!(st.sync_path_to_root(&mut topo, s).is_err());
+        assert_eq!(topo.uplink_used(s), Some((0, 0)));
+        let tor = topo.parent(s).unwrap();
+        assert_eq!(topo.uplink_used(tor), Some((0, 0)));
+        // Unwinding the placement restores full consistency.
+        st.unplace(&mut topo, s, 0, 2);
+        st.check_consistency(&topo).unwrap();
+    }
+
+    #[test]
+    fn rollback_map_restores_everything() {
+        let mut topo = small_topo();
+        let snapshot = topo.clone();
+        let mut st = TenantState::new(hose_tag(4, 100));
+        let s0 = topo.servers()[0];
+        let s1 = topo.servers()[1];
+        let mut map = PlacementMap::new();
+        st.place(&mut topo, s0, 0, 2).unwrap();
+        map.push(PlacementEntry {
+            server: s0,
+            tier: 0,
+            count: 2,
+        });
+        st.place(&mut topo, s1, 0, 1).unwrap();
+        map.push(PlacementEntry {
+            server: s1,
+            tier: 0,
+            count: 1,
+        });
+        st.sync_uplink(&mut topo, s0).unwrap();
+        st.sync_uplink(&mut topo, s1).unwrap();
+        let tor = topo.parent(s0).unwrap();
+        st.sync_uplink(&mut topo, tor).unwrap();
+        st.rollback_map(&mut topo, &map, tor);
+        assert_eq!(topo.uplink_used(s0), Some((0, 0)));
+        assert_eq!(topo.uplink_used(s1), Some((0, 0)));
+        assert_eq!(topo.uplink_used(tor), Some((0, 0)));
+        assert_eq!(topo.slots_free(s0), 4);
+        assert_eq!(topo.slots_free(s1), 4);
+        assert_eq!(st.total_placed(&topo), 0);
+        // Topology is bit-identical to before the attempt.
+        assert_eq!(
+            format!("{:?}", topo.reserved_at_level(0)),
+            format!("{:?}", snapshot.reserved_at_level(0))
+        );
+    }
+
+    #[test]
+    fn clear_releases_all_resources() {
+        let mut topo = small_topo();
+        let mut st = TenantState::new(hose_tag(6, 100));
+        let servers: Vec<NodeId> = topo.servers().to_vec();
+        st.place(&mut topo, servers[0], 0, 2).unwrap();
+        st.place(&mut topo, servers[3], 0, 2).unwrap();
+        st.place(&mut topo, servers[5], 0, 2).unwrap();
+        for &s in &servers[..6] {
+            let path: Vec<NodeId> = topo.path_to_root(s).collect();
+            for n in path {
+                st.sync_uplink(&mut topo, n).unwrap();
+            }
+        }
+        assert!(st.total_reserved_kbps() > 0);
+        st.clear(&mut topo);
+        assert_eq!(st.total_reserved_kbps(), 0);
+        for l in 0..topo.num_levels() {
+            assert_eq!(topo.reserved_at_level(l), (0, 0));
+        }
+        assert_eq!(topo.subtree_slots_free(topo.root()), 8 * 4);
+        topo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn wcs_reflects_worst_single_failure() {
+        let mut topo = small_topo();
+        let mut st = TenantState::new(hose_tag(4, 100));
+        let s0 = topo.servers()[0];
+        let s1 = topo.servers()[1];
+        st.place(&mut topo, s0, 0, 3).unwrap();
+        st.place(&mut topo, s1, 0, 1).unwrap();
+        let wcs = st.wcs_at_level(&topo, 0);
+        // Losing s0 kills 3/4 of the tier: WCS = 0.25.
+        assert_eq!(wcs[0], Some(0.25));
+        // At ToR level both servers share a ToR: WCS = 0.
+        let wcs_tor = st.wcs_at_level(&topo, 1);
+        assert_eq!(wcs_tor[0], Some(0.0));
+    }
+
+    #[test]
+    fn sync_failure_leaves_no_partial_state() {
+        let mut topo = Topology::build(&TreeSpec::small(
+            1,
+            1,
+            2,
+            8,
+            [mbps(100.0), mbps(1000.0), mbps(1000.0)],
+        ));
+        let mut st = TenantState::new(hose_tag(8, mbps(100.0)));
+        let s = topo.servers()[0];
+        st.place(&mut topo, s, 0, 4).unwrap();
+        // Requirement: min(4,4)*100 = 400 Mbps > 100 Mbps NIC.
+        assert!(st.sync_uplink(&mut topo, s).is_err());
+        assert_eq!(topo.uplink_used(s), Some((0, 0)));
+        assert_eq!(st.reserved_on(s), (0, 0));
+    }
+}

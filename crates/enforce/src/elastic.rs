@@ -1,0 +1,284 @@
+//! ElasticSwitch-style Guarantee Partitioning, with and without the TAG
+//! patch.
+
+use cm_core::model::{Tag, TierId};
+
+/// How VM-pair guarantees are derived from the tenant's abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuaranteeModel {
+    /// Plain hose semantics: each VM owns ONE send hose and ONE receive
+    /// hose aggregating all of its TAG guarantees (what ElasticSwitch
+    /// enforces out of the box — and what fails in Fig. 4).
+    Hose,
+    /// The TAG patch: a pair charges the specific trunk or self-loop edge
+    /// connecting its tiers, so unrelated traffic cannot dilute it.
+    Tag,
+}
+
+/// A computed per-pair guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairGuarantee {
+    /// Index of the sending VM.
+    pub src: usize,
+    /// Index of the receiving VM.
+    pub dst: usize,
+    /// Guaranteed kbps for this pair.
+    pub kbps: f64,
+}
+
+/// Max-min split of a guarantee `g` among entities with the given demands
+/// (ElasticSwitch's GP divides a hose guarantee among the VM's active peers
+/// by max-min over their demands).
+pub fn split_guarantee(g: f64, demands: &[f64]) -> Vec<f64> {
+    let n = demands.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut share = vec![0.0f64; n];
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut remaining = g;
+    while !active.is_empty() && remaining > 1e-9 {
+        let fair = remaining / active.len() as f64;
+        // Entities whose demand is below the fair share freeze at demand.
+        let (below, rest): (Vec<usize>, Vec<usize>) = active
+            .iter()
+            .partition(|&&i| demands[i] <= fair + 1e-12);
+        if below.is_empty() {
+            for &i in &rest {
+                share[i] += fair;
+            }
+            break;
+        }
+        for &i in &below {
+            share[i] = demands[i];
+            remaining -= demands[i];
+        }
+        active = rest;
+    }
+    share
+}
+
+/// GP engine for one tenant: VMs are `(vm index) -> tier` assignments over
+/// a TAG.
+#[derive(Debug, Clone)]
+pub struct Enforcer {
+    tag: Tag,
+    vm_tier: Vec<TierId>,
+    model: GuaranteeModel,
+}
+
+impl Enforcer {
+    /// Create an enforcer for a tenant whose VM `i` belongs to
+    /// `vm_tier[i]`.
+    pub fn new(tag: Tag, vm_tier: Vec<TierId>, model: GuaranteeModel) -> Self {
+        Enforcer {
+            tag,
+            vm_tier,
+            model,
+        }
+    }
+
+    /// The tenant's TAG.
+    pub fn tag(&self) -> &Tag {
+        &self.tag
+    }
+
+    /// Partition guarantees among the currently-active pairs
+    /// (`(src, dst, demand)`), returning one guarantee per pair.
+    ///
+    /// * `Tag` model: a pair `(s, d)` with `tier(s) = u`, `tier(d) = v`
+    ///   charges edge `(u, v)` (trunk if `u ≠ v`, self-loop otherwise):
+    ///   `g = min(share of s's S_e among its active dsts in v,
+    ///            share of d's R_e among its active srcs in u)`.
+    /// * `Hose` model: the same formula but with every VM's guarantees
+    ///   collapsed into one aggregate send and one aggregate receive hose
+    ///   — which is precisely the information loss of §2.2.
+    pub fn partition(&self, pairs: &[(usize, usize, f64)]) -> Vec<PairGuarantee> {
+        let mut out = Vec::with_capacity(pairs.len());
+        // Sender-side shares.
+        let mut src_share = vec![0.0f64; pairs.len()];
+        let mut dst_share = vec![0.0f64; pairs.len()];
+
+        // Group pairs by (src VM, charged send guarantee) and split.
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.sort_by_key(|&i| (pairs[i].0, self.edge_key(pairs[i].0, pairs[i].1)));
+        self.split_side(pairs, &order, true, &mut src_share);
+        order.sort_by_key(|&i| (pairs[i].1, self.edge_key(pairs[i].0, pairs[i].1)));
+        self.split_side(pairs, &order, false, &mut dst_share);
+
+        for (i, &(s, d, _)) in pairs.iter().enumerate() {
+            out.push(PairGuarantee {
+                src: s,
+                dst: d,
+                kbps: src_share[i].min(dst_share[i]),
+            });
+        }
+        out
+    }
+
+    /// The key identifying which guarantee a pair charges: under TAG, the
+    /// specific edge; under hose, a single bucket per VM.
+    fn edge_key(&self, src: usize, dst: usize) -> usize {
+        match self.model {
+            GuaranteeModel::Hose => 0,
+            GuaranteeModel::Tag => {
+                let u = self.vm_tier[src];
+                let v = self.vm_tier[dst];
+                self.tag
+                    .edges()
+                    .iter()
+                    .position(|e| e.from == u && e.to == v)
+                    .map(|i| i + 1)
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// The guarantee a pair charges on one side (send or receive).
+    fn side_guarantee(&self, src: usize, dst: usize, send: bool) -> f64 {
+        match self.model {
+            GuaranteeModel::Hose => {
+                let vm = if send { src } else { dst };
+                let t = self.vm_tier[vm];
+                (if send {
+                    self.tag.per_vm_snd(t)
+                } else {
+                    self.tag.per_vm_rcv(t)
+                }) as f64
+            }
+            GuaranteeModel::Tag => {
+                let u = self.vm_tier[src];
+                let v = self.vm_tier[dst];
+                self.tag
+                    .edges()
+                    .iter()
+                    .find(|e| e.from == u && e.to == v)
+                    .map(|e| (if send { e.snd_kbps } else { e.rcv_kbps }) as f64)
+                    .unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Split guarantees within groups of pairs sharing one (VM, key)
+    /// bucket; `order` must be sorted by that bucket.
+    fn split_side(
+        &self,
+        pairs: &[(usize, usize, f64)],
+        order: &[usize],
+        send: bool,
+        share: &mut [f64],
+    ) {
+        let mut i = 0;
+        while i < order.len() {
+            let pi = order[i];
+            let vm = if send { pairs[pi].0 } else { pairs[pi].1 };
+            let key = self.edge_key(pairs[pi].0, pairs[pi].1);
+            let mut j = i;
+            while j < order.len() {
+                let pj = order[j];
+                let vm_j = if send { pairs[pj].0 } else { pairs[pj].1 };
+                if vm_j != vm || self.edge_key(pairs[pj].0, pairs[pj].1) != key {
+                    break;
+                }
+                j += 1;
+            }
+            let group = &order[i..j];
+            let g = self.side_guarantee(pairs[pi].0, pairs[pi].1, send);
+            let demands: Vec<f64> = group.iter().map(|&p| pairs[p].2).collect();
+            let splits = split_guarantee(g, &demands);
+            for (&p, s) in group.iter().zip(splits) {
+                share[p] = s;
+            }
+            i = j;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::model::TagBuilder;
+
+    fn fig13_tag(n_senders: u32) -> (Tag, Vec<TierId>) {
+        let mut b = TagBuilder::new("fig13");
+        let c1 = b.tier("C1", 1);
+        let c2 = b.tier("C2", 1 + n_senders);
+        b.edge(c1, c2, 450_000, 450_000).unwrap();
+        b.self_loop(c2, 450_000).unwrap();
+        let tag = b.build().unwrap();
+        // VM 0 = X (C1); VM 1 = Z (C2); VMs 2.. = intra senders (C2).
+        let mut tiers = vec![c1, c2];
+        tiers.extend(std::iter::repeat_n(c2, n_senders as usize));
+        (tag, tiers)
+    }
+
+    #[test]
+    fn split_is_max_min() {
+        let s = split_guarantee(900.0, &[100.0, f64::INFINITY, f64::INFINITY]);
+        assert!((s[0] - 100.0).abs() < 1e-9);
+        assert!((s[1] - 400.0).abs() < 1e-9);
+        assert!((s[2] - 400.0).abs() < 1e-9);
+        assert!(split_guarantee(100.0, &[]).is_empty());
+        let s = split_guarantee(0.0, &[1.0, 2.0]);
+        assert_eq!(s, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn tag_patch_isolates_trunk_from_self_loop() {
+        let (tag, tiers) = fig13_tag(4);
+        let enf = Enforcer::new(tag, tiers, GuaranteeModel::Tag);
+        // X→Z plus 4 intra senders → Z, all greedy.
+        let mut pairs = vec![(0usize, 1usize, f64::INFINITY)];
+        for s in 2..6 {
+            pairs.push((s, 1, f64::INFINITY));
+        }
+        let g = enf.partition(&pairs);
+        // X keeps the full 450 Mbps trunk guarantee.
+        assert!((g[0].kbps - 450_000.0).abs() < 1e-6, "{:?}", g[0]);
+        // The intra senders share Z's 450 Mbps self-loop receive hose.
+        let intra: f64 = g[1..].iter().map(|p| p.kbps).sum();
+        assert!((intra - 450_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn plain_hose_dilutes_the_trunk_guarantee() {
+        let (tag, tiers) = fig13_tag(4);
+        let enf = Enforcer::new(tag, tiers, GuaranteeModel::Hose);
+        let mut pairs = vec![(0usize, 1usize, f64::INFINITY)];
+        for s in 2..6 {
+            pairs.push((s, 1, f64::INFINITY));
+        }
+        let g = enf.partition(&pairs);
+        // Z's aggregate receive hose (900 Mbps) splits equally over 5
+        // senders: X gets only 180 Mbps — far below the intended 450.
+        assert!((g[0].kbps - 180_000.0).abs() < 1e-3, "{:?}", g[0]);
+    }
+
+    #[test]
+    fn demand_aware_partitioning_reassigns_idle_shares() {
+        let (tag, tiers) = fig13_tag(2);
+        let enf = Enforcer::new(tag, tiers, GuaranteeModel::Tag);
+        // One intra sender nearly idle: its share shrinks to its demand.
+        let pairs = vec![
+            (2usize, 1usize, 10_000.0),
+            (3usize, 1usize, f64::INFINITY),
+        ];
+        let g = enf.partition(&pairs);
+        assert!((g[0].kbps - 10_000.0).abs() < 1e-6);
+        assert!((g[1].kbps - 440_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unknown_pairs_get_zero_guarantee() {
+        // Traffic between tiers with no TAG edge has no guarantee.
+        let mut b = TagBuilder::new("t");
+        let u = b.tier("u", 1);
+        let v = b.tier("v", 1);
+        b.edge(u, v, 100, 100).unwrap();
+        let tag = b.build().unwrap();
+        let enf = Enforcer::new(tag, vec![u, v], GuaranteeModel::Tag);
+        // v -> u direction has no edge.
+        let g = enf.partition(&[(1, 0, f64::INFINITY)]);
+        assert_eq!(g[0].kbps, 0.0);
+    }
+}

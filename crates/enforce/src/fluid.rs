@@ -1,0 +1,283 @@
+//! Fluid-flow network: max-min fair rate allocation with floors, caps and
+//! weights.
+//!
+//! Steady-state TCP throughput over a capacitated network is classically
+//! modeled as (weighted) max-min fairness; progressive filling computes it
+//! exactly in the fluid limit. Floors model enforced guarantees (rate
+//! limiters never throttle a pair below its guarantee), caps model rate
+//! limiters, weights model the guarantee-proportional spare sharing that
+//! ElasticSwitch's probing converges to.
+
+/// One flow: a path over link indices plus its rate-control parameters.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Links the flow traverses (indices into the fluid network's links).
+    pub path: Vec<usize>,
+    /// Application demand (kbps; `f64::INFINITY` for a greedy TCP flow).
+    pub demand: f64,
+    /// Guaranteed floor (kbps) — granted before any fair sharing.
+    pub floor: f64,
+    /// Weight for sharing capacity beyond the floors.
+    pub weight: f64,
+}
+
+impl FlowSpec {
+    /// A greedy (infinite-demand) flow with no guarantee and unit weight.
+    pub fn greedy(path: Vec<usize>) -> Self {
+        FlowSpec {
+            path,
+            demand: f64::INFINITY,
+            floor: 0.0,
+            weight: 1.0,
+        }
+    }
+
+    /// Set the guaranteed floor and use it as the sharing weight
+    /// (ElasticSwitch shares spare bandwidth in proportion to guarantees).
+    pub fn with_guarantee(mut self, g: f64) -> Self {
+        self.floor = g;
+        self.weight = g.max(1.0); // zero-guarantee flows keep a token weight
+        self
+    }
+}
+
+/// A fluid network: capacitated links and flows.
+#[derive(Debug, Clone, Default)]
+pub struct Fluid {
+    caps: Vec<f64>,
+    flows: Vec<FlowSpec>,
+}
+
+impl Fluid {
+    /// Create an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a link with the given capacity (kbps); returns its index.
+    pub fn link(&mut self, cap_kbps: f64) -> usize {
+        assert!(cap_kbps >= 0.0);
+        self.caps.push(cap_kbps);
+        self.caps.len() - 1
+    }
+
+    /// Add a flow; returns its index.
+    pub fn flow(&mut self, f: FlowSpec) -> usize {
+        for &l in &f.path {
+            assert!(l < self.caps.len(), "flow references unknown link {l}");
+        }
+        assert!(f.floor >= 0.0 && f.weight > 0.0);
+        self.flows.push(f);
+        self.flows.len() - 1
+    }
+
+    /// Number of flows.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Compute the weighted max-min fair allocation with floors.
+    ///
+    /// Phase 1 grants every flow its floor (capped by demand). Floors are
+    /// assumed admissible (the placement layer reserved them); if they
+    /// oversubscribe a link, they are scaled down proportionally on that
+    /// link — mirroring what a real enforcer's rate limiters would do.
+    /// Phase 2 progressively fills the remaining capacity in proportion to
+    /// the flows' weights until each flow hits its demand or a saturated
+    /// link.
+    pub fn rates(&self) -> Vec<f64> {
+        let n = self.flows.len();
+        let mut rate: Vec<f64> = self
+            .flows
+            .iter()
+            .map(|f| f.floor.min(f.demand))
+            .collect();
+
+        // Scale floors down on oversubscribed links (defensive; admission
+        // normally prevents this).
+        let mut residual = self.caps.clone();
+        loop {
+            let mut worst: Option<(usize, f64)> = None;
+            for (l, &cap) in self.caps.iter().enumerate() {
+                let used: f64 = self
+                    .flows
+                    .iter()
+                    .zip(&rate)
+                    .filter(|(f, _)| f.path.contains(&l))
+                    .map(|(_, r)| r)
+                    .sum();
+                if used > cap * (1.0 + 1e-9) {
+                    let scale = cap / used;
+                    if worst.map_or(true, |(_, s)| scale < s) {
+                        worst = Some((l, scale));
+                    }
+                }
+            }
+            match worst {
+                Some((l, scale)) => {
+                    for (f, r) in self.flows.iter().zip(rate.iter_mut()) {
+                        if f.path.contains(&l) {
+                            *r *= scale;
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        for (l, res) in residual.iter_mut().enumerate() {
+            let used: f64 = self
+                .flows
+                .iter()
+                .zip(&rate)
+                .filter(|(f, _)| f.path.contains(&l))
+                .map(|(_, r)| r)
+                .sum();
+            *res = (*res - used).max(0.0);
+        }
+
+        // Phase 2: weighted progressive filling of the residual.
+        let mut active: Vec<bool> = self
+            .flows
+            .iter()
+            .zip(&rate)
+            .map(|(f, r)| *r + 1e-9 < f.demand)
+            .collect();
+        for _ in 0..2 * (n + self.caps.len()) + 2 {
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+            // Largest uniform fill level t (rate += weight · t).
+            let mut t = f64::INFINITY;
+            for (l, &res) in residual.iter().enumerate() {
+                let w: f64 = self
+                    .flows
+                    .iter()
+                    .zip(&active)
+                    .filter(|(f, &a)| a && f.path.contains(&l))
+                    .map(|(f, _)| f.weight)
+                    .sum();
+                if w > 0.0 {
+                    t = t.min(res / w);
+                }
+            }
+            for ((f, &a), &r) in self.flows.iter().zip(&active).zip(&rate) {
+                if a && f.demand.is_finite() {
+                    t = t.min((f.demand - r) / f.weight);
+                }
+            }
+            if !t.is_finite() {
+                // Only unconstrained infinite-demand flows remain.
+                break;
+            }
+            let t = t.max(0.0);
+            for (i, f) in self.flows.iter().enumerate() {
+                if active[i] {
+                    rate[i] += f.weight * t;
+                    for &l in &f.path {
+                        residual[l] -= f.weight * t;
+                    }
+                }
+            }
+            // Freeze flows at demand or on saturated links.
+            for (i, f) in self.flows.iter().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                let done = rate[i] + 1e-6 >= f.demand
+                    || f.path.iter().any(|&l| residual[l] <= 1e-6);
+                if done {
+                    active[i] = false;
+                }
+            }
+        }
+        rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_link_equal_split() {
+        let mut net = Fluid::new();
+        let l = net.link(900.0);
+        for _ in 0..3 {
+            net.flow(FlowSpec::greedy(vec![l]));
+        }
+        let r = net.rates();
+        for &x in &r {
+            assert!((x - 300.0).abs() < 1e-6, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn demands_cap_rates() {
+        let mut net = Fluid::new();
+        let l = net.link(900.0);
+        let mut f = FlowSpec::greedy(vec![l]);
+        f.demand = 100.0;
+        net.flow(f);
+        net.flow(FlowSpec::greedy(vec![l]));
+        let r = net.rates();
+        assert!((r[0] - 100.0).abs() < 1e-6);
+        assert!((r[1] - 800.0).abs() < 1e-6, "work conserving: {r:?}");
+    }
+
+    #[test]
+    fn floors_are_respected() {
+        let mut net = Fluid::new();
+        let l = net.link(1000.0);
+        net.flow(FlowSpec::greedy(vec![l]).with_guarantee(450.0));
+        // Five ungranted flows compete for the rest.
+        for _ in 0..5 {
+            net.flow(FlowSpec::greedy(vec![l]));
+        }
+        let r = net.rates();
+        assert!(r[0] >= 450.0, "guaranteed flow got {}", r[0]);
+        let total: f64 = r.iter().sum();
+        assert!((total - 1000.0).abs() < 1e-3, "full utilization: {total}");
+    }
+
+    #[test]
+    fn weighted_sharing_of_spare() {
+        let mut net = Fluid::new();
+        let l = net.link(900.0);
+        net.flow(FlowSpec::greedy(vec![l]).with_guarantee(400.0));
+        net.flow(FlowSpec::greedy(vec![l]).with_guarantee(200.0));
+        let r = net.rates();
+        // Spare 300 split 2:1 → 600/300.
+        assert!((r[0] - 600.0).abs() < 1e-6, "{r:?}");
+        assert!((r[1] - 300.0).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn multihop_bottleneck() {
+        let mut net = Fluid::new();
+        let a = net.link(1000.0);
+        let b = net.link(100.0);
+        net.flow(FlowSpec::greedy(vec![a, b]));
+        net.flow(FlowSpec::greedy(vec![a]));
+        let r = net.rates();
+        assert!((r[0] - 100.0).abs() < 1e-6);
+        assert!((r[1] - 900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oversubscribed_floors_scale_down() {
+        let mut net = Fluid::new();
+        let l = net.link(300.0);
+        net.flow(FlowSpec::greedy(vec![l]).with_guarantee(400.0));
+        net.flow(FlowSpec::greedy(vec![l]).with_guarantee(200.0));
+        let r = net.rates();
+        let total: f64 = r.iter().sum();
+        assert!(total <= 300.0 + 1e-6);
+        assert!(r[0] > r[1], "proportional scale keeps ordering");
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = Fluid::new();
+        assert!(net.rates().is_empty());
+    }
+}

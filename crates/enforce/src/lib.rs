@@ -1,0 +1,36 @@
+//! # cm-enforce
+//!
+//! Runtime enforcement of TAG bandwidth guarantees (§5.2).
+//!
+//! The paper's prototype patches ElasticSwitch \[7\] — a distributed
+//! hose-guarantee enforcer built from two layers:
+//!
+//! 1. **Guarantee Partitioning (GP)** divides each VM's hose guarantee
+//!    among its currently-active peer VMs (max-min over their demands);
+//!    a source-destination pair's guarantee is the minimum of the sender's
+//!    and the receiver's shares.
+//! 2. **Rate Allocation (RA)** is work-conserving: pairs may exceed their
+//!    guarantees to use spare bandwidth, probing TCP-like; in steady state
+//!    this approximates guarantee-weighted max-min fairness on the
+//!    residual capacity.
+//!
+//! The TAG patch ("30 lines of code") changes only *which hose* a VM pair
+//! charges: instead of one hose per VM, the pair is classified by the TAG
+//! edge connecting its tiers (trunk or self-loop). That single change is
+//! what isolates tier C1's traffic from C2's intra-tier traffic in Fig. 13
+//! — and its absence is why the plain hose model fails in Fig. 4.
+//!
+//! The physical testbed is replaced by a **fluid-flow simulator**
+//! ([`fluid`]): steady-state TCP throughput on a network of capacitated
+//! links is max-min fair allocation, which progressive filling computes
+//! exactly; ElasticSwitch's converged state is modeled by floors
+//! (guarantees) plus guarantee-weighted filling of the spare
+//! (see `DESIGN.md` for the substitution argument).
+
+pub mod elastic;
+pub mod fluid;
+pub mod scenario;
+
+pub use elastic::{split_guarantee, Enforcer, GuaranteeModel, PairGuarantee};
+pub use fluid::{Fluid, FlowSpec};
+pub use scenario::{fig13_throughput, fig4_throughput, Fig13Point, Fig4Point};

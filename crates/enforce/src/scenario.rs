@@ -1,0 +1,176 @@
+//! The paper's enforcement experiments as ready-to-run scenarios.
+
+use crate::elastic::{Enforcer, GuaranteeModel};
+use crate::fluid::{Fluid, FlowSpec};
+use cm_core::model::{TagBuilder, TierId};
+
+/// One point of Fig. 13(b): application-level throughput at VM `Z` with a
+/// given number of intra-tier senders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig13Point {
+    /// Number of senders in tier C2 (x-axis).
+    pub senders: u32,
+    /// Throughput of the X→Z flow (Mbps).
+    pub x_to_z_mbps: f64,
+    /// Aggregate throughput of the C2-internal senders → Z (Mbps).
+    pub intra_mbps: f64,
+}
+
+/// Fig. 13: VM `Z` (tier C2) receives from `X` (tier C1, guarantee
+/// `<450, 450>` Mbps) and from `senders` intra-tier peers (self-loop
+/// 450 Mbps); the bottleneck link towards `Z` is 1 Gbps with 10 % left
+/// unreserved. Returns the steady-state throughputs under the given
+/// guarantee model (`Tag` = the paper's patched ElasticSwitch; `Hose`
+/// shows the failure mode).
+pub fn fig13_throughput(senders: u32, model: GuaranteeModel) -> Fig13Point {
+    let mut b = TagBuilder::new("fig13");
+    let c1 = b.tier("C1", 1);
+    let c2 = b.tier("C2", 1 + senders);
+    b.edge(c1, c2, 450_000, 450_000).expect("valid");
+    b.self_loop(c2, 450_000).expect("valid");
+    let tag = b.build().expect("valid TAG");
+    let mut tiers = vec![c1, c2];
+    tiers.extend(std::iter::repeat_n(c2, senders as usize));
+    let enforcer = Enforcer::new(tag, tiers, model);
+
+    // Active pairs: X→Z plus each intra sender→Z, all TCP-greedy.
+    let mut pairs = vec![(0usize, 1usize, f64::INFINITY)];
+    for s in 0..senders {
+        pairs.push((2 + s as usize, 1, f64::INFINITY));
+    }
+    let guarantees = enforcer.partition(&pairs);
+
+    // Physical model: every sender has a 1 Gbps access link; the link into
+    // Z is the 1 Gbps bottleneck.
+    let mut net = Fluid::new();
+    let bottleneck = net.link(1_000_000.0);
+    for g in &guarantees {
+        let access = net.link(1_000_000.0);
+        net.flow(FlowSpec::greedy(vec![access, bottleneck]).with_guarantee(g.kbps));
+    }
+    let rates = net.rates();
+    Fig13Point {
+        senders,
+        x_to_z_mbps: rates[0] / 1000.0,
+        intra_mbps: rates[1..].iter().sum::<f64>() / 1000.0,
+    }
+}
+
+/// One point of the Fig. 4 congestion scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig4Point {
+    /// Aggregate throughput Web → Logic (Mbps); the tenant intended
+    /// 500 Mbps.
+    pub web_mbps: f64,
+    /// Aggregate throughput DB → Logic (Mbps); intended 100 Mbps.
+    pub db_mbps: f64,
+}
+
+/// Fig. 4: the business-logic VM is guaranteed 500 Mbps from the web tier
+/// and 100 Mbps from the DB tier; its bottleneck link carries exactly
+/// 600 Mbps. When both tiers burst simultaneously (`web_senders` +
+/// `db_senders` greedy flows), the hose model splits the aggregate
+/// 600 Mbps guarantee by max-min across *senders* and fails to protect the
+/// web traffic; TAG keeps 500/100.
+pub fn fig4_throughput(web_senders: u32, db_senders: u32, model: GuaranteeModel) -> Fig4Point {
+    assert!(web_senders > 0 && db_senders > 0);
+    let mut b = TagBuilder::new("fig4");
+    let web = b.tier("web", web_senders);
+    let logic = b.tier("logic", 1);
+    let db = b.tier("db", db_senders);
+    // Per-VM send guarantees sized so the tier totals are 500 / 100 Mbps.
+    b.edge(web, logic, 500_000 / web_senders as u64, 500_000)
+        .expect("valid");
+    b.edge(db, logic, 100_000 / db_senders as u64, 100_000)
+        .expect("valid");
+    // DB-DB consistency traffic (B3 of Fig. 2(a)). Under the hose model it
+    // inflates each DB VM's aggregate send hose (Fig. 2(b): B2 + B3), which
+    // is exactly what lets a DB burst towards the logic VM dilute the web
+    // tier's guarantee.
+    b.self_loop(db, 100_000).expect("valid");
+    let tag = b.build().expect("valid TAG");
+
+    // VM 0..web_senders = web; then the logic VM; then DB VMs.
+    let mut tiers: Vec<TierId> = std::iter::repeat_n(web, web_senders as usize).collect();
+    let logic_vm = tiers.len();
+    tiers.push(logic);
+    tiers.extend(std::iter::repeat_n(db, db_senders as usize));
+    let enforcer = Enforcer::new(tag, tiers, model);
+
+    let mut pairs = Vec::new();
+    for w in 0..web_senders as usize {
+        pairs.push((w, logic_vm, f64::INFINITY));
+    }
+    for d in 0..db_senders as usize {
+        pairs.push((logic_vm + 1 + d, logic_vm, f64::INFINITY));
+    }
+    let guarantees = enforcer.partition(&pairs);
+
+    // 600 Mbps bottleneck into the logic VM.
+    let mut net = Fluid::new();
+    let bottleneck = net.link(600_000.0);
+    for g in &guarantees {
+        let access = net.link(1_000_000.0);
+        net.flow(FlowSpec::greedy(vec![access, bottleneck]).with_guarantee(g.kbps));
+    }
+    let rates = net.rates();
+    Fig4Point {
+        web_mbps: rates[..web_senders as usize].iter().sum::<f64>() / 1000.0,
+        db_mbps: rates[web_senders as usize..].iter().sum::<f64>() / 1000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_tag_protects_x_throughout() {
+        // Fig. 13(b): X→Z stays at ≥ 450 Mbps however many intra-tier
+        // senders compete.
+        for senders in 0..=5 {
+            let p = fig13_throughput(senders, GuaranteeModel::Tag);
+            assert!(
+                p.x_to_z_mbps >= 450.0 - 1e-6,
+                "senders={senders}: X→Z = {}",
+                p.x_to_z_mbps
+            );
+            // Work conservation: the bottleneck is fully used.
+            assert!(p.x_to_z_mbps + p.intra_mbps > 999.0);
+        }
+        // With no intra senders X gets the whole bottleneck.
+        let p = fig13_throughput(0, GuaranteeModel::Tag);
+        assert!(p.x_to_z_mbps > 999.0);
+        // Intra traffic saturates near its 450 guarantee + spare share.
+        let p5 = fig13_throughput(5, GuaranteeModel::Tag);
+        assert!(p5.intra_mbps >= 450.0);
+    }
+
+    #[test]
+    fn fig13_hose_fails_to_protect_x() {
+        // Without the TAG patch, Z's aggregate hose dilutes X's share as
+        // intra senders multiply (the §2.2 failure).
+        let p = fig13_throughput(5, GuaranteeModel::Hose);
+        assert!(
+            p.x_to_z_mbps < 450.0,
+            "hose should fail, X got {}",
+            p.x_to_z_mbps
+        );
+    }
+
+    #[test]
+    fn fig4_tag_keeps_500_100() {
+        let p = fig4_throughput(5, 5, GuaranteeModel::Tag);
+        assert!((p.web_mbps - 500.0).abs() < 1.0, "web {}", p.web_mbps);
+        assert!((p.db_mbps - 100.0).abs() < 1.0, "db {}", p.db_mbps);
+    }
+
+    #[test]
+    fn fig4_hose_splits_300_300() {
+        // §2.2: "existing solutions would partition the 600 Mbps hose
+        // guarantee by TCP-like max-min fairness and yield 300:300".
+        let p = fig4_throughput(5, 5, GuaranteeModel::Hose);
+        assert!((p.web_mbps - 300.0).abs() < 1.0, "web {}", p.web_mbps);
+        assert!((p.db_mbps - 300.0).abs() < 1.0, "db {}", p.db_mbps);
+    }
+}

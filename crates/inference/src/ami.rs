@@ -1,0 +1,175 @@
+//! Adjusted Mutual Information (Vinh, Epps & Bailey, JMLR 2010 — the
+//! paper's ref [37]).
+//!
+//! AMI corrects mutual information between two clusterings for chance
+//! agreement: 0 for independent labelings, 1 for identical ones. We use
+//! the arithmetic-mean normalizer (`AMI_sum`), the common default.
+
+/// Adjusted mutual information between two labelings of the same `n`
+/// items. Labels may be arbitrary `usize`s.
+///
+/// # Panics
+/// Panics when the labelings have different lengths or are empty.
+pub fn adjusted_mutual_information(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same items");
+    assert!(!a.is_empty(), "labelings must be non-empty");
+    let n = a.len();
+
+    let ka = densify(a);
+    let kb = densify(b);
+    let ra = *ka.iter().max().unwrap() + 1;
+    let rb = *kb.iter().max().unwrap() + 1;
+
+    // Contingency table.
+    let mut cont = vec![0usize; ra * rb];
+    for (&x, &y) in ka.iter().zip(&kb) {
+        cont[x * rb + y] += 1;
+    }
+    let ai: Vec<usize> = (0..ra).map(|i| (0..rb).map(|j| cont[i * rb + j]).sum()).collect();
+    let bj: Vec<usize> = (0..rb).map(|j| (0..ra).map(|i| cont[i * rb + j]).sum()).collect();
+
+    let nf = n as f64;
+    let mi: f64 = cont
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(idx, &c)| {
+            let (i, j) = (idx / rb, idx % rb);
+            let p = c as f64 / nf;
+            p * ((nf * c as f64) / (ai[i] as f64 * bj[j] as f64)).ln()
+        })
+        .sum();
+    let h = |marginal: &[usize]| -> f64 {
+        marginal
+            .iter()
+            .filter(|&&x| x > 0)
+            .map(|&x| {
+                let p = x as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let (ha, hb) = (h(&ai), h(&bj));
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0; // both trivial clusterings: identical by convention
+    }
+
+    let emi = expected_mi(&ai, &bj, n);
+    let denom = 0.5 * (ha + hb) - emi;
+    if denom.abs() < 1e-12 {
+        return 0.0;
+    }
+    ((mi - emi) / denom).clamp(-1.0, 1.0)
+}
+
+fn densify(labels: &[usize]) -> Vec<usize> {
+    let mut map = std::collections::HashMap::new();
+    let mut next = 0usize;
+    labels
+        .iter()
+        .map(|&l| {
+            *map.entry(l).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            })
+        })
+        .collect()
+}
+
+/// Expected MI under the hypergeometric null model (Vinh et al., Eq. 24a).
+fn expected_mi(ai: &[usize], bj: &[usize], n: usize) -> f64 {
+    let lf = ln_factorials(n);
+    let nf = n as f64;
+    let mut emi = 0.0;
+    for &a in ai {
+        if a == 0 {
+            continue;
+        }
+        for &b in bj {
+            if b == 0 {
+                continue;
+            }
+            let lo = 1.max((a + b).saturating_sub(n));
+            let hi = a.min(b);
+            for nij in lo..=hi {
+                let term = nij as f64 / nf * ((nf * nij as f64) / (a as f64 * b as f64)).ln();
+                // P(nij) = a! b! (n−a)! (n−b)! / (n! nij! (a−nij)! (b−nij)! (n−a−b+nij)!)
+                let logp = lf[a] + lf[b] + lf[n - a] + lf[n - b]
+                    - lf[n]
+                    - lf[nij]
+                    - lf[a - nij]
+                    - lf[b - nij]
+                    - lf[n + nij - a - b]; // nij ≥ a+b−n by the loop bound
+                emi += term * logp.exp();
+            }
+        }
+    }
+    emi
+}
+
+fn ln_factorials(n: usize) -> Vec<f64> {
+    let mut lf = vec![0.0; n + 1];
+    for i in 2..=n {
+        lf[i] = lf[i - 1] + (i as f64).ln();
+    }
+    lf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_clusterings_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_mutual_information(&a, &a) - 1.0).abs() < 1e-9);
+        // Label permutation is still identical.
+        let b = vec![5, 5, 9, 9, 7, 7];
+        assert!((adjusted_mutual_information(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_clusterings_score_near_zero() {
+        // A perfectly orthogonal split has MI = 0 exactly; after chance
+        // correction AMI lands at or slightly below zero (AMI < 0 means
+        // "worse than chance", which orthogonality is).
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let ami = adjusted_mutual_information(&a, &b);
+        assert!(ami < 0.05 && ami > -0.5, "got {ami}");
+    }
+
+    #[test]
+    fn partial_agreement_is_between() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1]; // one item misplaced
+        let ami = adjusted_mutual_information(&a, &b);
+        assert!(ami > 0.1 && ami < 1.0, "got {ami}");
+    }
+
+    #[test]
+    fn trivial_single_cluster_convention() {
+        let a = vec![0, 0, 0];
+        assert_eq!(adjusted_mutual_information(&a, &a), 1.0);
+        // One trivial vs a real split: chance-level agreement → ~0.
+        let b = vec![0, 1, 2];
+        let ami = adjusted_mutual_information(&a, &b);
+        assert!(ami.abs() < 1e-9, "got {ami}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = vec![0, 0, 1, 1, 2, 2, 2];
+        let b = vec![0, 1, 1, 1, 2, 0, 2];
+        let x = adjusted_mutual_information(&a, &b);
+        let y = adjusted_mutual_information(&b, &a);
+        assert!((x - y).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn length_mismatch_panics() {
+        adjusted_mutual_information(&[0, 1], &[0]);
+    }
+}

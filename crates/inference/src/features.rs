@@ -1,0 +1,99 @@
+//! Per-VM feature vectors and the similarity projection graph (§3).
+//!
+//! "For each VM, a feature vector is constructed based ... on the VM-to-VM
+//! bandwidth weighted traffic matrix. The feature vector includes the VM's
+//! row and column entries, i.e., both outgoing and incoming traffic, and
+//! similarity is computed as the angular distance between vectors."
+
+use crate::trace::TrafficTrace;
+
+/// Build the `n × n` similarity matrix between VMs: cosine-of-angle
+/// similarity of their (row ‖ column) feature vectors over the time-mean
+/// traffic matrix, mapped through the angular distance
+/// `1 − 2·acos(cos θ)/π` so that 1 = identical direction, 0 = orthogonal.
+///
+/// To keep VMs of the same tier similar *to each other*, each VM's own
+/// entries towards the compared VM are zeroed pairwise (two replicas that
+/// talk to the same peers but not to each other should still match) —
+/// the standard structural-equivalence convention.
+pub fn feature_similarity(trace: &TrafficTrace) -> Vec<f64> {
+    let n = trace.num_vms();
+    let m = trace.mean_matrix();
+    let mut sim = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = pair_similarity(&m, n, i, j);
+            sim[i * n + j] = s;
+            sim[j * n + i] = s;
+        }
+    }
+    sim
+}
+
+fn pair_similarity(m: &[f64], n: usize, a: usize, b: usize) -> f64 {
+    // Feature of VM x, excluding the a↔b coordinates (structural
+    // equivalence): [row_x ‖ col_x].
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for k in 0..n {
+        if k == a || k == b {
+            continue;
+        }
+        let (ra, rb) = (m[a * n + k], m[b * n + k]);
+        let (ca, cb) = (m[k * n + a], m[k * n + b]);
+        dot += ra * rb + ca * cb;
+        na += ra * ra + ca * ca;
+        nb += rb * rb + cb * cb;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let cos = (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0);
+    1.0 - 2.0 * cos.acos() / std::f64::consts::PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_are_similar_even_without_mutual_traffic() {
+        // VMs 0 and 1 both send to 2 and receive from 3; they never talk to
+        // each other — classic load-balanced replicas.
+        let mut m = vec![0.0; 16];
+        m[2] = 10.0; // 0 -> 2
+        m[4 + 2] = 10.0; // 1 -> 2
+        m[12] = 5.0; // 3 -> 0
+        m[12 + 1] = 5.0; // 3 -> 1
+        let t = TrafficTrace::new(4, vec![m]);
+        let sim = feature_similarity(&t);
+        assert!(sim[1] > 0.99, "replicas: {}", sim[1]);
+        // A replica and its server are dissimilar.
+        assert!(sim[2] < 0.5, "replica vs server: {}", sim[2]);
+    }
+
+    #[test]
+    fn symmetric_and_zero_diagonal() {
+        let m = vec![
+            0.0, 1.0, 2.0, //
+            3.0, 0.0, 4.0, //
+            5.0, 6.0, 0.0,
+        ];
+        let t = TrafficTrace::new(3, vec![m]);
+        let sim = feature_similarity(&t);
+        for i in 0..3 {
+            assert_eq!(sim[i * 3 + i], 0.0);
+            for j in 0..3 {
+                assert_eq!(sim[i * 3 + j], sim[j * 3 + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn silent_vms_have_zero_similarity() {
+        let t = TrafficTrace::new(2, vec![vec![0.0; 4]]);
+        let sim = feature_similarity(&t);
+        assert!(sim.iter().all(|&v| v == 0.0));
+    }
+}

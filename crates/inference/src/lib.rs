@@ -1,0 +1,39 @@
+//! # cm-inference
+//!
+//! Automatic TAG generation from raw VM-to-VM traffic (§3, "Producing TAG
+//! Models").
+//!
+//! For tenants who do not know their application's structure, the paper
+//! sketches a measurement pipeline and reports its quality on the bing.com
+//! dataset (adjusted mutual information ≈ 0.54 against the known service
+//! structure, using Louvain clustering). This crate implements the full
+//! pipeline:
+//!
+//! 1. [`TrafficTrace`] — a time series of VM-to-VM traffic matrices;
+//! 2. [`feature_similarity`] — per-VM feature vectors (the VM's row and
+//!    column of the bandwidth-weighted traffic matrix) compared by angular
+//!    distance;
+//! 3. [`louvain`] — modularity maximization on the similarity projection
+//!    graph (Blondel et al. \[35\]);
+//! 4. [`adjusted_mutual_information`] — the clustering-quality metric of
+//!    Vinh et al. \[37\], 0 = independent, 1 = identical;
+//! 5. [`infer_tag`] — TAG construction: each cluster becomes a component,
+//!    trunk/self-loop guarantees are set from the **peak of the summed**
+//!    cluster-to-cluster traffic over time (capturing the statistical
+//!    multiplexing that makes TAG cheaper than peak-per-pipe, §3);
+//! 6. [`synthesize_trace`] — ground-truth trace generation from a known
+//!    TAG, with load-balancer skew and noise, for end-to-end validation.
+
+mod ami;
+mod build;
+mod features;
+mod louvain;
+mod synth;
+mod trace;
+
+pub use ami::adjusted_mutual_information;
+pub use build::infer_tag;
+pub use features::feature_similarity;
+pub use louvain::{louvain, modularity};
+pub use synth::{synthesize_trace, SynthConfig};
+pub use trace::TrafficTrace;

@@ -1,0 +1,226 @@
+//! Louvain community detection (Blondel et al. 2008, the paper's ref [35]).
+//!
+//! Standard two-phase modularity maximization on a dense weighted graph:
+//! local moving (greedily relocate nodes to the neighbouring community with
+//! the best modularity gain) followed by graph aggregation, repeated until
+//! modularity stops improving. Deterministic: nodes are visited in index
+//! order.
+
+/// Cluster a dense weighted adjacency matrix (`n × n`, symmetric,
+/// self-weights ignored) into communities; returns one community label per
+/// node (labels are dense, starting at 0).
+pub fn louvain(n: usize, weights: &[f64]) -> Vec<usize> {
+    assert_eq!(weights.len(), n * n);
+    if n == 0 {
+        return Vec::new();
+    }
+    // Current partition over the ORIGINAL nodes.
+    let mut node_comm: Vec<usize> = (0..n).collect();
+    // The working (aggregated) graph.
+    let mut g_n = n;
+    let mut g_w: Vec<f64> = weights.to_vec();
+    for i in 0..n {
+        g_w[i * n + i] = 0.0; // ignore self-similarity
+    }
+    // node of working graph -> set of original nodes (implicitly via map).
+    let mut work_of_orig: Vec<usize> = (0..n).collect();
+
+    loop {
+        let (labels, improved) = one_level(g_n, &g_w);
+        if !improved {
+            break;
+        }
+        // Renumber labels densely.
+        let mut remap: Vec<isize> = vec![-1; g_n];
+        let mut next = 0usize;
+        for &l in &labels {
+            if remap[l] < 0 {
+                remap[l] = next as isize;
+                next += 1;
+            }
+        }
+        // Update original-node communities.
+        for orig in 0..n {
+            let w = work_of_orig[orig];
+            work_of_orig[orig] = remap[labels[w]] as usize;
+        }
+        if next == g_n {
+            break; // no aggregation happened
+        }
+        // Aggregate the working graph.
+        let mut new_w = vec![0.0; next * next];
+        for i in 0..g_n {
+            for j in 0..g_n {
+                if i == j {
+                    continue;
+                }
+                let (ci, cj) = (remap[labels[i]] as usize, remap[labels[j]] as usize);
+                if ci != cj {
+                    new_w[ci * next + cj] += g_w[i * g_n + j];
+                } else {
+                    // Intra-community weight becomes a self-loop that the
+                    // next level's modularity must account for.
+                    new_w[ci * next + cj] += g_w[i * g_n + j];
+                }
+            }
+        }
+        g_n = next;
+        g_w = new_w;
+        node_comm = work_of_orig.clone();
+        if g_n == 1 {
+            break;
+        }
+    }
+    // Densify final labels over original nodes.
+    let mut remap: Vec<isize> = vec![-1; n];
+    let mut next = 0usize;
+    let mut out = vec![0usize; n];
+    for (i, &c) in node_comm.iter().enumerate() {
+        if remap[c] < 0 {
+            remap[c] = next as isize;
+            next += 1;
+        }
+        out[i] = remap[c] as usize;
+    }
+    out
+}
+
+/// One local-moving pass. Returns (labels, whether anything moved).
+fn one_level(n: usize, w: &[f64]) -> (Vec<usize>, bool) {
+    let mut comm: Vec<usize> = (0..n).collect();
+    // k_i including self-loops (self-loop counts twice in degree).
+    let k: Vec<f64> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| w[i * n + j])
+                .sum::<f64>()
+                + w[i * n + i]
+        })
+        .collect();
+    let two_m: f64 = k.iter().sum();
+    if two_m <= 0.0 {
+        return (comm, false);
+    }
+    // Σ of degrees per community.
+    let mut sigma_tot: Vec<f64> = k.clone();
+    let mut improved_any = false;
+    for _pass in 0..32 {
+        let mut moved = false;
+        for i in 0..n {
+            let ci = comm[i];
+            // Weights from i to each community.
+            let mut to_comm: std::collections::HashMap<usize, f64> =
+                std::collections::HashMap::new();
+            for j in 0..n {
+                if j != i && w[i * n + j] > 0.0 {
+                    *to_comm.entry(comm[j]).or_insert(0.0) += w[i * n + j];
+                }
+            }
+            // Remove i from its community.
+            sigma_tot[ci] -= k[i];
+            let base = to_comm.get(&ci).copied().unwrap_or(0.0);
+            let mut best = (ci, 0.0f64);
+            for (&c, &w_ic) in &to_comm {
+                let gain = (w_ic - base) - k[i] * (sigma_tot[c] - sigma_tot[ci]) / two_m;
+                if gain > best.1 + 1e-12 {
+                    best = (c, gain);
+                }
+            }
+            sigma_tot[best.0] += k[i];
+            if best.0 != ci {
+                comm[i] = best.0;
+                moved = true;
+                improved_any = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    (comm, improved_any)
+}
+
+/// Modularity of a partition on a dense weighted graph (for tests and
+/// reporting): `Q = Σ_ij (w_ij − k_i·k_j / 2m) δ(c_i, c_j) / 2m`.
+pub fn modularity(n: usize, w: &[f64], labels: &[usize]) -> f64 {
+    let k: Vec<f64> = (0..n).map(|i| (0..n).map(|j| w[i * n + j]).sum()).collect();
+    let two_m: f64 = k.iter().sum();
+    if two_m <= 0.0 {
+        return 0.0;
+    }
+    let mut q = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if labels[i] == labels[j] {
+                q += w[i * n + j] - k[i] * k[j] / two_m;
+            }
+        }
+    }
+    q / two_m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by one weak edge.
+    fn two_cliques() -> (usize, Vec<f64>) {
+        let n = 8;
+        let mut w = vec![0.0; n * n];
+        let mut set = |i: usize, j: usize, v: f64, w: &mut Vec<f64>| {
+            w[i * n + j] = v;
+            w[j * n + i] = v;
+        };
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                set(a, b, 1.0, &mut w);
+                set(a + 4, b + 4, 1.0, &mut w);
+            }
+        }
+        set(0, 4, 0.05, &mut w);
+        (n, w)
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let (n, w) = two_cliques();
+        let labels = louvain(n, &w);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[4], labels[7]);
+        assert_ne!(labels[0], labels[4]);
+        // Exactly two communities.
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn modularity_improves_over_singletons() {
+        let (n, w) = two_cliques();
+        let labels = louvain(n, &w);
+        let singletons: Vec<usize> = (0..n).collect();
+        assert!(modularity(n, &w, &labels) > modularity(n, &w, &singletons));
+        assert!(modularity(n, &w, &labels) > 0.3);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(louvain(0, &[]).is_empty());
+        assert_eq!(louvain(1, &[0.0]), vec![0]);
+    }
+
+    #[test]
+    fn disconnected_nodes_stay_separate() {
+        let n = 3;
+        let w = vec![0.0; 9];
+        let labels = louvain(n, &w);
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (n, w) = two_cliques();
+        assert_eq!(louvain(n, &w), louvain(n, &w));
+    }
+}

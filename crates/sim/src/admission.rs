@@ -1,0 +1,235 @@
+//! Uniform admission interface over all placement algorithms.
+
+use cm_baselines::{OktopusVcPlacer, OvocPlacer, SecondNetPlacer};
+use cm_core::cut::CutModel;
+use cm_core::model::Tag;
+use cm_core::placement::{CmConfig, CmPlacer, RejectReason};
+use cm_core::reserve::TenantState;
+use cm_topology::{NodeId, Topology};
+
+/// A deployed tenant with its algorithm-specific state erased; release it
+/// through [`Deployed::release`] when the tenant departs.
+pub struct Deployed(Box<dyn DeployedOps>);
+
+impl Deployed {
+    /// Release all slots and bandwidth held by the tenant.
+    pub fn release(mut self, topo: &mut Topology) {
+        self.0.release(topo);
+    }
+
+    /// Worst-case survivability per tier at the given level (`None` for
+    /// tiers without placeable VMs). See
+    /// [`TenantState::wcs_at_level`](cm_core::reserve::TenantState::wcs_at_level).
+    pub fn wcs_at_level(&self, topo: &Topology, level: u8) -> Vec<Option<f64>> {
+        self.0.wcs_at_level(topo, level)
+    }
+
+    /// Per-server VM counts of the placement.
+    pub fn placement(&self, topo: &Topology) -> Vec<(NodeId, Vec<u32>)> {
+        self.0.placement(topo)
+    }
+
+    /// Sizes of the tenant's tiers, aligned with the placement's count
+    /// vectors.
+    pub fn tier_sizes(&self) -> Vec<u32> {
+        self.0.tier_sizes()
+    }
+}
+
+trait DeployedOps {
+    fn release(&mut self, topo: &mut Topology);
+    fn wcs_at_level(&self, topo: &Topology, level: u8) -> Vec<Option<f64>>;
+    fn placement(&self, topo: &Topology) -> Vec<(NodeId, Vec<u32>)>;
+    fn tier_sizes(&self) -> Vec<u32>;
+}
+
+impl<M: CutModel + 'static> DeployedOps for TenantState<M> {
+    fn release(&mut self, topo: &mut Topology) {
+        self.clear(topo);
+    }
+
+    fn wcs_at_level(&self, topo: &Topology, level: u8) -> Vec<Option<f64>> {
+        TenantState::wcs_at_level(self, topo, level)
+    }
+
+    fn placement(&self, topo: &Topology) -> Vec<(NodeId, Vec<u32>)> {
+        TenantState::placement(self, topo)
+    }
+
+    fn tier_sizes(&self) -> Vec<u32> {
+        (0..self.model().num_tiers())
+            .map(|t| self.model().tier_size(t))
+            .collect()
+    }
+}
+
+/// A placement algorithm that can admit TAG tenants.
+pub trait Admission {
+    /// Short name used in result tables ("CM", "OVOC", ...).
+    fn name(&self) -> &'static str;
+
+    /// Try to deploy the tenant; `Err` leaves the topology untouched.
+    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason>;
+}
+
+/// CloudMirror admission (CM+TAG), in any [`CmConfig`] variant.
+pub struct CmAdmission {
+    placer: CmPlacer,
+    name: &'static str,
+}
+
+impl CmAdmission {
+    /// The paper's plain CM.
+    pub fn new() -> Self {
+        Self::with_config(CmConfig::cm(), "CM")
+    }
+
+    /// CM with an explicit configuration and display name (used for the
+    /// HA and ablation variants).
+    pub fn with_config(cfg: CmConfig, name: &'static str) -> Self {
+        CmAdmission {
+            placer: CmPlacer::new(cfg),
+            name,
+        }
+    }
+}
+
+impl Default for CmAdmission {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Admission for CmAdmission {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        self.placer.place(topo, tag).map(|s| Deployed(Box::new(s)))
+    }
+}
+
+/// Improved-Oktopus admission of TAG tenants modeled as generalized VOCs.
+#[derive(Default)]
+pub struct OvocAdmission {
+    placer: OvocPlacer,
+}
+
+impl OvocAdmission {
+    /// Create an OVOC admission controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Admission for OvocAdmission {
+    fn name(&self) -> &'static str {
+        "OVOC"
+    }
+
+    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        self.placer
+            .place_tag(topo, tag)
+            .map(|s| Deployed(Box::new(s)))
+    }
+}
+
+/// Oktopus virtual-cluster (hose) admission.
+#[derive(Default)]
+pub struct VcAdmission {
+    placer: OktopusVcPlacer,
+}
+
+impl VcAdmission {
+    /// Create a VC admission controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Admission for VcAdmission {
+    fn name(&self) -> &'static str {
+        "VC"
+    }
+
+    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        self.placer
+            .place_tag(topo, tag)
+            .map(|s| Deployed(Box::new(s)))
+    }
+}
+
+/// SecondNet-style pipe admission.
+#[derive(Default)]
+pub struct SecondNetAdmission {
+    placer: SecondNetPlacer,
+}
+
+impl SecondNetAdmission {
+    /// Create a SecondNet admission controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Admission for SecondNetAdmission {
+    fn name(&self) -> &'static str {
+        "SecondNet"
+    }
+
+    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        self.placer
+            .place_tag(topo, tag)
+            .map(|s| Deployed(Box::new(s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_topology::{mbps, TreeSpec};
+    use cm_workloads::apps;
+
+    #[test]
+    fn all_admissions_place_and_release() {
+        let spec = TreeSpec::small(2, 2, 4, 4, [mbps(1000.0), mbps(2000.0), mbps(4000.0)]);
+        let tag = apps::three_tier(3, 3, 2, mbps(50.0), mbps(20.0), mbps(10.0));
+        let mut controllers: Vec<Box<dyn Admission>> = vec![
+            Box::new(CmAdmission::new()),
+            Box::new(OvocAdmission::new()),
+            Box::new(VcAdmission::new()),
+            Box::new(SecondNetAdmission::new()),
+        ];
+        for ctl in &mut controllers {
+            let mut topo = Topology::build(&spec);
+            let d = ctl.admit(&mut topo, &tag).unwrap_or_else(|e| {
+                panic!("{} rejected a trivially-fitting tenant: {e}", ctl.name())
+            });
+            assert_eq!(
+                d.placement(&topo)
+                    .iter()
+                    .map(|(_, c)| c.iter().sum::<u32>())
+                    .sum::<u32>(),
+                8
+            );
+            d.release(&mut topo);
+            topo.check_invariants().unwrap();
+            for l in 0..topo.num_levels() {
+                assert_eq!(topo.reserved_at_level(l), (0, 0), "{}", ctl.name());
+            }
+        }
+    }
+
+    #[test]
+    fn wcs_is_exposed_through_the_erased_handle() {
+        let spec = TreeSpec::small(2, 2, 4, 4, [mbps(1000.0), mbps(2000.0), mbps(4000.0)]);
+        let mut topo = Topology::build(&spec);
+        let mut cm = CmAdmission::with_config(CmConfig::cm_ha(0.5), "CM+HA");
+        let tag = apps::mapreduce(8, mbps(10.0));
+        let d = cm.admit(&mut topo, &tag).unwrap();
+        let wcs = d.wcs_at_level(&topo, 0);
+        assert!(wcs[0].unwrap() >= 0.5);
+        assert_eq!(d.tier_sizes(), vec![8]);
+    }
+}

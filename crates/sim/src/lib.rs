@@ -1,0 +1,33 @@
+//! # cm-sim
+//!
+//! The admission-control simulator behind the paper's evaluation (§5.1).
+//!
+//! A simulation run replays a Poisson process of tenant arrivals and
+//! departures against a datacenter topology and one placement algorithm,
+//! measuring what the paper measures:
+//!
+//! * **rejection rates** — of tenants, of their VMs, and of their aggregate
+//!   bandwidth (Figs. 7–10);
+//! * **worst-case survivability** (WCS) of deployed components at a chosen
+//!   fault-domain level (Figs. 11–12);
+//! * **reserved bandwidth per topology level** under different pricing
+//!   models for the *same* placement (Table 1).
+//!
+//! The load is controlled exactly as in the paper:
+//! `load = T_s · λ · T_d / total_slots`, with the mean tenant size `T_s`
+//! from the pool, fixed mean dwell time `T_d`, and arrival rate `λ` solved
+//! from the target load.
+//!
+//! [`Admission`] erases the differences between the CloudMirror placer and
+//! the baselines so one event loop drives them all.
+
+pub mod admission;
+pub mod events;
+pub mod experiments;
+pub mod metrics;
+
+pub use admission::{
+    Admission, CmAdmission, Deployed, OvocAdmission, SecondNetAdmission, VcAdmission,
+};
+pub use events::{run_sim, SimConfig, SimResult};
+pub use metrics::{reprice_by_level, RejectionCounts, WcsStats};

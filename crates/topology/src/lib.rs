@@ -1,0 +1,35 @@
+//! # cm-topology
+//!
+//! Tree-shaped datacenter topology substrate for CloudMirror (SIGCOMM 2014).
+//!
+//! The paper deploys tenants onto "tree-shaped physical topologies" (§4): a
+//! single-rooted tree whose leaves are servers with VM slots and whose every
+//! non-root node has one *uplink* to its parent with independent capacity in
+//! each direction. This crate provides exactly that substrate:
+//!
+//! * [`TreeSpec`] — declarative description of a tree (fanouts, per-level
+//!   uplink capacities, slots per server), including the paper's evaluation
+//!   datacenter (2048 servers, 25 slots each, 10 G server uplinks,
+//!   32:8:1 oversubscription — §5 "Simulation Setup").
+//! * [`Topology`] — the instantiated tree with slot accounting on servers and
+//!   directional bandwidth accounting on every uplink.
+//!
+//! Bandwidth is carried as integer **kbps** ([`Kbps`]) so that admission
+//! decisions are exact: there is no floating-point drift in capacity checks
+//! no matter how many tenants are reserved and released.
+//!
+//! Levels are numbered bottom-up: level 0 is the server level (the paper's
+//! `FindLowestSubtree(g, 0)` starts there), and `num_levels() - 1` is the
+//! root. A "subtree at level L" is identified by its top [`NodeId`].
+//!
+//! The crate is deliberately free of placement policy: reservation semantics
+//! (which bandwidth a tenant needs on a cut) live in `cm-core`; this crate
+//! only enforces physical capacity.
+
+mod spec;
+mod tree;
+mod units;
+
+pub use spec::TreeSpec;
+pub use tree::{NodeId, Topology, TopologyError};
+pub use units::{gbps, kbps_to_gbps, kbps_to_mbps, mbps, Kbps, UNLIMITED_KBPS};

@@ -1,0 +1,735 @@
+//! The instantiated datacenter tree with resource accounting.
+
+use crate::spec::TreeSpec;
+use crate::units::Kbps;
+use std::fmt;
+
+/// Index of a node (server or switch) in a [`Topology`].
+///
+/// `NodeId`s are dense indices assigned in depth-first order at build time;
+/// they are only meaningful for the topology that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Errors returned by resource mutations on a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A slot allocation asked for more free slots than the server has.
+    InsufficientSlots {
+        /// The server whose slots were requested.
+        server: NodeId,
+        /// Slots requested.
+        requested: u32,
+        /// Slots actually free.
+        free: u32,
+    },
+    /// A bandwidth reservation exceeded the uplink capacity in one direction.
+    InsufficientBandwidth {
+        /// The node whose uplink was targeted.
+        node: NodeId,
+    },
+    /// A release underflowed (released more than was reserved/allocated) —
+    /// this always indicates a caller bug, but is surfaced as an error so the
+    /// ledger can never silently corrupt.
+    ReleaseUnderflow {
+        /// The node whose resources were targeted.
+        node: NodeId,
+    },
+    /// The node kind was wrong for the operation (e.g. slot ops on a switch).
+    NotAServer {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InsufficientSlots {
+                server,
+                requested,
+                free,
+            } => write!(
+                f,
+                "server {server}: requested {requested} slots but only {free} free"
+            ),
+            TopologyError::InsufficientBandwidth { node } => {
+                write!(f, "uplink of {node}: insufficient bandwidth")
+            }
+            TopologyError::ReleaseUnderflow { node } => {
+                write!(f, "{node}: released more resources than were held")
+            }
+            TopologyError::NotAServer { node } => {
+                write!(f, "{node} is not a server")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Directional state of one uplink.
+#[derive(Debug, Clone, Copy)]
+struct Uplink {
+    cap_up: Kbps,
+    cap_dn: Kbps,
+    used_up: Kbps,
+    used_dn: Kbps,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    level: u8,
+    parent: Option<NodeId>,
+    /// Children are contiguous: `children_start..children_start+children_len`.
+    children_start: u32,
+    children_len: u32,
+    /// Range into the DFS-ordered server list covered by this subtree.
+    servers_start: u32,
+    servers_len: u32,
+    /// Per-server slot accounting (zero for switches).
+    slots_total: u32,
+    slots_used: u32,
+    /// Aggregate free slots in the whole subtree (equals the server's own
+    /// free slots for servers).
+    sub_slots_free: u64,
+    sub_slots_total: u64,
+    /// Uplink to the parent; `None` for the root.
+    up: Option<Uplink>,
+}
+
+/// A single-rooted datacenter tree with slot and bandwidth accounting.
+///
+/// The topology owns *physical* state only: how many VM slots each server has
+/// free and how much bandwidth is reserved on each uplink in each direction.
+/// What a reservation *means* (which tenant, which model) is tracked by the
+/// placement layer in `cm-core`; the topology guarantees that capacities are
+/// never exceeded and that releases never underflow.
+///
+/// All mutating operations are atomic: they either fully apply or leave the
+/// topology untouched and return an error.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    spec: TreeSpec,
+    nodes: Vec<Node>,
+    /// Node ids grouped by level; `levels[0]` are the servers.
+    levels: Vec<Vec<NodeId>>,
+    /// All servers in depth-first order (so every subtree's servers form a
+    /// contiguous slice of this vector).
+    servers: Vec<NodeId>,
+    root: NodeId,
+}
+
+impl Topology {
+    /// Instantiate a topology from a validated [`TreeSpec`].
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`TreeSpec::validate`].
+    pub fn build(spec: &TreeSpec) -> Topology {
+        spec.validate().expect("invalid TreeSpec");
+        let num_levels = spec.num_levels();
+        let mut topo = Topology {
+            spec: spec.clone(),
+            nodes: Vec::new(),
+            levels: vec![Vec::new(); num_levels],
+            servers: Vec::new(),
+            root: NodeId(0),
+        };
+        let root_level = (num_levels - 1) as u8;
+        let root = topo.push_node(root_level, None);
+        topo.root = root;
+        topo.build_children(root);
+        // Finalize subtree aggregates bottom-up (nodes were pushed parent
+        // before children, so a reverse scan visits children first).
+        for i in (0..topo.nodes.len()).rev() {
+            let n = &topo.nodes[i];
+            if n.level == 0 {
+                let free = (n.slots_total - n.slots_used) as u64;
+                let total = n.slots_total as u64;
+                let node = &mut topo.nodes[i];
+                node.sub_slots_free = free;
+                node.sub_slots_total = total;
+                node.servers_start = 0; // fixed below
+                node.servers_len = 1;
+            } else {
+                let (cs, cl) = (n.children_start as usize, n.children_len as usize);
+                let mut free = 0u64;
+                let mut total = 0u64;
+                for c in cs..cs + cl {
+                    free += topo.nodes[c].sub_slots_free;
+                    total += topo.nodes[c].sub_slots_total;
+                }
+                let node = &mut topo.nodes[i];
+                node.sub_slots_free = free;
+                node.sub_slots_total = total;
+            }
+        }
+        // Assign server ranges with a DFS so that subtree servers are
+        // contiguous in `servers`.
+        topo.assign_server_ranges();
+        topo
+    }
+
+    fn push_node(&mut self, level: u8, parent: Option<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let slots = if level == 0 {
+            self.spec.slots_per_server
+        } else {
+            0
+        };
+        let up = parent.map(|_| {
+            let cap = self.spec.uplink_kbps[level as usize];
+            Uplink {
+                cap_up: cap,
+                cap_dn: cap,
+                used_up: 0,
+                used_dn: 0,
+            }
+        });
+        self.nodes.push(Node {
+            level,
+            parent,
+            children_start: 0,
+            children_len: 0,
+            servers_start: 0,
+            servers_len: 0,
+            slots_total: slots,
+            slots_used: 0,
+            sub_slots_free: 0,
+            sub_slots_total: 0,
+            up,
+        });
+        self.levels[level as usize].push(id);
+        id
+    }
+
+    fn build_children(&mut self, parent: NodeId) {
+        let level = self.nodes[parent.index()].level;
+        if level == 0 {
+            return;
+        }
+        let child_level = level - 1;
+        // fanout_top_down[0] is the root's fanout; the root is at the highest
+        // level, so index by distance from the top.
+        let depth_from_top = (self.spec.num_levels() - 1) as u8 - level;
+        let fanout = self.spec.fanout_top_down[depth_from_top as usize];
+        let start = self.nodes.len() as u32;
+        for _ in 0..fanout {
+            self.push_node(child_level, Some(parent));
+        }
+        self.nodes[parent.index()].children_start = start;
+        self.nodes[parent.index()].children_len = fanout;
+        for i in 0..fanout {
+            self.build_children(NodeId(start + i));
+        }
+    }
+
+    fn assign_server_ranges(&mut self) {
+        // Iterative DFS assigning contiguous server ranges.
+        fn dfs(topo: &mut Topology, node: NodeId) -> (u32, u32) {
+            if topo.nodes[node.index()].level == 0 {
+                let start = topo.servers.len() as u32;
+                topo.servers.push(node);
+                let n = &mut topo.nodes[node.index()];
+                n.servers_start = start;
+                n.servers_len = 1;
+                return (start, 1);
+            }
+            let (cs, cl) = {
+                let n = &topo.nodes[node.index()];
+                (n.children_start, n.children_len)
+            };
+            let mut start = u32::MAX;
+            let mut len = 0;
+            for c in cs..cs + cl {
+                let (s, l) = dfs(topo, NodeId(c));
+                if start == u32::MAX {
+                    start = s;
+                }
+                len += l;
+            }
+            let n = &mut topo.nodes[node.index()];
+            n.servers_start = start;
+            n.servers_len = len;
+            (start, len)
+        }
+        dfs(self, self.root);
+    }
+
+    // ------------------------------------------------------------------
+    // Structure queries
+    // ------------------------------------------------------------------
+
+    /// The spec this topology was built from.
+    pub fn spec(&self) -> &TreeSpec {
+        &self.spec
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of levels (servers are level 0, root is `num_levels()-1`).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level of a node (0 = server).
+    pub fn level(&self, n: NodeId) -> u8 {
+        self.nodes[n.index()].level
+    }
+
+    /// Whether the node is a server (a leaf holding VM slots).
+    pub fn is_server(&self, n: NodeId) -> bool {
+        self.nodes[n.index()].level == 0
+    }
+
+    /// All node ids at a given level.
+    pub fn nodes_at_level(&self, level: usize) -> &[NodeId] {
+        &self.levels[level]
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].parent
+    }
+
+    /// Children of a node, as a contiguous id range (empty for servers).
+    pub fn children(&self, n: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        let node = &self.nodes[n.index()];
+        (node.children_start..node.children_start + node.children_len).map(NodeId)
+    }
+
+    /// All servers, in DFS order.
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
+    }
+
+    /// The servers under a subtree, as a contiguous slice (DFS order).
+    pub fn servers_under(&self, n: NodeId) -> &[NodeId] {
+        let node = &self.nodes[n.index()];
+        let s = node.servers_start as usize;
+        &self.servers[s..s + node.servers_len as usize]
+    }
+
+    /// Iterator over `n`'s ancestors starting at `n` itself and ending at the
+    /// root (inclusive).
+    pub fn path_to_root(&self, n: NodeId) -> PathToRoot<'_> {
+        PathToRoot {
+            topo: self,
+            next: Some(n),
+        }
+    }
+
+    /// Whether `ancestor` is on `path_to_root(n)` (a node is its own
+    /// ancestor for this purpose).
+    pub fn is_ancestor(&self, ancestor: NodeId, n: NodeId) -> bool {
+        self.path_to_root(n).any(|a| a == ancestor)
+    }
+
+    // ------------------------------------------------------------------
+    // Slot accounting
+    // ------------------------------------------------------------------
+
+    /// Total slots of a server.
+    pub fn slots_total(&self, server: NodeId) -> u32 {
+        self.nodes[server.index()].slots_total
+    }
+
+    /// Free slots on a server.
+    pub fn slots_free(&self, server: NodeId) -> u32 {
+        let n = &self.nodes[server.index()];
+        n.slots_total - n.slots_used
+    }
+
+    /// Aggregate free slots in the subtree rooted at `n`.
+    pub fn subtree_slots_free(&self, n: NodeId) -> u64 {
+        self.nodes[n.index()].sub_slots_free
+    }
+
+    /// Aggregate total slots in the subtree rooted at `n`.
+    pub fn subtree_slots_total(&self, n: NodeId) -> u64 {
+        self.nodes[n.index()].sub_slots_total
+    }
+
+    /// Allocate `count` VM slots on a server.
+    pub fn alloc_slots(&mut self, server: NodeId, count: u32) -> Result<(), TopologyError> {
+        let node = &self.nodes[server.index()];
+        if node.level != 0 {
+            return Err(TopologyError::NotAServer { node: server });
+        }
+        let free = node.slots_total - node.slots_used;
+        if count > free {
+            return Err(TopologyError::InsufficientSlots {
+                server,
+                requested: count,
+                free,
+            });
+        }
+        self.nodes[server.index()].slots_used += count;
+        let mut cur = Some(server);
+        while let Some(c) = cur {
+            self.nodes[c.index()].sub_slots_free -= count as u64;
+            cur = self.nodes[c.index()].parent;
+        }
+        Ok(())
+    }
+
+    /// Release `count` previously-allocated VM slots on a server.
+    pub fn release_slots(&mut self, server: NodeId, count: u32) -> Result<(), TopologyError> {
+        let node = &self.nodes[server.index()];
+        if node.level != 0 {
+            return Err(TopologyError::NotAServer { node: server });
+        }
+        if count > node.slots_used {
+            return Err(TopologyError::ReleaseUnderflow { node: server });
+        }
+        self.nodes[server.index()].slots_used -= count;
+        let mut cur = Some(server);
+        while let Some(c) = cur {
+            self.nodes[c.index()].sub_slots_free += count as u64;
+            cur = self.nodes[c.index()].parent;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Bandwidth accounting
+    // ------------------------------------------------------------------
+
+    /// Uplink capacity of `n` in (up, down) direction; `None` for the root.
+    pub fn uplink_capacity(&self, n: NodeId) -> Option<(Kbps, Kbps)> {
+        self.nodes[n.index()].up.map(|u| (u.cap_up, u.cap_dn))
+    }
+
+    /// Reserved bandwidth on `n`'s uplink in (up, down) direction.
+    pub fn uplink_used(&self, n: NodeId) -> Option<(Kbps, Kbps)> {
+        self.nodes[n.index()].up.map(|u| (u.used_up, u.used_dn))
+    }
+
+    /// Available (unreserved) bandwidth on `n`'s uplink in (up, down)
+    /// direction; `None` for the root.
+    pub fn uplink_avail(&self, n: NodeId) -> Option<(Kbps, Kbps)> {
+        self.nodes[n.index()]
+            .up
+            .map(|u| (u.cap_up - u.used_up, u.cap_dn - u.used_dn))
+    }
+
+    /// Minimum available bandwidth along every uplink from `n` (inclusive)
+    /// to the root, per direction. Returns `(Kbps::MAX, Kbps::MAX)` when `n`
+    /// is the root (no links to cross).
+    pub fn avail_to_root(&self, n: NodeId) -> (Kbps, Kbps) {
+        let mut min_up = Kbps::MAX;
+        let mut min_dn = Kbps::MAX;
+        for a in self.path_to_root(n) {
+            if let Some((au, ad)) = self.uplink_avail(a) {
+                min_up = min_up.min(au);
+                min_dn = min_dn.min(ad);
+            }
+        }
+        (min_up, min_dn)
+    }
+
+    /// Atomically apply signed deltas to the reservation on `n`'s uplink.
+    ///
+    /// Fails (leaving state untouched) when a positive delta exceeds the
+    /// remaining capacity in either direction, when a negative delta
+    /// underflows the reservation, or when `n` is the root.
+    pub fn adjust_uplink(
+        &mut self,
+        n: NodeId,
+        delta_up: i64,
+        delta_dn: i64,
+    ) -> Result<(), TopologyError> {
+        let node = &mut self.nodes[n.index()];
+        let up = node
+            .up
+            .as_mut()
+            .ok_or(TopologyError::InsufficientBandwidth { node: n })?;
+        let new_up = apply_delta(up.used_up, delta_up, up.cap_up, n)?;
+        let new_dn = apply_delta(up.used_dn, delta_dn, up.cap_dn, n)?;
+        up.used_up = new_up;
+        up.used_dn = new_dn;
+        Ok(())
+    }
+
+    /// Sum of reserved uplink bandwidth over all nodes of a level, per
+    /// direction. This is the paper's Table 1 metric ("aggregate bandwidth
+    /// reserved on uplinks from the server, ToR, and agg switch levels").
+    pub fn reserved_at_level(&self, level: usize) -> (Kbps, Kbps) {
+        let mut up = 0;
+        let mut dn = 0;
+        for &n in &self.levels[level] {
+            if let Some((u, d)) = self.uplink_used(n) {
+                up += u;
+                dn += d;
+            }
+        }
+        (up, dn)
+    }
+
+    /// Total uplink capacity over all nodes of a level (single direction).
+    pub fn capacity_at_level(&self, level: usize) -> Kbps {
+        self.levels[level]
+            .iter()
+            .filter_map(|&n| self.uplink_capacity(n))
+            .map(|(u, _)| u)
+            .sum()
+    }
+
+    /// Check internal invariants; returns a description of the first
+    /// violation. Intended for tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            if node.slots_used > node.slots_total {
+                return Err(format!("{id}: slots_used > slots_total"));
+            }
+            if let Some(u) = node.up {
+                if u.used_up > u.cap_up || u.used_dn > u.cap_dn {
+                    return Err(format!("{id}: uplink over capacity"));
+                }
+            }
+            let expect_free: u64 = if node.level == 0 {
+                (node.slots_total - node.slots_used) as u64
+            } else {
+                self.children(id).map(|c| self.subtree_slots_free(c)).sum()
+            };
+            if node.sub_slots_free != expect_free {
+                return Err(format!(
+                    "{id}: sub_slots_free {} != recomputed {expect_free}",
+                    node.sub_slots_free
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn apply_delta(used: Kbps, delta: i64, cap: Kbps, node: NodeId) -> Result<Kbps, TopologyError> {
+    if delta >= 0 {
+        let new = used
+            .checked_add(delta as u64)
+            .ok_or(TopologyError::InsufficientBandwidth { node })?;
+        if new > cap {
+            return Err(TopologyError::InsufficientBandwidth { node });
+        }
+        Ok(new)
+    } else {
+        used.checked_sub(delta.unsigned_abs())
+            .ok_or(TopologyError::ReleaseUnderflow { node })
+    }
+}
+
+/// Iterator over a node's ancestors (see [`Topology::path_to_root`]).
+pub struct PathToRoot<'a> {
+    topo: &'a Topology,
+    next: Option<NodeId>,
+}
+
+impl Iterator for PathToRoot<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.topo.parent(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{gbps, mbps};
+
+    fn paper() -> Topology {
+        Topology::build(&TreeSpec::paper_datacenter())
+    }
+
+    #[test]
+    fn paper_topology_shape() {
+        let t = paper();
+        assert_eq!(t.num_levels(), 4);
+        assert_eq!(t.nodes_at_level(0).len(), 2048);
+        assert_eq!(t.nodes_at_level(1).len(), 64);
+        assert_eq!(t.nodes_at_level(2).len(), 8);
+        assert_eq!(t.nodes_at_level(3).len(), 1);
+        assert_eq!(t.servers().len(), 2048);
+        assert_eq!(t.subtree_slots_free(t.root()), 2048 * 25);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn servers_under_is_contiguous_and_complete() {
+        let t = paper();
+        let tor = t.nodes_at_level(1)[0];
+        assert_eq!(t.servers_under(tor).len(), 32);
+        let agg = t.nodes_at_level(2)[3];
+        assert_eq!(t.servers_under(agg).len(), 256);
+        assert_eq!(t.servers_under(t.root()).len(), 2048);
+        // Every server under the ToR has that ToR as an ancestor.
+        for &s in t.servers_under(tor) {
+            assert!(t.is_ancestor(tor, s));
+        }
+    }
+
+    #[test]
+    fn path_to_root_levels_ascend() {
+        let t = paper();
+        let s = t.servers()[100];
+        let path: Vec<_> = t.path_to_root(s).collect();
+        assert_eq!(path.len(), 4);
+        assert_eq!(t.level(path[0]), 0);
+        assert_eq!(t.level(path[3]), 3);
+        assert_eq!(path[3], t.root());
+    }
+
+    #[test]
+    fn slot_alloc_and_release() {
+        let mut t = paper();
+        let s = t.servers()[0];
+        let tor = t.parent(s).unwrap();
+        assert_eq!(t.slots_free(s), 25);
+        t.alloc_slots(s, 10).unwrap();
+        assert_eq!(t.slots_free(s), 15);
+        assert_eq!(t.subtree_slots_free(tor), 32 * 25 - 10);
+        assert_eq!(t.subtree_slots_free(t.root()), 2048 * 25 - 10);
+        t.release_slots(s, 10).unwrap();
+        assert_eq!(t.subtree_slots_free(t.root()), 2048 * 25);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn slot_overflow_and_underflow_rejected() {
+        let mut t = paper();
+        let s = t.servers()[0];
+        assert!(matches!(
+            t.alloc_slots(s, 26),
+            Err(TopologyError::InsufficientSlots { .. })
+        ));
+        assert!(matches!(
+            t.release_slots(s, 1),
+            Err(TopologyError::ReleaseUnderflow { .. })
+        ));
+        // Failed ops leave state untouched.
+        assert_eq!(t.slots_free(s), 25);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn slot_ops_on_switch_rejected() {
+        let mut t = paper();
+        let tor = t.nodes_at_level(1)[0];
+        assert!(matches!(
+            t.alloc_slots(tor, 1),
+            Err(TopologyError::NotAServer { .. })
+        ));
+    }
+
+    #[test]
+    fn uplink_reserve_and_release() {
+        let mut t = paper();
+        let s = t.servers()[0];
+        assert_eq!(t.uplink_capacity(s), Some((gbps(10.0), gbps(10.0))));
+        t.adjust_uplink(s, mbps(500.0) as i64, mbps(300.0) as i64)
+            .unwrap();
+        assert_eq!(t.uplink_used(s), Some((mbps(500.0), mbps(300.0))));
+        assert_eq!(
+            t.uplink_avail(s),
+            Some((gbps(10.0) - mbps(500.0), gbps(10.0) - mbps(300.0)))
+        );
+        t.adjust_uplink(s, -(mbps(500.0) as i64), -(mbps(300.0) as i64))
+            .unwrap();
+        assert_eq!(t.uplink_used(s), Some((0, 0)));
+    }
+
+    #[test]
+    fn uplink_capacity_enforced_atomically() {
+        let mut t = paper();
+        let s = t.servers()[0];
+        // Up fits, down does not => nothing applied.
+        let r = t.adjust_uplink(s, 1, gbps(10.0) as i64 + 1);
+        assert!(matches!(
+            r,
+            Err(TopologyError::InsufficientBandwidth { .. })
+        ));
+        assert_eq!(t.uplink_used(s), Some((0, 0)));
+        // Underflow rejected.
+        assert!(matches!(
+            t.adjust_uplink(s, -1, 0),
+            Err(TopologyError::ReleaseUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn root_has_no_uplink() {
+        let mut t = paper();
+        let root = t.root();
+        assert_eq!(t.uplink_capacity(root), None);
+        assert!(t.adjust_uplink(root, 1, 1).is_err());
+        assert_eq!(t.avail_to_root(root), (Kbps::MAX, Kbps::MAX));
+    }
+
+    #[test]
+    fn avail_to_root_takes_path_minimum() {
+        let mut t = paper();
+        let s = t.servers()[0];
+        let tor = t.parent(s).unwrap();
+        let agg = t.parent(tor).unwrap();
+        t.adjust_uplink(agg, gbps(79.0) as i64, 0).unwrap();
+        let (up, dn) = t.avail_to_root(s);
+        assert_eq!(up, gbps(1.0)); // agg uplink is now the bottleneck
+        assert_eq!(dn, gbps(10.0)); // server NIC is the down bottleneck
+    }
+
+    #[test]
+    fn reserved_at_level_sums() {
+        let mut t = paper();
+        let s0 = t.servers()[0];
+        let s1 = t.servers()[1];
+        t.adjust_uplink(s0, 1000, 500).unwrap();
+        t.adjust_uplink(s1, 2000, 700).unwrap();
+        assert_eq!(t.reserved_at_level(0), (3000, 1200));
+        assert_eq!(t.reserved_at_level(1), (0, 0));
+        assert_eq!(
+            t.capacity_at_level(0),
+            2048 * gbps(10.0)
+        );
+    }
+
+    #[test]
+    fn fig6_rack_topology() {
+        let t = Topology::build(&TreeSpec::fig6_rack());
+        assert_eq!(t.num_levels(), 2);
+        assert_eq!(t.servers().len(), 4);
+        assert_eq!(t.slots_total(t.servers()[0]), 2);
+        assert_eq!(t.uplink_capacity(t.servers()[0]), Some((mbps(10.0), mbps(10.0))));
+    }
+
+    #[test]
+    fn children_iteration_matches_levels() {
+        let t = paper();
+        let mut all: Vec<NodeId> = Vec::new();
+        let mut stack = vec![t.root()];
+        while let Some(n) = stack.pop() {
+            all.push(n);
+            stack.extend(t.children(n));
+        }
+        assert_eq!(all.len(), 1 + 8 + 64 + 2048);
+    }
+}

@@ -1,0 +1,81 @@
+//! Bandwidth units.
+//!
+//! All capacities and reservations in the workspace are integer kbps. The
+//! paper quotes guarantees in Mbps and link capacities in Gbps; the helpers
+//! here convert at the boundaries. Integer arithmetic keeps the admission
+//! control exact (a float-based ledger accumulates drift over the 10,000
+//! tenant arrivals/departures of a simulation run and can flip accept/reject
+//! decisions near the capacity boundary).
+
+/// Bandwidth in kilobits per second.
+///
+/// `u64` kbps covers up to ~2.3 Tbps×8e6 aggregate without overflow concern;
+/// the paper's largest link is 80 Gbps = 8×10⁷ kbps.
+pub type Kbps = u64;
+
+/// A practically-infinite capacity used for the paper's "ideal network
+/// topology with unlimited network capacity" (Table 1 experiment).
+///
+/// Chosen far below `u64::MAX` so that summing many reservations against it
+/// can never overflow intermediate arithmetic.
+pub const UNLIMITED_KBPS: Kbps = 1 << 50;
+
+/// Convert Mbps (fractional allowed) to integer kbps, rounding to nearest.
+#[inline]
+pub fn mbps(v: f64) -> Kbps {
+    debug_assert!(v >= 0.0, "bandwidth must be non-negative");
+    (v * 1_000.0).round() as Kbps
+}
+
+/// Convert Gbps (fractional allowed) to integer kbps, rounding to nearest.
+#[inline]
+pub fn gbps(v: f64) -> Kbps {
+    debug_assert!(v >= 0.0, "bandwidth must be non-negative");
+    (v * 1_000_000.0).round() as Kbps
+}
+
+/// Convert kbps to Mbps for reporting.
+#[inline]
+pub fn kbps_to_mbps(v: Kbps) -> f64 {
+    v as f64 / 1_000.0
+}
+
+/// Convert kbps to Gbps for reporting.
+#[inline]
+pub fn kbps_to_gbps(v: Kbps) -> f64 {
+    v as f64 / 1_000_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbps_round_trips() {
+        assert_eq!(mbps(1.0), 1_000);
+        assert_eq!(mbps(0.5), 500);
+        assert_eq!(mbps(450.0), 450_000);
+        assert_eq!(kbps_to_mbps(mbps(123.0)), 123.0);
+    }
+
+    #[test]
+    fn gbps_round_trips() {
+        assert_eq!(gbps(10.0), 10_000_000);
+        assert_eq!(gbps(80.0), 80_000_000);
+        assert_eq!(kbps_to_gbps(gbps(2.5)), 2.5);
+    }
+
+    #[test]
+    fn unlimited_is_huge_but_sums_safely() {
+        // 1M reservations of 80G each against UNLIMITED must not overflow.
+        let total: u128 = (0..1_000_000u128).map(|_| gbps(80.0) as u128).sum();
+        assert!(total < UNLIMITED_KBPS as u128 * 1000);
+        assert!(UNLIMITED_KBPS > gbps(1_000_000.0));
+    }
+
+    #[test]
+    fn rounding_is_nearest() {
+        assert_eq!(mbps(0.0004), 0);
+        assert_eq!(mbps(0.0006), 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Synthetic bing.com-like tenant pool.
+//!
+//! The real dataset (Bodík et al. [11], provided privately to the paper's
+//! authors) cannot be redistributed. This generator reproduces every
+//! statistic the paper publishes about it:
+//!
+//! * 80 isolated tenants (management/logging services removed);
+//! * mean size `T_s ≈ 57` VMs, "some large tenants over 200 VMs", "the
+//!   largest tenant has 732 VMs";
+//! * service sizes "from one to a few hundred VMs";
+//! * mean tier size `K ≈ 10` and mean tier count `T ≈ 5` ("from the bing
+//!   dataset excluding the management services");
+//! * "a diverse range of job types (interactive web services or batch
+//!   data-processing) and communication patterns (e.g., linear, star, ring,
+//!   mesh)", "some have large intra-service demands (similar to
+//!   MapReduce)";
+//! * inter-component traffic dominating: the per-component inter-component
+//!   fraction averages 91 % (85 % excluding management), 37–65 % of total
+//!   traffic.
+//!
+//! Generation is fully deterministic for a given seed.
+
+use crate::pool::TenantPool;
+use cm_core::model::{Tag, TagBuilder, TierId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Communication skeleton of one synthetic tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pattern {
+    /// Chain: t0 — t1 — ... — tk.
+    Linear,
+    /// Hub and spokes: t0 — ti for all i.
+    Star,
+    /// Cycle: ti — t(i+1 mod k).
+    Ring,
+    /// Every pair connected.
+    Mesh,
+    /// One component with a heavy self-loop (MapReduce-like).
+    Batch,
+}
+
+/// Generate the 80-tenant bing-like pool with the given seed.
+///
+/// Bandwidths are relative units; scale with
+/// [`TenantPool::scaled_to_bmax`].
+pub fn bing_like_pool(seed: u64) -> TenantPool {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes = tenant_sizes(&mut rng);
+    let tenants: Vec<Tag> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| {
+            let t = synth_tenant(&mut rng, i, size);
+            // Normalize the tenant's mean per-VM demand to a log-uniform
+            // fraction of the pool's peak: Fig. 1 shows per-workload demand
+            // ranges clustered within roughly one order of magnitude, and
+            // the §5.1 B_max scaling only makes sense if tenants' B_vm
+            // values are comparable (otherwise the pool degenerates into
+            // one heavy tenant and featherweights).
+            let cur = t.avg_per_vm_demand_kbps();
+            let target = 10_000.0 * log_uniform(&mut rng, 0.35, 1.0);
+            t.scaled(target / cur)
+        })
+        .collect();
+    TenantPool::new("bing-like", tenants)
+}
+
+/// Sample log-uniformly from `[lo, hi]`.
+fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    let u: f64 = rng.random_range(0.0..1.0);
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+/// Draw the 80 tenant sizes: one fixed 732-VM giant, three 200–300 VM large
+/// tenants, and 76 lognormal-ish small/medium tenants rescaled so that the
+/// pool mean lands at ≈ 57 VMs.
+fn tenant_sizes(rng: &mut StdRng) -> Vec<u32> {
+    const POOL: usize = 80;
+    const TARGET_MEAN: f64 = 57.0;
+    let mut sizes: Vec<u32> = vec![732];
+    for _ in 0..3 {
+        sizes.push(rng.random_range(205..300));
+    }
+    // Lognormal body: median ~18 VMs, heavy right tail clipped at 190.
+    let mut body: Vec<f64> = (0..POOL - sizes.len())
+        .map(|_| {
+            let z = normal_sample(rng);
+            (18.0 * (0.9 * z).exp()).clamp(1.0, 190.0)
+        })
+        .collect();
+    // Rescale the body to hit the target pool mean exactly (±rounding).
+    let fixed: u32 = sizes.iter().sum();
+    let want_body_total = TARGET_MEAN * POOL as f64 - fixed as f64;
+    let body_total: f64 = body.iter().sum();
+    let f = want_body_total / body_total;
+    for v in &mut body {
+        *v = (*v * f).max(1.0);
+    }
+    sizes.extend(body.iter().map(|&v| v.round().max(1.0) as u32));
+    sizes
+}
+
+/// Standard-normal sample via Box–Muller (avoids a rand_distr dependency).
+fn normal_sample(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Lognormal bandwidth factor around 1.0 (relative units).
+fn bw_sample(rng: &mut StdRng) -> u64 {
+    let z = normal_sample(rng);
+    let v = 1_000.0 * (0.7 * z).exp(); // base unit 1000 relative-kbps
+    (v.round() as u64).max(10)
+}
+
+fn synth_tenant(rng: &mut StdRng, idx: usize, size: u32) -> Tag {
+    let pattern = match rng.random_range(0..100) {
+        0..25 => Pattern::Linear,
+        25..45 => Pattern::Star,
+        45..55 => Pattern::Ring,
+        55..75 => Pattern::Mesh,
+        _ => Pattern::Batch,
+    };
+    // Tier count: size/K with K ≈ 10 (5..15), at least 1, at most 40.
+    let k = rng.random_range(5..15) as f64;
+    let tiers = if pattern == Pattern::Batch {
+        rng.random_range(1..3)
+    } else {
+        (((size as f64 / k).round() as u32).clamp(1, 40)).max(1)
+    };
+    let tier_sizes = partition(rng, size, tiers);
+    // A single-component service can only have intra-service traffic.
+    let pattern = if tier_sizes.len() == 1 {
+        Pattern::Batch
+    } else {
+        pattern
+    };
+
+    let mut b = TagBuilder::new(format!("bing-{idx:02}"));
+    let ids: Vec<TierId> = tier_sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| b.tier(format!("svc{i}"), s))
+        .collect();
+
+    let t = ids.len();
+    match pattern {
+        Pattern::Linear => {
+            for w in ids.windows(2) {
+                b.sym_edge(w[0], w[1], bw_sample(rng)).expect("valid");
+            }
+        }
+        Pattern::Star => {
+            for &spoke in &ids[1..] {
+                b.sym_edge(ids[0], spoke, bw_sample(rng)).expect("valid");
+            }
+        }
+        Pattern::Ring => {
+            if t >= 3 {
+                for i in 0..t {
+                    b.edge(ids[i], ids[(i + 1) % t], bw_sample(rng), bw_sample(rng))
+                        .expect("valid");
+                }
+            } else if t == 2 {
+                b.sym_edge(ids[0], ids[1], bw_sample(rng)).expect("valid");
+            }
+        }
+        Pattern::Mesh => {
+            for i in 0..t {
+                for j in (i + 1)..t {
+                    b.sym_edge(ids[i], ids[j], bw_sample(rng)).expect("valid");
+                }
+            }
+        }
+        Pattern::Batch => {
+            // Heavy intra-service shuffle, like MapReduce.
+            for &id in &ids {
+                b.self_loop(id, 3 * bw_sample(rng)).expect("valid");
+            }
+            if t == 2 {
+                b.sym_edge(ids[0], ids[1], bw_sample(rng)).expect("valid");
+            }
+        }
+    }
+    // Low-rate intra-tier state traffic on ~30% of non-batch tiers keeps the
+    // inter-component fraction near the dataset's 85–91%.
+    if pattern != Pattern::Batch {
+        for &id in &ids {
+            if rng.random_range(0.0..1.0) < 0.3 {
+                b.self_loop(id, bw_sample(rng) / 5).expect("valid");
+            }
+        }
+    }
+    b.build().expect("generated TAG is valid")
+}
+
+/// Partition `total` VMs into `parts` tiers with random weights, min 1 each.
+fn partition(rng: &mut StdRng, total: u32, parts: u32) -> Vec<u32> {
+    let parts = parts.min(total).max(1);
+    let weights: Vec<f64> = (0..parts).map(|_| rng.random_range(0.4..1.6)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut sizes: Vec<u32> = weights
+        .iter()
+        .map(|w| ((w / wsum) * total as f64).floor().max(1.0) as u32)
+        .collect();
+    // Fix rounding drift.
+    let mut diff = total as i64 - sizes.iter().map(|&s| s as i64).sum::<i64>();
+    let mut i = 0;
+    while diff != 0 {
+        let idx = i % sizes.len();
+        if diff > 0 {
+            sizes[idx] += 1;
+            diff -= 1;
+        } else if sizes[idx] > 1 {
+            sizes[idx] -= 1;
+            diff += 1;
+        }
+        i += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_matches_published_statistics() {
+        let pool = bing_like_pool(42);
+        let s = pool.stats();
+        assert_eq!(s.count, 80);
+        assert_eq!(s.max_size, 732, "largest tenant has 732 VMs");
+        assert!(s.above_200 >= 3, "some large tenants over 200 VMs");
+        assert!(
+            (s.mean_size - 57.0).abs() < 4.0,
+            "mean size ≈ 57, got {}",
+            s.mean_size
+        );
+        assert!(
+            s.mean_tiers >= 3.0 && s.mean_tiers <= 8.0,
+            "T ≈ 5, got {}",
+            s.mean_tiers
+        );
+        assert!(
+            s.inter_component_fraction > 0.5,
+            "inter-component traffic dominates, got {}",
+            s.inter_component_fraction
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = bing_like_pool(7);
+        let b = bing_like_pool(7);
+        for (x, y) in a.tenants().iter().zip(b.tenants()) {
+            assert_eq!(x, y);
+        }
+        let c = bing_like_pool(8);
+        assert!(a.tenants().iter().zip(c.tenants()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn every_tenant_is_well_formed() {
+        let pool = bing_like_pool(1);
+        for t in pool.tenants() {
+            assert!(t.total_vms() >= 1);
+            assert!(t.avg_per_vm_demand_kbps() > 0.0, "tenant {}", t.name());
+            // No external components in the bing pool (isolated tenants).
+            assert!(!t.has_external_edges());
+        }
+    }
+
+    #[test]
+    fn partition_sums_and_floors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for total in [1u32, 2, 7, 57, 732] {
+            for parts in [1u32, 2, 5, 13] {
+                let p = partition(&mut rng, total, parts);
+                assert_eq!(p.iter().sum::<u32>(), total);
+                assert!(p.iter().all(|&s| s >= 1));
+                assert_eq!(p.len() as u32, parts.min(total));
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_range_one_to_few_hundred() {
+        let pool = bing_like_pool(3);
+        let min = pool.tenants().iter().map(|t| t.total_vms()).min().unwrap();
+        assert!(min >= 1 && min <= 20);
+    }
+}

@@ -1,0 +1,98 @@
+//! Synthetic hpcloud.com-like tenant pool.
+//!
+//! Choreo (LaCurts et al., IMC 2013 [29]) measured HP Cloud applications:
+//! small tenants (typically under 20 VMs) with dense but skewed pairwise
+//! traffic — "a small number of VM pairs account for a large fraction of
+//! the traffic". The paper only states its hpcloud results "yielded results
+//! similar to Table 1", so this pool exists to reproduce that
+//! similarity check.
+
+use crate::pool::TenantPool;
+use cm_core::model::{Tag, TagBuilder, TierId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a 40-tenant hpcloud-like pool: sizes 2–20 VMs, 1–4 tiers,
+/// mesh/star patterns with skewed bandwidths (an 80/20-style split between
+/// heavy and light edges).
+pub fn hpcloud_like_pool(seed: u64) -> TenantPool {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tenants: Vec<Tag> = (0..40)
+        .map(|i| {
+            let size = rng.random_range(2..=20u32);
+            synth(&mut rng, i, size)
+        })
+        .collect();
+    TenantPool::new("hpcloud-like", tenants)
+}
+
+fn synth(rng: &mut StdRng, idx: usize, size: u32) -> Tag {
+    let tiers = rng.random_range(1..=4u32).min(size);
+    let mut remaining = size;
+    let mut b = TagBuilder::new(format!("hpc-{idx:02}"));
+    let mut ids: Vec<TierId> = Vec::new();
+    for i in 0..tiers {
+        let left = tiers - i;
+        let s = if left == 1 {
+            remaining
+        } else {
+            rng.random_range(1..=(remaining - (left - 1)).max(1))
+        };
+        remaining -= s;
+        ids.push(b.tier(format!("t{i}"), s));
+    }
+    // Skewed edge weights: 20% of edges carry 5× bandwidth.
+    let bw = |rng: &mut StdRng| -> u64 {
+        let base = rng.random_range(100..1000u64);
+        if rng.random_range(0.0..1.0) < 0.2 {
+            base * 5
+        } else {
+            base
+        }
+    };
+    if ids.len() == 1 {
+        let sr = bw(rng);
+        b.self_loop(ids[0], sr).expect("valid");
+    } else if rng.random_range(0.0..1.0) < 0.5 {
+        // Mesh.
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let w = bw(rng);
+                b.sym_edge(ids[i], ids[j], w).expect("valid");
+            }
+        }
+    } else {
+        // Star.
+        for i in 1..ids.len() {
+            let w = bw(rng);
+            b.sym_edge(ids[0], ids[i], w).expect("valid");
+        }
+    }
+    b.build().expect("generated TAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_shape() {
+        let pool = hpcloud_like_pool(11);
+        let s = pool.stats();
+        assert_eq!(s.count, 40);
+        assert!(s.max_size <= 20);
+        assert!(s.mean_size >= 2.0 && s.mean_size <= 20.0);
+        for t in pool.tenants() {
+            assert!(t.total_vms() >= 2 || t.edges()[0].is_self_loop());
+            assert!(t.avg_per_vm_demand_kbps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            hpcloud_like_pool(5).tenants(),
+            hpcloud_like_pool(5).tenants()
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! The paper's synthetic mixed workload.
+//!
+//! §5.1: "a synthetic workload, formed by artificially mixing different
+//! application sizes and types (e.g., three tier web services and MapReduce
+//! jobs)". We add Storm-style pipelines as a third type, since the paper
+//! motivates TAG with them.
+
+use crate::apps;
+use crate::pool::TenantPool;
+use cm_core::model::Tag;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a 60-tenant mixed pool: 50% three-tier web services, 30%
+/// MapReduce-like batch jobs, 20% Storm-like pipelines; sizes vary an order
+/// of magnitude within each class.
+pub fn mixed_pool(seed: u64) -> TenantPool {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tenants: Vec<Tag> = (0..60)
+        .map(|i| {
+            let roll = rng.random_range(0..100);
+            if roll < 50 {
+                let n = rng.random_range(2..=20u32);
+                apps::three_tier(
+                    n,
+                    n,
+                    (n / 2).max(1),
+                    rng.random_range(400..1200),
+                    rng.random_range(80..300),
+                    rng.random_range(20..120),
+                )
+            } else if roll < 80 {
+                apps::mapreduce(rng.random_range(5..=80), rng.random_range(500..2000))
+            } else {
+                apps::storm(rng.random_range(2..=15), rng.random_range(200..900))
+            }
+            .renamed(format!("mixed-{i:02}"))
+        })
+        .collect();
+    TenantPool::new("mixed", tenants)
+}
+
+/// Rename helper so pool tenants carry unique names.
+trait Renamed {
+    fn renamed(self, name: String) -> Self;
+}
+
+impl Renamed for Tag {
+    fn renamed(self, name: String) -> Self {
+        self.with_name(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_mixes_types() {
+        let pool = mixed_pool(9);
+        let s = pool.stats();
+        assert_eq!(s.count, 60);
+        // Web services (5 edges incl. sym pairs) and batch (1 self-loop)
+        // both present.
+        let webs = pool.tenants().iter().filter(|t| t.edges().len() >= 4).count();
+        let batch = pool
+            .tenants()
+            .iter()
+            .filter(|t| t.edges().len() == 1 && t.edges()[0].is_self_loop())
+            .count();
+        assert!(webs >= 10, "{webs} web tenants");
+        assert!(batch >= 5, "{batch} batch tenants");
+    }
+
+    #[test]
+    fn unique_names() {
+        let pool = mixed_pool(2);
+        let mut names: Vec<&str> = pool.tenants().iter().map(|t| t.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 60);
+    }
+}

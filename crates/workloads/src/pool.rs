@@ -1,0 +1,179 @@
+//! Tenant pools and their statistics.
+
+use cm_core::model::Tag;
+use cm_topology::Kbps;
+
+/// A pool of tenants with bandwidth in relative units, as sampled by the
+/// simulator's arrival process.
+#[derive(Debug, Clone)]
+pub struct TenantPool {
+    name: String,
+    tenants: Vec<Tag>,
+}
+
+/// Summary statistics of a pool (used to validate generators against the
+/// paper's published numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolStats {
+    /// Number of tenants.
+    pub count: usize,
+    /// Mean tenant size in VMs (the paper's `T_s`).
+    pub mean_size: f64,
+    /// Largest tenant size.
+    pub max_size: u64,
+    /// Number of tenants above 200 VMs.
+    pub above_200: usize,
+    /// Mean number of tiers per tenant.
+    pub mean_tiers: f64,
+    /// Fraction of total guaranteed bandwidth that is inter-component
+    /// (trunk) rather than intra-component (self-loop hose).
+    pub inter_component_fraction: f64,
+}
+
+impl TenantPool {
+    /// Wrap a list of tenants as a pool.
+    pub fn new(name: impl Into<String>, tenants: Vec<Tag>) -> Self {
+        assert!(!tenants.is_empty(), "a pool needs at least one tenant");
+        TenantPool {
+            name: name.into(),
+            tenants,
+        }
+    }
+
+    /// Pool name ("bing-like", ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenants (relative bandwidth units).
+    pub fn tenants(&self) -> &[Tag] {
+        &self.tenants
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the pool is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Mean tenant size `T_s` in VMs.
+    pub fn mean_size(&self) -> f64 {
+        let total: u64 = self.tenants.iter().map(|t| t.total_vms()).sum();
+        total as f64 / self.tenants.len() as f64
+    }
+
+    /// The largest mean per-VM demand over the pool (relative units).
+    pub fn max_bvm(&self) -> f64 {
+        self.tenants
+            .iter()
+            .map(|t| t.avg_per_vm_demand_kbps())
+            .fold(0.0, f64::max)
+    }
+
+    /// §5.1 scaling: return a copy of the pool with every bandwidth value
+    /// multiplied so that the tenant with the largest mean per-VM demand
+    /// (`B_vm`) hits exactly `bmax` kbps.
+    pub fn scaled_to_bmax(&self, bmax: Kbps) -> TenantPool {
+        let max_bvm = self.max_bvm();
+        assert!(max_bvm > 0.0, "pool carries no bandwidth demand");
+        let factor = bmax as f64 / max_bvm;
+        TenantPool {
+            name: self.name.clone(),
+            tenants: self.tenants.iter().map(|t| t.scaled(factor)).collect(),
+        }
+    }
+
+    /// Compute the pool's summary statistics.
+    pub fn stats(&self) -> PoolStats {
+        let count = self.tenants.len();
+        let sizes: Vec<u64> = self.tenants.iter().map(|t| t.total_vms()).collect();
+        let mean_size = sizes.iter().sum::<u64>() as f64 / count as f64;
+        let max_size = sizes.iter().copied().max().unwrap_or(0);
+        let above_200 = sizes.iter().filter(|&&s| s > 200).count();
+        let mean_tiers = self
+            .tenants
+            .iter()
+            .map(|t| t.internal_tiers().count())
+            .sum::<usize>() as f64
+            / count as f64;
+        let mut inter: u128 = 0;
+        let mut total: u128 = 0;
+        for t in &self.tenants {
+            for e in t.edges() {
+                if e.is_self_loop() {
+                    let v = t.tier(e.from).size as u128 * e.snd_kbps as u128 / 2;
+                    total += v;
+                } else {
+                    let v = t.trunk_total(e) as u128;
+                    inter += v;
+                    total += v;
+                }
+            }
+        }
+        let inter_component_fraction = if total == 0 {
+            0.0
+        } else {
+            inter as f64 / total as f64
+        };
+        PoolStats {
+            count,
+            mean_size,
+            max_size,
+            above_200,
+            mean_tiers,
+            inter_component_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::model::TagBuilder;
+
+    fn tiny(name: &str, n: u32, trunk: u64, hose: u64) -> Tag {
+        let mut b = TagBuilder::new(name);
+        let u = b.tier("u", n);
+        let v = b.tier("v", n);
+        b.edge(u, v, trunk, trunk).unwrap();
+        b.self_loop(v, hose).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stats_compute() {
+        let pool = TenantPool::new(
+            "test",
+            vec![tiny("a", 10, 100, 100), tiny("b", 250, 100, 0)],
+        );
+        let s = pool.stats();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean_size, (20.0 + 500.0) / 2.0);
+        assert_eq!(s.max_size, 500);
+        assert_eq!(s.above_200, 1);
+        assert_eq!(s.mean_tiers, 2.0);
+        // tenant a: trunk 10*100=1000, hose 10*100/2=500;
+        // tenant b: trunk 250*100=25000, hose 0.
+        let expect = (1000.0 + 25000.0) / (1000.0 + 500.0 + 25000.0);
+        assert!((s.inter_component_fraction - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_hits_bmax_exactly_for_the_peak_tenant() {
+        let pool = TenantPool::new("test", vec![tiny("a", 4, 50, 10), tiny("b", 4, 200, 0)]);
+        let scaled = pool.scaled_to_bmax(800_000);
+        let max_bvm = scaled.max_bvm();
+        assert!(
+            (max_bvm - 800_000.0).abs() / 800_000.0 < 0.01,
+            "got {max_bvm}"
+        );
+        // Relative ordering is preserved.
+        let b0 = scaled.tenants()[0].avg_per_vm_demand_kbps();
+        let b1 = scaled.tenants()[1].avg_per_vm_demand_kbps();
+        assert!(b1 > b0);
+    }
+}

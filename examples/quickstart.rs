@@ -1,0 +1,83 @@
+//! Quickstart: describe a three-tier web application as a TAG, deploy it
+//! on a small datacenter with CloudMirror, inspect the placement and the
+//! bandwidth it reserves, then release it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudmirror::{mbps, CmConfig, CmPlacer, TagBuilder, Topology, TreeSpec};
+
+fn main() {
+    // 1. The application (the paper's Fig. 2(a)): a web tier talking to a
+    //    business-logic tier at 500 Mbps per VM, the logic tier talking to
+    //    a database tier at 100 Mbps per VM, and 50 Mbps of intra-database
+    //    consistency traffic.
+    let mut b = TagBuilder::new("webshop");
+    let web = b.tier("web", 6);
+    let logic = b.tier("logic", 6);
+    let db = b.tier("db", 4);
+    b.sym_edge(web, logic, mbps(500.0)).unwrap();
+    b.sym_edge(logic, db, mbps(100.0)).unwrap();
+    b.self_loop(db, mbps(50.0)).unwrap();
+    let tag = b.build().unwrap();
+    println!(
+        "tenant '{}': {} VMs across {} tiers, {:.0} Mbps aggregate guarantee",
+        tag.name(),
+        tag.total_vms(),
+        tag.internal_tiers().count(),
+        tag.total_bandwidth_kbps() as f64 / 1000.0
+    );
+
+    // 2. The datacenter: 2 pods x 2 racks x 4 servers, 4 VM slots each,
+    //    10 G NICs with oversubscribed 20 G ToR and 20 G agg uplinks.
+    let spec = TreeSpec::small(2, 2, 4, 4, [mbps(10_000.0), mbps(20_000.0), mbps(20_000.0)]);
+    let mut topo = Topology::build(&spec);
+    println!(
+        "datacenter: {} servers, {} slots",
+        spec.num_servers(),
+        spec.total_slots()
+    );
+
+    // 3. Deploy with CloudMirror.
+    let mut placer = CmPlacer::new(CmConfig::cm());
+    let mut deployment = placer.place(&mut topo, &tag).expect("tenant fits");
+    println!("\nplacement (server -> VMs per tier):");
+    for (server, counts) in deployment.placement(&topo) {
+        let named: Vec<String> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(t, &c)| format!("{}x{}", c, tag.tiers()[t].name))
+            .collect();
+        let (up, dn) = topo.uplink_used(server).unwrap();
+        println!(
+            "  {server}: {:<24} NIC reserved {:>6.0}/{:>6.0} Mbps (out/in)",
+            named.join(" + "),
+            up as f64 / 1000.0,
+            dn as f64 / 1000.0
+        );
+    }
+    for level in 1..topo.num_levels() - 1 {
+        let (up, dn) = topo.reserved_at_level(level);
+        println!(
+            "level {level} uplinks reserve {:.0}/{:.0} Mbps (out/in) in total",
+            up as f64 / 1000.0,
+            dn as f64 / 1000.0
+        );
+    }
+
+    // 4. Survivability of the placement (fraction of each tier that
+    //    survives any single server failure).
+    let wcs = deployment.wcs_at_level(&topo, 0);
+    for (t, w) in wcs.iter().enumerate() {
+        if let Some(w) = w {
+            println!("tier '{}' worst-case survivability: {:.0}%", tag.tiers()[t].name, w * 100.0);
+        }
+    }
+
+    // 5. Release everything.
+    deployment.clear(&mut topo);
+    assert_eq!(topo.subtree_slots_free(topo.root()), spec.total_slots());
+    println!("\nreleased: datacenter is clean again");
+}

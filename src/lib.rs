@@ -1,0 +1,47 @@
+//! # CloudMirror
+//!
+//! A from-scratch Rust reproduction of **"Application-Driven Bandwidth
+//! Guarantees in Datacenters"** (Lee, Turner, Lee, Popa, Banerjee, Kang,
+//! Sharma — SIGCOMM 2014).
+//!
+//! CloudMirror provides bandwidth guarantees to cloud applications through
+//! three pieces, all implemented here:
+//!
+//! * the **Tenant Application Graph (TAG)** abstraction — guarantees that
+//!   mirror the application's communication structure instead of a physical
+//!   topology ([`core::model::Tag`]);
+//! * a **VM placement algorithm** that maps TAGs onto tree datacenters,
+//!   saving bandwidth by provably-beneficial colocation while balancing
+//!   slot/bandwidth utilization and (optionally) guaranteeing worst-case
+//!   survivability ([`core::placement::CmPlacer`]);
+//! * a **runtime enforcement** layer — an ElasticSwitch-style guarantee
+//!   partitioner with the paper's TAG patch, over a fluid max-min network
+//!   ([`enforce`]).
+//!
+//! Everything the evaluation needs is included: the tree-datacenter
+//! substrate ([`topology`]), the Oktopus VC/VOC and SecondNet baselines
+//! ([`baselines`]), synthetic bing/hpcloud/mixed workload pools
+//! ([`workloads`]), the admission-control simulator ([`sim`]), and the
+//! traffic-trace → TAG inference pipeline ([`inference`]).
+//!
+//! This crate is a facade: it re-exports the workspace members under one
+//! name and carries the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). Start with the
+//! [`cm_core`] quick-start, or run:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! cargo run --release -p cm-bench --bin reproduce_all
+//! ```
+
+pub use cm_baselines as baselines;
+pub use cm_core as core;
+pub use cm_enforce as enforce;
+pub use cm_inference as inference;
+pub use cm_sim as sim;
+pub use cm_topology as topology;
+pub use cm_workloads as workloads;
+
+// Convenience re-exports of the items almost every user touches.
+pub use cm_core::{CmConfig, CmPlacer, CutModel, HaPolicy, RejectReason, Tag, TagBuilder, TierId};
+pub use cm_topology::{gbps, mbps, Kbps, Topology, TreeSpec};

@@ -1,0 +1,191 @@
+//! Property-based tests of the model mathematics that the paper's
+//! arguments rest on:
+//!
+//! * TAG's cut price never exceeds VOC's for the same placement
+//!   (footnote 7: "one can easily prove...");
+//! * VC (plain hose) never beats VOC;
+//! * idealized pipes never cost more than TAG on a cut;
+//! * colocation savings are non-negative (cut subadditivity);
+//! * the hose and pipe models are exact special cases of TAG (§3).
+
+use cloudmirror::core::model::{PipeModel, Tag, TagBuilder, VocModel};
+use cloudmirror::core::CutModel;
+use proptest::prelude::*;
+
+/// Strategy: a random well-formed TAG with up to 5 internal tiers.
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    let tiers = prop::collection::vec(1u32..12, 1..5);
+    (tiers, any::<u64>()).prop_map(|(sizes, seed)| {
+        let mut b = TagBuilder::new("prop");
+        let ids: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.tier(format!("t{i}"), s))
+            .collect();
+        // Deterministic pseudo-random edge structure from the seed.
+        let mut x = seed | 1;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..ids.len() {
+            for j in 0..ids.len() {
+                if i == j {
+                    if next() % 3 == 0 {
+                        let _ = b.self_loop(ids[i], 10 + next() % 1000);
+                    }
+                } else if next() % 2 == 0 {
+                    let _ = b.edge(ids[i], ids[j], 10 + next() % 1000, 10 + next() % 1000);
+                }
+            }
+        }
+        // Guarantee at least one edge so the TAG is non-trivial.
+        if next() % 2 == 0 || ids.len() == 1 {
+            let _ = b.self_loop(ids[0], 500);
+        } else {
+            let _ = b.edge(ids[0], ids[1], 500, 500);
+        }
+        b.build().expect("generated TAG is valid")
+    })
+}
+
+/// Strategy: a TAG plus a random inside-count vector for a cut.
+fn arb_tag_and_cut() -> impl Strategy<Value = (Tag, Vec<u32>)> {
+    arb_tag().prop_flat_map(|tag| {
+        let sizes = tag.placeable_counts();
+        let inside: Vec<BoxedStrategy<u32>> = sizes
+            .iter()
+            .map(|&s| (0..=s).boxed())
+            .collect();
+        (Just(tag), inside)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tag_cut_never_exceeds_voc_cut((tag, inside) in arb_tag_and_cut()) {
+        let voc = VocModel::from_tag(&tag);
+        let (to, ti) = tag.cut_kbps(&inside);
+        let (vo, vi) = voc.cut_kbps(&inside);
+        prop_assert!(to <= vo, "TAG out {to} > VOC out {vo}");
+        prop_assert!(ti <= vi, "TAG in {ti} > VOC in {vi}");
+    }
+
+    #[test]
+    fn voc_cut_never_exceeds_vc_cut((tag, inside) in arb_tag_and_cut()) {
+        let voc = VocModel::from_tag(&tag);
+        let vc = VocModel::vc_from_tag(&tag);
+        let (vo, vi) = voc.cut_kbps(&inside);
+        let (co, ci) = vc.cut_kbps(&inside);
+        prop_assert!(vo <= co && vi <= ci, "VOC ({vo},{vi}) vs VC ({co},{ci})");
+    }
+
+    #[test]
+    fn pipes_never_exceed_tag((tag, inside) in arb_tag_and_cut()) {
+        let pipe = PipeModel::from_tag_idealized(&tag);
+        // Expand tier counts into per-VM membership (first `k` VMs of each
+        // tier inside).
+        let mut pipe_inside = Vec::new();
+        for (t, &k) in inside.iter().enumerate() {
+            let n = tag.tier_size(t);
+            for i in 0..n {
+                pipe_inside.push(u32::from(i < k));
+            }
+        }
+        let (to, ti) = tag.cut_kbps(&inside);
+        let (po, pi) = pipe.cut_kbps(&pipe_inside);
+        // Rounding the per-pipe division can add at most 0.5 kbps per pipe.
+        let slack = pipe.pipes().len() as u64 + 1;
+        prop_assert!(po <= to + slack, "pipe out {po} > TAG out {to} (+{slack})");
+        prop_assert!(pi <= ti + slack, "pipe in {pi} > TAG in {ti} (+{slack})");
+    }
+
+    #[test]
+    fn coloc_saving_is_non_negative((tag, extra) in arb_tag_and_cut()) {
+        // Splitting `extra` arbitrarily against an existing population can
+        // never make the colocated cut worse than full spread.
+        let existing: Vec<u32> = tag
+            .placeable_counts()
+            .iter()
+            .zip(&extra)
+            .map(|(&s, &e)| s - e)
+            .collect();
+        let saving = tag.coloc_saving_kbps(&existing, &extra);
+        // coloc_saving uses saturating_sub; verify directly as well.
+        let (eo, ei) = tag.cut_kbps(&existing);
+        let (so, si) = tag.cut_spread_kbps(&extra);
+        let combined: Vec<u32> = existing.iter().zip(&extra).map(|(&a, &b)| a + b).collect();
+        let (co, ci) = tag.cut_kbps(&combined);
+        prop_assert!(co + ci <= eo + ei + so + si, "subadditivity violated");
+        let _ = saving;
+    }
+
+    #[test]
+    fn empty_and_full_cuts_cost_only_external((tag, _) in arb_tag_and_cut()) {
+        let zero = vec![0u32; tag.num_tiers()];
+        prop_assert_eq!(tag.cut_kbps(&zero), (0, 0));
+        let full = tag.placeable_counts();
+        // Pools here have no external components, so a fully-contained
+        // tenant needs nothing on its uplink.
+        prop_assert_eq!(tag.cut_kbps(&full), tag.external_demand_kbps());
+        prop_assert_eq!(tag.external_demand_kbps(), (0, 0));
+    }
+
+    #[test]
+    fn edge_crossing_sums_to_cut((tag, inside) in arb_tag_and_cut()) {
+        // The O(degree) incremental form used by the placer must tile the
+        // full Eq. 1 exactly.
+        let total: u64 = tag
+            .edges()
+            .iter()
+            .map(|e| tag.edge_crossing_kbps(e, &inside))
+            .sum();
+        let (o, i) = tag.cut_kbps(&inside);
+        prop_assert_eq!(total, o + i);
+    }
+
+    #[test]
+    fn scaling_scales_cuts_linearly((tag, inside) in arb_tag_and_cut()) {
+        let doubled = tag.scaled(2.0);
+        let (o1, i1) = tag.cut_kbps(&inside);
+        let (o2, i2) = doubled.cut_kbps(&inside);
+        prop_assert_eq!(o2, o1 * 2);
+        prop_assert_eq!(i2, i1 * 2);
+    }
+}
+
+#[test]
+fn hose_is_a_tag_special_case() {
+    // §3: "a TAG with one component and a self-loop is the hose model."
+    let mut b = TagBuilder::new("hose");
+    let t = b.tier("all", 9);
+    b.self_loop(t, 250).unwrap();
+    let tag = b.build().unwrap();
+    let vc = VocModel::vc_from_tag(&tag);
+    for k in 0..=9u32 {
+        assert_eq!(tag.cut_kbps(&[k]), vc.cut_kbps(&[k]), "k={k}");
+    }
+}
+
+#[test]
+fn pipe_is_a_tag_special_case() {
+    // §3: "a TAG with exactly one VM per component and no self-loops is
+    // the pipe model."
+    let mut b = TagBuilder::new("pipes");
+    let a = b.tier("a", 1);
+    let c = b.tier("b", 1);
+    let d = b.tier("c", 1);
+    b.edge(a, c, 11, 11).unwrap();
+    b.edge(c, d, 23, 23).unwrap();
+    b.edge(d, a, 47, 47).unwrap();
+    let tag = b.build().unwrap();
+    let pipe = PipeModel::from_tag_idealized(&tag);
+    for mask in 0u32..8 {
+        let inside: Vec<u32> = (0..3).map(|i| (mask >> i) & 1).collect();
+        assert_eq!(tag.cut_kbps(&inside), pipe.cut_kbps(&inside), "mask={mask}");
+    }
+}

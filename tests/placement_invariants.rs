@@ -1,0 +1,140 @@
+//! Cross-crate safety invariants: whatever any placement algorithm does,
+//! the physical ledger stays sound — no link over capacity, no slot
+//! oversubscription, and a full release returns the datacenter to its
+//! pristine state. Driven by proptest over random tenant batches.
+
+use cloudmirror::baselines::{OktopusVcPlacer, OvocPlacer, SecondNetPlacer};
+use cloudmirror::workloads::{apps, mixed_pool};
+use cloudmirror::{mbps, CmConfig, CmPlacer, Topology, TreeSpec};
+use proptest::prelude::*;
+
+fn small_spec() -> TreeSpec {
+    TreeSpec::small(2, 2, 4, 4, [mbps(1_000.0), mbps(2_000.0), mbps(4_000.0)])
+}
+
+/// Strategy: a batch of (pool index, release order hint) actions.
+fn arb_batch() -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec((0usize..60, any::<bool>()), 1..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cm_ledger_is_always_sound(batch in arb_batch(), seed in 0u64..4) {
+        let pool = mixed_pool(seed);
+        let spec = small_spec();
+        let mut topo = Topology::build(&spec);
+        let mut placer = CmPlacer::new(CmConfig::cm());
+        let mut live = Vec::new();
+        for (idx, release_one) in batch {
+            let tag = &pool.tenants()[idx];
+            if let Ok(state) = placer.place(&mut topo, tag) {
+                state.check_consistency(&topo).expect("tenant ledger consistent");
+                live.push(state);
+            }
+            topo.check_invariants().expect("topology invariants");
+            if release_one && !live.is_empty() {
+                let mut s = live.swap_remove(0);
+                s.clear(&mut topo);
+                topo.check_invariants().expect("after release");
+            }
+        }
+        for mut s in live {
+            s.clear(&mut topo);
+        }
+        prop_assert_eq!(topo.subtree_slots_free(topo.root()), spec.total_slots());
+        for l in 0..topo.num_levels() {
+            prop_assert_eq!(topo.reserved_at_level(l), (0, 0));
+        }
+    }
+
+    #[test]
+    fn all_ha_variants_are_sound(batch in arb_batch(), rwcs in prop::sample::select(vec![0.25f64, 0.5, 0.75])) {
+        let pool = mixed_pool(1);
+        let spec = small_spec();
+        let mut topo = Topology::build(&spec);
+        let mut placer = CmPlacer::new(CmConfig::cm_ha(rwcs));
+        let mut live = Vec::new();
+        for (idx, _) in batch {
+            let tag = &pool.tenants()[idx];
+            if let Ok(state) = placer.place(&mut topo, tag) {
+                // Eq. 7: no fault domain holds more than the cap.
+                for (server, counts) in state.placement(&topo) {
+                    let _ = server;
+                    for (t, &c) in counts.iter().enumerate() {
+                        let n = tag.tiers()[t].size;
+                        let cap = ((n as f64 * (1.0 - rwcs)).floor() as u32).max(1);
+                        prop_assert!(c <= cap, "tier {t}: {c} > cap {cap} (n={n})");
+                    }
+                }
+                live.push(state);
+            }
+            topo.check_invariants().expect("topology invariants");
+        }
+        for mut s in live {
+            s.clear(&mut topo);
+        }
+        prop_assert_eq!(topo.subtree_slots_free(topo.root()), spec.total_slots());
+    }
+}
+
+#[test]
+fn baseline_placers_release_cleanly() {
+    let spec = small_spec();
+    let tag = apps::three_tier(4, 4, 2, mbps(40.0), mbps(10.0), mbps(5.0));
+    // OVOC.
+    {
+        let mut topo = Topology::build(&spec);
+        let mut p = OvocPlacer::new();
+        let mut s = p.place_tag(&mut topo, &tag).unwrap();
+        s.check_consistency(&topo).unwrap();
+        s.clear(&mut topo);
+        assert_eq!(topo.subtree_slots_free(topo.root()), spec.total_slots());
+        topo.check_invariants().unwrap();
+    }
+    // VC.
+    {
+        let mut topo = Topology::build(&spec);
+        let mut p = OktopusVcPlacer::new();
+        let mut s = p.place_tag(&mut topo, &tag).unwrap();
+        s.clear(&mut topo);
+        assert_eq!(topo.subtree_slots_free(topo.root()), spec.total_slots());
+    }
+    // SecondNet.
+    {
+        let mut topo = Topology::build(&spec);
+        let mut p = SecondNetPlacer::new();
+        let mut s = p.place_tag(&mut topo, &tag).unwrap();
+        s.check_consistency(&topo).unwrap();
+        s.clear(&mut topo);
+        assert_eq!(topo.subtree_slots_free(topo.root()), spec.total_slots());
+    }
+}
+
+#[test]
+fn rejection_leaves_zero_trace_under_pressure() {
+    // Fill the datacenter almost completely, then bounce oversized and
+    // over-demanding tenants off it; every rejection must be side-effect
+    // free.
+    let spec = small_spec();
+    let mut topo = Topology::build(&spec);
+    let mut placer = CmPlacer::new(CmConfig::cm());
+    let filler = apps::mapreduce(48, mbps(20.0));
+    let _live = placer.place(&mut topo, &filler).unwrap();
+    let before_slots = topo.subtree_slots_free(topo.root());
+    let before: Vec<_> = (0..topo.num_levels())
+        .map(|l| topo.reserved_at_level(l))
+        .collect();
+    for tag in [
+        apps::mapreduce(17, mbps(10.0)),                       // slots
+        apps::three_tier(6, 6, 6, mbps(900.0), mbps(1.0), 0), // bandwidth
+    ] {
+        assert!(placer.place(&mut topo, &tag).is_err());
+        assert_eq!(topo.subtree_slots_free(topo.root()), before_slots);
+        let after: Vec<_> = (0..topo.num_levels())
+            .map(|l| topo.reserved_at_level(l))
+            .collect();
+        assert_eq!(before, after);
+    }
+}
