@@ -20,8 +20,12 @@
 //!   locality objective and its complexity class — and, as in the paper,
 //!   it is orders of magnitude slower than CM/OVOC on large tenants.
 //!
-//! All placers share `cm-core`'s reservation engine, so capacity safety and
-//! exact cut pricing are identical across algorithms; only *policy* differs.
+//! All placers implement `cm-core`'s unified `Placer` trait and run on its
+//! shared engine — the `search_and_place` outer loop and the transactional
+//! `ReservationTxn` staging — so capacity safety, rollback semantics and
+//! exact cut pricing are identical across algorithms; only *policy*
+//! differs. Model-specific entry points (`place_voc`, `place_pipes`)
+//! remain available where the typed `TenantState` matters.
 
 mod ovoc;
 mod secondnet;

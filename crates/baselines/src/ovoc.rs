@@ -2,8 +2,9 @@
 
 use cm_core::cut::CutModel;
 use cm_core::model::{Tag, VocModel};
-use cm_core::placement::{find_lowest_subtree, RejectReason};
-use cm_core::reserve::{PlacementEntry, PlacementMap, TenantState};
+use cm_core::placement::{search_and_place, Deployed, Placer, RejectReason};
+use cm_core::reserve::TenantState;
+use cm_core::txn::ReservationTxn;
 use cm_topology::{NodeId, Topology};
 
 /// Oktopus-style placer for (generalized) VOC models.
@@ -15,7 +16,7 @@ use cm_topology::{NodeId, Topology};
 /// few subtrees as possible. Bandwidth is priced with the exact VOC cut
 /// formula (footnote 7) through the shared reservation engine; any
 /// reservation failure rolls back the attempt and retries one level higher
-/// (improvement #1).
+/// (improvement #1), both via the shared `search_and_place` loop.
 #[derive(Debug, Clone, Default)]
 pub struct OvocPlacer {
     _private: (),
@@ -34,84 +35,59 @@ impl OvocPlacer {
         topo: &mut Topology,
         tag: &Tag,
     ) -> Result<TenantState<VocModel>, RejectReason> {
-        self.place(topo, VocModel::from_tag(tag))
+        self.place_voc(topo, VocModel::from_tag(tag))
     }
 
     /// Deploy a VOC tenant.
-    pub fn place(
+    pub fn place_voc(
         &mut self,
         topo: &mut Topology,
         model: VocModel,
     ) -> Result<TenantState<VocModel>, RejectReason> {
         let total_vms = model.total_vms();
         let ext = model.external_demand_kbps();
-        let mut state = TenantState::new(model);
-        let root_level = topo.num_levels() - 1;
-        let mut level = 0usize;
 
         // Clusters ordered by total bandwidth intensity, heaviest first
         // (Oktopus allocates the most constrained cluster first).
-        let mut order: Vec<usize> = (0..state.model().num_tiers()).collect();
-        let weight = |m: &VocModel, c: usize| {
-            let cl = &m.clusters()[c];
+        let mut order: Vec<usize> = (0..model.num_tiers()).collect();
+        let weight = |c: usize| {
+            let cl = &model.clusters()[c];
             cl.size as u64 * (cl.hose_kbps + cl.core_snd_kbps + cl.core_rcv_kbps)
         };
-        order.sort_by_key(|&c| std::cmp::Reverse(weight(state.model(), c)));
+        order.sort_by_key(|&c| std::cmp::Reverse(weight(c)));
 
-        loop {
-            let st = match find_lowest_subtree(topo, level, total_vms, ext) {
-                Some(st) => st,
-                None => {
-                    if level >= root_level {
-                        return Err(reject_reason(topo, total_vms));
-                    }
-                    level += 1;
-                    continue;
-                }
-            };
-            let mut ok = true;
+        let mut state = TenantState::new(model);
+        search_and_place(topo, &mut state, total_vms, ext, 0, |txn, st| {
             for &c in &order {
-                let size = state.model().tier_size(c);
-                let placed = alloc_cluster(topo, &mut state, c, size, st);
-                if placed < size {
-                    ok = false;
-                    break;
+                let size = txn.state().model().tier_size(c);
+                if alloc_cluster(txn, c, size, st) < size {
+                    return false;
                 }
             }
-            if ok {
-                let synced = match topo.parent(st) {
-                    Some(p) => state.sync_path_to_root(topo, p).is_ok(),
-                    None => true,
-                };
-                if synced {
-                    return Ok(state);
-                }
-            }
-            state.clear(topo);
-            if st == topo.root() {
-                return Err(reject_reason(topo, total_vms));
-            }
-            level = topo.level(st) as usize + 1;
-        }
+            true
+        })?;
+        Ok(state)
     }
 }
 
-fn reject_reason(topo: &Topology, total_vms: u64) -> RejectReason {
-    if topo.subtree_slots_free(topo.root()) < total_vms {
-        RejectReason::InsufficientSlots
-    } else {
-        RejectReason::InsufficientBandwidth
+impl Placer for OvocPlacer {
+    fn name(&self) -> &'static str {
+        "OVOC"
+    }
+
+    fn place(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        self.place_tag(topo, tag).map(Deployed::from)
     }
 }
 
 /// Place up to `remaining` VMs of cluster `c` under `node`, Oktopus-style:
 /// children with the most free slots first, each taking as many VMs as its
-/// slots and uplink allow. Returns the number placed; on a reservation
-/// failure at `node`'s uplink everything this call placed is rolled back
-/// (returning 0), which the caller treats as a failed subtree.
+/// slots and uplink allow. Returns the number placed; when `node`'s own
+/// uplink cannot hold the resulting cut, everything staged under `node` by
+/// this call is rolled back and 0 is returned, so the caller tries its
+/// remaining children.
 fn alloc_cluster(
-    topo: &mut Topology,
-    state: &mut TenantState<VocModel>,
+    txn: &mut ReservationTxn<'_, VocModel>,
     c: usize,
     remaining: u32,
     node: NodeId,
@@ -119,29 +95,22 @@ fn alloc_cluster(
     if remaining == 0 {
         return 0;
     }
-    let mut map = PlacementMap::new();
-    let placed = if topo.is_server(node) {
-        let k = max_feasible_on_server(topo, state, c, remaining, node);
+    let sp = txn.savepoint();
+    let placed = if txn.topo().is_server(node) {
+        let k = max_feasible_on_server(txn.topo(), txn.state(), c, remaining, node);
         if k == 0 {
             return 0;
         }
-        state
-            .place(topo, node, c, k)
-            .expect("slot availability checked");
-        map.push(PlacementEntry {
-            server: node,
-            tier: c,
-            count: k,
-        });
+        txn.place(node, c, k).expect("slot availability checked");
         k
     } else {
-        let mut children: Vec<NodeId> = topo.children(node).collect();
+        let mut children: Vec<NodeId> = txn.topo().children(node).collect();
         // Fullest-feasible-first: prefer children that already hold VMs of
         // this cluster (locality), then most free slots.
         children.sort_by_key(|&ch| {
             (
-                std::cmp::Reverse(state.count_of(ch, c)),
-                std::cmp::Reverse(topo.subtree_slots_free(ch)),
+                std::cmp::Reverse(txn.state().count_of(ch, c)),
+                std::cmp::Reverse(txn.topo().subtree_slots_free(ch)),
                 ch,
             )
         });
@@ -150,17 +119,19 @@ fn alloc_cluster(
             if placed == remaining {
                 break;
             }
-            placed += alloc_cluster(topo, state, c, remaining - placed, ch);
+            placed += alloc_cluster(txn, c, remaining - placed, ch);
         }
         placed
     };
-    if placed > 0 && state.sync_uplink(topo, node).is_err() {
-        state.rollback_map(topo, &map, node);
-        return if topo.is_server(node) { 0 } else { placed };
-        // Note: for internal nodes the children keep their placements and
-        // reservations; only this uplink failed. The caller's own sync (or
-        // the final path sync) will fail likewise and unwind via
-        // `TenantState::clear`, matching Oktopus's "try next subtree".
+    if placed > 0 && txn.sync_uplink(node).is_err() {
+        // The whole subtree's staging (including grandchildren syncs) is
+        // unwound; the caller moves on to its remaining children. The seed
+        // instead left internal nodes under-reserved on the assumption the
+        // caller's own sync would also fail — which does not always hold
+        // (an aggregation uplink can fit a cut a ToR uplink cannot), and
+        // admitted tenants with unreserved guarantees.
+        txn.rollback_to(sp);
+        return 0;
     }
     placed
 }

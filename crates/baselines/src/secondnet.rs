@@ -17,8 +17,9 @@
 
 use cm_core::cut::CutModel;
 use cm_core::model::{PipeModel, Tag};
-use cm_core::placement::{find_lowest_subtree, RejectReason};
-use cm_core::reserve::{PlacementEntry, TenantState};
+use cm_core::placement::{search_and_place, Deployed, Placer, RejectReason};
+use cm_core::reserve::TenantState;
+use cm_core::txn::ReservationTxn;
 use cm_topology::{NodeId, Topology};
 use std::collections::HashSet;
 
@@ -41,11 +42,11 @@ impl SecondNetPlacer {
         topo: &mut Topology,
         tag: &Tag,
     ) -> Result<TenantState<PipeModel>, RejectReason> {
-        self.place(topo, PipeModel::from_tag_idealized(tag))
+        self.place_pipes(topo, PipeModel::from_tag_idealized(tag))
     }
 
     /// Deploy a pipe-model tenant.
-    pub fn place(
+    pub fn place_pipes(
         &mut self,
         topo: &mut Topology,
         model: PipeModel,
@@ -62,34 +63,10 @@ impl SecondNetPlacer {
         });
 
         let mut state = TenantState::new(model);
-        let root_level = topo.num_levels() - 1;
-        let mut level = 0usize;
-        loop {
-            let st = match find_lowest_subtree(topo, level, total_vms, ext) {
-                Some(st) => st,
-                None => {
-                    if level >= root_level {
-                        return Err(reject_reason(topo, total_vms));
-                    }
-                    level += 1;
-                    continue;
-                }
-            };
-            if self.try_place_under(topo, &mut state, &order, st) {
-                let synced = match topo.parent(st) {
-                    Some(p) => state.sync_path_to_root(topo, p).is_ok(),
-                    None => true,
-                };
-                if synced {
-                    return Ok(state);
-                }
-            }
-            state.clear(topo);
-            if st == topo.root() {
-                return Err(reject_reason(topo, total_vms));
-            }
-            level = topo.level(st) as usize + 1;
-        }
+        search_and_place(topo, &mut state, total_vms, ext, 0, |txn, st| {
+            self.try_place_under(txn, &order, st)
+        })?;
+        Ok(state)
     }
 
     /// Assign every VM under `st`; returns false when some VM cannot be
@@ -97,38 +74,31 @@ impl SecondNetPlacer {
     /// synced once at the end (deferred, see module docs).
     fn try_place_under(
         &self,
-        topo: &mut Topology,
-        state: &mut TenantState<PipeModel>,
+        txn: &mut ReservationTxn<'_, PipeModel>,
         order: &[u32],
         st: NodeId,
     ) -> bool {
-        let n = state.model().num_vms() as usize;
+        let n = txn.state().model().num_vms() as usize;
         let mut vm_server: Vec<Option<NodeId>> = vec![None; n];
         for &vm in order {
             let mut banned: HashSet<NodeId> = HashSet::new();
             let mut placed = false;
             // A few descent attempts, banning servers whose NIC rejected us.
             for _ in 0..8 {
-                let Some(server) = self.descend(topo, state, &vm_server, vm, st, &banned) else {
+                let Some(server) =
+                    self.descend(txn.topo(), txn.state(), &vm_server, vm, st, &banned)
+                else {
                     break;
                 };
-                state
-                    .place(topo, server, vm as usize, 1)
+                let sp = txn.savepoint();
+                txn.place(server, vm as usize, 1)
                     .expect("descent only returns servers with a free slot");
-                if state.sync_uplink(topo, server).is_ok() {
+                if txn.sync_uplink(server).is_ok() {
                     vm_server[vm as usize] = Some(server);
                     placed = true;
                     break;
                 }
-                state.rollback_map(
-                    topo,
-                    &[PlacementEntry {
-                        server,
-                        tier: vm as usize,
-                        count: 1,
-                    }],
-                    server,
-                );
+                txn.rollback_to(sp);
                 banned.insert(server);
             }
             if !placed {
@@ -136,7 +106,7 @@ impl SecondNetPlacer {
             }
         }
         // Deferred switch-level reservations within the subtree.
-        self.sync_switches_under(topo, state, st).is_ok()
+        self.sync_switches_under(txn, st).is_ok()
     }
 
     /// Walk from `st` down to a server, choosing at each level the child
@@ -201,14 +171,13 @@ impl SecondNetPlacer {
     /// itself) that hosts part of the tenant.
     fn sync_switches_under(
         &self,
-        topo: &mut Topology,
-        state: &mut TenantState<PipeModel>,
+        txn: &mut ReservationTxn<'_, PipeModel>,
         st: NodeId,
     ) -> Result<(), cm_topology::TopologyError> {
         // Gather touched switches bottom-up from the placed servers.
         let mut touched: Vec<NodeId> = Vec::new();
-        for (server, _) in state.placement(topo) {
-            for a in topo.path_to_root(server) {
+        for (server, _) in txn.state().placement(txn.topo()) {
+            for a in txn.topo().path_to_root(server) {
                 if a != server && !touched.contains(&a) {
                     touched.push(a);
                 }
@@ -217,19 +186,21 @@ impl SecondNetPlacer {
                 }
             }
         }
-        touched.sort_by_key(|&x| (topo.level(x), x));
+        touched.sort_by_key(|&x| (txn.topo().level(x), x));
         for x in touched {
-            state.sync_uplink(topo, x)?;
+            txn.sync_uplink(x)?;
         }
         Ok(())
     }
 }
 
-fn reject_reason(topo: &Topology, total_vms: u64) -> RejectReason {
-    if topo.subtree_slots_free(topo.root()) < total_vms {
-        RejectReason::InsufficientSlots
-    } else {
-        RejectReason::InsufficientBandwidth
+impl Placer for SecondNetPlacer {
+    fn name(&self) -> &'static str {
+        "SecondNet"
+    }
+
+    fn place(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        self.place_tag(topo, tag).map(Deployed::from)
     }
 }
 

@@ -6,7 +6,7 @@
 //! model-comparison property tests.
 
 use cm_core::model::{Tag, VocModel};
-use cm_core::placement::RejectReason;
+use cm_core::placement::{Deployed, Placer, RejectReason};
 use cm_core::reserve::TenantState;
 use cm_topology::Topology;
 
@@ -33,7 +33,17 @@ impl OktopusVcPlacer {
         topo: &mut Topology,
         tag: &Tag,
     ) -> Result<TenantState<VocModel>, RejectReason> {
-        self.inner.place(topo, VocModel::vc_from_tag(tag))
+        self.inner.place_voc(topo, VocModel::vc_from_tag(tag))
+    }
+}
+
+impl Placer for OktopusVcPlacer {
+    fn name(&self) -> &'static str {
+        "VC"
+    }
+
+    fn place(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        self.place_tag(topo, tag).map(Deployed::from)
     }
 }
 

@@ -19,7 +19,7 @@ fn bench_cuts(c: &mut Criterion) {
     let pipe = PipeModel::from_tag_idealized(&tag);
     // A half-in placement of the 732-VM tenant.
     let tag_inside: Vec<u32> = tag.placeable_counts().iter().map(|&s| s / 2).collect();
-    let pipe_inside: Vec<u32> = (0..pipe.num_vms()).map(|i| (i % 2) as u32).collect();
+    let pipe_inside: Vec<u32> = (0..pipe.num_vms()).map(|i| i % 2).collect();
 
     c.bench_function("cut/tag_eq1_732vm", |b| {
         b.iter(|| black_box(tag.cut_kbps(black_box(&tag_inside))))
@@ -31,9 +31,7 @@ fn bench_cuts(c: &mut Criterion) {
         b.iter(|| black_box(pipe.cut_kbps(black_box(&pipe_inside))))
     });
     c.bench_function("cut/tag_coloc_saving", |b| {
-        b.iter(|| {
-            black_box(tag.coloc_saving_kbps(black_box(&tag_inside), black_box(&tag_inside)))
-        })
+        b.iter(|| black_box(tag.coloc_saving_kbps(black_box(&tag_inside), black_box(&tag_inside))))
     });
 }
 

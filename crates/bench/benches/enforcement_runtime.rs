@@ -10,7 +10,13 @@ fn bench_enforcement(c: &mut Criterion) {
         b.iter(|| black_box(fig13_throughput(black_box(5), GuaranteeModel::Tag)))
     });
     c.bench_function("enforce/fig4_tag", |b| {
-        b.iter(|| black_box(fig4_throughput(black_box(5), black_box(5), GuaranteeModel::Tag)))
+        b.iter(|| {
+            black_box(fig4_throughput(
+                black_box(5),
+                black_box(5),
+                GuaranteeModel::Tag,
+            ))
+        })
     });
 }
 

@@ -22,16 +22,76 @@ fn workloads() -> Vec<Point> {
     // relative ordering in Fig. 1(a): interactive (blue) similar-or-higher
     // than batch (red).
     vec![
-        Point { name: "Redis", kind: "interactive", lo_mbps_per_ghz: 400.0, hi_mbps_per_ghz: 6000.0, source: "[19] tx/s at 100-1500B" },
-        Point { name: "VoltDB", kind: "interactive", lo_mbps_per_ghz: 300.0, hi_mbps_per_ghz: 4500.0, source: "[20] 877k TPS" },
-        Point { name: "Vyatta router", kind: "interactive", lo_mbps_per_ghz: 800.0, hi_mbps_per_ghz: 3000.0, source: "[21]" },
-        Point { name: "Ally inspection", kind: "interactive", lo_mbps_per_ghz: 300.0, hi_mbps_per_ghz: 900.0, source: "[22]" },
-        Point { name: "HTTP streaming", kind: "interactive", lo_mbps_per_ghz: 200.0, hi_mbps_per_ghz: 700.0, source: "[23]" },
-        Point { name: "Wikipedia", kind: "interactive", lo_mbps_per_ghz: 50.0, hi_mbps_per_ghz: 200.0, source: "[17] WikiBench" },
-        Point { name: "Cassandra", kind: "interactive", lo_mbps_per_ghz: 40.0, hi_mbps_per_ghz: 150.0, source: "[24] Netflix on AWS" },
-        Point { name: "OLTP web", kind: "interactive", lo_mbps_per_ghz: 30.0, hi_mbps_per_ghz: 120.0, source: "[12]" },
-        Point { name: "Hadoop", kind: "batch", lo_mbps_per_ghz: 20.0, hi_mbps_per_ghz: 90.0, source: "[18]" },
-        Point { name: "Hive", kind: "batch", lo_mbps_per_ghz: 10.0, hi_mbps_per_ghz: 60.0, source: "[18]" },
+        Point {
+            name: "Redis",
+            kind: "interactive",
+            lo_mbps_per_ghz: 400.0,
+            hi_mbps_per_ghz: 6000.0,
+            source: "[19] tx/s at 100-1500B",
+        },
+        Point {
+            name: "VoltDB",
+            kind: "interactive",
+            lo_mbps_per_ghz: 300.0,
+            hi_mbps_per_ghz: 4500.0,
+            source: "[20] 877k TPS",
+        },
+        Point {
+            name: "Vyatta router",
+            kind: "interactive",
+            lo_mbps_per_ghz: 800.0,
+            hi_mbps_per_ghz: 3000.0,
+            source: "[21]",
+        },
+        Point {
+            name: "Ally inspection",
+            kind: "interactive",
+            lo_mbps_per_ghz: 300.0,
+            hi_mbps_per_ghz: 900.0,
+            source: "[22]",
+        },
+        Point {
+            name: "HTTP streaming",
+            kind: "interactive",
+            lo_mbps_per_ghz: 200.0,
+            hi_mbps_per_ghz: 700.0,
+            source: "[23]",
+        },
+        Point {
+            name: "Wikipedia",
+            kind: "interactive",
+            lo_mbps_per_ghz: 50.0,
+            hi_mbps_per_ghz: 200.0,
+            source: "[17] WikiBench",
+        },
+        Point {
+            name: "Cassandra",
+            kind: "interactive",
+            lo_mbps_per_ghz: 40.0,
+            hi_mbps_per_ghz: 150.0,
+            source: "[24] Netflix on AWS",
+        },
+        Point {
+            name: "OLTP web",
+            kind: "interactive",
+            lo_mbps_per_ghz: 30.0,
+            hi_mbps_per_ghz: 120.0,
+            source: "[12]",
+        },
+        Point {
+            name: "Hadoop",
+            kind: "batch",
+            lo_mbps_per_ghz: 20.0,
+            hi_mbps_per_ghz: 90.0,
+            source: "[18]",
+        },
+        Point {
+            name: "Hive",
+            kind: "batch",
+            lo_mbps_per_ghz: 10.0,
+            hi_mbps_per_ghz: 60.0,
+            source: "[18]",
+        },
     ]
 }
 
@@ -40,15 +100,69 @@ fn datacenters() -> Vec<Point> {
     // (Fig. 1(b)). Server level is well provisioned; ToR/agg fall an order
     // of magnitude short of workload demand due to oversubscription.
     vec![
-        Point { name: "Facebook DC (server)", kind: "server", lo_mbps_per_ghz: 300.0, hi_mbps_per_ghz: 500.0, source: "[2,25]" },
-        Point { name: "Facebook DC (ToR)", kind: "ToR", lo_mbps_per_ghz: 70.0, hi_mbps_per_ghz: 130.0, source: "[2,25]" },
-        Point { name: "Facebook DC (agg)", kind: "aggregation", lo_mbps_per_ghz: 8.0, hi_mbps_per_ghz: 16.0, source: "[2,25]" },
-        Point { name: "Synthetic DC (server)", kind: "server", lo_mbps_per_ghz: 250.0, hi_mbps_per_ghz: 400.0, source: "[4,18]" },
-        Point { name: "Synthetic DC (ToR)", kind: "ToR", lo_mbps_per_ghz: 50.0, hi_mbps_per_ghz: 100.0, source: "[4,18]" },
-        Point { name: "Synthetic DC (agg)", kind: "aggregation", lo_mbps_per_ghz: 6.0, hi_mbps_per_ghz: 12.0, source: "[4,18]" },
-        Point { name: "Paper eval DC (server)", kind: "server", lo_mbps_per_ghz: 390.0, hi_mbps_per_ghz: 410.0, source: "TreeSpec::paper_datacenter" },
-        Point { name: "Paper eval DC (ToR)", kind: "ToR", lo_mbps_per_ghz: 95.0, hi_mbps_per_ghz: 105.0, source: "derived: 80G / 800 slots" },
-        Point { name: "Paper eval DC (agg)", kind: "aggregation", lo_mbps_per_ghz: 11.0, hi_mbps_per_ghz: 14.0, source: "derived: 80G / 6400 slots" },
+        Point {
+            name: "Facebook DC (server)",
+            kind: "server",
+            lo_mbps_per_ghz: 300.0,
+            hi_mbps_per_ghz: 500.0,
+            source: "[2,25]",
+        },
+        Point {
+            name: "Facebook DC (ToR)",
+            kind: "ToR",
+            lo_mbps_per_ghz: 70.0,
+            hi_mbps_per_ghz: 130.0,
+            source: "[2,25]",
+        },
+        Point {
+            name: "Facebook DC (agg)",
+            kind: "aggregation",
+            lo_mbps_per_ghz: 8.0,
+            hi_mbps_per_ghz: 16.0,
+            source: "[2,25]",
+        },
+        Point {
+            name: "Synthetic DC (server)",
+            kind: "server",
+            lo_mbps_per_ghz: 250.0,
+            hi_mbps_per_ghz: 400.0,
+            source: "[4,18]",
+        },
+        Point {
+            name: "Synthetic DC (ToR)",
+            kind: "ToR",
+            lo_mbps_per_ghz: 50.0,
+            hi_mbps_per_ghz: 100.0,
+            source: "[4,18]",
+        },
+        Point {
+            name: "Synthetic DC (agg)",
+            kind: "aggregation",
+            lo_mbps_per_ghz: 6.0,
+            hi_mbps_per_ghz: 12.0,
+            source: "[4,18]",
+        },
+        Point {
+            name: "Paper eval DC (server)",
+            kind: "server",
+            lo_mbps_per_ghz: 390.0,
+            hi_mbps_per_ghz: 410.0,
+            source: "TreeSpec::paper_datacenter",
+        },
+        Point {
+            name: "Paper eval DC (ToR)",
+            kind: "ToR",
+            lo_mbps_per_ghz: 95.0,
+            hi_mbps_per_ghz: 105.0,
+            source: "derived: 80G / 800 slots",
+        },
+        Point {
+            name: "Paper eval DC (agg)",
+            kind: "aggregation",
+            lo_mbps_per_ghz: 11.0,
+            hi_mbps_per_ghz: 14.0,
+            source: "derived: 80G / 6400 slots",
+        },
     ]
 }
 

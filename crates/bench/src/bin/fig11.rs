@@ -23,9 +23,19 @@ fn main() {
         .map(|(rwcs, cm, ovoc)| {
             vec![
                 format!("{rwcs:.0}%"),
-                format!("{:.1}% [{:.0}-{:.0}]", cm.wcs.mean * 100.0, cm.wcs.min * 100.0, cm.wcs.max * 100.0),
+                format!(
+                    "{:.1}% [{:.0}-{:.0}]",
+                    cm.wcs.mean * 100.0,
+                    cm.wcs.min * 100.0,
+                    cm.wcs.max * 100.0
+                ),
                 pct(cm.rejections.bw_rate()),
-                format!("{:.1}% [{:.0}-{:.0}]", ovoc.wcs.mean * 100.0, ovoc.wcs.min * 100.0, ovoc.wcs.max * 100.0),
+                format!(
+                    "{:.1}% [{:.0}-{:.0}]",
+                    ovoc.wcs.mean * 100.0,
+                    ovoc.wcs.min * 100.0,
+                    ovoc.wcs.max * 100.0
+                ),
                 pct(ovoc.rejections.bw_rate()),
             ]
         })

@@ -99,7 +99,7 @@ fn fig6() {
     let tag = apps::fig6_request();
     let mut topo = Topology::build(&TreeSpec::fig6_rack());
     let mut placer = CmPlacer::new(CmConfig::cm());
-    match placer.place(&mut topo, &tag) {
+    match placer.place_tag(&mut topo, &tag) {
         Ok(state) => {
             let rows: Vec<Vec<String>> = state
                 .placement(&topo)

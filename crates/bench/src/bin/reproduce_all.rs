@@ -30,7 +30,9 @@ fn main() {
             cmd.arg("--full");
         }
         let status = cmd.status().unwrap_or_else(|e| {
-            panic!("failed to spawn {bin}: {e} (build with `cargo build --release -p cm-bench` first)")
+            panic!(
+                "failed to spawn {bin}: {e} (build with `cargo build --release -p cm-bench` first)"
+            )
         });
         assert!(status.success(), "{bin} exited with {status}");
     }

@@ -28,7 +28,9 @@ pub trait CutModel {
 
     /// Total placeable VMs across all tiers.
     fn total_vms(&self) -> u64 {
-        (0..self.num_tiers()).map(|t| self.tier_size(t) as u64).sum()
+        (0..self.num_tiers())
+            .map(|t| self.tier_size(t) as u64)
+            .sum()
     }
 
     /// The per-tier VM counts of a full placement (0 for external tiers).

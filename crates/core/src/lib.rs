@@ -9,7 +9,7 @@
 //!
 //! ```
 //! use cm_core::model::TagBuilder;
-//! use cm_core::placement::{CmConfig, CmPlacer};
+//! use cm_core::placement::{CmConfig, CmPlacer, Placer};
 //! use cm_topology::{mbps, Topology, TreeSpec};
 //!
 //! // Describe the application (Fig. 2(a)): web/logic/db with inter-tier
@@ -28,12 +28,17 @@
 //!     2, 2, 4, 4, [mbps(1000.0), mbps(2000.0), mbps(4000.0)],
 //! ));
 //! let mut placer = CmPlacer::new(CmConfig::cm());
-//! let mut deployed = placer.place(&mut topo, &tag).expect("fits");
+//! let deployed = placer.place(&mut topo, &tag).expect("fits");
 //! assert_eq!(deployed.total_placed(&topo), 16);
 //!
 //! // ... and release it.
-//! deployed.clear(&mut topo);
+//! deployed.release(&mut topo);
 //! ```
+//!
+//! Every algorithm in the workspace — CloudMirror and the Oktopus/SecondNet
+//! baselines — implements the same [`placement::Placer`] trait and returns
+//! the same [`placement::Deployed`] handle, so simulators, experiment
+//! drivers and benches are written once against the trait.
 //!
 //! ## Modules
 //!
@@ -41,15 +46,20 @@
 //! * [`cut`] — the [`cut::CutModel`] trait: Eq. 1 / footnote 7 cut pricing.
 //! * [`coloc`] — the colocation-saving conditions (Eqs. 2–6).
 //! * [`reserve`] — per-tenant placement + bandwidth reservation ledger.
-//! * [`placement`] — the CloudMirror placer (Algorithm 1, §4.5 HA).
+//! * [`txn`] — transactional staging over the ledger: savepoints, commit,
+//!   exact rollback.
+//! * [`placement`] — the unified [`placement::Placer`] engine and the
+//!   CloudMirror placer (Algorithm 1, §4.5 HA).
 
 pub mod coloc;
 pub mod cut;
 pub mod model;
 pub mod placement;
 pub mod reserve;
+pub mod txn;
 
 pub use cut::CutModel;
 pub use model::{Tag, TagBuilder, TierId};
-pub use placement::{CmConfig, CmPlacer, HaPolicy, RejectReason};
+pub use placement::{CmConfig, CmPlacer, Deployed, HaPolicy, Placer, RejectReason};
 pub use reserve::TenantState;
+pub use txn::{ReservationTxn, Savepoint};

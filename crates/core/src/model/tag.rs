@@ -310,7 +310,10 @@ impl Tag {
     /// # Panics
     /// Panics when `t` is external or `new_size` is zero.
     pub fn resized(&self, t: TierId, new_size: u32) -> Tag {
-        assert!(!self.tier(t).external, "cannot resize an external component");
+        assert!(
+            !self.tier(t).external,
+            "cannot resize an external component"
+        );
         assert!(new_size > 0, "use release instead of scaling to zero");
         let mut tag = self.clone();
         tag.tiers[t.index()].size = new_size;
@@ -610,12 +613,18 @@ mod tests {
 
         let mut b = TagBuilder::new("self-via-edge");
         let u = b.tier("u", 1);
-        assert_eq!(b.edge(u, u, 1, 1).unwrap_err(), TagError::SelfLoopViaEdge(u));
+        assert_eq!(
+            b.edge(u, u, 1, 1).unwrap_err(),
+            TagError::SelfLoopViaEdge(u)
+        );
 
         let mut b = TagBuilder::new("ext-loop");
         let _u = b.tier("u", 1);
         let x = b.external("net");
-        assert_eq!(b.self_loop(x, 1).unwrap_err(), TagError::ExternalSelfLoop(x));
+        assert_eq!(
+            b.self_loop(x, 1).unwrap_err(),
+            TagError::ExternalSelfLoop(x)
+        );
 
         let mut b = TagBuilder::new("only-ext");
         b.external("net");

@@ -1,12 +1,12 @@
 //! The CloudMirror placement algorithm (Algorithm 1 + §4.5 extensions).
 
-
 use crate::model::{Tag, TierId};
 use crate::placement::{
-    need_is_zero, need_total, per_slot_avail_kbps, restore_need, wcs_cap, CmConfig, DemandPredictor,
-    HaPolicy, RejectReason,
+    need_is_zero, need_total, per_slot_avail_kbps, restore_need, search_and_place, wcs_cap,
+    CmConfig, DemandPredictor, Deployed, HaPolicy, Placer, RejectReason,
 };
-use crate::reserve::{PlacementEntry, PlacementMap, TenantState};
+use crate::reserve::{PlacementEntry, TenantState};
+use crate::txn::ReservationTxn;
 use cm_topology::{NodeId, Topology};
 use std::collections::HashSet;
 
@@ -19,14 +19,29 @@ use std::collections::HashSet;
 #[derive(Debug, Clone)]
 pub struct CmPlacer {
     cfg: CmConfig,
+    label: &'static str,
     predictor: DemandPredictor,
 }
 
+impl Default for CmPlacer {
+    fn default() -> Self {
+        CmPlacer::new(CmConfig::cm())
+    }
+}
+
 impl CmPlacer {
-    /// Create a placer with the given configuration.
+    /// Create a placer with the given configuration, labeled with the
+    /// configuration's canonical name ([`CmConfig::label`]).
     pub fn new(cfg: CmConfig) -> Self {
+        Self::named(cfg, cfg.label())
+    }
+
+    /// Create a placer with an explicit display name (used for the HA and
+    /// ablation variants in result tables).
+    pub fn named(cfg: CmConfig, label: &'static str) -> Self {
         CmPlacer {
             cfg,
+            label,
             predictor: DemandPredictor::default(),
         }
     }
@@ -40,8 +55,9 @@ impl CmPlacer {
     ///
     /// On success the returned [`TenantState`] holds the placement and all
     /// reservations; release it with [`TenantState::clear`]. On rejection
-    /// the topology is left exactly as before the call.
-    pub fn place(
+    /// the topology is left exactly as before the call. (The [`Placer`]
+    /// trait wraps this into a model-erased [`Deployed`].)
+    pub fn place_tag(
         &mut self,
         topo: &mut Topology,
         tag: &Tag,
@@ -50,42 +66,15 @@ impl CmPlacer {
         let total_need = tag.placeable_counts();
         let total_vms = need_total(&total_need);
         let ext_demand = tag.external_demand_kbps();
+        let start = self.start_level(topo, tag, demand_mix) as usize;
 
         let mut state = TenantState::new(tag.clone());
-        let root_level = topo.num_levels() - 1;
-        let mut level = self.start_level(topo, tag, demand_mix) as usize;
-
-        loop {
-            let st = match self.find_subtree(topo, level, total_vms, ext_demand) {
-                Some(st) => st,
-                None => {
-                    if level >= root_level {
-                        return Err(self.reject_reason(topo, total_vms));
-                    }
-                    level += 1;
-                    continue;
-                }
-            };
+        search_and_place(topo, &mut state, total_vms, ext_demand, start, |txn, st| {
             let mut need = total_need.clone();
-            let _map = self.alloc(topo, &mut state, tag, &mut need, st, demand_mix);
-            if need_is_zero(&need) {
-                // Reserve bandwidth for the tenant's external traffic on the
-                // path above st (`ReserveBW(map, root)`).
-                let ok = match topo.parent(st) {
-                    Some(p) => state.sync_path_to_root(topo, p).is_ok(),
-                    None => true,
-                };
-                if ok {
-                    return Ok(state);
-                }
-            }
-            // Failure below or above st: release everything and move up.
-            state.clear(topo);
-            if st == topo.root() {
-                return Err(self.reject_reason(topo, total_vms));
-            }
-            level = topo.level(st) as usize + 1;
-        }
+            self.alloc(txn, tag, &mut need, st, demand_mix);
+            need_is_zero(&need)
+        })?;
+        Ok(state)
     }
 
     /// Resize one tier of a *live* deployment to `new_size` VMs — the
@@ -137,44 +126,22 @@ impl CmPlacer {
         if state.replace_model(topo, new_tag.clone()).is_err() {
             return Err(RejectReason::InsufficientBandwidth);
         }
-        let mut need = vec![0u32; new_tag.num_tiers()];
-        need[tier.index()] = delta;
-        let root_level = topo.num_levels() - 1;
-        let mut level = 0usize;
-        loop {
-            let st = match self.find_subtree(topo, level, delta as u64, (0, 0)) {
-                Some(st) => st,
-                None => {
-                    if level >= root_level {
-                        break;
-                    }
-                    level += 1;
-                    continue;
-                }
-            };
-            let map = self.alloc(topo, state, new_tag, &mut need, st, demand_mix);
-            if need_is_zero(&need) {
-                let ok = match topo.parent(st) {
-                    Some(p) => state.sync_path_to_root(topo, p).is_ok(),
-                    None => true,
-                };
-                if ok {
-                    return Ok(());
-                }
-            }
-            state.rollback_map(topo, &map, topo.root());
-            restore_need(&map, &mut need);
-            if st == topo.root() {
-                break;
-            }
-            level = topo.level(st) as usize + 1;
+        let mut template = vec![0u32; new_tag.num_tiers()];
+        template[tier.index()] = delta;
+        let res = search_and_place(topo, state, delta as u64, (0, 0), 0, |txn, st| {
+            let mut need = template.clone();
+            self.alloc(txn, new_tag, &mut need, st, demand_mix);
+            need_is_zero(&need)
+        });
+        if res.is_err() {
+            // Could not place the delta anywhere: restore the old model
+            // (its prices are the ones currently reserved, so this cannot
+            // fail).
+            state
+                .replace_model(topo, old_tag.clone())
+                .expect("restoring the pre-growth model frees capacity");
         }
-        // Could not place the delta anywhere: restore the old model (its
-        // prices are the ones currently reserved, so this cannot fail).
-        state
-            .replace_model(topo, old_tag.clone())
-            .expect("restoring the pre-growth model frees capacity");
-        Err(self.reject_reason(topo, delta as u64))
+        res
     }
 
     fn shrink_tier(
@@ -211,120 +178,87 @@ impl CmPlacer {
             left -= take;
         }
         assert_eq!(left, 0, "deployment holds fewer VMs than its model");
+        let mut txn = ReservationTxn::begin(topo, state);
         for e in &removal {
-            state.unplace(topo, e.server, e.tier, e.count);
+            txn.unplace(e.server, e.tier, e.count);
         }
         // Re-sync the affected links bottom-up — still under the OLD model
         // (counts changed; note that removing VMs can RAISE a hose price
-        // when the inside count drops below N/2, so this can fail).
+        // when the inside count drops below N/2, so this can fail). Any
+        // failure drops the uncommitted transaction, restoring the VMs and
+        // reservations exactly.
         let mut affected: Vec<NodeId> = Vec::new();
         for e in &removal {
-            for n in topo.path_to_root(e.server) {
+            for n in txn.topo().path_to_root(e.server) {
                 if !affected.contains(&n) {
                     affected.push(n);
                 }
             }
         }
-        affected.sort_by_key(|&n| (topo.level(n), n));
-        let mut failed = false;
+        affected.sort_by_key(|&n| (txn.topo().level(n), n));
         for &n in &affected {
-            if state.sync_uplink(topo, n).is_err() {
-                failed = true;
-                break;
+            if txn.sync_uplink(n).is_err() {
+                return Err(RejectReason::InsufficientBandwidth);
             }
         }
-        if !failed {
-            failed = state.replace_model(topo, new_tag.clone()).is_err();
-        }
-        if failed {
-            // Put the removed VMs back exactly where they were; the
-            // original configuration fit, so this cannot fail.
-            for e in &removal {
-                state
-                    .place(topo, e.server, e.tier, e.count)
-                    .expect("slots were just freed");
-            }
-            for &n in &affected {
-                state
-                    .sync_uplink(topo, n)
-                    .expect("restoring the original placement must fit");
-            }
+        if txn.replace_model(new_tag.clone()).is_err() {
             return Err(RejectReason::InsufficientBandwidth);
         }
+        txn.commit();
         Ok(())
     }
 
-    /// Classify the final failure: slots if the datacenter plainly lacks
-    /// room, bandwidth otherwise.
-    fn reject_reason(&self, topo: &Topology, total_vms: u64) -> RejectReason {
-        if topo.subtree_slots_free(topo.root()) < total_vms {
-            RejectReason::InsufficientSlots
-        } else {
-            RejectReason::InsufficientBandwidth
-        }
-    }
-
-    /// `FindLowestSubtree(g, level)`: see
-    /// [`crate::placement::find_lowest_subtree`].
-    fn find_subtree(
-        &self,
-        topo: &Topology,
-        level: usize,
-        total_vms: u64,
-        ext_demand: (u64, u64),
-    ) -> Option<NodeId> {
-        crate::placement::find_lowest_subtree(topo, level, total_vms, ext_demand)
-    }
-
     /// `Alloc(g, st)`: place as much of `need` as possible under `st`,
-    /// returning the map of what was placed. `need` is decremented for every
+    /// staged through the transaction; `need` is decremented for every
     /// placed VM. The reservation on `st`'s own uplink is synced before
-    /// returning; if that fails, everything this call placed is rolled back
-    /// and the map is empty.
+    /// returning; if that fails, everything this call staged is rolled back
+    /// (with `need` restored) and 0 is returned. Otherwise returns the
+    /// number of VMs this call placed.
     fn alloc(
         &self,
-        topo: &mut Topology,
-        state: &mut TenantState<Tag>,
+        txn: &mut ReservationTxn<'_, Tag>,
         tag: &Tag,
         need: &mut [u32],
         st: NodeId,
         demand_mix: f64,
-    ) -> PlacementMap {
-        let mut map = PlacementMap::new();
-        if topo.is_server(st) {
-            self.alloc_on_server(topo, state, tag, need, st, &mut map);
+    ) -> u64 {
+        let sp = txn.savepoint();
+        let before = need_total(need);
+        if txn.topo().is_server(st) {
+            self.alloc_on_server(txn, tag, need, st);
         } else {
-            if self.cfg.colocate && self.coloc_feasible(topo, state, tag, need, st, demand_mix) {
-                self.colocate(topo, state, tag, need, st, demand_mix, &mut map);
+            if self.cfg.colocate
+                && self.coloc_feasible(txn.topo(), txn.state(), tag, need, st, demand_mix)
+            {
+                self.colocate(txn, tag, need, st, demand_mix);
             }
             if !need_is_zero(need) {
                 if self.cfg.balance {
-                    self.balance(topo, state, tag, need, st, demand_mix, &mut map);
+                    self.balance(txn, tag, need, st, demand_mix);
                 } else {
-                    self.first_fit(topo, state, tag, need, st, demand_mix, &mut map);
+                    self.first_fit(txn, tag, need, st, demand_mix);
                 }
             }
         }
-        if !map.is_empty() && state.sync_uplink(topo, st).is_err() {
-            state.rollback_map(topo, &map, st);
-            restore_need(&map, need);
-            map.clear();
+        let placed = before - need_total(need);
+        if placed > 0 && txn.sync_uplink(st).is_err() {
+            let undone = txn.rollback_to(sp);
+            restore_need(&undone, need);
+            return 0;
         }
-        map
+        placed
     }
 
     /// Server-level allocation: fill free slots with the highest-demand
     /// tiers first (subject to HA headroom).
     fn alloc_on_server(
         &self,
-        topo: &mut Topology,
-        state: &mut TenantState<Tag>,
+        txn: &mut ReservationTxn<'_, Tag>,
         tag: &Tag,
         need: &mut [u32],
         server: NodeId,
-        map: &mut PlacementMap,
     ) {
-        let mut left = topo.slots_free(server);
+        let mut left = txn.topo().slots_free(server);
         if left == 0 {
             return;
         }
@@ -334,21 +268,14 @@ impl CmPlacer {
             if left == 0 {
                 break;
             }
-            let head = self.ha_headroom(topo, state, tag, server, t);
+            let head = self.ha_headroom(txn.topo(), txn.state(), tag, server, t);
             let k = need[t].min(left).min(head);
             if k == 0 {
                 continue;
             }
-            state
-                .place(topo, server, t, k)
-                .expect("slot count was checked");
+            txn.place(server, t, k).expect("slot count was checked");
             need[t] -= k;
             left -= k;
-            map.push(PlacementEntry {
-                server,
-                tier: t,
-                count: k,
-            });
         }
     }
 
@@ -409,43 +336,42 @@ impl CmPlacer {
 
     /// `Colocate(g, st)`: repeatedly pick a verified bandwidth-saving group
     /// of tiers and recurse into the chosen child.
-    #[allow(clippy::too_many_arguments)]
     fn colocate(
         &self,
-        topo: &mut Topology,
-        state: &mut TenantState<Tag>,
+        txn: &mut ReservationTxn<'_, Tag>,
         tag: &Tag,
         need: &mut [u32],
         st: NodeId,
         demand_mix: f64,
-        map: &mut PlacementMap,
     ) {
         let mut excluded: HashSet<NodeId> = HashSet::new();
         // Children that produced no saving group for the current remainder;
         // they can only become attractive again once they receive VMs (which
         // removes them from the set below).
         let mut no_group: HashSet<NodeId> = HashSet::new();
-        loop {
-            let Some((gsub, child)) =
-                self.find_tiers_to_coloc(topo, state, tag, need, st, &excluded, &mut no_group)
-            else {
-                break;
-            };
+        while let Some((gsub, child)) = self.find_tiers_to_coloc(
+            txn.topo(),
+            txn.state(),
+            tag,
+            need,
+            st,
+            &excluded,
+            &mut no_group,
+        ) {
             debug_assert!(gsub.iter().zip(need.iter()).all(|(&g, &n)| g <= n));
             for (t, &g) in gsub.iter().enumerate() {
                 need[t] -= g;
             }
             let mut sub = gsub;
-            let m = self.alloc(topo, state, tag, &mut sub, child, demand_mix);
+            let placed = self.alloc(txn, tag, &mut sub, child, demand_mix);
             for (t, &s) in sub.iter().enumerate() {
                 need[t] += s; // return the unplaced remainder
             }
-            if m.is_empty() {
+            if placed == 0 {
                 excluded.insert(child);
             } else {
                 no_group.remove(&child);
             }
-            map.extend(m);
         }
     }
 
@@ -586,7 +512,7 @@ impl CmPlacer {
                 continue;
             }
             let s = marginal(&mut cur, &[(t, k)]);
-            if s > 0 && best_seed.as_ref().map_or(true, |&(_, bs)| s > bs) {
+            if s > 0 && best_seed.as_ref().is_none_or(|&(_, bs)| s > bs) {
                 best_seed = Some((vec![(t, k)], s));
             }
         }
@@ -605,7 +531,7 @@ impl CmPlacer {
                 continue;
             }
             let s = marginal(&mut cur, &[(u, ku), (v, kv)]);
-            if s > 0 && best_seed.as_ref().map_or(true, |&(_, bs)| s > bs) {
+            if s > 0 && best_seed.as_ref().is_none_or(|&(_, bs)| s > bs) {
                 best_seed = Some((vec![(u, ku), (v, kv)], s));
             }
         }
@@ -625,7 +551,7 @@ impl CmPlacer {
                     continue;
                 }
                 let s = marginal(&mut cur, &[(t, k)]);
-                if s > 0 && best.map_or(true, |(_, _, bs)| s > bs) {
+                if s > 0 && best.is_none_or(|(_, _, bs)| s > bs) {
                     best = Some((t, k, s));
                 }
             }
@@ -647,36 +573,35 @@ impl CmPlacer {
 
     /// `Balance(g, st)`: place the remaining (non-saving) VMs so that each
     /// child's slot and bandwidth utilizations approach 100% together.
-    #[allow(clippy::too_many_arguments)]
     fn balance(
         &self,
-        topo: &mut Topology,
-        state: &mut TenantState<Tag>,
+        txn: &mut ReservationTxn<'_, Tag>,
         tag: &Tag,
         need: &mut [u32],
         st: NodeId,
         demand_mix: f64,
-        map: &mut PlacementMap,
     ) {
         let mut excluded: HashSet<NodeId> = HashSet::new();
-        loop {
-            let Some((gsub, child)) =
-                self.md_subset_sum(topo, state, tag, need, st, &excluded, demand_mix)
-            else {
-                break;
-            };
+        while let Some((gsub, child)) = self.md_subset_sum(
+            txn.topo(),
+            txn.state(),
+            tag,
+            need,
+            st,
+            &excluded,
+            demand_mix,
+        ) {
             for (t, &g) in gsub.iter().enumerate() {
                 need[t] -= g;
             }
             let mut sub = gsub;
-            let m = self.alloc(topo, state, tag, &mut sub, child, demand_mix);
+            let placed = self.alloc(txn, tag, &mut sub, child, demand_mix);
             for (t, &s) in sub.iter().enumerate() {
                 need[t] += s;
             }
-            if m.is_empty() {
+            if placed == 0 {
                 excluded.insert(child);
             }
-            map.extend(m);
         }
     }
 
@@ -684,6 +609,7 @@ impl CmPlacer {
     /// fills one child in three dimensions (slots, out-bw, in-bw); under
     /// opportunistic HA with saving undesirable, it returns a single VM for
     /// the child that stays most balanced (§4.5, third modification).
+    #[allow(clippy::too_many_arguments)]
     fn md_subset_sum(
         &self,
         topo: &Topology,
@@ -736,9 +662,7 @@ impl CmPlacer {
             }
             let better = match &best {
                 None => true,
-                Some((bs, bp, _, _)) => {
-                    score > *bs || (score == *bs && placed > *bp)
-                }
+                Some((bs, bp, _, _)) => score > *bs || (score == *bs && placed > *bp),
             };
             if better {
                 best = Some((score, placed, child, sel));
@@ -781,7 +705,7 @@ impl CmPlacer {
             let u_up = 1.0 - (au - snd) as f64 / cu.max(1) as f64;
             let u_dn = 1.0 - (ad - rcv) as f64 / cd.max(1) as f64;
             let worst = u_slot.max(u_up).max(u_dn);
-            if best.map_or(true, |(b, _)| worst < b) {
+            if best.is_none_or(|(b, _)| worst < b) {
                 best = Some((worst, child));
             }
         }
@@ -831,11 +755,11 @@ impl CmPlacer {
                     .ha_headroom(topo, state, tag, child, t)
                     .saturating_sub(sel[t]);
                 let mut k = avail.min(rem_slots.min(u32::MAX as u64) as u32).min(head);
-                if snd > 0 {
-                    k = k.min((rem_up / snd).min(u32::MAX as u64) as u32);
+                if let Some(q) = rem_up.checked_div(snd) {
+                    k = k.min(q.min(u32::MAX as u64) as u32);
                 }
-                if rcv > 0 {
-                    k = k.min((rem_dn / rcv).min(u32::MAX as u64) as u32);
+                if let Some(q) = rem_dn.checked_div(rcv) {
+                    k = k.min(q.min(u32::MAX as u64) as u32);
                 }
                 if k == 0 {
                     continue;
@@ -848,7 +772,7 @@ impl CmPlacer {
                 let imbalance = us.max(uu).max(ud) - us.min(uu).min(ud);
                 let min_util = us.min(uu).min(ud);
                 let cand = (imbalance, -min_util, t, k);
-                if best.map_or(true, |b| (cand.0, cand.1) < (b.0, b.1)) {
+                if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
                     best = Some(cand);
                 }
             }
@@ -869,31 +793,28 @@ impl CmPlacer {
 
     /// Plain slot-first-fit used when `Balance` is disabled (Fig. 10's
     /// Coloc-only ablation).
-    #[allow(clippy::too_many_arguments)]
     fn first_fit(
         &self,
-        topo: &mut Topology,
-        state: &mut TenantState<Tag>,
+        txn: &mut ReservationTxn<'_, Tag>,
         tag: &Tag,
         need: &mut [u32],
         st: NodeId,
         demand_mix: f64,
-        map: &mut PlacementMap,
     ) {
-        let mut children: Vec<NodeId> = topo.children(st).collect();
-        children.sort_by_key(|&c| (std::cmp::Reverse(topo.subtree_slots_free(c)), c));
+        let mut children: Vec<NodeId> = txn.topo().children(st).collect();
+        children.sort_by_key(|&c| (std::cmp::Reverse(txn.topo().subtree_slots_free(c)), c));
         for child in children {
             if need_is_zero(need) {
                 break;
             }
-            let slots = topo.subtree_slots_free(child).min(u32::MAX as u64) as u32;
+            let slots = txn.topo().subtree_slots_free(child).min(u32::MAX as u64) as u32;
             if slots == 0 {
                 continue;
             }
             let mut gsub = vec![0u32; need.len()];
             let mut used = 0;
             for t in 0..need.len() {
-                let head = self.ha_headroom(topo, state, tag, child, t);
+                let head = self.ha_headroom(txn.topo(), txn.state(), tag, child, t);
                 let k = need[t].min(slots - used).min(head);
                 gsub[t] = k;
                 used += k;
@@ -908,11 +829,10 @@ impl CmPlacer {
                 need[t] -= g;
             }
             let mut sub = gsub;
-            let m = self.alloc(topo, state, tag, &mut sub, child, demand_mix);
+            self.alloc(txn, tag, &mut sub, child, demand_mix);
             for (t, &s) in sub.iter().enumerate() {
                 need[t] += s;
             }
-            map.extend(m);
         }
     }
 
@@ -995,6 +915,16 @@ impl CmPlacer {
     }
 }
 
+impl Placer for CmPlacer {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn place(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        self.place_tag(topo, tag).map(Deployed::from)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1036,7 +966,7 @@ mod tests {
         let mut topo = topo_small();
         let mut placer = CmPlacer::new(CmConfig::cm());
         let tag = hose(4, mbps(100.0));
-        let state = placer.place(&mut topo, &tag).expect("should fit");
+        let state = placer.place_tag(&mut topo, &tag).expect("should fit");
         assert_eq!(state.total_placed(&topo), 4);
         state.check_consistency(&topo).unwrap();
         topo.check_invariants().unwrap();
@@ -1049,7 +979,7 @@ mod tests {
         let mut topo = topo_small();
         let mut placer = CmPlacer::new(CmConfig::cm());
         let tag = hose(4, mbps(100.0));
-        let state = placer.place(&mut topo, &tag).unwrap();
+        let state = placer.place_tag(&mut topo, &tag).unwrap();
         let placement = state.placement(&topo);
         assert_eq!(placement.len(), 1, "all VMs on one server");
         for l in 0..topo.num_levels() {
@@ -1062,7 +992,7 @@ mod tests {
         let mut topo = topo_small();
         let mut placer = CmPlacer::new(CmConfig::cm());
         let tag = three_tier(3, mbps(100.0), mbps(50.0), mbps(20.0));
-        let mut state = placer.place(&mut topo, &tag).unwrap();
+        let mut state = placer.place_tag(&mut topo, &tag).unwrap();
         assert_eq!(state.total_placed(&topo), 9);
         state.clear(&mut topo);
         assert_eq!(topo.subtree_slots_free(topo.root()), 16 * 4);
@@ -1078,7 +1008,7 @@ mod tests {
         let mut placer = CmPlacer::new(CmConfig::cm());
         let tag = hose(65, 1);
         assert_eq!(
-            placer.place(&mut topo, &tag).err(),
+            placer.place_tag(&mut topo, &tag).err(),
             Some(RejectReason::InsufficientSlots)
         );
         topo.check_invariants().unwrap();
@@ -1099,7 +1029,7 @@ mod tests {
         b.sym_edge(u, v, mbps(800.0)).unwrap(); // per-VM 1.6 G > 1 G NIC
         let tag = b.build().unwrap();
         assert_eq!(
-            placer.place(&mut topo, &tag).err(),
+            placer.place_tag(&mut topo, &tag).err(),
             Some(RejectReason::InsufficientBandwidth)
         );
         assert_eq!(topo.subtree_slots_free(topo.root()), baseline);
@@ -1119,7 +1049,7 @@ mod tests {
         let v = b.tier("v", 2);
         b.sym_edge(u, v, mbps(300.0)).unwrap();
         let tag = b.build().unwrap();
-        let state = placer.place(&mut topo, &tag).unwrap();
+        let state = placer.place_tag(&mut topo, &tag).unwrap();
         assert_eq!(state.placement(&topo).len(), 1);
         assert_eq!(topo.reserved_at_level(0), (0, 0));
     }
@@ -1129,7 +1059,7 @@ mod tests {
         let mut topo = topo_small();
         let mut placer = CmPlacer::new(CmConfig::cm_ha(0.5));
         let tag = hose(8, mbps(10.0));
-        let state = placer.place(&mut topo, &tag).unwrap();
+        let state = placer.place_tag(&mut topo, &tag).unwrap();
         // No server may hold more than max(1, ⌊8·0.5⌋) = 4 VMs.
         for (_, counts) in state.placement(&topo) {
             assert!(counts[0] <= 4);
@@ -1141,9 +1071,9 @@ mod tests {
     #[test]
     fn guaranteed_ha_rwcs75_spreads_wider() {
         let mut topo = topo_small();
-        let mut placer = CmPlacer::new(CmPlacer::new(CmConfig::cm_ha(0.75)).cfg);
+        let mut placer = CmPlacer::new(CmConfig::cm_ha(0.75));
         let tag = hose(8, mbps(10.0));
-        let state = placer.place(&mut topo, &tag).unwrap();
+        let state = placer.place_tag(&mut topo, &tag).unwrap();
         for (_, counts) in state.placement(&topo) {
             assert!(counts[0] <= 2);
         }
@@ -1156,7 +1086,7 @@ mod tests {
         let mut topo = topo_small();
         let mut placer = CmPlacer::new(CmConfig::cm_opp_ha());
         let tag = hose(8, mbps(1.0));
-        let state = placer.place(&mut topo, &tag).unwrap();
+        let state = placer.place_tag(&mut topo, &tag).unwrap();
         let placement = state.placement(&topo);
         assert!(
             placement.len() >= 4,
@@ -1178,7 +1108,7 @@ mod tests {
         let v = b.tier("v", 1);
         b.sym_edge(u, v, mbps(5.0)).unwrap();
         let tag = b.build().unwrap();
-        placer.place(&mut topo, &tag).unwrap();
+        placer.place_tag(&mut topo, &tag).unwrap();
     }
 
     #[test]
@@ -1200,7 +1130,7 @@ mod tests {
         b.self_loop(c, mbps(6.0)).unwrap();
         let tag = b.build().unwrap();
         let state = placer
-            .place(&mut topo, &tag)
+            .place_tag(&mut topo, &tag)
             .expect("balanced placement must fit (Fig. 6(d))");
         state.check_consistency(&topo).unwrap();
         // Two C VMs on one server would need min(2,2)·6 = 12 Mbps through a
@@ -1228,7 +1158,7 @@ mod tests {
         b.self_loop(bb, mbps(4.0)).unwrap();
         b.self_loop(c, mbps(6.0)).unwrap();
         let tag = b.build().unwrap();
-        let result = placer.place(&mut topo, &tag);
+        let result = placer.place_tag(&mut topo, &tag);
         assert_eq!(result.err(), Some(RejectReason::InsufficientBandwidth));
         topo.check_invariants().unwrap();
     }
@@ -1239,7 +1169,7 @@ mod tests {
         let mut topo = topo_small();
         let mut placer = CmPlacer::new(CmConfig::cm());
         let tag = hose(40, mbps(5.0));
-        let state = placer.place(&mut topo, &tag).unwrap();
+        let state = placer.place_tag(&mut topo, &tag).unwrap();
         assert_eq!(state.total_placed(&topo), 40);
         state.check_consistency(&topo).unwrap();
         topo.check_invariants().unwrap();
@@ -1251,7 +1181,7 @@ mod tests {
             let mut topo = topo_small();
             let mut placer = CmPlacer::new(cfg);
             let tag = three_tier(4, mbps(50.0), mbps(25.0), mbps(10.0));
-            let state = placer.place(&mut topo, &tag).unwrap();
+            let state = placer.place_tag(&mut topo, &tag).unwrap();
             assert_eq!(state.total_placed(&topo), 12);
             state.check_consistency(&topo).unwrap();
         }
@@ -1262,7 +1192,7 @@ mod tests {
         let mut topo = topo_small();
         let mut placer = CmPlacer::new(CmConfig::cm());
         let tag = three_tier(3, mbps(50.0), mbps(20.0), mbps(10.0));
-        let mut state = placer.place(&mut topo, &tag).unwrap();
+        let mut state = placer.place_tag(&mut topo, &tag).unwrap();
         placer
             .scale_tier(&mut topo, &mut state, TierId(0), 8)
             .unwrap();
@@ -1281,7 +1211,7 @@ mod tests {
         let mut topo = topo_small();
         let mut placer = CmPlacer::new(CmConfig::cm());
         let tag = hose(12, mbps(20.0));
-        let mut state = placer.place(&mut topo, &tag).unwrap();
+        let mut state = placer.place_tag(&mut topo, &tag).unwrap();
         let before = topo.subtree_slots_free(topo.root());
         placer
             .scale_tier(&mut topo, &mut state, TierId(0), 5)
@@ -1298,7 +1228,7 @@ mod tests {
         let mut topo = topo_small(); // 64 slots
         let mut placer = CmPlacer::new(CmConfig::cm());
         let tag = hose(10, mbps(20.0));
-        let mut state = placer.place(&mut topo, &tag).unwrap();
+        let mut state = placer.place_tag(&mut topo, &tag).unwrap();
         let snapshot_reserved = state.total_reserved_kbps();
         let snapshot_slots = topo.subtree_slots_free(topo.root());
         // Growing past the datacenter's slot capacity must fail cleanly.
@@ -1320,7 +1250,7 @@ mod tests {
         let mut topo = topo_small();
         let mut placer = CmPlacer::new(CmConfig::cm());
         let tag = three_tier(2, mbps(30.0), mbps(10.0), mbps(5.0));
-        let mut state = placer.place(&mut topo, &tag).unwrap();
+        let mut state = placer.place_tag(&mut topo, &tag).unwrap();
         placer
             .scale_tier(&mut topo, &mut state, TierId(1), 2)
             .unwrap(); // no-op
@@ -1346,7 +1276,7 @@ mod tests {
         let mut states = Vec::new();
         for i in 0..8 {
             let tag = hose(6, mbps(20.0 + i as f64));
-            states.push(placer.place(&mut topo, &tag).unwrap());
+            states.push(placer.place_tag(&mut topo, &tag).unwrap());
         }
         assert_eq!(topo.subtree_slots_free(topo.root()), 64 - 48);
         for s in &states {

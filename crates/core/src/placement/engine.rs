@@ -1,0 +1,281 @@
+//! The unified placement engine: one trait, one deployed-tenant handle,
+//! and one outer search loop shared by every algorithm.
+//!
+//! The paper's evaluation is entirely comparative — CloudMirror against
+//! Oktopus VC/VOC and SecondNet on the same tree datacenter — so the
+//! engine makes "a placement algorithm" a first-class object:
+//!
+//! * [`Placer`] is the interface every algorithm implements: deploy a TAG
+//!   tenant onto a topology, yielding a [`Deployed`] handle or a
+//!   [`RejectReason`], with the topology untouched on rejection.
+//! * [`Deployed`] is the single concrete handle over a live tenant,
+//!   whichever network model priced it (TAG, generalized VOC, or pipes) —
+//!   simulators and experiment drivers hold these without any
+//!   per-algorithm boxing.
+//! * [`search_and_place`] is the level-climbing outer loop of Algorithm 1
+//!   that the seed duplicated in every placer: find the lowest plausible
+//!   subtree, attempt a full placement inside a [`ReservationTxn`],
+//!   reserve the external path above it, and on any failure roll back and
+//!   retry one level higher until the root rejects.
+//!
+//! Adding a new placement strategy is now one trait impl: write the
+//! per-subtree `attempt` policy, and the simulator, the figure harnesses,
+//! and the criterion benches pick it up unchanged.
+
+use crate::cut::CutModel;
+use crate::model::{PipeModel, Tag, VocModel};
+use crate::placement::RejectReason;
+use crate::reserve::TenantState;
+use crate::txn::ReservationTxn;
+use cm_topology::{Kbps, NodeId, Topology};
+
+/// A placement algorithm that can deploy TAG tenants.
+///
+/// Implementations are free to translate the TAG into their own pricing
+/// model first (the baselines do); the returned handle erases that
+/// difference.
+pub trait Placer {
+    /// Display name used in result tables ("CM", "OVOC", ...).
+    fn name(&self) -> &'static str;
+
+    /// Deploy the tenant. `Err` leaves the topology exactly as it was.
+    fn place(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason>;
+}
+
+/// A deployed tenant, whichever placer and pricing model produced it.
+/// Release it with [`Deployed::release`] when the tenant departs; dropping
+/// it without releasing leaks its slots and bandwidth in the topology.
+pub struct Deployed(DeployedState);
+
+enum DeployedState {
+    Tag(TenantState<Tag>),
+    Voc(TenantState<VocModel>),
+    Pipe(TenantState<PipeModel>),
+}
+
+/// Dispatch one expression over the three model-typed tenant states.
+macro_rules! with_state {
+    ($self:expr, $s:ident => $e:expr) => {
+        match &$self.0 {
+            DeployedState::Tag($s) => $e,
+            DeployedState::Voc($s) => $e,
+            DeployedState::Pipe($s) => $e,
+        }
+    };
+}
+
+impl Deployed {
+    /// Release all slots and bandwidth held by the tenant.
+    pub fn release(self, topo: &mut Topology) {
+        match self.0 {
+            DeployedState::Tag(mut s) => s.clear(topo),
+            DeployedState::Voc(mut s) => s.clear(topo),
+            DeployedState::Pipe(mut s) => s.clear(topo),
+        }
+    }
+
+    /// Worst-case survivability per tier at the given level (`None` for
+    /// tiers without placeable VMs). See [`TenantState::wcs_at_level`].
+    pub fn wcs_at_level(&self, topo: &Topology, level: u8) -> Vec<Option<f64>> {
+        with_state!(self, s => s.wcs_at_level(topo, level))
+    }
+
+    /// Per-server VM counts of the placement.
+    pub fn placement(&self, topo: &Topology) -> Vec<(NodeId, Vec<u32>)> {
+        with_state!(self, s => s.placement(topo))
+    }
+
+    /// Sizes of the tenant's tiers, aligned with the placement's count
+    /// vectors.
+    pub fn tier_sizes(&self) -> Vec<u32> {
+        with_state!(self, s => (0..s.model().num_tiers())
+            .map(|t| s.model().tier_size(t))
+            .collect())
+    }
+
+    /// Total VMs placed.
+    pub fn total_placed(&self, topo: &Topology) -> u64 {
+        with_state!(self, s => s.total_placed(topo))
+    }
+
+    /// Total bandwidth reserved across all links (out + in).
+    pub fn total_reserved_kbps(&self) -> Kbps {
+        with_state!(self, s => s.total_reserved_kbps())
+    }
+
+    /// Check the tenant's ledger against a from-scratch recomputation
+    /// (see [`TenantState::check_consistency`]).
+    pub fn check_consistency(&self, topo: &Topology) -> Result<(), String> {
+        with_state!(self, s => s.check_consistency(topo))
+    }
+}
+
+impl From<TenantState<Tag>> for Deployed {
+    fn from(s: TenantState<Tag>) -> Deployed {
+        Deployed(DeployedState::Tag(s))
+    }
+}
+
+impl From<TenantState<VocModel>> for Deployed {
+    fn from(s: TenantState<VocModel>) -> Deployed {
+        Deployed(DeployedState::Voc(s))
+    }
+}
+
+impl From<TenantState<PipeModel>> for Deployed {
+    fn from(s: TenantState<PipeModel>) -> Deployed {
+        Deployed(DeployedState::Pipe(s))
+    }
+}
+
+/// Classify a final failure: slots when the datacenter plainly lacks room
+/// for `total_vms`, bandwidth otherwise. Shared by every placer.
+pub fn reject_reason(topo: &Topology, total_vms: u64) -> RejectReason {
+    if topo.subtree_slots_free(topo.root()) < total_vms {
+        RejectReason::InsufficientSlots
+    } else {
+        RejectReason::InsufficientBandwidth
+    }
+}
+
+/// The shared outer loop of Algorithm 1 (and of both baselines): starting
+/// at `start_level`, find the lowest subtree that can plausibly host the
+/// whole tenant (`find_lowest_subtree`), run `attempt` inside a fresh
+/// [`ReservationTxn`], and on success reserve the tenant's external demand
+/// on the path above the subtree. Any failure rolls the attempt back
+/// atomically and retries one level higher; a failure at the root rejects.
+///
+/// `attempt` must stage the *entire* tenant under the given subtree through
+/// the transaction and return whether it managed to; partial placements it
+/// leaves staged are unwound by the engine.
+pub fn search_and_place<M, F>(
+    topo: &mut Topology,
+    state: &mut TenantState<M>,
+    total_vms: u64,
+    ext_demand: (Kbps, Kbps),
+    start_level: usize,
+    mut attempt: F,
+) -> Result<(), RejectReason>
+where
+    M: CutModel,
+    F: FnMut(&mut ReservationTxn<'_, M>, NodeId) -> bool,
+{
+    let root_level = topo.num_levels() - 1;
+    let mut level = start_level.min(root_level);
+    loop {
+        let st = match crate::placement::find_lowest_subtree(topo, level, total_vms, ext_demand) {
+            Some(st) => st,
+            None => {
+                if level >= root_level {
+                    return Err(reject_reason(topo, total_vms));
+                }
+                level += 1;
+                continue;
+            }
+        };
+        let mut txn = ReservationTxn::begin(topo, state);
+        if attempt(&mut txn, st) {
+            // Reserve the tenant's external traffic above st
+            // (`ReserveBW(map, root)`).
+            let ok = match txn.topo().parent(st) {
+                Some(p) => txn.sync_path_to_root(p).is_ok(),
+                None => true,
+            };
+            if ok {
+                txn.commit();
+                return Ok(());
+            }
+        }
+        drop(txn); // roll back the failed attempt
+        if st == topo.root() {
+            return Err(reject_reason(topo, total_vms));
+        }
+        level = topo.level(st) as usize + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TagBuilder;
+    use cm_topology::{mbps, TreeSpec};
+
+    fn hose(n: u32, sr: Kbps) -> Tag {
+        let mut b = TagBuilder::new("hose");
+        let t = b.tier("t", n);
+        b.self_loop(t, sr).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deployed_erases_the_model_without_boxing_per_algorithm() {
+        let mut topo = Topology::build(&TreeSpec::small(
+            1,
+            2,
+            2,
+            4,
+            [mbps(1000.0), mbps(1000.0), mbps(1000.0)],
+        ));
+        let tag = hose(4, 100);
+        let mut st = TenantState::new(tag.clone());
+        let s = topo.servers()[0];
+        st.place(&mut topo, s, 0, 4).unwrap();
+        st.sync_uplink(&mut topo, s).unwrap();
+        let d = Deployed::from(st);
+        assert_eq!(d.total_placed(&topo), 4);
+        assert_eq!(d.tier_sizes(), vec![4]);
+        d.check_consistency(&topo).unwrap();
+        d.release(&mut topo);
+        assert_eq!(topo.subtree_slots_free(topo.root()), 4 * 4);
+        for l in 0..topo.num_levels() {
+            assert_eq!(topo.reserved_at_level(l), (0, 0));
+        }
+    }
+
+    #[test]
+    fn search_climbs_levels_and_rejects_at_root() {
+        let mut topo = Topology::build(&TreeSpec::small(
+            2,
+            2,
+            2,
+            4,
+            [mbps(1000.0), mbps(1000.0), mbps(1000.0)],
+        ));
+        let tag = hose(40, 1); // more VMs than the 32 slots
+        let mut st = TenantState::new(tag.clone());
+        let err = search_and_place(&mut topo, &mut st, 40, (0, 0), 0, |_txn, _st| {
+            panic!("no subtree can host 40 VMs; attempt must never run")
+        })
+        .unwrap_err();
+        assert_eq!(err, RejectReason::InsufficientSlots);
+        topo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failed_attempts_leave_no_trace() {
+        let mut topo = Topology::build(&TreeSpec::small(
+            2,
+            2,
+            2,
+            4,
+            [mbps(1000.0), mbps(1000.0), mbps(1000.0)],
+        ));
+        let tag = hose(4, mbps(900.0)); // cut price far beyond any uplink
+        let mut st = TenantState::new(tag.clone());
+        let mut attempts = 0;
+        let err = search_and_place(&mut topo, &mut st, 4, (0, 0), 0, |txn, node| {
+            attempts += 1;
+            // Stage a partial placement, then report failure: the engine
+            // must unwind it before climbing.
+            let server = txn.topo().servers_under(node)[0];
+            txn.place(server, 0, 1).unwrap();
+            false
+        })
+        .unwrap_err();
+        assert_eq!(err, RejectReason::InsufficientBandwidth);
+        assert!(attempts > 1, "the search must climb levels");
+        assert_eq!(st.total_placed(&topo), 0);
+        assert_eq!(topo.subtree_slots_free(topo.root()), 32);
+        topo.check_invariants().unwrap();
+    }
+}

@@ -26,11 +26,12 @@
 //!   free while preserving all bandwidth guarantees.
 
 mod cm;
+mod engine;
 mod predictor;
 
 pub use cm::CmPlacer;
+pub use engine::{reject_reason, search_and_place, Deployed, Placer};
 pub use predictor::DemandPredictor;
-
 
 /// High-availability policy for the placer (§4.5).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,10 +102,7 @@ impl CmConfig {
     /// The paper's CM+HA at the server level.
     pub fn cm_ha(rwcs: f64) -> Self {
         CmConfig {
-            ha: HaPolicy::Guaranteed {
-                rwcs,
-                laa_level: 0,
-            },
+            ha: HaPolicy::Guaranteed { rwcs, laa_level: 0 },
             ..Self::default()
         }
     }
@@ -130,6 +128,20 @@ impl CmConfig {
         CmConfig {
             colocate: false,
             ..Self::default()
+        }
+    }
+
+    /// Canonical display label for this configuration, mirroring the
+    /// paper's algorithm names (used by [`CmPlacer::new`] and the
+    /// experiment drivers).
+    pub fn label(&self) -> &'static str {
+        match (self.colocate, self.balance, self.ha) {
+            (true, true, HaPolicy::None) => "CM",
+            (_, _, HaPolicy::Guaranteed { .. }) => "CM+HA",
+            (_, _, HaPolicy::Opportunistic { .. }) => "CM+oppHA",
+            (true, false, _) => "Coloc",
+            (false, true, _) => "Balance",
+            (false, false, _) => "FirstFit",
         }
     }
 }
@@ -222,7 +234,7 @@ pub fn find_lowest_subtree(
         if up < ext_demand.0 || dn < ext_demand.1 {
             continue;
         }
-        if best.map_or(true, |(bf, _)| free > bf) {
+        if best.is_none_or(|(bf, _)| free > bf) {
             best = Some((free, n));
         }
     }

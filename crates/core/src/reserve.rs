@@ -16,6 +16,9 @@
 //!
 //! The engine deliberately knows nothing about placement policy; it is
 //! shared by the CloudMirror placer and every baseline in `cm-baselines`.
+//! Placers do not mutate it directly: all staged changes go through
+//! [`crate::txn::ReservationTxn`], which layers savepoints and exact
+//! commit/rollback on top of the primitives here.
 
 use crate::cut::CutModel;
 use cm_topology::{Kbps, NodeId, Topology, TopologyError};
@@ -31,10 +34,6 @@ pub struct PlacementEntry {
     /// Number of VMs placed.
     pub count: u32,
 }
-
-/// A list of placements performed by one allocation step (the pseudocode's
-/// `map`).
-pub type PlacementMap = Vec<PlacementEntry>;
 
 /// All placement and reservation state of a single deployed (or
 /// in-deployment) tenant.
@@ -179,36 +178,10 @@ impl<M: CutModel> TenantState<M> {
         Ok(())
     }
 
-    /// Sync every uplink on the path from `node` (inclusive) to the root
-    /// (the pseudocode's `ReserveBW(map, root)` after a successful `Alloc`).
-    /// On failure the already-synced links of this call are rolled back to
-    /// their previous reservations.
-    pub fn sync_path_to_root(
-        &mut self,
-        topo: &mut Topology,
-        node: NodeId,
-    ) -> Result<(), TopologyError> {
-        let path: Vec<NodeId> = topo.path_to_root(node).collect();
-        let mut done: Vec<(NodeId, (Kbps, Kbps))> = Vec::new();
-        for n in path {
-            let before = self.reserved_on(n);
-            match self.sync_uplink(topo, n) {
-                Ok(()) => done.push((n, before)),
-                Err(e) => {
-                    // Roll back to the exact previous reservations.
-                    for (m, prev) in done.into_iter().rev() {
-                        self.force_reserve(topo, m, prev);
-                    }
-                    return Err(e);
-                }
-            }
-        }
-        Ok(())
-    }
-
     /// Set the reservation on a link to an exact prior value (rollback
-    /// helper; decreases or restores always succeed).
-    fn force_reserve(&mut self, topo: &mut Topology, node: NodeId, want: (Kbps, Kbps)) {
+    /// helper for [`crate::txn::ReservationTxn`]; decreases or restores
+    /// always succeed).
+    pub(crate) fn force_reserve(&mut self, topo: &mut Topology, node: NodeId, want: (Kbps, Kbps)) {
         let (have_out, have_in) = self.reserved_on(node);
         let d_out = want.0 as i64 - have_out as i64;
         let d_in = want.1 as i64 - have_in as i64;
@@ -221,39 +194,6 @@ impl<M: CutModel> TenantState<M> {
             self.reserved.remove(&node);
         } else {
             self.reserved.insert(node, want);
-        }
-    }
-
-    /// Undo a placement map produced during a failed allocation attempt:
-    /// unplace every entry, then re-sync the uplinks of all affected nodes
-    /// strictly below and including `ceiling`. Those syncs only ever
-    /// decrease reservations, so they cannot fail.
-    pub fn rollback_map(&mut self, topo: &mut Topology, map: &[PlacementEntry], ceiling: NodeId) {
-        if map.is_empty() {
-            return;
-        }
-        for e in map {
-            self.unplace(topo, e.server, e.tier, e.count);
-        }
-        // Collect affected links: ancestors of each touched server, stopping
-        // at the ceiling (inclusive).
-        let mut affected: Vec<NodeId> = Vec::new();
-        for e in map {
-            for n in topo.path_to_root(e.server) {
-                if !affected.contains(&n) {
-                    affected.push(n);
-                }
-                if n == ceiling {
-                    break;
-                }
-            }
-        }
-        // Sync lowest levels first (order does not affect correctness, only
-        // locality of the ledger updates).
-        affected.sort_by_key(|&n| (topo.level(n), n));
-        for n in affected {
-            self.sync_uplink(topo, n)
-                .expect("rollback sync can only decrease reservations");
         }
     }
 
@@ -277,10 +217,7 @@ impl<M: CutModel> TenantState<M> {
                 }
             }
         }
-        debug_assert!(self
-            .counts
-            .values()
-            .all(|c| c.iter().all(|&x| x == 0)));
+        debug_assert!(self.counts.values().all(|c| c.iter().all(|&x| x == 0)));
         self.counts.clear();
         self.reserved.clear();
     }
@@ -298,10 +235,11 @@ impl<M: CutModel> TenantState<M> {
     ///
     /// The new model must have the same tier layout (`num_tiers`) and sizes
     /// no smaller than the currently placed counts.
-    pub fn replace_model(&mut self, topo: &mut Topology, new_model: M) -> Result<(), TopologyError>
-    where
-        M: Clone,
-    {
+    pub fn replace_model(
+        &mut self,
+        topo: &mut Topology,
+        new_model: M,
+    ) -> Result<(), TopologyError> {
         assert_eq!(
             new_model.num_tiers(),
             self.model.num_tiers(),
@@ -456,7 +394,9 @@ mod tests {
         assert_eq!(topo.uplink_used(s), Some((200, 200)));
         assert_eq!(st.reserved_on(s), (200, 200));
         // After syncing the full path the ledger is globally consistent.
-        st.sync_path_to_root(&mut topo, s).unwrap();
+        for n in topo.path_to_root(s).collect::<Vec<_>>() {
+            st.sync_uplink(&mut topo, n).unwrap();
+        }
         st.check_consistency(&topo).unwrap();
     }
 
@@ -473,68 +413,6 @@ mod tests {
         st.sync_uplink(&mut topo, s).unwrap();
         assert_eq!(topo.uplink_used(s), Some((0, 0)));
         st.check_consistency(&topo).unwrap();
-    }
-
-    #[test]
-    fn sync_path_rolls_back_on_failure() {
-        // ToR uplink too small for the tenant's cut: after the failed sync
-        // the server link reservation must be back to its prior value.
-        let mut topo = Topology::build(&TreeSpec::small(
-            1,
-            2,
-            2,
-            4,
-            [mbps(1000.0), mbps(50.0), mbps(1000.0)],
-        ));
-        let mut st = TenantState::new(hose_tag(4, mbps(100.0)));
-        let s = topo.servers()[0];
-        st.place(&mut topo, s, 0, 2).unwrap();
-        // server uplink needs 200 Mbps (fits); ToR uplink needs 200 (50 cap).
-        assert!(st.sync_path_to_root(&mut topo, s).is_err());
-        assert_eq!(topo.uplink_used(s), Some((0, 0)));
-        let tor = topo.parent(s).unwrap();
-        assert_eq!(topo.uplink_used(tor), Some((0, 0)));
-        // Unwinding the placement restores full consistency.
-        st.unplace(&mut topo, s, 0, 2);
-        st.check_consistency(&topo).unwrap();
-    }
-
-    #[test]
-    fn rollback_map_restores_everything() {
-        let mut topo = small_topo();
-        let snapshot = topo.clone();
-        let mut st = TenantState::new(hose_tag(4, 100));
-        let s0 = topo.servers()[0];
-        let s1 = topo.servers()[1];
-        let mut map = PlacementMap::new();
-        st.place(&mut topo, s0, 0, 2).unwrap();
-        map.push(PlacementEntry {
-            server: s0,
-            tier: 0,
-            count: 2,
-        });
-        st.place(&mut topo, s1, 0, 1).unwrap();
-        map.push(PlacementEntry {
-            server: s1,
-            tier: 0,
-            count: 1,
-        });
-        st.sync_uplink(&mut topo, s0).unwrap();
-        st.sync_uplink(&mut topo, s1).unwrap();
-        let tor = topo.parent(s0).unwrap();
-        st.sync_uplink(&mut topo, tor).unwrap();
-        st.rollback_map(&mut topo, &map, tor);
-        assert_eq!(topo.uplink_used(s0), Some((0, 0)));
-        assert_eq!(topo.uplink_used(s1), Some((0, 0)));
-        assert_eq!(topo.uplink_used(tor), Some((0, 0)));
-        assert_eq!(topo.slots_free(s0), 4);
-        assert_eq!(topo.slots_free(s1), 4);
-        assert_eq!(st.total_placed(&topo), 0);
-        // Topology is bit-identical to before the attempt.
-        assert_eq!(
-            format!("{:?}", topo.reserved_at_level(0)),
-            format!("{:?}", snapshot.reserved_at_level(0))
-        );
     }
 
     #[test]

@@ -40,9 +40,8 @@ pub fn split_guarantee(g: f64, demands: &[f64]) -> Vec<f64> {
     while !active.is_empty() && remaining > 1e-9 {
         let fair = remaining / active.len() as f64;
         // Entities whose demand is below the fair share freeze at demand.
-        let (below, rest): (Vec<usize>, Vec<usize>) = active
-            .iter()
-            .partition(|&&i| demands[i] <= fair + 1e-12);
+        let (below, rest): (Vec<usize>, Vec<usize>) =
+            active.iter().partition(|&&i| demands[i] <= fair + 1e-12);
         if below.is_empty() {
             for &i in &rest {
                 share[i] += fair;
@@ -259,10 +258,7 @@ mod tests {
         let (tag, tiers) = fig13_tag(2);
         let enf = Enforcer::new(tag, tiers, GuaranteeModel::Tag);
         // One intra sender nearly idle: its share shrinks to its demand.
-        let pairs = vec![
-            (2usize, 1usize, 10_000.0),
-            (3usize, 1usize, f64::INFINITY),
-        ];
+        let pairs = vec![(2usize, 1usize, 10_000.0), (3usize, 1usize, f64::INFINITY)];
         let g = enf.partition(&pairs);
         assert!((g[0].kbps - 10_000.0).abs() < 1e-6);
         assert!((g[1].kbps - 440_000.0).abs() < 1e-3);

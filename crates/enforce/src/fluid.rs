@@ -87,11 +87,7 @@ impl Fluid {
     /// link.
     pub fn rates(&self) -> Vec<f64> {
         let n = self.flows.len();
-        let mut rate: Vec<f64> = self
-            .flows
-            .iter()
-            .map(|f| f.floor.min(f.demand))
-            .collect();
+        let mut rate: Vec<f64> = self.flows.iter().map(|f| f.floor.min(f.demand)).collect();
 
         // Scale floors down on oversubscribed links (defensive; admission
         // normally prevents this).
@@ -108,7 +104,7 @@ impl Fluid {
                     .sum();
                 if used > cap * (1.0 + 1e-9) {
                     let scale = cap / used;
-                    if worst.map_or(true, |(_, s)| scale < s) {
+                    if worst.is_none_or(|(_, s)| scale < s) {
                         worst = Some((l, scale));
                     }
                 }
@@ -183,8 +179,8 @@ impl Fluid {
                 if !active[i] {
                     continue;
                 }
-                let done = rate[i] + 1e-6 >= f.demand
-                    || f.path.iter().any(|&l| residual[l] <= 1e-6);
+                let done =
+                    rate[i] + 1e-6 >= f.demand || f.path.iter().any(|&l| residual[l] <= 1e-6);
                 if done {
                     active[i] = false;
                 }

@@ -32,5 +32,5 @@ pub mod fluid;
 pub mod scenario;
 
 pub use elastic::{split_guarantee, Enforcer, GuaranteeModel, PairGuarantee};
-pub use fluid::{Fluid, FlowSpec};
+pub use fluid::{FlowSpec, Fluid};
 pub use scenario::{fig13_throughput, fig4_throughput, Fig13Point, Fig4Point};

@@ -1,7 +1,7 @@
 //! The paper's enforcement experiments as ready-to-run scenarios.
 
 use crate::elastic::{Enforcer, GuaranteeModel};
-use crate::fluid::{Fluid, FlowSpec};
+use crate::fluid::{FlowSpec, Fluid};
 use cm_core::model::{TagBuilder, TierId};
 
 /// One point of Fig. 13(b): application-level throughput at VM `Z` with a

@@ -25,8 +25,12 @@ pub fn adjusted_mutual_information(a: &[usize], b: &[usize]) -> f64 {
     for (&x, &y) in ka.iter().zip(&kb) {
         cont[x * rb + y] += 1;
     }
-    let ai: Vec<usize> = (0..ra).map(|i| (0..rb).map(|j| cont[i * rb + j]).sum()).collect();
-    let bj: Vec<usize> = (0..rb).map(|j| (0..ra).map(|i| cont[i * rb + j]).sum()).collect();
+    let ai: Vec<usize> = (0..ra)
+        .map(|i| (0..rb).map(|j| cont[i * rb + j]).sum())
+        .collect();
+    let bj: Vec<usize> = (0..rb)
+        .map(|j| (0..ra).map(|i| cont[i * rb + j]).sum())
+        .collect();
 
     let nf = n as f64;
     let mi: f64 = cont

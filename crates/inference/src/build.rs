@@ -22,11 +22,7 @@ pub fn infer_tag(
     assert_eq!(labels.len(), trace.num_vms());
     let k = labels.iter().copied().max().map_or(0, |m| m + 1);
     let members: Vec<Vec<usize>> = (0..k)
-        .map(|c| {
-            (0..trace.num_vms())
-                .filter(|&v| labels[v] == c)
-                .collect()
-        })
+        .map(|c| (0..trace.num_vms()).filter(|&v| labels[v] == c).collect())
         .collect();
 
     let mut b = TagBuilder::new(name);
@@ -102,12 +98,8 @@ mod tests {
         let n = 3;
         let mut s1 = vec![0.0; 9];
         s1[2] = 60.0;
+        // Snapshot 2 sends only 0->1 (cluster {0} -> {1,2}).
         let mut s2 = vec![0.0; 9];
-        s2[1 * 3 + 2] = 0.0;
-        s2[0 * 3 + 1] = 0.0;
-        s2[2] = 0.0;
-        s2[0 * 3 + 2] = 0.0;
-        // put 0->1? keep cluster {0} -> {1,2}: snapshot2 sends 0->1.
         s2[1] = 60.0;
         let trace = TrafficTrace::new(n, vec![s1, s2]);
         let (tag, vm_tier) = infer_tag(&trace, &[0, 1, 1], "t", 1.0);

@@ -40,9 +40,8 @@ pub fn louvain(n: usize, weights: &[f64]) -> Vec<usize> {
             }
         }
         // Update original-node communities.
-        for orig in 0..n {
-            let w = work_of_orig[orig];
-            work_of_orig[orig] = remap[labels[w]] as usize;
+        for w in work_of_orig.iter_mut() {
+            *w = remap[labels[*w]] as usize;
         }
         if next == g_n {
             break; // no aggregation happened
@@ -90,12 +89,7 @@ fn one_level(n: usize, w: &[f64]) -> (Vec<usize>, bool) {
     let mut comm: Vec<usize> = (0..n).collect();
     // k_i including self-loops (self-loop counts twice in degree).
     let k: Vec<f64> = (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|j| w[i * n + j])
-                .sum::<f64>()
-                + w[i * n + i]
-        })
+        .map(|i| (0..n).map(|j| w[i * n + j]).sum::<f64>() + w[i * n + i])
         .collect();
     let two_m: f64 = k.iter().sum();
     if two_m <= 0.0 {
@@ -167,7 +161,7 @@ mod tests {
     fn two_cliques() -> (usize, Vec<f64>) {
         let n = 8;
         let mut w = vec![0.0; n * n];
-        let mut set = |i: usize, j: usize, v: f64, w: &mut Vec<f64>| {
+        let set = |i: usize, j: usize, v: f64, w: &mut Vec<f64>| {
             w[i * n + j] = v;
             w[j * n + i] = v;
         };

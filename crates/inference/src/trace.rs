@@ -89,10 +89,7 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let t = TrafficTrace::new(
-            2,
-            vec![vec![0.0, 1.0, 2.0, 0.0], vec![0.0, 3.0, 4.0, 0.0]],
-        );
+        let t = TrafficTrace::new(2, vec![vec![0.0, 1.0, 2.0, 0.0], vec![0.0, 3.0, 4.0, 0.0]]);
         assert_eq!(t.num_vms(), 2);
         assert_eq!(t.num_snapshots(), 2);
         assert_eq!(t.at(0, 0, 1), 1.0);

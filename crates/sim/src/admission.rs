@@ -1,69 +1,23 @@
-//! Uniform admission interface over all placement algorithms.
+//! Admission control over the unified placement engine.
+//!
+//! The simulator drives every algorithm through [`Admission`], and there is
+//! exactly one implementation: [`PlacerAdmission`], generic over any
+//! [`Placer`] from `cm-core` or `cm-baselines`. The seed's four
+//! per-algorithm adapter structs (and their boxed `DeployedOps` handles)
+//! are gone — a new placement strategy reaches the simulator by
+//! implementing `Placer`, nothing else.
+//!
+//! The familiar names remain as type aliases ([`CmAdmission`],
+//! [`OvocAdmission`], [`VcAdmission`], [`SecondNetAdmission`]).
 
 use cm_baselines::{OktopusVcPlacer, OvocPlacer, SecondNetPlacer};
-use cm_core::cut::CutModel;
 use cm_core::model::Tag;
-use cm_core::placement::{CmConfig, CmPlacer, RejectReason};
-use cm_core::reserve::TenantState;
-use cm_topology::{NodeId, Topology};
+use cm_core::placement::{CmConfig, CmPlacer, Placer, RejectReason};
+use cm_topology::Topology;
 
-/// A deployed tenant with its algorithm-specific state erased; release it
-/// through [`Deployed::release`] when the tenant departs.
-pub struct Deployed(Box<dyn DeployedOps>);
+pub use cm_core::placement::Deployed;
 
-impl Deployed {
-    /// Release all slots and bandwidth held by the tenant.
-    pub fn release(mut self, topo: &mut Topology) {
-        self.0.release(topo);
-    }
-
-    /// Worst-case survivability per tier at the given level (`None` for
-    /// tiers without placeable VMs). See
-    /// [`TenantState::wcs_at_level`](cm_core::reserve::TenantState::wcs_at_level).
-    pub fn wcs_at_level(&self, topo: &Topology, level: u8) -> Vec<Option<f64>> {
-        self.0.wcs_at_level(topo, level)
-    }
-
-    /// Per-server VM counts of the placement.
-    pub fn placement(&self, topo: &Topology) -> Vec<(NodeId, Vec<u32>)> {
-        self.0.placement(topo)
-    }
-
-    /// Sizes of the tenant's tiers, aligned with the placement's count
-    /// vectors.
-    pub fn tier_sizes(&self) -> Vec<u32> {
-        self.0.tier_sizes()
-    }
-}
-
-trait DeployedOps {
-    fn release(&mut self, topo: &mut Topology);
-    fn wcs_at_level(&self, topo: &Topology, level: u8) -> Vec<Option<f64>>;
-    fn placement(&self, topo: &Topology) -> Vec<(NodeId, Vec<u32>)>;
-    fn tier_sizes(&self) -> Vec<u32>;
-}
-
-impl<M: CutModel + 'static> DeployedOps for TenantState<M> {
-    fn release(&mut self, topo: &mut Topology) {
-        self.clear(topo);
-    }
-
-    fn wcs_at_level(&self, topo: &Topology, level: u8) -> Vec<Option<f64>> {
-        TenantState::wcs_at_level(self, topo, level)
-    }
-
-    fn placement(&self, topo: &Topology) -> Vec<(NodeId, Vec<u32>)> {
-        TenantState::placement(self, topo)
-    }
-
-    fn tier_sizes(&self) -> Vec<u32> {
-        (0..self.model().num_tiers())
-            .map(|t| self.model().tier_size(t))
-            .collect()
-    }
-}
-
-/// A placement algorithm that can admit TAG tenants.
+/// A placement algorithm that can admit TAG tenants into the simulation.
 pub trait Admission {
     /// Short name used in result tables ("CM", "OVOC", ...).
     fn name(&self) -> &'static str;
@@ -72,118 +26,63 @@ pub trait Admission {
     fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason>;
 }
 
-/// CloudMirror admission (CM+TAG), in any [`CmConfig`] variant.
-pub struct CmAdmission {
-    placer: CmPlacer,
-    name: &'static str,
+/// The one admission adapter: any [`Placer`] is an admission controller.
+pub struct PlacerAdmission<P: Placer> {
+    placer: P,
 }
 
-impl CmAdmission {
-    /// The paper's plain CM.
+impl<P: Placer> PlacerAdmission<P> {
+    /// Wrap an existing placer instance.
+    pub fn from_placer(placer: P) -> Self {
+        PlacerAdmission { placer }
+    }
+
+    /// The wrapped placer.
+    pub fn placer(&self) -> &P {
+        &self.placer
+    }
+}
+
+impl<P: Placer + Default> PlacerAdmission<P> {
+    /// Create an admission controller over the placer's default
+    /// configuration.
     pub fn new() -> Self {
-        Self::with_config(CmConfig::cm(), "CM")
-    }
-
-    /// CM with an explicit configuration and display name (used for the
-    /// HA and ablation variants).
-    pub fn with_config(cfg: CmConfig, name: &'static str) -> Self {
-        CmAdmission {
-            placer: CmPlacer::new(cfg),
-            name,
-        }
+        Self::from_placer(P::default())
     }
 }
 
-impl Default for CmAdmission {
+impl<P: Placer + Default> Default for PlacerAdmission<P> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Admission for CmAdmission {
-    fn name(&self) -> &'static str {
-        self.name
-    }
-
-    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
-        self.placer.place(topo, tag).map(|s| Deployed(Box::new(s)))
+impl PlacerAdmission<CmPlacer> {
+    /// CloudMirror admission with an explicit configuration and display
+    /// name (used for the HA and ablation variants).
+    pub fn with_config(cfg: CmConfig, name: &'static str) -> Self {
+        Self::from_placer(CmPlacer::named(cfg, name))
     }
 }
 
+impl<P: Placer> Admission for PlacerAdmission<P> {
+    fn name(&self) -> &'static str {
+        self.placer.name()
+    }
+
+    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        self.placer.place(topo, tag)
+    }
+}
+
+/// CloudMirror admission (CM+TAG), in any [`CmConfig`] variant.
+pub type CmAdmission = PlacerAdmission<CmPlacer>;
 /// Improved-Oktopus admission of TAG tenants modeled as generalized VOCs.
-#[derive(Default)]
-pub struct OvocAdmission {
-    placer: OvocPlacer,
-}
-
-impl OvocAdmission {
-    /// Create an OVOC admission controller.
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl Admission for OvocAdmission {
-    fn name(&self) -> &'static str {
-        "OVOC"
-    }
-
-    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
-        self.placer
-            .place_tag(topo, tag)
-            .map(|s| Deployed(Box::new(s)))
-    }
-}
-
+pub type OvocAdmission = PlacerAdmission<OvocPlacer>;
 /// Oktopus virtual-cluster (hose) admission.
-#[derive(Default)]
-pub struct VcAdmission {
-    placer: OktopusVcPlacer,
-}
-
-impl VcAdmission {
-    /// Create a VC admission controller.
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl Admission for VcAdmission {
-    fn name(&self) -> &'static str {
-        "VC"
-    }
-
-    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
-        self.placer
-            .place_tag(topo, tag)
-            .map(|s| Deployed(Box::new(s)))
-    }
-}
-
+pub type VcAdmission = PlacerAdmission<OktopusVcPlacer>;
 /// SecondNet-style pipe admission.
-#[derive(Default)]
-pub struct SecondNetAdmission {
-    placer: SecondNetPlacer,
-}
-
-impl SecondNetAdmission {
-    /// Create a SecondNet admission controller.
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl Admission for SecondNetAdmission {
-    fn name(&self) -> &'static str {
-        "SecondNet"
-    }
-
-    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
-        self.placer
-            .place_tag(topo, tag)
-            .map(|s| Deployed(Box::new(s)))
-    }
-}
+pub type SecondNetAdmission = PlacerAdmission<SecondNetPlacer>;
 
 #[cfg(test)]
 mod tests {
@@ -219,6 +118,18 @@ mod tests {
                 assert_eq!(topo.reserved_at_level(l), (0, 0), "{}", ctl.name());
             }
         }
+    }
+
+    #[test]
+    fn names_flow_through_from_the_placers() {
+        assert_eq!(CmAdmission::new().name(), "CM");
+        assert_eq!(OvocAdmission::new().name(), "OVOC");
+        assert_eq!(VcAdmission::new().name(), "VC");
+        assert_eq!(SecondNetAdmission::new().name(), "SecondNet");
+        assert_eq!(
+            CmAdmission::with_config(CmConfig::cm_ha(0.5), "CM+HA").name(),
+            "CM+HA"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::admission::{Admission, CmAdmission, OvocAdmission};
 use crate::events::{run_sim, SimConfig, SimResult};
-use crate::metrics::reprice_by_level;
+use crate::metrics::{reprice_by_level, PricedPlacement};
 use cm_core::cut::CutModel;
 use cm_core::model::VocModel;
 use cm_core::placement::{CmConfig, CmPlacer, RejectReason};
@@ -34,14 +34,16 @@ pub fn table1(pool: &TenantPool, seed: u64, bmax_kbps: u64) -> Vec<Table1Row> {
 
     // Fixed arrival sequence shared by both algorithms.
     let mut rng = StdRng::seed_from_u64(seed);
-    let sequence: Vec<usize> = (0..20_000).map(|_| rng.random_range(0..pool.len())).collect();
+    let sequence: Vec<usize> = (0..20_000)
+        .map(|_| rng.random_range(0..pool.len()))
+        .collect();
 
     // CM+TAG.
     let mut topo_cm = Topology::build(&spec);
     let mut placer = CmPlacer::new(CmConfig::cm());
     let mut cm_states = Vec::new();
     for &idx in &sequence {
-        match placer.place(&mut topo_cm, &pool.tenants()[idx]) {
+        match placer.place_tag(&mut topo_cm, &pool.tenants()[idx]) {
             Ok(st) => cm_states.push((st, idx)),
             Err(RejectReason::InsufficientSlots) => break,
             Err(RejectReason::InsufficientBandwidth) => {
@@ -50,16 +52,17 @@ pub fn table1(pool: &TenantPool, seed: u64, bmax_kbps: u64) -> Vec<Table1Row> {
         }
     }
     // Price CM's placement under TAG and under VOC.
-    let placements: Vec<(Vec<(NodeId, Vec<u32>)>, usize)> = cm_states
+    type Placements = Vec<(Vec<(NodeId, Vec<u32>)>, usize)>;
+    let placements: Placements = cm_states
         .iter()
         .map(|(st, idx)| (st.placement(&topo_cm), *idx))
         .collect();
     let vocs: Vec<VocModel> = pool.tenants().iter().map(VocModel::from_tag).collect();
-    let tag_deployments: Vec<(&[(NodeId, Vec<u32>)], &dyn CutModel)> = placements
+    let tag_deployments: Vec<PricedPlacement<'_>> = placements
         .iter()
         .map(|(p, idx)| (p.as_slice(), &pool.tenants()[*idx] as &dyn CutModel))
         .collect();
-    let voc_deployments: Vec<(&[(NodeId, Vec<u32>)], &dyn CutModel)> = placements
+    let voc_deployments: Vec<PricedPlacement<'_>> = placements
         .iter()
         .map(|(p, idx)| (p.as_slice(), &vocs[*idx] as &dyn CutModel))
         .collect();
@@ -87,11 +90,7 @@ pub fn table1(pool: &TenantPool, seed: u64, bmax_kbps: u64) -> Vec<Table1Row> {
 
     let row = |label: &'static str, v: &[u64]| Table1Row {
         label,
-        gbps: [
-            kbps_to_gbps(v[0]),
-            kbps_to_gbps(v[1]),
-            kbps_to_gbps(v[2]),
-        ],
+        gbps: [kbps_to_gbps(v[0]), kbps_to_gbps(v[1]), kbps_to_gbps(v[2])],
     };
     vec![
         row("CM+TAG", &cm_tag),
@@ -120,17 +119,10 @@ pub enum Algo {
 }
 
 impl Algo {
-    /// Display label.
+    /// Display label (the placer's canonical name).
     pub fn label(&self) -> &'static str {
         match self {
-            Algo::Cm(cfg) => match (cfg.colocate, cfg.balance, cfg.ha) {
-                (true, true, cm_core::placement::HaPolicy::None) => "CM",
-                (_, _, cm_core::placement::HaPolicy::Guaranteed { .. }) => "CM+HA",
-                (_, _, cm_core::placement::HaPolicy::Opportunistic { .. }) => "CM+oppHA",
-                (true, false, _) => "Coloc",
-                (false, true, _) => "Balance",
-                (false, false, _) => "FirstFit",
-            },
+            Algo::Cm(cfg) => cfg.label(),
             Algo::Ovoc => "OVOC",
         }
     }
@@ -229,29 +221,27 @@ pub fn ablation(pool: &TenantPool, base: &SimConfig) -> Vec<SimResult> {
 /// (we approximate "OVOC+HA" with CM's guaranteed policy on the balance
 /// path only, colocation off — Oktopus's own placement has no notion of
 /// anti-affinity, and the paper extended it the same way).
-pub fn ha_sweep(pool: &TenantPool, base: &SimConfig, rwcs_list: &[f64]) -> Vec<(f64, SimResult, SimResult)> {
+pub fn ha_sweep(
+    pool: &TenantPool,
+    base: &SimConfig,
+    rwcs_list: &[f64],
+) -> Vec<(f64, SimResult, SimResult)> {
     rwcs_list
         .iter()
         .map(|&r| {
             let cm = Algo::Cm(CmConfig::cm_ha(r));
             let mut adm = cm.admission();
             let cm_res = run_sim(base, pool, adm.as_mut());
-            let ovoc_ha = Algo::Cm(CmConfig {
+            let ovoc_ha_cfg = CmConfig {
                 colocate: false,
                 balance: false,
                 ha: cm_core::placement::HaPolicy::Guaranteed {
                     rwcs: r,
                     laa_level: 0,
                 },
-            });
-            let mut adm2 = Box::new(CmAdmission::with_config(
-                match ovoc_ha {
-                    Algo::Cm(c) => c,
-                    _ => unreachable!(),
-                },
-                "OVOC+HA",
-            ));
-            let ovoc_res = run_sim(base, pool, adm2.as_mut());
+            };
+            let mut adm2 = CmAdmission::with_config(ovoc_ha_cfg, "OVOC+HA");
+            let ovoc_res = run_sim(base, pool, &mut adm2);
             (r * 100.0, cm_res, ovoc_res)
         })
         .collect()

@@ -18,8 +18,9 @@
 //! from the pool, fixed mean dwell time `T_d`, and arrival rate `λ` solved
 //! from the target load.
 //!
-//! [`Admission`] erases the differences between the CloudMirror placer and
-//! the baselines so one event loop drives them all.
+//! One generic [`PlacerAdmission`] adapter lifts any `cm-core`
+//! [`Placer`](cm_core::placement::Placer) — CloudMirror or baseline — into
+//! the event loop, so a single simulator drives them all.
 
 pub mod admission;
 pub mod events;
@@ -27,7 +28,8 @@ pub mod experiments;
 pub mod metrics;
 
 pub use admission::{
-    Admission, CmAdmission, Deployed, OvocAdmission, SecondNetAdmission, VcAdmission,
+    Admission, CmAdmission, Deployed, OvocAdmission, PlacerAdmission, SecondNetAdmission,
+    VcAdmission,
 };
 pub use events::{run_sim, SimConfig, SimResult};
 pub use metrics::{reprice_by_level, RejectionCounts, WcsStats};

@@ -120,17 +120,17 @@ impl WcsAccumulator {
     }
 }
 
+/// One tenant to re-price: its per-server tier counts plus the pricing
+/// model to apply (see [`reprice_by_level`]).
+pub type PricedPlacement<'a> = (&'a [(NodeId, Vec<u32>)], &'a dyn CutModel);
+
 /// Re-price a set of placements under an arbitrary model and aggregate the
 /// required uplink bandwidth per topology level (outgoing + incoming).
 ///
 /// This implements Table 1's "CM+VOC" row: take the placement produced by
 /// CM+TAG and report what it would cost if the tenants were *modeled* with
-/// VOC. Each element of `deployments` is one tenant: its per-server tier
-/// counts plus the pricing model to use.
-pub fn reprice_by_level(
-    topo: &Topology,
-    deployments: &[(&[(NodeId, Vec<u32>)], &dyn CutModel)],
-) -> Vec<Kbps> {
+/// VOC.
+pub fn reprice_by_level(topo: &Topology, deployments: &[PricedPlacement<'_>]) -> Vec<Kbps> {
     let mut per_level = vec![0u64; topo.num_levels()];
     for (placement, model) in deployments {
         // Accumulate per-node inside counts bottom-up.

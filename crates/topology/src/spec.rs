@@ -132,7 +132,7 @@ impl TreeSpec {
         if self.fanout_top_down.is_empty() {
             return Err("tree must have at least one switch level".into());
         }
-        if self.fanout_top_down.iter().any(|&f| f == 0) {
+        if self.fanout_top_down.contains(&0) {
             return Err("all fanouts must be >= 1".into());
         }
         if self.uplink_kbps.len() != self.fanout_top_down.len() {

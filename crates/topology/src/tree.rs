@@ -706,10 +706,7 @@ mod tests {
         t.adjust_uplink(s1, 2000, 700).unwrap();
         assert_eq!(t.reserved_at_level(0), (3000, 1200));
         assert_eq!(t.reserved_at_level(1), (0, 0));
-        assert_eq!(
-            t.capacity_at_level(0),
-            2048 * gbps(10.0)
-        );
+        assert_eq!(t.capacity_at_level(0), 2048 * gbps(10.0));
     }
 
     #[test]
@@ -718,7 +715,10 @@ mod tests {
         assert_eq!(t.num_levels(), 2);
         assert_eq!(t.servers().len(), 4);
         assert_eq!(t.slots_total(t.servers()[0]), 2);
-        assert_eq!(t.uplink_capacity(t.servers()[0]), Some((mbps(10.0), mbps(10.0))));
+        assert_eq!(
+            t.uplink_capacity(t.servers()[0]),
+            Some((mbps(10.0), mbps(10.0)))
+        );
     }
 
     #[test]

@@ -6,14 +6,7 @@ use cm_topology::Kbps;
 /// The three-tier web application of Fig. 2(a): `web -- B1 -- logic -- B2 --
 /// db`, with `B3` of database-consistency traffic inside the db tier.
 /// All inter-tier edges are symmetric (footnote 6 shorthand).
-pub fn three_tier(
-    n_web: u32,
-    n_logic: u32,
-    n_db: u32,
-    b1: Kbps,
-    b2: Kbps,
-    b3: Kbps,
-) -> Tag {
+pub fn three_tier(n_web: u32, n_logic: u32, n_db: u32, b1: Kbps, b2: Kbps, b3: Kbps) -> Tag {
     let mut b = TagBuilder::new("three-tier");
     let web = b.tier("web", n_web);
     let logic = b.tier("logic", n_logic);

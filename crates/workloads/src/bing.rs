@@ -289,6 +289,6 @@ mod tests {
     fn sizes_range_one_to_few_hundred() {
         let pool = bing_like_pool(3);
         let min = pool.tenants().iter().map(|t| t.total_vms()).min().unwrap();
-        assert!(min >= 1 && min <= 20);
+        assert!((1..=20).contains(&min));
     }
 }

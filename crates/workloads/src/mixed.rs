@@ -62,7 +62,11 @@ mod tests {
         assert_eq!(s.count, 60);
         // Web services (5 edges incl. sym pairs) and batch (1 self-loop)
         // both present.
-        let webs = pool.tenants().iter().filter(|t| t.edges().len() >= 4).count();
+        let webs = pool
+            .tenants()
+            .iter()
+            .filter(|t| t.edges().len() >= 4)
+            .count();
         let batch = pool
             .tenants()
             .iter()

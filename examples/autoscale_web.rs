@@ -21,7 +21,7 @@ fn main() {
     // Deploy at the initial size: 4 web, 8 logic, 4 db.
     let tag = apps::three_tier(4, 8, 4, mbps(300.0), mbps(100.0), mbps(50.0));
     let web = TierId(0);
-    let mut deployment = placer.place(&mut topo, &tag).expect("fits");
+    let mut deployment = placer.place_tag(&mut topo, &tag).expect("fits");
 
     println!("auto-scaling the web tier of a LIVE deployment:\n");
     println!(
@@ -34,7 +34,9 @@ fn main() {
             .expect("scaling fits");
         deployment.check_consistency(&topo).expect("ledger exact");
         // What a pipe model would need at this size.
-        let pipes = PipeModel::from_tag_idealized(deployment.model()).pipes().len();
+        let pipes = PipeModel::from_tag_idealized(deployment.model())
+            .pipes()
+            .len();
         println!(
             "{:>8} | {:>10} | {:>12} | {:>14} | {:>12} | {:>14.0}",
             target,

@@ -41,7 +41,10 @@ fn main() {
     // Pipeline: features -> similarity -> Louvain -> AMI -> TAG.
     let sim = feature_similarity(&trace);
     let labels = louvain(trace.num_vms(), &sim);
-    let clusters = labels.iter().collect::<std::collections::HashSet<_>>().len();
+    let clusters = labels
+        .iter()
+        .collect::<std::collections::HashSet<_>>()
+        .len();
     let ami = adjusted_mutual_information(&labels, &truth_labels);
     println!("\ninferred {clusters} components; AMI vs ground truth = {ami:.2}");
     println!("(the paper reports mean AMI 0.54 on the real bing.com dataset)");

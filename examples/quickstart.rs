@@ -41,7 +41,7 @@ fn main() {
 
     // 3. Deploy with CloudMirror.
     let mut placer = CmPlacer::new(CmConfig::cm());
-    let mut deployment = placer.place(&mut topo, &tag).expect("tenant fits");
+    let mut deployment = placer.place_tag(&mut topo, &tag).expect("tenant fits");
     println!("\nplacement (server -> VMs per tier):");
     for (server, counts) in deployment.placement(&topo) {
         let named: Vec<String> = counts
@@ -72,7 +72,11 @@ fn main() {
     let wcs = deployment.wcs_at_level(&topo, 0);
     for (t, w) in wcs.iter().enumerate() {
         if let Some(w) = w {
-            println!("tier '{}' worst-case survivability: {:.0}%", tag.tiers()[t].name, w * 100.0);
+            println!(
+                "tier '{}' worst-case survivability: {:.0}%",
+                tag.tiers()[t].name,
+                w * 100.0
+            );
         }
     }
 

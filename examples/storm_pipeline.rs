@@ -27,7 +27,7 @@ fn main() {
     // Deploy with CloudMirror (TAG pricing)...
     let mut topo_cm = Topology::build(&spec);
     let mut cm = CmPlacer::new(CmConfig::cm());
-    let cm_state = cm.place(&mut topo_cm, &tag).expect("fits");
+    let cm_state = cm.place_tag(&mut topo_cm, &tag).expect("fits");
     let (cm_tor_up, cm_tor_dn) = topo_cm.reserved_at_level(1);
 
     // ... and with improved Oktopus (VOC pricing).

@@ -14,6 +14,12 @@
 //!   saving bandwidth by provably-beneficial colocation while balancing
 //!   slot/bandwidth utilization and (optionally) guaranteeing worst-case
 //!   survivability ([`core::placement::CmPlacer`]);
+//! * a **unified placement engine**: every algorithm here — CloudMirror,
+//!   its ablations, and all baselines — implements the
+//!   [`core::placement::Placer`] trait, stages changes through the
+//!   transactional [`core::txn::ReservationTxn`], and yields the same
+//!   [`core::placement::Deployed`] handle, so the simulator, the figure
+//!   harnesses and the benches drive them interchangeably;
 //! * a **runtime enforcement** layer — an ElasticSwitch-style guarantee
 //!   partitioner with the paper's TAG patch, over a fluid max-min network
 //!   ([`enforce`]).
@@ -43,5 +49,8 @@ pub use cm_topology as topology;
 pub use cm_workloads as workloads;
 
 // Convenience re-exports of the items almost every user touches.
-pub use cm_core::{CmConfig, CmPlacer, CutModel, HaPolicy, RejectReason, Tag, TagBuilder, TierId};
+pub use cm_core::{
+    CmConfig, CmPlacer, CutModel, Deployed, HaPolicy, Placer, RejectReason, ReservationTxn, Tag,
+    TagBuilder, TierId,
+};
 pub use cm_topology::{gbps, mbps, Kbps, Topology, TreeSpec};

@@ -55,10 +55,7 @@ fn arb_tag() -> impl Strategy<Value = Tag> {
 fn arb_tag_and_cut() -> impl Strategy<Value = (Tag, Vec<u32>)> {
     arb_tag().prop_flat_map(|tag| {
         let sizes = tag.placeable_counts();
-        let inside: Vec<BoxedStrategy<u32>> = sizes
-            .iter()
-            .map(|&s| (0..=s).boxed())
-            .collect();
+        let inside: Vec<BoxedStrategy<u32>> = sizes.iter().map(|&s| (0..=s).boxed()).collect();
         (Just(tag), inside)
     })
 }

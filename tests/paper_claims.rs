@@ -88,12 +88,12 @@ fn fig6_balance_is_necessary() {
     let tag = apps::fig6_request();
     let mut topo = Topology::build(&TreeSpec::fig6_rack());
     let mut cm = CmPlacer::new(CmConfig::cm());
-    assert!(cm.place(&mut topo, &tag).is_ok(), "Fig. 6(d) must fit");
+    assert!(cm.place_tag(&mut topo, &tag).is_ok(), "Fig. 6(d) must fit");
 
     let mut topo = Topology::build(&TreeSpec::fig6_rack());
     let mut coloc_only = CmPlacer::new(CmConfig::coloc_only());
     assert!(
-        coloc_only.place(&mut topo, &tag).is_err(),
+        coloc_only.place_tag(&mut topo, &tag).is_err(),
         "blind colocation strands component C (Fig. 6(c))"
     );
 }
@@ -115,34 +115,55 @@ fn fig13_protection() {
 #[test]
 fn ha_variants_behave_as_figs_11_12() {
     let pool = mixed_pool(3);
-    let cfg = SimConfig {
-        seed: 2,
-        arrivals: 400,
-        load: 0.7,
-        td_mean: 100.0,
-        bmax_kbps: mbps(200.0),
-        spec: TreeSpec::small(2, 4, 8, 8, [mbps(1000.0), mbps(4000.0), mbps(8000.0)]),
-        wcs_level: 0,
-    };
-    let cm = run_sim(&cfg, &pool, &mut CmAdmission::new());
-    let ha = run_sim(
-        &cfg,
-        &pool,
-        &mut CmAdmission::with_config(CmConfig::cm_ha(0.5), "CM+HA"),
+    // The WCS orderings are stable per seed; the opp-vs-CM rejection
+    // comparison is noisy at 400 arrivals, so it is asserted on the mean
+    // over several sim seeds (as the paper's claim is statistical).
+    let seeds = [1u64, 2, 3, 4, 5, 6];
+    let mut cm_bw_sum = 0.0;
+    let mut opp_bw_sum = 0.0;
+    for seed in seeds {
+        let cfg = SimConfig {
+            seed,
+            arrivals: 400,
+            load: 0.7,
+            td_mean: 100.0,
+            bmax_kbps: mbps(200.0),
+            spec: TreeSpec::small(2, 4, 8, 8, [mbps(1000.0), mbps(4000.0), mbps(8000.0)]),
+            wcs_level: 0,
+        };
+        let cm = run_sim(&cfg, &pool, &mut CmAdmission::new());
+        let ha = run_sim(
+            &cfg,
+            &pool,
+            &mut CmAdmission::with_config(CmConfig::cm_ha(0.5), "CM+HA"),
+        );
+        let opp = run_sim(
+            &cfg,
+            &pool,
+            &mut CmAdmission::with_config(CmConfig::cm_opp_ha(), "CM+oppHA"),
+        );
+        // Guarantee: every measured component survives at the 50% floor
+        // (up to the 1/N granularity of small tiers, handled by Eq. 7's
+        // max(1,·)).
+        assert!(
+            ha.wcs.min >= 0.5 - 0.26,
+            "seed {seed}: min WCS {}",
+            ha.wcs.min
+        );
+        assert!(ha.wcs.mean > cm.wcs.mean, "seed {seed}");
+        // Opportunistic: better WCS than plain CM at every seed.
+        assert!(opp.wcs.mean > cm.wcs.mean, "seed {seed}");
+        cm_bw_sum += cm.rejections.bw_rate();
+        opp_bw_sum += opp.rejections.bw_rate();
+    }
+    // ... and rejections no worse than plain CM's on average.
+    let n = seeds.len() as f64;
+    assert!(
+        opp_bw_sum / n <= cm_bw_sum / n + 0.01,
+        "opp mean {} vs cm mean {}",
+        opp_bw_sum / n,
+        cm_bw_sum / n
     );
-    let opp = run_sim(
-        &cfg,
-        &pool,
-        &mut CmAdmission::with_config(CmConfig::cm_opp_ha(), "CM+oppHA"),
-    );
-    // Guarantee: every measured component survives at the 50% floor
-    // (up to the 1/N granularity of small tiers, handled by Eq. 7's max(1,·)).
-    assert!(ha.wcs.min >= 0.5 - 0.26, "min WCS {}", ha.wcs.min);
-    assert!(ha.wcs.mean > cm.wcs.mean);
-    // Opportunistic: better WCS than plain CM, rejections no worse than
-    // plain CM's.
-    assert!(opp.wcs.mean > cm.wcs.mean);
-    assert!(opp.rejections.bw_rate() <= cm.rejections.bw_rate() + 0.01);
 }
 
 /// §5.1: "experiments using a synthetic workload ... and experiments using
@@ -150,10 +171,7 @@ fn ha_variants_behave_as_figs_11_12() {
 /// ordering must hold on every pool, not just bing.
 #[test]
 fn table1_ordering_holds_on_all_pools() {
-    for pool in [
-        cloudmirror::workloads::hpcloud_like_pool(7),
-        mixed_pool(7),
-    ] {
+    for pool in [cloudmirror::workloads::hpcloud_like_pool(7), mixed_pool(7)] {
         let rows = table1(&pool, 3, mbps(300.0));
         let (tag, voc) = (&rows[0], &rows[1]);
         for l in 0..3 {
@@ -177,18 +195,18 @@ fn pipes_price_below_tag_on_deployments() {
     let spec = TreeSpec::small(2, 2, 4, 4, [mbps(1000.0), mbps(2000.0), mbps(4000.0)]);
     let mut topo = Topology::build(&spec);
     let mut cm = CmPlacer::new(CmConfig::cm());
-    let state = cm.place(&mut topo, &tag).unwrap();
+    let state = cm.place_tag(&mut topo, &tag).unwrap();
     let pipe = cloudmirror::core::model::PipeModel::from_tag_idealized(&tag);
     // Price every server cut both ways.
     for (server, counts) in state.placement(&topo) {
         let mut pipe_inside = Vec::new();
         // Reconstruct a consistent per-VM membership: first-k of each tier
         // on this server is a valid relabeling for cut pricing.
-        let mut offsets = vec![0u32; 3];
+        let mut offsets = [0u32; 3];
         let mut acc = 0;
-        for t in 0..3 {
-            offsets[t] = acc;
-            acc += tag.tiers()[t].size;
+        for (off, tier) in offsets.iter_mut().zip(tag.tiers()) {
+            *off = acc;
+            acc += tier.size;
         }
         let mut member = vec![0u32; acc as usize];
         for (t, &c) in counts.iter().enumerate() {

@@ -4,12 +4,25 @@
 //! pristine state. Driven by proptest over random tenant batches.
 
 use cloudmirror::baselines::{OktopusVcPlacer, OvocPlacer, SecondNetPlacer};
+use cloudmirror::core::placement::Placer;
 use cloudmirror::workloads::{apps, mixed_pool};
 use cloudmirror::{mbps, CmConfig, CmPlacer, Topology, TreeSpec};
 use proptest::prelude::*;
 
 fn small_spec() -> TreeSpec {
     TreeSpec::small(2, 2, 4, 4, [mbps(1_000.0), mbps(2_000.0), mbps(4_000.0)])
+}
+
+/// Exact resource snapshot of the whole tree: free slots per subtree and
+/// the used bandwidth of every uplink.
+fn full_snapshot(topo: &Topology) -> Vec<(u64, Option<(u64, u64)>)> {
+    let mut snap = Vec::new();
+    for level in 0..topo.num_levels() {
+        for &n in topo.nodes_at_level(level) {
+            snap.push((topo.subtree_slots_free(n), topo.uplink_used(n)));
+        }
+    }
+    snap
 }
 
 /// Strategy: a batch of (pool index, release order hint) actions.
@@ -29,7 +42,7 @@ proptest! {
         let mut live = Vec::new();
         for (idx, release_one) in batch {
             let tag = &pool.tenants()[idx];
-            if let Ok(state) = placer.place(&mut topo, tag) {
+            if let Ok(state) = placer.place_tag(&mut topo, tag) {
                 state.check_consistency(&topo).expect("tenant ledger consistent");
                 live.push(state);
             }
@@ -58,7 +71,7 @@ proptest! {
         let mut live = Vec::new();
         for (idx, _) in batch {
             let tag = &pool.tenants()[idx];
-            if let Ok(state) = placer.place(&mut topo, tag) {
+            if let Ok(state) = placer.place_tag(&mut topo, tag) {
                 // Eq. 7: no fault domain holds more than the cap.
                 for (server, counts) in state.placement(&topo) {
                     let _ = server;
@@ -112,6 +125,64 @@ fn baseline_placers_release_cleanly() {
     }
 }
 
+/// The cross-placer conservation invariant: for **every** `Placer` impl,
+/// place-then-release on a shared topology — with a live background tenant
+/// making the prior state nontrivial — restores all link reservations and
+/// slot counters exactly. One test catches commit/rollback bugs of the
+/// shared transaction engine for all algorithms at once.
+#[test]
+fn place_then_release_conserves_resources_for_every_placer() {
+    let spec = small_spec();
+    let mut topo = Topology::build(&spec);
+    let mut background = CmPlacer::new(CmConfig::cm());
+    let mut bg = background
+        .place_tag(
+            &mut topo,
+            &apps::three_tier(2, 2, 2, mbps(60.0), mbps(25.0), mbps(10.0)),
+        )
+        .expect("background tenant fits");
+    let before = full_snapshot(&topo);
+
+    let mut placers: Vec<Box<dyn Placer>> = vec![
+        Box::new(CmPlacer::new(CmConfig::cm())),
+        Box::new(CmPlacer::new(CmConfig::coloc_only())),
+        Box::new(CmPlacer::new(CmConfig::balance_only())),
+        Box::new(CmPlacer::new(CmConfig::cm_ha(0.5))),
+        Box::new(CmPlacer::new(CmConfig::cm_opp_ha())),
+        Box::new(OvocPlacer::new()),
+        Box::new(OktopusVcPlacer::new()),
+        Box::new(SecondNetPlacer::new()),
+    ];
+    let tags = [
+        apps::three_tier(3, 3, 2, mbps(50.0), mbps(20.0), mbps(10.0)),
+        apps::mapreduce(9, mbps(15.0)),
+        // Over-demanding: must bounce, also without leaving a trace.
+        apps::three_tier(6, 6, 6, mbps(900.0), mbps(1.0), 0),
+    ];
+    for p in placers.iter_mut() {
+        for tag in &tags {
+            if let Ok(d) = p.place(&mut topo, tag) {
+                d.check_consistency(&topo)
+                    .unwrap_or_else(|e| panic!("{}: inconsistent ledger: {e}", p.name()));
+                d.release(&mut topo);
+            }
+            assert_eq!(
+                full_snapshot(&topo),
+                before,
+                "{} leaked slots or bandwidth",
+                p.name()
+            );
+            topo.check_invariants().expect("topology invariants");
+        }
+    }
+
+    bg.clear(&mut topo);
+    assert_eq!(topo.subtree_slots_free(topo.root()), spec.total_slots());
+    for l in 0..topo.num_levels() {
+        assert_eq!(topo.reserved_at_level(l), (0, 0));
+    }
+}
+
 #[test]
 fn rejection_leaves_zero_trace_under_pressure() {
     // Fill the datacenter almost completely, then bounce oversized and
@@ -121,16 +192,16 @@ fn rejection_leaves_zero_trace_under_pressure() {
     let mut topo = Topology::build(&spec);
     let mut placer = CmPlacer::new(CmConfig::cm());
     let filler = apps::mapreduce(48, mbps(20.0));
-    let _live = placer.place(&mut topo, &filler).unwrap();
+    let _live = placer.place_tag(&mut topo, &filler).unwrap();
     let before_slots = topo.subtree_slots_free(topo.root());
     let before: Vec<_> = (0..topo.num_levels())
         .map(|l| topo.reserved_at_level(l))
         .collect();
     for tag in [
-        apps::mapreduce(17, mbps(10.0)),                       // slots
+        apps::mapreduce(17, mbps(10.0)),                      // slots
         apps::three_tier(6, 6, 6, mbps(900.0), mbps(1.0), 0), // bandwidth
     ] {
-        assert!(placer.place(&mut topo, &tag).is_err());
+        assert!(placer.place_tag(&mut topo, &tag).is_err());
         assert_eq!(topo.subtree_slots_free(topo.root()), before_slots);
         let after: Vec<_> = (0..topo.num_levels())
             .map(|l| topo.reserved_at_level(l))

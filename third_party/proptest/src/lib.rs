@@ -1,0 +1,431 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `boxed`, tuple and `Vec` composition, [`Just`],
+//! `any::<T>()`, `prop::collection::vec`, `prop::sample::select`, the
+//! [`proptest!`] macro, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal implementation (see the workspace README). Each
+//! property runs the configured number of cases against a deterministic
+//! per-test RNG; failures panic with the offending assertion. There is no
+//! shrinking and no persisted failure seeds — swap the
+//! `[workspace.dependencies]` entry back to the crates.io `proptest` for
+//! those; no test code needs to change.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Create an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample empty range");
+        self.next_u64() % n
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a second strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+trait DynSample<T> {
+    fn dyn_sample(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynSample<S::Value> for S {
+    fn dyn_sample(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// Type-erased strategy (output of [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn DynSample<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_sample(rng)
+    }
+}
+
+/// A strategy that always yields the given value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                (self.start as u128 + rng.below(span) as u128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128 - lo as u128 + 1).min(u64::MAX as u128) as u64;
+                (lo as u128 + rng.below(span) as u128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+/// Types usable with [`any`].
+pub trait Arbitrary {
+    /// Build a uniform value from 64 random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Arbitrary for u32 {
+    fn from_bits(bits: u64) -> u32 {
+        bits as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Arbitrary for usize {
+    fn from_bits(bits: u64) -> usize {
+        bits as usize
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::from_bits(rng.next_u64())
+    }
+}
+
+/// A uniform strategy over every value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy combinator modules (`prop::collection`, `prop::sample`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Element count for [`vec`].
+        pub struct SizeRange {
+            lo: usize,
+            hi_incl: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi_incl: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi_incl: *r.end(),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi_incl: n }
+            }
+        }
+
+        /// Output of [`vec`].
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi_incl - self.size.lo + 1) as u64;
+                let len = self.size.lo + (rng.next_u64() % span) as usize;
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+
+        /// A strategy for vectors of `elem` with a length in `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Sampling from fixed option sets.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Output of [`select`].
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                let i = (rng.next_u64() % self.options.len() as u64) as usize;
+                self.options[i].clone()
+            }
+        }
+
+        /// A strategy that picks uniformly from `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select { options }
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop, Any, BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert inside a property (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` against sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut seed: u64 = 0x70726f70_7465_7374;
+            for b in stringify!($name).bytes() {
+                seed = seed.wrapping_mul(31).wrapping_add(b as u64);
+            }
+            let mut rng = $crate::TestRng::new(seed);
+            let strat = ($($strat,)+);
+            for _case in 0..config.cases {
+                let ($($arg,)+) = $crate::Strategy::sample(&strat, &mut rng);
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples_compose((a, b) in (0u32..10, 5usize..=6), flag in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!(b == 5 || b == 6);
+            let _ = flag;
+        }
+
+        #[test]
+        fn collections_and_select(v in prop::collection::vec(1u32..4, 2..5), x in prop::sample::select(vec![7u8, 9])) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| (1..4).contains(&e)));
+            prop_assert!(x == 7 || x == 9);
+        }
+    }
+
+    #[test]
+    fn map_flat_map_boxed_chain() {
+        let strat = (1u32..5)
+            .prop_map(|n| n * 2)
+            .prop_flat_map(|n| (Just(n), (0u32..=n).boxed()));
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..100 {
+            let (n, k) = strat.sample(&mut rng);
+            assert!(n % 2 == 0 && k <= n);
+        }
+    }
+}
