@@ -57,10 +57,14 @@ impl OvocPlacer {
         order.sort_by_key(|&c| std::cmp::Reverse(weight(c)));
 
         let mut state = TenantState::new(model);
+        // Reusable probe buffer for the exact-cut feasibility check below —
+        // the inner loop stays allocation-free at steady state, like the
+        // CloudMirror placer's scratch pools.
+        let mut counts_buf: Vec<u32> = Vec::new();
         search_and_place(topo, &mut state, total_vms, ext, 0, |txn, st| {
             for &c in &order {
                 let size = txn.state().model().tier_size(c);
-                if alloc_cluster(txn, c, size, st) < size {
+                if alloc_cluster(txn, c, size, st, &mut counts_buf) < size {
                     return false;
                 }
             }
@@ -91,13 +95,14 @@ fn alloc_cluster(
     c: usize,
     remaining: u32,
     node: NodeId,
+    counts_buf: &mut Vec<u32>,
 ) -> u32 {
     if remaining == 0 {
         return 0;
     }
     let sp = txn.savepoint();
     let placed = if txn.topo().is_server(node) {
-        let k = max_feasible_on_server(txn.topo(), txn.state(), c, remaining, node);
+        let k = max_feasible_on_server(txn.topo(), txn.state(), c, remaining, node, counts_buf);
         if k == 0 {
             return 0;
         }
@@ -119,7 +124,7 @@ fn alloc_cluster(
             if placed == remaining {
                 break;
             }
-            placed += alloc_cluster(txn, c, remaining - placed, ch);
+            placed += alloc_cluster(txn, c, remaining - placed, ch, counts_buf);
         }
         placed
     };
@@ -146,6 +151,7 @@ fn max_feasible_on_server(
     c: usize,
     remaining: u32,
     server: NodeId,
+    counts_buf: &mut Vec<u32>,
 ) -> u32 {
     let free = topo.slots_free(server);
     let mut k = remaining.min(free);
@@ -166,9 +172,9 @@ fn max_feasible_on_server(
     // a full cluster on one server costs zero): if the whole remainder fits
     // by slots, test it against the exact cut delta.
     if k < remaining && remaining <= free {
-        let mut counts = state.inside_counts(server).into_owned();
-        counts[c] += remaining;
-        let (want_out, want_in) = state.model().cut_kbps(&counts);
+        state.fill_inside_counts(server, counts_buf);
+        counts_buf[c] += remaining;
+        let (want_out, want_in) = state.model().cut_kbps(counts_buf);
         let (have_out, have_in) = state.reserved_on(server);
         if want_out.saturating_sub(have_out) <= au && want_in.saturating_sub(have_in) <= ad {
             return remaining;

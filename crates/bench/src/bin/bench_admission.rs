@@ -1,0 +1,274 @@
+//! Admission-throughput macro-benchmark: run the paper-default simulation
+//! for every placer and record arrivals/sec plus per-placement latency
+//! percentiles into `BENCH_placement.json` — the workspace's performance
+//! trajectory artifact.
+//!
+//! Beyond the six production placers, the benchmark also runs CloudMirror
+//! on the pre-descend **linear-scan reference** search
+//! ([`SearchStrategy::LinearReference`]), so every report carries its own
+//! before/after comparison on the same machine; the `pre_change_baseline`
+//! block additionally records the numbers measured at the commit before
+//! the descend-search/allocation-free rewrite landed.
+//!
+//! Modes: default 2,000 arrivals; `--full` the paper's 10,000; `--quick`
+//! a 300-arrival CI smoke run. Throughput entries for CloudMirror run
+//! `REPS` repetitions and report the median to damp machine noise.
+
+use cm_baselines::{OktopusVcPlacer, OvocPlacer, SecondNetPlacer};
+use cm_bench::print_table;
+use cm_core::placement::{CmConfig, CmPlacer, Placer, SearchStrategy};
+use cm_sim::admission::PlacerAdmission;
+use cm_sim::events::run_sim_timed;
+use cm_sim::SimConfig;
+use cm_workloads::{bing_like_pool, TenantPool};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct BenchRow {
+    name: String,
+    arrivals: usize,
+    admitted: usize,
+    wall_secs: f64,
+    admit_secs: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+impl BenchRow {
+    fn arrivals_per_sec(&self) -> f64 {
+        self.arrivals as f64 / self.wall_secs
+    }
+}
+
+fn bench_one<P: Placer>(
+    make: impl Fn() -> P,
+    base: &SimConfig,
+    pool: &TenantPool,
+    scale: f64,
+    reps: usize,
+) -> BenchRow {
+    let mut cfg = base.clone();
+    cfg.arrivals = ((cfg.arrivals as f64 * scale) as usize).max(50);
+    let mut rows: Vec<BenchRow> = (0..reps.max(1))
+        .map(|_| {
+            let placer = make();
+            let name = placer.name().to_string();
+            let mut adm = PlacerAdmission::from_placer(placer);
+            let t0 = Instant::now();
+            let (res, timings) = run_sim_timed(&cfg, pool, &mut adm);
+            let wall = t0.elapsed().as_secs_f64();
+            BenchRow {
+                name,
+                arrivals: cfg.arrivals,
+                admitted: res.rejections.arrivals - res.rejections.rejected_tenants,
+                wall_secs: wall,
+                admit_secs: timings.total_secs(),
+                p50_us: timings.quantile_secs(0.5).unwrap_or(0.0) * 1e6,
+                p99_us: timings.quantile_secs(0.99).unwrap_or(0.0) * 1e6,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| a.wall_secs.partial_cmp(&b.wall_secs).expect("finite"));
+    rows.swap_remove(rows.len() / 2) // median by wall time
+}
+
+/// Pre-change throughput (arrivals/sec) measured with this same harness at
+/// the commit preceding the descend-search + allocation-free hot path
+/// (linear `find_lowest_subtree`, deep-cloned models, per-call scratch),
+/// on the same bing-like pool and paper datacenter. Only the default
+/// (2,000-arrival) and `--full` (10,000-arrival) workloads were measured;
+/// `--quick` has no like-for-like baseline and reports none.
+fn pre_change_baseline(quick: bool, full: bool) -> Option<&'static [(&'static str, f64)]> {
+    if quick {
+        None
+    } else if full {
+        Some(&[
+            ("CM", 4609.0),
+            ("Coloc", 5157.6),
+            ("Balance", 25546.6),
+            ("OVOC", 18018.7),
+            ("VC", 17207.0),
+            ("SecondNet", 669.1),
+        ])
+    } else {
+        Some(&[
+            ("CM", 10175.9),
+            ("Coloc", 2084.9),
+            ("Balance", 26655.3),
+            ("OVOC", 23910.0),
+            ("VC", 14789.6),
+            ("SecondNet", 794.7),
+        ])
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let full = std::env::args().any(|a| a == "--full");
+    let mut cfg = SimConfig::paper_default();
+    cfg.arrivals = if quick {
+        300
+    } else if full {
+        10_000
+    } else {
+        2_000
+    };
+    let reps = if quick { 1 } else { 3 };
+    let pool = bing_like_pool(42);
+
+    // SecondNet is orders of magnitude slower (paper §5.1), so it gets a
+    // slice of the arrival count.
+    let rows = [
+        bench_one(|| CmPlacer::new(CmConfig::cm()), &cfg, &pool, 1.0, reps),
+        bench_one(
+            || {
+                CmPlacer::named(CmConfig::cm(), "CM (linear-scan reference)")
+                    .with_search_strategy(SearchStrategy::LinearReference)
+            },
+            &cfg,
+            &pool,
+            1.0,
+            reps,
+        ),
+        bench_one(
+            || CmPlacer::new(CmConfig::coloc_only()),
+            &cfg,
+            &pool,
+            1.0,
+            1,
+        ),
+        bench_one(
+            || CmPlacer::new(CmConfig::balance_only()),
+            &cfg,
+            &pool,
+            1.0,
+            1,
+        ),
+        bench_one(OvocPlacer::new, &cfg, &pool, 1.0, 1),
+        bench_one(OktopusVcPlacer::new, &cfg, &pool, 1.0, 1),
+        bench_one(SecondNetPlacer::new, &cfg, &pool, 0.05, 1),
+    ];
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.arrivals.to_string(),
+                r.admitted.to_string(),
+                format!("{:.2}", r.wall_secs),
+                format!("{:.1}", r.arrivals_per_sec()),
+                format!("{:.1}", r.p50_us),
+                format!("{:.1}", r.p99_us),
+            ]
+        })
+        .collect();
+    print_table(
+        "Admission throughput (paper datacenter, bing-like pool)",
+        &[
+            "placer",
+            "arrivals",
+            "admitted",
+            "wall (s)",
+            "arrivals/s",
+            "p50 (us)",
+            "p99 (us)",
+        ],
+        &table,
+    );
+
+    let cm = &rows[0];
+    let cm_ref = &rows[1];
+    let baseline = pre_change_baseline(quick, full);
+    let baseline_cm = baseline.map(|b| {
+        b.iter()
+            .find(|(n, _)| *n == "CM")
+            .map(|&(_, v)| v)
+            .expect("baseline has CM")
+    });
+    match baseline_cm {
+        Some(base) => println!(
+            "\nCM admission: {:.0} arrivals/s — {:.2}x vs in-binary linear-scan \
+             reference ({:.0}/s), {:.2}x vs pre-change baseline ({:.0}/s).",
+            cm.arrivals_per_sec(),
+            cm.arrivals_per_sec() / cm_ref.arrivals_per_sec(),
+            cm_ref.arrivals_per_sec(),
+            cm.arrivals_per_sec() / base,
+            base,
+        ),
+        None => println!(
+            "\nCM admission: {:.0} arrivals/s — {:.2}x vs in-binary linear-scan \
+             reference ({:.0}/s); no pre-change baseline for --quick.",
+            cm.arrivals_per_sec(),
+            cm.arrivals_per_sec() / cm_ref.arrivals_per_sec(),
+            cm_ref.arrivals_per_sec(),
+        ),
+    }
+
+    // ------------------------------------------------------------------
+    // BENCH_placement.json
+    // ------------------------------------------------------------------
+    let mut json = String::new();
+    let mode = if quick {
+        "quick"
+    } else if full {
+        "full"
+    } else {
+        "default"
+    };
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"bench_admission\",");
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(json, "  \"datacenter\": \"paper_2048_servers\",");
+    let _ = writeln!(json, "  \"pool\": \"bing_like_seed42\",");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"placer\": \"{}\", \"arrivals\": {}, \"admitted\": {}, \
+             \"wall_secs\": {:.4}, \"arrivals_per_sec\": {:.1}, \
+             \"admit_secs\": {:.4}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}{comma}",
+            r.name,
+            r.arrivals,
+            r.admitted,
+            r.wall_secs,
+            r.arrivals_per_sec(),
+            r.admit_secs,
+            r.p50_us,
+            r.p99_us,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"speedup_vs_linear_reference\": {:.2},",
+        cm.arrivals_per_sec() / cm_ref.arrivals_per_sec()
+    );
+    match (baseline, baseline_cm) {
+        (Some(baseline), Some(base)) => {
+            let _ = writeln!(
+                json,
+                "  \"speedup_vs_pre_change\": {:.2},",
+                cm.arrivals_per_sec() / base
+            );
+            let _ = writeln!(json, "  \"pre_change_baseline\": {{");
+            let _ = writeln!(
+                json,
+                "    \"note\": \"arrivals/sec measured with this harness at the commit before the descend-search + allocation-free hot path (same machine, same pool, same arrival count)\","
+            );
+            for (i, (n, v)) in baseline.iter().enumerate() {
+                let comma = if i + 1 < baseline.len() { "," } else { "" };
+                let _ = writeln!(json, "    \"{n}\": {v:.1}{comma}");
+            }
+            let _ = writeln!(json, "  }}");
+        }
+        _ => {
+            let _ = writeln!(json, "  \"speedup_vs_pre_change\": null,");
+            let _ = writeln!(json, "  \"pre_change_baseline\": null");
+        }
+    }
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_placement.json", &json).expect("write BENCH_placement.json");
+    println!("\nWrote BENCH_placement.json");
+}

@@ -53,6 +53,7 @@
 
 pub mod coloc;
 pub mod cut;
+pub mod fasthash;
 pub mod model;
 pub mod placement;
 pub mod reserve;

@@ -260,15 +260,36 @@ impl TagBuilder {
                 incident[e.to.index()].push(i as u16);
             }
         }
-        Ok(Tag {
+        let mut tag = Tag {
             name: self.name,
             tiers: self.tiers,
             edges: self.edges,
             per_vm_snd,
             per_vm_rcv,
             incident,
-        })
+            hot: Vec::new(),
+        };
+        tag.rebuild_hot();
+        Ok(tag)
     }
+}
+
+/// Precomputed per-edge parameters for the crossing arithmetic: everything
+/// Eq. 1 needs about an edge in one flat record, so the placement inner
+/// loops do not chase tier references per evaluation. Derived from
+/// `tiers`/`edges` by [`Tag::rebuild_hot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HotEdge {
+    fi: u32,
+    ti: u32,
+    snd: Kbps,
+    rcv: Kbps,
+    n_from: u32,
+    n_to: u32,
+    /// External with unknown size: imposes no cap on the opposite side.
+    from_unbounded: bool,
+    to_unbounded: bool,
+    self_loop: bool,
 }
 
 /// An immutable, validated Tenant Application Graph.
@@ -287,6 +308,8 @@ pub struct Tag {
     per_vm_rcv: Vec<Kbps>,
     /// Edge indices incident to each tier (self-loops listed once).
     incident: Vec<Vec<u16>>,
+    /// Flat per-edge parameters for the hot crossing path.
+    hot: Vec<HotEdge>,
 }
 
 impl Tag {
@@ -317,7 +340,55 @@ impl Tag {
         assert!(new_size > 0, "use release instead of scaling to zero");
         let mut tag = self.clone();
         tag.tiers[t.index()].size = new_size;
+        tag.rebuild_hot();
         tag
+    }
+
+    /// Recompute the flat per-edge parameter cache after tier sizes or
+    /// edge rates changed.
+    fn rebuild_hot(&mut self) {
+        self.hot.clear();
+        self.hot.extend(self.edges.iter().map(|e| {
+            let from = &self.tiers[e.from.index()];
+            let to = &self.tiers[e.to.index()];
+            HotEdge {
+                fi: e.from.0 as u32,
+                ti: e.to.0 as u32,
+                snd: e.snd_kbps,
+                rcv: e.rcv_kbps,
+                n_from: from.size,
+                n_to: to.size,
+                from_unbounded: from.external && from.size == 0,
+                to_unbounded: to.external && to.size == 0,
+                self_loop: e.is_self_loop(),
+            }
+        }));
+    }
+
+    /// [`Tag::edge_crossing_kbps`] by edge index over the flat parameter
+    /// cache — the placement inner-loop form (no tier lookups).
+    #[inline]
+    pub fn edge_crossing_idx(&self, ei: usize, inside: &[u32]) -> Kbps {
+        let h = &self.hot[ei];
+        if h.self_loop {
+            let n = h.n_from;
+            let i = inside[h.fi as usize].min(n);
+            2 * (i.min(n - i)) as u64 * h.snd
+        } else {
+            let snd_inside = inside[h.fi as usize] as u64 * h.snd;
+            let rcv_outside = if h.to_unbounded {
+                u64::MAX
+            } else {
+                (h.n_to.saturating_sub(inside[h.ti as usize])) as u64 * h.rcv
+            };
+            let snd_outside = if h.from_unbounded {
+                u64::MAX
+            } else {
+                (h.n_from.saturating_sub(inside[h.fi as usize])) as u64 * h.snd
+            };
+            let rcv_inside = inside[h.ti as usize] as u64 * h.rcv;
+            snd_inside.min(rcv_outside) + snd_outside.min(rcv_inside)
+        }
     }
 
     /// All tiers (internal and external), indexable by [`TierId`].
@@ -461,6 +532,7 @@ impl Tag {
         for v in t.per_vm_snd.iter_mut().chain(t.per_vm_rcv.iter_mut()) {
             *v = (*v as f64 * factor).round() as Kbps;
         }
+        t.rebuild_hot();
         t
     }
 
@@ -545,33 +617,31 @@ impl CutModel for Tag {
         debug_assert_eq!(inside.len(), self.tiers.len());
         let mut out: u64 = 0;
         let mut inc: u64 = 0;
-        for e in &self.edges {
-            let fi = e.from.index();
-            let ti = e.to.index();
-            if e.is_self_loop() {
-                let n = self.tiers[fi].size;
+        for h in &self.hot {
+            let fi = h.fi as usize;
+            let ti = h.ti as usize;
+            if h.self_loop {
+                let n = h.n_from;
                 let i = inside[fi].min(n);
-                let x = (i.min(n - i)) as u64 * e.snd_kbps;
+                let x = (i.min(n - i)) as u64 * h.snd;
                 out += x;
                 inc += x;
             } else {
-                let from = &self.tiers[fi];
-                let to = &self.tiers[ti];
                 // Outgoing: senders inside `from`, receivers outside `to`.
-                let snd_inside = inside[fi] as u64 * e.snd_kbps;
-                let rcv_outside = if to.external && to.size == 0 {
+                let snd_inside = inside[fi] as u64 * h.snd;
+                let rcv_outside = if h.to_unbounded {
                     u64::MAX
                 } else {
-                    (to.size.saturating_sub(inside[ti])) as u64 * e.rcv_kbps
+                    (h.n_to.saturating_sub(inside[ti])) as u64 * h.rcv
                 };
                 out += snd_inside.min(rcv_outside);
                 // Incoming: senders outside `from`, receivers inside `to`.
-                let snd_outside = if from.external && from.size == 0 {
+                let snd_outside = if h.from_unbounded {
                     u64::MAX
                 } else {
-                    (from.size.saturating_sub(inside[fi])) as u64 * e.snd_kbps
+                    (h.n_from.saturating_sub(inside[fi])) as u64 * h.snd
                 };
-                let rcv_inside = inside[ti] as u64 * e.rcv_kbps;
+                let rcv_inside = inside[ti] as u64 * h.rcv;
                 inc += snd_outside.min(rcv_inside);
             }
         }
@@ -734,6 +804,34 @@ mod tests {
         assert_eq!(tag.edges()[0].snd_kbps, 250);
         assert_eq!(tag.self_loop_of(TierId(1)), Some(125));
         assert_eq!(tag.per_vm_rcv(TierId(1)), 375);
+    }
+
+    #[test]
+    fn edge_crossing_idx_matches_reference_form() {
+        // The flat hot-edge cache must price exactly like the
+        // reference implementation, including after resize/scale (which
+        // rebuild it).
+        let tags = [
+            fig5(4, 4, 100, 100, 50),
+            fig5(3, 7, 120, 40, 0).scaled(1.7),
+            fig5(5, 2, 10, 90, 30).resized(TierId(0), 9),
+        ];
+        for tag in &tags {
+            let n = tag.num_tiers();
+            let mut inside = vec![0u32; n];
+            for step in 0..40u32 {
+                for (t, c) in inside.iter_mut().enumerate() {
+                    *c = (step.wrapping_mul(7 + t as u32)) % (tag.tier_size(t) + 1);
+                }
+                for (ei, e) in tag.edges().iter().enumerate() {
+                    assert_eq!(
+                        tag.edge_crossing_idx(ei, &inside),
+                        tag.edge_crossing_kbps(e, &inside),
+                        "edge {ei}, inside {inside:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

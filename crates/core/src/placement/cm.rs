@@ -1,26 +1,99 @@
 //! The CloudMirror placement algorithm (Algorithm 1 + §4.5 extensions).
 
+use crate::cut::CutModel;
 use crate::model::{Tag, TierId};
 use crate::placement::{
-    need_is_zero, need_total, per_slot_avail_kbps, restore_need, search_and_place, wcs_cap,
-    CmConfig, DemandPredictor, Deployed, HaPolicy, Placer, RejectReason,
+    need_is_zero, need_total, per_slot_avail_kbps, restore_need, search_and_place_with, wcs_cap,
+    CmConfig, DemandPredictor, Deployed, HaPolicy, Placer, RejectReason, SearchStrategy,
 };
 use crate::reserve::{PlacementEntry, TenantState};
 use crate::txn::ReservationTxn;
 use cm_topology::{NodeId, Topology};
-use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Reusable buffer pools for the placement hot path. Every temporary the
+/// recursive `Alloc`/`Colocate`/`Balance` machinery needs — child
+/// orderings, `need` vectors, subset-sum shortlists, incident-edge
+/// scratch — is drawn from (and returned to) these free lists, so
+/// steady-state admission performs no heap allocation of its own.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    u32s: Vec<Vec<u32>>,
+    u64s: Vec<Vec<u64>>,
+    nodes: Vec<Vec<NodeId>>,
+    idxs: Vec<Vec<usize>>,
+    pairs: Vec<Vec<(usize, u32)>>,
+}
+
+macro_rules! pool {
+    ($get:ident, $put:ident, $field:ident, $t:ty) => {
+        fn $get(&mut self) -> Vec<$t> {
+            self.$field.pop().unwrap_or_default()
+        }
+        fn $put(&mut self, mut v: Vec<$t>) {
+            v.clear();
+            self.$field.push(v);
+        }
+    };
+}
+
+impl Scratch {
+    pool!(u32s, put_u32s, u32s, u32);
+    pool!(u64s, put_u64s, u64s, u64);
+    pool!(nodes, put_nodes, nodes, NodeId);
+    pool!(idxs, put_idxs, idxs, usize);
+    pool!(pairs, put_pairs, pairs, (usize, u32));
+}
+
+/// Physical-state key of a balance candidate (free slots, total slots,
+/// uplink capacity, uplink availability) — equal keys on untouched
+/// children imply identical greedy fills.
+type FillKey = (u64, u64, Option<(u64, u64)>, Option<(u64, u64)>);
+
+/// Collect the 4 smallest nodes of `nodes` under `key` into `out`, in key
+/// order — equivalent to `sort_by_key(key).take(4)` for total-order keys,
+/// without sorting or allocating.
+fn top4_by<K: Ord + Copy>(nodes: &[NodeId], out: &mut Vec<NodeId>, key: impl Fn(NodeId) -> K) {
+    let mut best: [Option<(K, NodeId)>; 4] = [None; 4];
+    for &c in nodes {
+        let k = key(c);
+        let mut pos = 4;
+        for (i, b) in best.iter().enumerate() {
+            match b {
+                None => {
+                    pos = i;
+                    break;
+                }
+                Some((bk, _)) if k < *bk => {
+                    pos = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if pos < 4 {
+            for j in (pos + 1..4).rev() {
+                best[j] = best[j - 1];
+            }
+            best[pos] = Some((k, c));
+        }
+    }
+    out.extend(best.iter().flatten().map(|&(_, c)| c));
+}
 
 /// The CloudMirror VM scheduler.
 ///
 /// A placer is stateful only through its [`DemandPredictor`] (used by
-/// opportunistic HA); placements themselves live in the returned
-/// [`TenantState`]s. See the [module docs](crate::placement) for the
-/// algorithm.
+/// opportunistic HA) and its reusable scratch pools; placements themselves
+/// live in the returned [`TenantState`]s. See the
+/// [module docs](crate::placement) for the algorithm.
 #[derive(Debug, Clone)]
 pub struct CmPlacer {
     cfg: CmConfig,
     label: &'static str,
     predictor: DemandPredictor,
+    search: SearchStrategy,
+    scratch: Scratch,
 }
 
 impl Default for CmPlacer {
@@ -43,12 +116,28 @@ impl CmPlacer {
             cfg,
             label,
             predictor: DemandPredictor::default(),
+            search: SearchStrategy::default(),
+            scratch: Scratch::default(),
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &CmConfig {
         &self.cfg
+    }
+
+    /// Select the `FindLowestSubtree` implementation. Production placers
+    /// keep the default descend search; the linear reference exists so
+    /// equivalence tests and before/after benchmarks can run the identical
+    /// algorithm on the pre-descend scan.
+    pub fn set_search_strategy(&mut self, search: SearchStrategy) {
+        self.search = search;
+    }
+
+    /// Builder-style [`CmPlacer::set_search_strategy`].
+    pub fn with_search_strategy(mut self, search: SearchStrategy) -> Self {
+        self.search = search;
+        self
     }
 
     /// Deploy a TAG tenant (`AllocTenant` in Algorithm 1).
@@ -62,19 +151,72 @@ impl CmPlacer {
         topo: &mut Topology,
         tag: &Tag,
     ) -> Result<TenantState<Tag>, RejectReason> {
+        self.place_tag_shared(topo, &Arc::new(tag.clone()))
+    }
+
+    /// [`CmPlacer::place_tag`] for an already-shared model: the tenant's
+    /// TAG is never deep-cloned, the state just keeps a handle.
+    pub fn place_tag_shared(
+        &mut self,
+        topo: &mut Topology,
+        tag: &Arc<Tag>,
+    ) -> Result<TenantState<Tag>, RejectReason> {
+        let shared = Arc::clone(tag);
+        let tag: &Tag = tag;
         let demand_mix = self.predictor.observe(tag.avg_per_vm_demand_kbps());
-        let total_need = tag.placeable_counts();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut total_need = scratch.u32s();
+        total_need.extend((0..tag.num_tiers()).map(|t| CutModel::tier_size(tag, t)));
         let total_vms = need_total(&total_need);
-        let ext_demand = tag.external_demand_kbps();
+        let ext_demand = tag.cut_kbps(&total_need);
+        let spread = self.spread_unit_prices(tag, &mut scratch);
         let start = self.start_level(topo, tag, demand_mix) as usize;
 
-        let mut state = TenantState::new(tag.clone());
-        search_and_place(topo, &mut state, total_vms, ext_demand, start, |txn, st| {
-            let mut need = total_need.clone();
-            self.alloc(txn, tag, &mut need, st, demand_mix);
-            need_is_zero(&need)
-        })?;
+        let mut state = TenantState::new_shared(shared);
+        let res = search_and_place_with(
+            topo,
+            &mut state,
+            total_vms,
+            ext_demand,
+            start,
+            self.search,
+            |txn, st| {
+                let mut need = scratch.u32s();
+                need.extend_from_slice(&total_need);
+                self.alloc(txn, tag, &mut need, st, demand_mix, &spread, &mut scratch);
+                let done = need_is_zero(&need);
+                scratch.put_u32s(need);
+                done
+            },
+        );
+        scratch.put_u32s(total_need);
+        scratch.put_u64s(spread);
+        self.scratch = scratch;
+        res?;
         Ok(state)
+    }
+
+    /// The spread price of one VM of each tier (the cut it costs alone in
+    /// its own subtree) — the baseline every colocation saving is measured
+    /// against. Depends only on the model, so it is computed once per
+    /// deployment and threaded through the recursion.
+    fn spread_unit_prices(&self, tag: &Tag, scratch: &mut Scratch) -> Vec<u64> {
+        let n = tag.num_tiers();
+        let mut spread = scratch.u64s();
+        let mut unit = scratch.u32s();
+        unit.resize(n, 0);
+        for t in 0..n {
+            unit[t] = 1;
+            let s: u64 = tag
+                .incident_edges(TierId(t as u16))
+                .iter()
+                .map(|&ei| tag.edge_crossing_idx(ei as usize, &unit))
+                .sum();
+            spread.push(s);
+            unit[t] = 0;
+        }
+        scratch.put_u32s(unit);
+        spread
     }
 
     /// Resize one tier of a *live* deployment to `new_size` VMs — the
@@ -96,49 +238,78 @@ impl CmPlacer {
         tier: TierId,
         new_size: u32,
     ) -> Result<(), RejectReason> {
-        let old_tag = state.model().clone();
+        let old_tag = state.model_arc();
         let old_size = old_tag.tier(tier).size;
         if new_size == old_size {
             return Ok(());
         }
-        let new_tag = old_tag.resized(tier, new_size);
+        let new_tag = Arc::new(old_tag.resized(tier, new_size));
         let demand_mix = self.predictor.observe(new_tag.avg_per_vm_demand_kbps());
-        if new_size > old_size {
-            self.grow_tier(topo, state, tier, &old_tag, &new_tag, demand_mix)
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let res = if new_size > old_size {
+            self.grow_tier(
+                topo,
+                state,
+                tier,
+                &old_tag,
+                &new_tag,
+                demand_mix,
+                &mut scratch,
+            )
         } else {
             self.shrink_tier(topo, state, tier, &new_tag)
-        }
+        };
+        self.scratch = scratch;
+        res
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn grow_tier(
         &self,
         topo: &mut Topology,
         state: &mut TenantState<Tag>,
         tier: TierId,
-        old_tag: &Tag,
-        new_tag: &Tag,
+        old_tag: &Arc<Tag>,
+        new_tag: &Arc<Tag>,
         demand_mix: f64,
+        scratch: &mut Scratch,
     ) -> Result<(), RejectReason> {
         let delta = new_tag.tier(tier).size - old_tag.tier(tier).size;
         // Reprice existing reservations under the grown model first: with a
         // larger receiver/sender population, Eq. 1's caps rise on links that
         // hold part of the tier's peers.
-        if state.replace_model(topo, new_tag.clone()).is_err() {
+        if state.replace_model(topo, Arc::clone(new_tag)).is_err() {
             return Err(RejectReason::InsufficientBandwidth);
         }
-        let mut template = vec![0u32; new_tag.num_tiers()];
+        let grown: &Tag = new_tag;
+        let spread = self.spread_unit_prices(grown, scratch);
+        let mut template = scratch.u32s();
+        template.resize(grown.num_tiers(), 0);
         template[tier.index()] = delta;
-        let res = search_and_place(topo, state, delta as u64, (0, 0), 0, |txn, st| {
-            let mut need = template.clone();
-            self.alloc(txn, new_tag, &mut need, st, demand_mix);
-            need_is_zero(&need)
-        });
+        let res = search_and_place_with(
+            topo,
+            state,
+            delta as u64,
+            (0, 0),
+            0,
+            self.search,
+            |txn, st| {
+                let mut need = scratch.u32s();
+                need.extend_from_slice(&template);
+                self.alloc(txn, grown, &mut need, st, demand_mix, &spread, scratch);
+                let done = need_is_zero(&need);
+                scratch.put_u32s(need);
+                done
+            },
+        );
+        scratch.put_u32s(template);
+        scratch.put_u64s(spread);
         if res.is_err() {
             // Could not place the delta anywhere: restore the old model
             // (its prices are the ones currently reserved, so this cannot
             // fail).
             state
-                .replace_model(topo, old_tag.clone())
+                .replace_model(topo, Arc::clone(old_tag))
                 .expect("restoring the pre-growth model frees capacity");
         }
         res
@@ -149,7 +320,7 @@ impl CmPlacer {
         topo: &mut Topology,
         state: &mut TenantState<Tag>,
         tier: TierId,
-        new_tag: &Tag,
+        new_tag: &Arc<Tag>,
     ) -> Result<(), RejectReason> {
         let delta = state.model().tier(tier).size - new_tag.tier(tier).size;
         // Remove from the least-populated servers first: large colocated
@@ -201,7 +372,7 @@ impl CmPlacer {
                 return Err(RejectReason::InsufficientBandwidth);
             }
         }
-        if txn.replace_model(new_tag.clone()).is_err() {
+        if txn.replace_model(Arc::clone(new_tag)).is_err() {
             return Err(RejectReason::InsufficientBandwidth);
         }
         txn.commit();
@@ -214,6 +385,7 @@ impl CmPlacer {
     /// returning; if that fails, everything this call staged is rolled back
     /// (with `need` restored) and 0 is returned. Otherwise returns the
     /// number of VMs this call placed.
+    #[allow(clippy::too_many_arguments)]
     fn alloc(
         &self,
         txn: &mut ReservationTxn<'_, Tag>,
@@ -221,22 +393,24 @@ impl CmPlacer {
         need: &mut [u32],
         st: NodeId,
         demand_mix: f64,
+        spread: &[u64],
+        scratch: &mut Scratch,
     ) -> u64 {
         let sp = txn.savepoint();
         let before = need_total(need);
         if txn.topo().is_server(st) {
-            self.alloc_on_server(txn, tag, need, st);
+            self.alloc_on_server(txn, tag, need, st, scratch);
         } else {
             if self.cfg.colocate
-                && self.coloc_feasible(txn.topo(), txn.state(), tag, need, st, demand_mix)
+                && self.coloc_feasible(txn.topo(), txn.state(), tag, need, st, demand_mix, scratch)
             {
-                self.colocate(txn, tag, need, st, demand_mix);
+                self.colocate(txn, tag, need, st, demand_mix, spread, scratch);
             }
             if !need_is_zero(need) {
                 if self.cfg.balance {
-                    self.balance(txn, tag, need, st, demand_mix);
+                    self.balance(txn, tag, need, st, demand_mix, spread, scratch);
                 } else {
-                    self.first_fit(txn, tag, need, st, demand_mix);
+                    self.first_fit(txn, tag, need, st, demand_mix, spread, scratch);
                 }
             }
         }
@@ -257,14 +431,20 @@ impl CmPlacer {
         tag: &Tag,
         need: &mut [u32],
         server: NodeId,
+        scratch: &mut Scratch,
     ) {
         let mut left = txn.topo().slots_free(server);
         if left == 0 {
             return;
         }
-        let mut order: Vec<usize> = (0..need.len()).filter(|&t| need[t] > 0).collect();
+        let mut order = scratch.idxs();
+        order.extend((0..need.len()).filter(|&t| need[t] > 0));
         order.sort_by_key(|&t| std::cmp::Reverse(tag.per_vm_demand(TierId(t as u16))));
-        for t in order {
+        // Chunks are batched into a single staged placement: one slot
+        // allocation, one subtree-count path walk (the per-tier Eq. 7
+        // headroom is unaffected, each tier appears at most once).
+        let mut chunks = scratch.pairs();
+        for &t in &order {
             if left == 0 {
                 break;
             }
@@ -273,10 +453,14 @@ impl CmPlacer {
             if k == 0 {
                 continue;
             }
-            txn.place(server, t, k).expect("slot count was checked");
+            chunks.push((t, k));
             need[t] -= k;
             left -= k;
         }
+        txn.place_many(server, &chunks)
+            .expect("slot count was checked");
+        scratch.put_pairs(chunks);
+        scratch.put_idxs(order);
     }
 
     // ------------------------------------------------------------------
@@ -288,6 +472,7 @@ impl CmPlacer {
     /// hose tier or trunk endpoint can land under a single child, within
     /// HA headroom; under opportunistic HA, colocation must additionally be
     /// *desirable* (§4.5).
+    #[allow(clippy::too_many_arguments)]
     fn coloc_feasible(
         &self,
         topo: &Topology,
@@ -296,46 +481,60 @@ impl CmPlacer {
         need: &[u32],
         st: NodeId,
         demand_mix: f64,
+        scratch: &mut Scratch,
     ) -> bool {
         if matches!(self.cfg.ha, HaPolicy::Opportunistic { .. })
             && !self.saving_desirable(topo, st, demand_mix)
         {
             return false;
         }
-        // Potential inside count per tier at the best child.
-        let mut possible = vec![0u64; need.len()];
-        for child in topo.children(st) {
-            let slots = topo.subtree_slots_free(child);
-            for (t, &n) in need.iter().enumerate() {
-                if n == 0 {
-                    continue;
-                }
-                let head = self.ha_headroom(topo, state, tag, child, t) as u64;
-                let existing = state.count_of(child, t) as u64;
-                let pot = existing + (n as u64).min(slots).min(head);
-                possible[t] = possible[t].max(pot);
-            }
-        }
+        // The Eq. 2/6 gate asks: does some tier with an internal edge get
+        // more than half its VMs under a single child? The per-tier
+        // potential is a max over children, and the condition is monotone
+        // in it — so scan children and return on the first tier that
+        // clears its threshold (same boolean as materializing the full
+        // per-tier max first).
+        let mut trigger = scratch.u64s();
+        trigger.extend(need.iter().map(|_| u64::MAX));
         for e in tag.edges() {
             let fi = e.from.index();
             let ti = e.to.index();
             if e.is_self_loop() {
-                if 2 * possible[fi] > tag.tier(e.from).size as u64 {
-                    return true;
-                }
+                trigger[fi] = tag.tier(e.from).size as u64;
             } else if !tag.tier(e.from).external && !tag.tier(e.to).external {
-                let nu = tag.tier(e.from).size as u64;
-                let nv = tag.tier(e.to).size as u64;
-                if 2 * possible[fi] > nu || 2 * possible[ti] > nv {
-                    return true;
+                trigger[fi] = trigger[fi].min(tag.tier(e.from).size as u64);
+                trigger[ti] = trigger[ti].min(tag.tier(e.to).size as u64);
+            }
+        }
+        let ha_capped = matches!(self.cfg.ha, HaPolicy::Guaranteed { .. });
+        let mut feasible = false;
+        'scan: for child in topo.children(st) {
+            let slots = topo.subtree_slots_free(child);
+            let inside = state.inside_counts_ref(child);
+            for (t, &n) in need.iter().enumerate() {
+                if n == 0 || trigger[t] == u64::MAX {
+                    continue;
+                }
+                let head = if ha_capped {
+                    self.ha_headroom(topo, state, tag, child, t) as u64
+                } else {
+                    u64::MAX
+                };
+                let existing = inside.map_or(0, |c| c[t]) as u64;
+                let pot = existing + (n as u64).min(slots).min(head);
+                if 2 * pot > trigger[t] {
+                    feasible = true;
+                    break 'scan;
                 }
             }
         }
-        false
+        scratch.put_u64s(trigger);
+        feasible
     }
 
     /// `Colocate(g, st)`: repeatedly pick a verified bandwidth-saving group
     /// of tiers and recurse into the chosen child.
+    #[allow(clippy::too_many_arguments)]
     fn colocate(
         &self,
         txn: &mut ReservationTxn<'_, Tag>,
@@ -343,36 +542,51 @@ impl CmPlacer {
         need: &mut [u32],
         st: NodeId,
         demand_mix: f64,
+        spread: &[u64],
+        scratch: &mut Scratch,
     ) {
-        let mut excluded: HashSet<NodeId> = HashSet::new();
+        let mut excluded = scratch.nodes();
         // Children that produced no saving group for the current remainder;
         // they can only become attractive again once they receive VMs (which
         // removes them from the set below).
-        let mut no_group: HashSet<NodeId> = HashSet::new();
-        while let Some((gsub, child)) = self.find_tiers_to_coloc(
-            txn.topo(),
-            txn.state(),
-            tag,
-            need,
-            st,
-            &excluded,
-            &mut no_group,
-        ) {
+        let mut no_group = scratch.nodes();
+        loop {
+            let found = self.find_tiers_to_coloc(
+                txn.topo(),
+                txn.state(),
+                tag,
+                need,
+                st,
+                &excluded,
+                &mut no_group,
+                spread,
+                scratch,
+            );
+            let Some((gsub, child)) = found else { break };
             debug_assert!(gsub.iter().zip(need.iter()).all(|(&g, &n)| g <= n));
             for (t, &g) in gsub.iter().enumerate() {
                 need[t] -= g;
             }
             let mut sub = gsub;
-            let placed = self.alloc(txn, tag, &mut sub, child, demand_mix);
+            let placed = self.alloc(txn, tag, &mut sub, child, demand_mix, spread, scratch);
             for (t, &s) in sub.iter().enumerate() {
                 need[t] += s; // return the unplaced remainder
             }
+            scratch.put_u32s(sub);
             if placed == 0 {
-                excluded.insert(child);
-            } else {
-                no_group.remove(&child);
+                excluded.push(child);
+            } else if let Some(p) = no_group.iter().position(|&n| n == child) {
+                no_group.swap_remove(p);
+            }
+            // With nothing left to place, the next find would collect and
+            // scan children only to come back empty (`hi` is empty once
+            // every `need` entry is zero) — skip it.
+            if need_is_zero(need) {
+                break;
             }
         }
+        scratch.put_nodes(excluded);
+        scratch.put_nodes(no_group);
     }
 
     /// `FindTiersToColoc`: build the best verified-saving colocation group
@@ -391,37 +605,104 @@ impl CmPlacer {
         tag: &Tag,
         need: &[u32],
         st: NodeId,
-        excluded: &HashSet<NodeId>,
-        no_group: &mut HashSet<NodeId>,
+        excluded: &[NodeId],
+        no_group: &mut Vec<NodeId>,
+        spread: &[u64],
+        scratch: &mut Scratch,
     ) -> Option<(Vec<u32>, NodeId)> {
-        let mut children: Vec<NodeId> = topo
-            .children(st)
-            .filter(|c| {
-                !excluded.contains(c) && !no_group.contains(c) && topo.subtree_slots_free(*c) > 0
-            })
-            .collect();
+        let mut children = scratch.nodes();
+        children.extend(topo.children(st).filter(|c| {
+            !excluded.contains(c) && !no_group.contains(c) && topo.subtree_slots_free(*c) > 0
+        }));
         if children.is_empty() {
+            scratch.put_nodes(children);
             return None;
         }
-        children.sort_by_key(|&c| (std::cmp::Reverse(topo.subtree_slots_free(c)), c));
 
         // Low-bandwidth exclusion threshold (computed over all live
         // children, not the shortlist, to keep the classification stable).
         let thr = per_slot_avail_kbps(topo, children.iter().copied()).unwrap_or(0.0);
-        let hi: Vec<usize> = (0..need.len())
-            .filter(|&t| need[t] > 0 && tag.per_vm_demand(TierId(t as u16)) as f64 > thr)
-            .collect();
+        let mut hi = scratch.idxs();
+        hi.extend(
+            (0..need.len())
+                .filter(|&t| need[t] > 0 && tag.per_vm_demand(TierId(t as u16)) as f64 > thr),
+        );
         if hi.is_empty() {
+            scratch.put_nodes(children);
+            scratch.put_idxs(hi);
             return None;
         }
 
-        for &child in &children {
-            if let Some(group) = self.build_group(topo, state, tag, need, child, &hi) {
-                return Some((group, child));
-            }
-            no_group.insert(child);
+        // `build_group` is a pure function of (need, hi, child free slots,
+        // the tenant's existing counts under the child, HA headroom). For
+        // children this tenant has not touched and no Eq. 7 cap applies to,
+        // it depends on the free-slot count alone — so after one such child
+        // fails, siblings with the same free count are skipped outright.
+        // On a fresh rack that collapses the failing scan from
+        // O(children × probes) to a single probe.
+        let memo_allowed = !matches!(self.cfg.ha, HaPolicy::Guaranteed { .. });
+        // Free-slot counts beyond every cap `build_group` applies (`cap ≤
+        // need_total`, and the trunk-seed halving ≤ `⌈slots/2⌉`) behave
+        // identically, so the memo key saturates at twice the remaining
+        // demand: one probe covers every untouched child that large.
+        let slot_sat = 2 * need_total(need);
+        let mut failed_slots: Option<u64> = None;
+        let mut found: Option<(Vec<u32>, NodeId)> = None;
+        // Children are visited in (most free slots, id) order, selected
+        // lazily: the first child usually yields a group, so a full sort
+        // would order a list the loop never reads past.
+        let mut visited_mask = 0u64;
+        let mut next_sorted = 0usize;
+        if children.len() > 64 {
+            children.sort_by_key(|&c| (std::cmp::Reverse(topo.subtree_slots_free(c)), c));
         }
-        None
+        loop {
+            let child = if children.len() > 64 {
+                if next_sorted >= children.len() {
+                    break;
+                }
+                let c = children[next_sorted];
+                next_sorted += 1;
+                c
+            } else {
+                let mut pick: Option<(u64, NodeId, usize)> = None;
+                for (i, &c) in children.iter().enumerate() {
+                    if visited_mask >> i & 1 == 1 {
+                        continue;
+                    }
+                    let free = topo.subtree_slots_free(c);
+                    let better = match pick {
+                        None => true,
+                        Some((bf, bc, _)) => free > bf || (free == bf && c < bc),
+                    };
+                    if better {
+                        pick = Some((free, c, i));
+                    }
+                }
+                let Some((_, c, i)) = pick else { break };
+                visited_mask |= 1u64 << i;
+                c
+            };
+            let memo = memo_allowed && state.is_untouched(child);
+            let key = topo.subtree_slots_free(child).min(slot_sat);
+            if memo && failed_slots == Some(key) {
+                no_group.push(child);
+                continue;
+            }
+            if let Some(group) =
+                self.build_group(topo, state, tag, need, child, &hi, spread, scratch)
+            {
+                found = Some((group, child));
+                break;
+            }
+            if memo {
+                failed_slots = Some(key);
+            }
+            no_group.push(child);
+        }
+        scratch.put_nodes(children);
+        scratch.put_idxs(hi);
+        found
     }
 
     /// Grow a colocation group for one child; `None` unless the exact
@@ -439,6 +720,7 @@ impl CmPlacer {
     /// lets the receiver-side cap of Eq. 1's `min()` bind. The closed forms
     /// assume the paper's balanced case; the cut difference is
     /// authoritative.
+    #[allow(clippy::too_many_arguments)]
     fn build_group(
         &self,
         topo: &Topology,
@@ -447,110 +729,184 @@ impl CmPlacer {
         need: &[u32],
         child: NodeId,
         hi: &[usize],
+        spread_unit: &[u64],
+        scratch: &mut Scratch,
     ) -> Option<Vec<u32>> {
         let slots = topo.subtree_slots_free(child).min(u32::MAX as u64) as u32;
-        let existing = state.inside_counts(child).into_owned();
-        let headroom: Vec<u32> = (0..need.len())
-            .map(|t| self.ha_headroom(topo, state, tag, child, t))
-            .collect();
-        // Spread price of one VM of each tier (what it costs alone in its
-        // own subtree) — the baseline colocation is measured against.
-        let spread_unit: Vec<u64> = (0..need.len())
-            .map(|t| {
-                let mut unit = vec![0u32; need.len()];
-                unit[t] = 1;
-                tag.incident_edges(TierId(t as u16))
-                    .iter()
-                    .map(|&ei| tag.edge_crossing_kbps(&tag.edges()[ei as usize], &unit))
-                    .sum()
-            })
-            .collect();
+        let mut headroom = scratch.u32s();
+        headroom.extend((0..need.len()).map(|t| self.ha_headroom(topo, state, tag, child, t)));
 
         // `cur` = existing + group, mutated in place for candidate probes.
-        let mut cur = existing;
-        let mut group = vec![0u32; need.len()];
+        let mut cur = scratch.u32s();
+        state.fill_inside_counts(child, &mut cur);
+        let mut group = scratch.u32s();
+        group.resize(need.len(), 0);
         let mut used = 0u32;
-        let cap = |group: &[u32], t: usize, used: u32| -> u32 {
+        let cap = |group: &[u32], headroom: &[u32], t: usize, used: u32| -> u32 {
             (need[t] - group[t])
                 .min(slots - used)
                 .min(headroom[t].saturating_sub(group[t]))
         };
-        // Marginal saving (may be negative) of adding k VMs of the tiers in
-        // `adds` to `cur`.
-        let marginal = |cur: &mut Vec<u32>, adds: &[(usize, u32)]| -> i64 {
-            let mut edges: Vec<u16> = Vec::with_capacity(8);
-            for &(t, _) in adds {
-                for &ei in tag.incident_edges(TierId(t as u16)) {
-                    if !edges.contains(&ei) {
-                        edges.push(ei);
+        let all_edges = tag.edges();
+
+        // Every candidate's saving is `k·spread + before − after` over the
+        // edges incident to the touched tiers. `cache[e]` holds each edge's
+        // crossing at the *current* `cur`, and `isum[t]` the sum over
+        // `incident(t)` — so the `before` side of every probe is a lookup,
+        // only the `after` side prices edges, and `k·spread + before` is a
+        // free exact upper bound (crossings are non-negative) that skips
+        // provably non-winning candidates outright. All pruning is against
+        // the incumbent with the original strict comparisons, so the chosen
+        // seed and growth steps are bit-identical to the exhaustive probes.
+        let mut cache = scratch.u64s();
+        let mut isum = scratch.u64s();
+        if cur.iter().all(|&c| c == 0) {
+            // Every crossing of an empty subtree is zero (Eq. 1 with no VM
+            // inside) — no need to price them.
+            cache.resize(all_edges.len(), 0);
+            isum.resize(need.len(), 0);
+        } else {
+            cache.extend((0..all_edges.len()).map(|ei| tag.edge_crossing_idx(ei, &cur)));
+            isum.extend((0..need.len()).map(|t| {
+                tag.incident_edges(TierId(t as u16))
+                    .iter()
+                    .map(|&ei| cache[ei as usize])
+                    .sum::<u64>()
+            }));
+        }
+        // Exact saving of adding k VMs of tier t (restores `cur`).
+        let probe_one = |cur: &mut [u32], isum: &[u64], t: usize, k: u32| -> i64 {
+            cur[t] += k;
+            let after: u64 = tag
+                .incident_edges(TierId(t as u16))
+                .iter()
+                .map(|&ei| tag.edge_crossing_idx(ei as usize, cur))
+                .sum();
+            cur[t] -= k;
+            (k as u64 * spread_unit[t] + isum[t]) as i64 - after as i64
+        };
+        // Re-price the edges incident to `t` after `cur` changed for good.
+        fn refresh_tier(tag: &Tag, cur: &[u32], cache: &mut [u64], isum: &mut [u64], t: usize) {
+            let all_edges = tag.edges();
+            for &ei in tag.incident_edges(TierId(t as u16)) {
+                let e = &all_edges[ei as usize];
+                let new = tag.edge_crossing_idx(ei as usize, cur);
+                let old = cache[ei as usize];
+                if new != old {
+                    cache[ei as usize] = new;
+                    let (fi, ti) = (e.from.index(), e.to.index());
+                    isum[fi] = isum[fi] - old + new;
+                    if ti != fi {
+                        isum[ti] = isum[ti] - old + new;
                     }
                 }
             }
-            let before: u64 = edges
-                .iter()
-                .map(|&ei| tag.edge_crossing_kbps(&tag.edges()[ei as usize], cur))
-                .sum();
-            for &(t, k) in adds {
-                cur[t] += k;
-            }
-            let after: u64 = edges
-                .iter()
-                .map(|&ei| tag.edge_crossing_kbps(&tag.edges()[ei as usize], cur))
-                .sum();
-            for &(t, k) in adds {
-                cur[t] -= k;
-            }
-            let spread: u64 = adds.iter().map(|&(t, k)| k as u64 * spread_unit[t]).sum();
-            spread as i64 - (after as i64 - before as i64)
-        };
+        }
 
         // Seed: best single tier or trunk-edge pair by exact saving.
-        let mut best_seed: Option<(Vec<(usize, u32)>, i64)> = None;
+        let mut best_seed: Option<([(usize, u32); 2], i64)> = None;
         for &t in hi {
-            let k = cap(&group, t, used);
+            let k = cap(&group, &headroom, t, used);
             if k == 0 {
                 continue;
             }
-            let s = marginal(&mut cur, &[(t, k)]);
+            let ub = (k as u64 * spread_unit[t] + isum[t]) as i64;
+            if ub <= 0 || best_seed.as_ref().is_some_and(|&(_, bs)| ub <= bs) {
+                continue;
+            }
+            let s = probe_one(&mut cur, &isum, t, k);
             if s > 0 && best_seed.as_ref().is_none_or(|&(_, bs)| s > bs) {
-                best_seed = Some((vec![(t, k)], s));
+                best_seed = Some(([(t, k), (t, 0)], s));
             }
         }
-        for e in tag.edges() {
+        let hi_mask: u64 = if need.len() <= 64 {
+            hi.iter().fold(0u64, |m, &t| m | 1 << t)
+        } else {
+            0
+        };
+        let in_hi = |t: usize| -> bool {
+            if need.len() <= 64 {
+                hi_mask >> t & 1 == 1
+            } else {
+                hi.contains(&t)
+            }
+        };
+        for e in all_edges {
             if e.is_self_loop() {
                 continue;
             }
             let (u, v) = (e.from.index(), e.to.index());
-            if !hi.contains(&u) || !hi.contains(&v) {
+            if !in_hi(u) || !in_hi(v) {
                 continue;
             }
-            let ku = cap(&group, u, used).min(slots / 2 + slots % 2);
-            let kv = cap(&group, v, ku);
-            let ku = cap(&group, u, kv); // leftover room back to u
+            let ku = cap(&group, &headroom, u, used).min(slots / 2 + slots % 2);
+            let kv = cap(&group, &headroom, v, ku);
+            let ku = cap(&group, &headroom, u, kv); // leftover room back to u
             if ku + kv == 0 {
                 continue;
             }
-            let s = marginal(&mut cur, &[(u, ku), (v, kv)]);
+            let spread = ku as u64 * spread_unit[u] + kv as u64 * spread_unit[v];
+            let ub = (spread + isum[u] + isum[v]) as i64;
+            if ub <= 0 || best_seed.as_ref().is_some_and(|&(_, bs)| ub <= bs) {
+                continue;
+            }
+            // Exact pair probe: `after` walks incident(u) ∪ incident(v)
+            // (v's pass skips the shared u–v edges, whose cached `before`
+            // contribution is likewise deducted once).
+            cur[u] += ku;
+            cur[v] += kv;
+            let mut after = 0u64;
+            let mut shared = 0u64;
+            for &ei in tag.incident_edges(TierId(u as u16)) {
+                after += tag.edge_crossing_idx(ei as usize, &cur);
+            }
+            for &ei in tag.incident_edges(TierId(v as u16)) {
+                let e2 = &all_edges[ei as usize];
+                if e2.from.index() == u || e2.to.index() == u {
+                    shared += cache[ei as usize];
+                    continue;
+                }
+                after += tag.edge_crossing_idx(ei as usize, &cur);
+            }
+            cur[u] -= ku;
+            cur[v] -= kv;
+            let before = isum[u] + isum[v] - shared;
+            let s = spread as i64 + before as i64 - after as i64;
             if s > 0 && best_seed.as_ref().is_none_or(|&(_, bs)| s > bs) {
-                best_seed = Some((vec![(u, ku), (v, kv)], s));
+                best_seed = Some(([(u, ku), (v, kv)], s));
             }
         }
-        let (seed, _) = best_seed?;
+        let Some((seed, _)) = best_seed else {
+            scratch.put_u32s(headroom);
+            scratch.put_u32s(cur);
+            scratch.put_u32s(group);
+            scratch.put_u64s(cache);
+            scratch.put_u64s(isum);
+            return None;
+        };
         for (t, k) in seed {
+            if k == 0 {
+                continue;
+            }
             group[t] += k;
             cur[t] += k;
             used += k;
+            refresh_tier(tag, &cur, &mut cache, &mut isum, t);
         }
 
         // Greedy growth while some tier's marginal saving stays positive.
         loop {
             let mut best: Option<(usize, u32, i64)> = None;
             for &t in hi {
-                let k = cap(&group, t, used);
+                let k = cap(&group, &headroom, t, used);
                 if k == 0 {
                     continue;
                 }
-                let s = marginal(&mut cur, &[(t, k)]);
+                let ub = (k as u64 * spread_unit[t] + isum[t]) as i64;
+                if ub <= 0 || best.is_some_and(|(_, _, bs)| ub <= bs) {
+                    continue;
+                }
+                let s = probe_one(&mut cur, &isum, t, k);
                 if s > 0 && best.is_none_or(|(_, _, bs)| s > bs) {
                     best = Some((t, k, s));
                 }
@@ -560,10 +916,15 @@ impl CmPlacer {
                     group[t] += k;
                     cur[t] += k;
                     used += k;
+                    refresh_tier(tag, &cur, &mut cache, &mut isum, t);
                 }
                 None => break,
             }
         }
+        scratch.put_u32s(headroom);
+        scratch.put_u32s(cur);
+        scratch.put_u64s(cache);
+        scratch.put_u64s(isum);
         Some(group)
     }
 
@@ -573,6 +934,7 @@ impl CmPlacer {
 
     /// `Balance(g, st)`: place the remaining (non-saving) VMs so that each
     /// child's slot and bandwidth utilizations approach 100% together.
+    #[allow(clippy::too_many_arguments)]
     fn balance(
         &self,
         txn: &mut ReservationTxn<'_, Tag>,
@@ -580,29 +942,41 @@ impl CmPlacer {
         need: &mut [u32],
         st: NodeId,
         demand_mix: f64,
+        spread: &[u64],
+        scratch: &mut Scratch,
     ) {
-        let mut excluded: HashSet<NodeId> = HashSet::new();
-        while let Some((gsub, child)) = self.md_subset_sum(
-            txn.topo(),
-            txn.state(),
-            tag,
-            need,
-            st,
-            &excluded,
-            demand_mix,
-        ) {
+        let mut excluded = scratch.nodes();
+        loop {
+            let found = self.md_subset_sum(
+                txn.topo(),
+                txn.state(),
+                tag,
+                need,
+                st,
+                &excluded,
+                demand_mix,
+                scratch,
+            );
+            let Some((gsub, child)) = found else { break };
             for (t, &g) in gsub.iter().enumerate() {
                 need[t] -= g;
             }
             let mut sub = gsub;
-            let placed = self.alloc(txn, tag, &mut sub, child, demand_mix);
+            let placed = self.alloc(txn, tag, &mut sub, child, demand_mix, spread, scratch);
             for (t, &s) in sub.iter().enumerate() {
                 need[t] += s;
             }
+            scratch.put_u32s(sub);
             if placed == 0 {
-                excluded.insert(child);
+                excluded.push(child);
+            }
+            // A zero `need` makes every further fill empty; the subset-sum
+            // scan would return `None` after pricing the whole shortlist.
+            if need_is_zero(need) {
+                break;
             }
         }
+        scratch.put_nodes(excluded);
     }
 
     /// `MdSubsetSum`: pick the best child and VM set. Normal mode greedily
@@ -617,20 +991,25 @@ impl CmPlacer {
         tag: &Tag,
         need: &[u32],
         st: NodeId,
-        excluded: &HashSet<NodeId>,
+        excluded: &[NodeId],
         demand_mix: f64,
+        scratch: &mut Scratch,
     ) -> Option<(Vec<u32>, NodeId)> {
-        let mut children: Vec<NodeId> = topo
-            .children(st)
-            .filter(|c| !excluded.contains(c) && topo.subtree_slots_free(*c) > 0)
-            .collect();
+        let mut children = scratch.nodes();
+        children.extend(
+            topo.children(st)
+                .filter(|c| !excluded.contains(c) && topo.subtree_slots_free(*c) > 0),
+        );
         if children.is_empty() {
+            scratch.put_nodes(children);
             return None;
         }
         let spread = matches!(self.cfg.ha, HaPolicy::Opportunistic { .. })
             && !self.saving_desirable(topo, st, demand_mix);
         if spread {
-            return self.single_vm_pick(topo, state, tag, need, &children);
+            let picked = self.single_vm_pick(topo, state, tag, need, &children, scratch);
+            scratch.put_nodes(children);
+            return picked;
         }
 
         // Evaluating the greedy fill for every child per Balance iteration
@@ -638,26 +1017,69 @@ impl CmPlacer {
         // candidates by free slots and by available uplink bandwidth keeps
         // the subset-sum quality while bounding the work.
         if children.len() > 6 {
-            children.sort_by_key(|&c| (std::cmp::Reverse(topo.subtree_slots_free(c)), c));
-            let mut shortlist: Vec<NodeId> = children.iter().copied().take(4).collect();
-            let mut by_bw = children.clone();
-            by_bw.sort_by_key(|&c| {
+            // Top-4 selections (the keys are total orders, so a selection
+            // scan yields exactly what the former full sorts produced).
+            let mut shortlist = scratch.nodes();
+            top4_by(&children, &mut shortlist, |c| {
+                (std::cmp::Reverse(topo.subtree_slots_free(c)), c)
+            });
+            let mut by_bw = scratch.nodes();
+            top4_by(&children, &mut by_bw, |c| {
                 let (u, d) = topo.uplink_avail(c).unwrap_or((0, 0));
                 (std::cmp::Reverse(u.min(d)), c)
             });
-            for c in by_bw.into_iter().take(4) {
+            for &c in by_bw.iter() {
                 if !shortlist.contains(&c) {
                     shortlist.push(c);
                 }
             }
-            children = shortlist;
+            scratch.put_nodes(by_bw);
+            std::mem::swap(&mut children, &mut shortlist);
+            scratch.put_nodes(shortlist);
         }
 
+        // `greedy_fill` is a pure function of (need, the child's free/total
+        // slots and uplink state, HA headroom): among shortlisted children
+        // this tenant has not touched and no Eq. 7 cap applies to, children
+        // with identical physical state fill identically — evaluate one
+        // representative and reuse its (selection, score). On a fresh rack
+        // that collapses the shortlist to a single fill.
+        let memo_allowed = !matches!(self.cfg.ha, HaPolicy::Guaranteed { .. });
+        let mut memo_key: Option<FillKey> = None;
+        let mut memo_val: Option<(Vec<u32>, f64)> = None;
         let mut best: Option<(f64, u64, NodeId, Vec<u32>)> = None;
         for &child in &children {
-            let (sel, score) = self.greedy_fill(topo, state, tag, need, child);
+            let key = (
+                topo.subtree_slots_free(child),
+                topo.subtree_slots_total(child),
+                topo.uplink_capacity(child),
+                topo.uplink_avail(child),
+            );
+            let (sel, score) = if memo_allowed && state.is_untouched(child) && memo_key == Some(key)
+            {
+                let (m_sel, m_score) = memo_val.as_ref().expect("memo key implies value");
+                let mut sel = scratch.u32s();
+                sel.extend_from_slice(m_sel);
+                (sel, *m_score)
+            } else {
+                let (sel, score) = self.greedy_fill(topo, state, tag, need, child, scratch);
+                if memo_allowed && state.is_untouched(child) {
+                    memo_key = Some(key);
+                    let mut copy = match memo_val.take() {
+                        Some((old, _)) => {
+                            scratch.put_u32s(old);
+                            scratch.u32s()
+                        }
+                        None => scratch.u32s(),
+                    };
+                    copy.extend_from_slice(&sel);
+                    memo_val = Some((copy, score));
+                }
+                (sel, score)
+            };
             let placed = need_total(&sel);
             if placed == 0 {
+                scratch.put_u32s(sel);
                 continue;
             }
             let better = match &best {
@@ -665,9 +1087,18 @@ impl CmPlacer {
                 Some((bs, bp, _, _)) => score > *bs || (score == *bs && placed > *bp),
             };
             if better {
+                if let Some((_, _, _, old)) = best.take() {
+                    scratch.put_u32s(old);
+                }
                 best = Some((score, placed, child, sel));
+            } else {
+                scratch.put_u32s(sel);
             }
         }
+        if let Some((v, _)) = memo_val {
+            scratch.put_u32s(v);
+        }
+        scratch.put_nodes(children);
         best.map(|(_, _, c, sel)| (sel, c))
     }
 
@@ -680,6 +1111,7 @@ impl CmPlacer {
         tag: &Tag,
         need: &[u32],
         children: &[NodeId],
+        scratch: &mut Scratch,
     ) -> Option<(Vec<u32>, NodeId)> {
         let t = (0..need.len())
             .filter(|&t| need[t] > 0)
@@ -710,7 +1142,8 @@ impl CmPlacer {
             }
         }
         let (_, child) = best?;
-        let mut sel = vec![0u32; need.len()];
+        let mut sel = scratch.u32s();
+        sel.resize(need.len(), 0);
         sel[t] = 1;
         Some((sel, child))
     }
@@ -727,18 +1160,23 @@ impl CmPlacer {
         tag: &Tag,
         need: &[u32],
         child: NodeId,
+        scratch: &mut Scratch,
     ) -> (Vec<u32>, f64) {
         let total_slots = topo.subtree_slots_total(child).max(1);
         let mut rem_slots = topo.subtree_slots_free(child);
         let (cap_up, cap_dn) = topo.uplink_capacity(child).unwrap_or((u64::MAX, u64::MAX));
         let (mut rem_up, mut rem_dn) = topo.uplink_avail(child).unwrap_or((u64::MAX, u64::MAX));
-        let mut sel = vec![0u32; need.len()];
+        let mut sel = scratch.u32s();
+        sel.resize(need.len(), 0);
 
+        let inv_slots = 1.0 / total_slots as f64;
+        let inv_up = 1.0 / cap_up.max(1) as f64;
+        let inv_dn = 1.0 / cap_dn.max(1) as f64;
         let util = |rem_slots: u64, rem_up: u64, rem_dn: u64| -> (f64, f64, f64) {
             (
-                1.0 - rem_slots as f64 / total_slots as f64,
-                1.0 - rem_up as f64 / cap_up.max(1) as f64,
-                1.0 - rem_dn as f64 / cap_dn.max(1) as f64,
+                1.0 - rem_slots as f64 * inv_slots,
+                1.0 - rem_up as f64 * inv_up,
+                1.0 - rem_dn as f64 * inv_dn,
             )
         };
 
@@ -793,6 +1231,7 @@ impl CmPlacer {
 
     /// Plain slot-first-fit used when `Balance` is disabled (Fig. 10's
     /// Coloc-only ablation).
+    #[allow(clippy::too_many_arguments)]
     fn first_fit(
         &self,
         txn: &mut ReservationTxn<'_, Tag>,
@@ -800,10 +1239,13 @@ impl CmPlacer {
         need: &mut [u32],
         st: NodeId,
         demand_mix: f64,
+        spread: &[u64],
+        scratch: &mut Scratch,
     ) {
-        let mut children: Vec<NodeId> = txn.topo().children(st).collect();
+        let mut children = scratch.nodes();
+        children.extend(txn.topo().children(st));
         children.sort_by_key(|&c| (std::cmp::Reverse(txn.topo().subtree_slots_free(c)), c));
-        for child in children {
+        for &child in &children {
             if need_is_zero(need) {
                 break;
             }
@@ -811,7 +1253,8 @@ impl CmPlacer {
             if slots == 0 {
                 continue;
             }
-            let mut gsub = vec![0u32; need.len()];
+            let mut gsub = scratch.u32s();
+            gsub.resize(need.len(), 0);
             let mut used = 0;
             for t in 0..need.len() {
                 let head = self.ha_headroom(txn.topo(), txn.state(), tag, child, t);
@@ -823,17 +1266,20 @@ impl CmPlacer {
                 }
             }
             if used == 0 {
+                scratch.put_u32s(gsub);
                 continue;
             }
             for (t, &g) in gsub.iter().enumerate() {
                 need[t] -= g;
             }
             let mut sub = gsub;
-            self.alloc(txn, tag, &mut sub, child, demand_mix);
+            self.alloc(txn, tag, &mut sub, child, demand_mix, spread, scratch);
             for (t, &s) in sub.iter().enumerate() {
                 need[t] += s;
             }
+            scratch.put_u32s(sub);
         }
+        scratch.put_nodes(children);
     }
 
     // ------------------------------------------------------------------
@@ -884,7 +1330,8 @@ impl CmPlacer {
     ///   is below its size (placing the whole tenant inside one fault domain
     ///   would violate it);
     /// * opportunistic HA starts at the lowest level where bandwidth saving
-    ///   is desirable (§4.5, second modification);
+    ///   is desirable (§4.5, second modification) — evaluated O(1) per level
+    ///   from the topology's per-level availability caches;
     /// * otherwise the server level.
     fn start_level(&self, topo: &Topology, tag: &Tag, demand_mix: f64) -> u8 {
         match self.cfg.ha {
@@ -901,12 +1348,18 @@ impl CmPlacer {
             }
             HaPolicy::Opportunistic { .. } => {
                 let top = (topo.num_levels() - 1) as u8;
+                // Every level partitions the servers, so the level's free
+                // slots are the root's; the bandwidth numerator is the
+                // incrementally-maintained per-level half-sum (bit-identical
+                // to the per-node scan it replaces).
+                let slots = topo.subtree_slots_free(topo.root());
                 for l in 0..top {
-                    let nodes = topo.nodes_at_level(l as usize).iter().copied();
-                    if let Some(per_slot) = per_slot_avail_kbps(topo, nodes) {
-                        if per_slot < demand_mix {
-                            return l;
-                        }
+                    if slots == 0 {
+                        break;
+                    }
+                    let per_slot = topo.avail_half_sum_at_level(l as usize) as f64 / slots as f64;
+                    if per_slot < demand_mix {
+                        return l;
                     }
                 }
                 top
@@ -923,8 +1376,15 @@ impl Placer for CmPlacer {
     fn place(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
         self.place_tag(topo, tag).map(Deployed::from)
     }
-}
 
+    fn place_shared(
+        &mut self,
+        topo: &mut Topology,
+        tag: &Arc<Tag>,
+    ) -> Result<Deployed, RejectReason> {
+        self.place_tag_shared(topo, tag).map(Deployed::from)
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,6 +40,17 @@ pub trait Placer {
 
     /// Deploy the tenant. `Err` leaves the topology exactly as it was.
     fn place(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason>;
+
+    /// Deploy an already-shared tenant model. Placers that keep the TAG
+    /// (rather than translating it) override this to adopt the handle
+    /// without deep-cloning; the default forwards to [`Placer::place`].
+    fn place_shared(
+        &mut self,
+        topo: &mut Topology,
+        tag: &std::sync::Arc<Tag>,
+    ) -> Result<Deployed, RejectReason> {
+        self.place(topo, tag)
+    }
 }
 
 /// A deployed tenant, whichever placer and pricing model produced it.
@@ -138,6 +149,39 @@ pub fn reject_reason(topo: &Topology, total_vms: u64) -> RejectReason {
     }
 }
 
+/// Which `FindLowestSubtree` implementation [`search_and_place_with`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Descend from the root over the topology's subtree aggregates
+    /// ([`crate::placement::find_lowest_subtree`]) — the production path.
+    #[default]
+    Descend,
+    /// The pre-descend O(level-width × depth) scan
+    /// ([`crate::placement::find_lowest_subtree_linear`]), kept as the
+    /// reference for equivalence tests and before/after benchmarks.
+    LinearReference,
+}
+
+impl SearchStrategy {
+    /// Run the selected `FindLowestSubtree` implementation.
+    pub fn find(
+        self,
+        topo: &Topology,
+        level: usize,
+        total_vms: u64,
+        ext_demand: (Kbps, Kbps),
+    ) -> Option<NodeId> {
+        match self {
+            SearchStrategy::Descend => {
+                crate::placement::find_lowest_subtree(topo, level, total_vms, ext_demand)
+            }
+            SearchStrategy::LinearReference => {
+                crate::placement::find_lowest_subtree_linear(topo, level, total_vms, ext_demand)
+            }
+        }
+    }
+}
+
 /// The shared outer loop of Algorithm 1 (and of both baselines): starting
 /// at `start_level`, find the lowest subtree that can plausibly host the
 /// whole tenant (`find_lowest_subtree`), run `attempt` inside a fresh
@@ -154,6 +198,33 @@ pub fn search_and_place<M, F>(
     total_vms: u64,
     ext_demand: (Kbps, Kbps),
     start_level: usize,
+    attempt: F,
+) -> Result<(), RejectReason>
+where
+    M: CutModel,
+    F: FnMut(&mut ReservationTxn<'_, M>, NodeId) -> bool,
+{
+    search_and_place_with(
+        topo,
+        state,
+        total_vms,
+        ext_demand,
+        start_level,
+        SearchStrategy::Descend,
+        attempt,
+    )
+}
+
+/// [`search_and_place`] with an explicit [`SearchStrategy`] (the reference
+/// scan exists only for equivalence testing; production callers use the
+/// default-descend wrapper).
+pub fn search_and_place_with<M, F>(
+    topo: &mut Topology,
+    state: &mut TenantState<M>,
+    total_vms: u64,
+    ext_demand: (Kbps, Kbps),
+    start_level: usize,
+    search: SearchStrategy,
     mut attempt: F,
 ) -> Result<(), RejectReason>
 where
@@ -163,7 +234,7 @@ where
     let root_level = topo.num_levels() - 1;
     let mut level = start_level.min(root_level);
     loop {
-        let st = match crate::placement::find_lowest_subtree(topo, level, total_vms, ext_demand) {
+        let st = match search.find(topo, level, total_vms, ext_demand) {
             Some(st) => st,
             None => {
                 if level >= root_level {

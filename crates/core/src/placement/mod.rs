@@ -30,7 +30,9 @@ mod engine;
 mod predictor;
 
 pub use cm::CmPlacer;
-pub use engine::{reject_reason, search_and_place, Deployed, Placer};
+pub use engine::{
+    reject_reason, search_and_place, search_and_place_with, Deployed, Placer, SearchStrategy,
+};
 pub use predictor::DemandPredictor;
 
 /// High-availability policy for the placer (§4.5).
@@ -215,7 +217,28 @@ pub(crate) fn wcs_cap(n: u32, rwcs: f64) -> u32 {
 /// enough available bandwidth on its root path for the tenant's external
 /// demand. Among candidates, most free slots wins ("likely to fit"), ties by
 /// id. Shared by CloudMirror and the baseline placers in `cm-baselines`.
+///
+/// Implemented by descending from the root over the topology's
+/// incrementally-maintained subtree aggregates
+/// ([`cm_topology::Topology::descend_to_level`]), O(branching × depth)
+/// instead of the O(level-width × depth) scan; the scan survives as
+/// [`find_lowest_subtree_linear`] for equivalence testing.
 pub fn find_lowest_subtree(
+    topo: &cm_topology::Topology,
+    level: usize,
+    total_vms: u64,
+    ext_demand: (cm_topology::Kbps, cm_topology::Kbps),
+) -> Option<cm_topology::NodeId> {
+    topo.descend_to_level(level, total_vms, ext_demand)
+}
+
+/// The pre-descend reference implementation of [`find_lowest_subtree`]: a
+/// linear scan over every node of the level with a full `avail_to_root`
+/// path walk per candidate. Kept (and exposed through
+/// [`SearchStrategy::LinearReference`]) so property and simulation tests
+/// can prove the descend search makes bit-identical admission decisions;
+/// not used by any production placer.
+pub fn find_lowest_subtree_linear(
     topo: &cm_topology::Topology,
     level: usize,
     total_vms: u64,

@@ -21,8 +21,9 @@
 //! commit/rollback on top of the primitives here.
 
 use crate::cut::CutModel;
+use crate::fasthash::FastMap;
 use cm_topology::{Kbps, NodeId, Topology, TopologyError};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One entry of a placement map: `count` VMs of `tier` on `server`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,26 +44,40 @@ pub struct PlacementEntry {
 /// kept (e.g. by the simulator's registry) until released.
 #[derive(Debug, Clone)]
 pub struct TenantState<M: CutModel> {
-    model: M,
+    /// Shared, immutable model: clones of the state (and the transaction
+    /// undo log's model snapshots) are pointer copies, so the placement hot
+    /// path never deep-clones a tenant's network description.
+    model: Arc<M>,
     /// Per touched node: VM count per tier inside that node's subtree.
-    counts: HashMap<NodeId, Vec<u32>>,
+    counts: FastMap<NodeId, Vec<u32>>,
     /// Per touched uplink (keyed by the lower node): reserved (out, in).
-    reserved: HashMap<NodeId, (Kbps, Kbps)>,
+    reserved: FastMap<NodeId, (Kbps, Kbps)>,
 }
 
 impl<M: CutModel> TenantState<M> {
     /// Start tracking a tenant with the given network model.
     pub fn new(model: M) -> Self {
+        Self::new_shared(Arc::new(model))
+    }
+
+    /// Start tracking a tenant with an already-shared network model
+    /// (no deep clone).
+    pub fn new_shared(model: Arc<M>) -> Self {
         TenantState {
             model,
-            counts: HashMap::new(),
-            reserved: HashMap::new(),
+            counts: FastMap::default(),
+            reserved: FastMap::default(),
         }
     }
 
     /// The tenant's network model.
     pub fn model(&self) -> &M {
         &self.model
+    }
+
+    /// The tenant's network model as a shared handle (cheap to clone).
+    pub fn model_arc(&self) -> Arc<M> {
+        Arc::clone(&self.model)
     }
 
     /// VM counts per tier inside `node`'s subtree (all zeros if untouched).
@@ -76,6 +91,32 @@ impl<M: CutModel> TenantState<M> {
     /// VMs of `tier` inside `node`'s subtree.
     pub fn count_of(&self, node: NodeId, tier: usize) -> u32 {
         self.counts.get(&node).map_or(0, |v| v[tier])
+    }
+
+    /// The stored per-tier counts inside `node`'s subtree, if the tenant
+    /// has touched it (`None` means all zeros) — the borrow-only form of
+    /// [`TenantState::inside_counts`].
+    #[inline]
+    pub fn inside_counts_ref(&self, node: NodeId) -> Option<&[u32]> {
+        self.counts.get(&node).map(|v| v.as_slice())
+    }
+
+    /// Whether this tenant has no VM inside `node`'s subtree.
+    pub fn is_untouched(&self, node: NodeId) -> bool {
+        self.counts
+            .get(&node)
+            .is_none_or(|v| v.iter().all(|&c| c == 0))
+    }
+
+    /// Fill `out` (cleared first) with the VM counts per tier inside
+    /// `node`'s subtree — the allocation-free form of
+    /// [`TenantState::inside_counts`] for callers with a reusable buffer.
+    pub fn fill_inside_counts(&self, node: NodeId, out: &mut Vec<u32>) {
+        out.clear();
+        match self.counts.get(&node) {
+            Some(v) => out.extend_from_slice(v),
+            None => out.resize(self.model.num_tiers(), 0),
+        }
     }
 
     /// Total VMs placed so far.
@@ -114,9 +155,34 @@ impl<M: CutModel> TenantState<M> {
         }
         topo.alloc_slots(server, count)?;
         let t = self.model.num_tiers();
-        for node in topo.path_to_root(server).collect::<Vec<_>>() {
+        for node in topo.path_to_root(server) {
             let c = self.counts.entry(node).or_insert_with(|| vec![0; t]);
             c[tier] += count;
+        }
+        Ok(())
+    }
+
+    /// Batched [`TenantState::place`]: stage several tiers onto one server
+    /// with a single slot allocation and one path walk. All-or-nothing:
+    /// fails (without side effects) when the server lacks slots for the
+    /// total.
+    pub fn place_many(
+        &mut self,
+        topo: &mut Topology,
+        server: NodeId,
+        chunks: &[(usize, u32)],
+    ) -> Result<(), TopologyError> {
+        let total: u32 = chunks.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return Ok(());
+        }
+        topo.alloc_slots(server, total)?;
+        let t = self.model.num_tiers();
+        for node in topo.path_to_root(server) {
+            let c = self.counts.entry(node).or_insert_with(|| vec![0; t]);
+            for &(tier, count) in chunks {
+                c[tier] += count;
+            }
         }
         Ok(())
     }
@@ -130,7 +196,7 @@ impl<M: CutModel> TenantState<M> {
         }
         topo.release_slots(server, count)
             .expect("unplace: slot release underflow");
-        for node in topo.path_to_root(server).collect::<Vec<_>>() {
+        for node in topo.path_to_root(server) {
             let c = self
                 .counts
                 .get_mut(&node)
@@ -199,27 +265,24 @@ impl<M: CutModel> TenantState<M> {
 
     /// Release everything this tenant holds: all bandwidth reservations and
     /// all VM slots. The state is empty (reusable) afterwards.
+    ///
+    /// Releases drain the ledgers directly — reservations and per-server
+    /// slot totals are returned wholesale instead of unwinding entry by
+    /// entry along every root path, and nothing is allocated.
     pub fn clear(&mut self, topo: &mut Topology) {
-        let links: Vec<NodeId> = self.reserved.keys().copied().collect();
-        for n in links {
-            self.force_reserve(topo, n, (0, 0));
+        for (n, (out, inc)) in self.reserved.drain() {
+            topo.adjust_uplink(n, -(out as i64), -(inc as i64))
+                .expect("releasing a held reservation cannot fail");
         }
-        let servers: Vec<(NodeId, Vec<u32>)> = self
-            .counts
-            .iter()
-            .filter(|(&n, _)| topo.is_server(n))
-            .map(|(&n, c)| (n, c.clone()))
-            .collect();
-        for (server, tiers) in servers {
-            for (tier, &count) in tiers.iter().enumerate() {
-                if count > 0 {
-                    self.unplace(topo, server, tier, count);
+        for (n, c) in self.counts.drain() {
+            if topo.is_server(n) {
+                let held: u32 = c.iter().sum();
+                if held > 0 {
+                    topo.release_slots(n, held)
+                        .expect("releasing held slots cannot fail");
                 }
             }
         }
-        debug_assert!(self.counts.values().all(|c| c.iter().all(|&x| x == 0)));
-        self.counts.clear();
-        self.reserved.clear();
     }
 
     /// Total bandwidth reserved by this tenant across all links (out + in).
@@ -238,7 +301,7 @@ impl<M: CutModel> TenantState<M> {
     pub fn replace_model(
         &mut self,
         topo: &mut Topology,
-        new_model: M,
+        new_model: Arc<M>,
     ) -> Result<(), TopologyError> {
         assert_eq!(
             new_model.num_tiers(),

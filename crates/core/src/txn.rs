@@ -30,6 +30,7 @@
 use crate::cut::CutModel;
 use crate::reserve::{PlacementEntry, TenantState};
 use cm_topology::{Kbps, NodeId, Topology, TopologyError};
+use std::sync::Arc;
 
 /// A position in a transaction's undo log; see
 /// [`ReservationTxn::savepoint`].
@@ -51,8 +52,9 @@ enum TxnOp<M> {
     Unplace(PlacementEntry),
     /// Inverse: restore `prev` on `node`'s uplink.
     Reserve { node: NodeId, prev: (Kbps, Kbps) },
-    /// Inverse: restore the previous model (with repricing).
-    Model(M),
+    /// Inverse: restore the previous model (with repricing). The snapshot
+    /// is a shared handle, so logging it never deep-clones the model.
+    Model(Arc<M>),
 }
 
 impl<'a, M: CutModel> ReservationTxn<'a, M> {
@@ -96,6 +98,28 @@ impl<'a, M: CutModel> ReservationTxn<'a, M> {
             tier,
             count,
         }));
+        Ok(())
+    }
+
+    /// Stage several tiers onto one server at once (one slot allocation,
+    /// one path walk; see [`TenantState::place_many`]). The undo log keeps
+    /// one entry per chunk, so savepoints and rollbacks behave exactly as
+    /// with chunk-wise [`ReservationTxn::place`] calls.
+    pub fn place_many(
+        &mut self,
+        server: NodeId,
+        chunks: &[(usize, u32)],
+    ) -> Result<(), TopologyError> {
+        self.state.place_many(self.topo, server, chunks)?;
+        for &(tier, count) in chunks {
+            if count > 0 {
+                self.log.push(TxnOp::Place(PlacementEntry {
+                    server,
+                    tier,
+                    count,
+                }));
+            }
+        }
         Ok(())
     }
 
@@ -143,11 +167,8 @@ impl<'a, M: CutModel> ReservationTxn<'a, M> {
     /// Stage a model swap, repricing every touched link under the new
     /// model (see [`TenantState::replace_model`]). Fails without side
     /// effects when some link cannot fit its new price.
-    pub fn replace_model(&mut self, new_model: M) -> Result<(), TopologyError>
-    where
-        M: Clone,
-    {
-        let old = self.state.model().clone();
+    pub fn replace_model(&mut self, new_model: Arc<M>) -> Result<(), TopologyError> {
+        let old = self.state.model_arc();
         self.state.replace_model(self.topo, new_model)?;
         self.log.push(TxnOp::Model(old));
         Ok(())
@@ -376,7 +397,7 @@ mod tests {
         assert_eq!(topo.uplink_used(s), Some((200, 200)));
         {
             let mut txn = ReservationTxn::begin(&mut topo, &mut st);
-            txn.replace_model(hose_tag(4, 300)).unwrap();
+            txn.replace_model(Arc::new(hose_tag(4, 300))).unwrap();
             assert_eq!(txn.topo().uplink_used(s), Some((600, 600)));
             // Dropped uncommitted: prices return to the old model's.
         }

@@ -24,6 +24,16 @@ pub trait Admission {
 
     /// Try to deploy the tenant; `Err` leaves the topology untouched.
     fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason>;
+
+    /// [`Admission::admit`] for a shared model — the simulator's hot path,
+    /// which lets placers adopt the tenant's TAG without deep-cloning it.
+    fn admit_shared(
+        &mut self,
+        topo: &mut Topology,
+        tag: &std::sync::Arc<Tag>,
+    ) -> Result<Deployed, RejectReason> {
+        self.admit(topo, tag)
+    }
 }
 
 /// The one admission adapter: any [`Placer`] is an admission controller.
@@ -72,6 +82,14 @@ impl<P: Placer> Admission for PlacerAdmission<P> {
 
     fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
         self.placer.place(topo, tag)
+    }
+
+    fn admit_shared(
+        &mut self,
+        topo: &mut Topology,
+        tag: &std::sync::Arc<Tag>,
+    ) -> Result<Deployed, RejectReason> {
+        self.placer.place_shared(topo, tag)
     }
 }
 

@@ -84,6 +84,34 @@ impl PartialOrd for Departure {
     }
 }
 
+/// Per-placement latency observations of an instrumented simulation run
+/// (see [`run_sim_timed`]).
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionTimings {
+    /// Wall-clock seconds of every `admit` call (accepted and rejected),
+    /// in arrival order.
+    pub admit_secs: Vec<f64>,
+}
+
+impl AdmissionTimings {
+    /// Total seconds spent inside the admission controller.
+    pub fn total_secs(&self) -> f64 {
+        self.admit_secs.iter().sum()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of per-placement latency, by the
+    /// nearest-rank method. `None` when no placements were recorded.
+    pub fn quantile_secs(&self, q: f64) -> Option<f64> {
+        if self.admit_secs.is_empty() {
+            return None;
+        }
+        let mut sorted = self.admit_secs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
 /// Run one simulation: `arrivals` Poisson arrivals sampled uniformly from
 /// `pool` (scaled to `B_max`), exponential dwell times, against a fresh
 /// topology and the given admission controller.
@@ -91,6 +119,30 @@ impl PartialOrd for Departure {
 /// The arrival rate λ is solved from the configured load exactly as in the
 /// paper: `λ = load · total_slots / (T_s · T_d)`.
 pub fn run_sim(cfg: &SimConfig, pool: &TenantPool, admission: &mut dyn Admission) -> SimResult {
+    run_sim_inner(cfg, pool, admission, None)
+}
+
+/// [`run_sim`] with per-placement latency instrumentation — the
+/// `bench_admission` macro-benchmark's entry point. The event sequence is
+/// identical to the untimed run (timing happens around the `admit` calls).
+pub fn run_sim_timed(
+    cfg: &SimConfig,
+    pool: &TenantPool,
+    admission: &mut dyn Admission,
+) -> (SimResult, AdmissionTimings) {
+    let mut t = AdmissionTimings {
+        admit_secs: Vec::with_capacity(cfg.arrivals),
+    };
+    let r = run_sim_inner(cfg, pool, admission, Some(&mut t));
+    (r, t)
+}
+
+fn run_sim_inner(
+    cfg: &SimConfig,
+    pool: &TenantPool,
+    admission: &mut dyn Admission,
+    mut timings: Option<&mut AdmissionTimings>,
+) -> SimResult {
     let pool = if cfg.bmax_kbps > 0 {
         pool.scaled_to_bmax(cfg.bmax_kbps)
     } else {
@@ -129,7 +181,12 @@ pub fn run_sim(cfg: &SimConfig, pool: &TenantPool, admission: &mut dyn Admission
         counts.arrivals += 1;
         counts.total_vms += vms;
         counts.total_bw_kbps += bw;
-        match admission.admit(&mut topo, tag) {
+        let t0 = timings.as_ref().map(|_| std::time::Instant::now());
+        let outcome = admission.admit_shared(&mut topo, tag);
+        if let (Some(t), Some(t0)) = (timings.as_deref_mut(), t0) {
+            t.admit_secs.push(t0.elapsed().as_secs_f64());
+        }
+        match outcome {
             Ok(deployed) => {
                 wcs_acc.record(
                     &deployed.wcs_at_level(&topo, cfg.wcs_level),

@@ -43,7 +43,7 @@ pub fn table1(pool: &TenantPool, seed: u64, bmax_kbps: u64) -> Vec<Table1Row> {
     let mut placer = CmPlacer::new(CmConfig::cm());
     let mut cm_states = Vec::new();
     for &idx in &sequence {
-        match placer.place_tag(&mut topo_cm, &pool.tenants()[idx]) {
+        match placer.place_tag_shared(&mut topo_cm, &pool.tenants()[idx]) {
             Ok(st) => cm_states.push((st, idx)),
             Err(RejectReason::InsufficientSlots) => break,
             Err(RejectReason::InsufficientBandwidth) => {
@@ -57,10 +57,14 @@ pub fn table1(pool: &TenantPool, seed: u64, bmax_kbps: u64) -> Vec<Table1Row> {
         .iter()
         .map(|(st, idx)| (st.placement(&topo_cm), *idx))
         .collect();
-    let vocs: Vec<VocModel> = pool.tenants().iter().map(VocModel::from_tag).collect();
+    let vocs: Vec<VocModel> = pool
+        .tenants()
+        .iter()
+        .map(|t| VocModel::from_tag(t))
+        .collect();
     let tag_deployments: Vec<PricedPlacement<'_>> = placements
         .iter()
-        .map(|(p, idx)| (p.as_slice(), &pool.tenants()[*idx] as &dyn CutModel))
+        .map(|(p, idx)| (p.as_slice(), &*pool.tenants()[*idx] as &dyn CutModel))
         .collect();
     let voc_deployments: Vec<PricedPlacement<'_>> = placements
         .iter()

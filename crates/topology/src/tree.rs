@@ -82,13 +82,17 @@ impl fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
-/// Directional state of one uplink.
+/// Directional state of one uplink. `avail_*` are caches of `cap − used`,
+/// kept in sync by [`Topology::adjust_uplink`] so the placement hot path
+/// reads availability without re-deriving it.
 #[derive(Debug, Clone, Copy)]
 struct Uplink {
     cap_up: Kbps,
     cap_dn: Kbps,
     used_up: Kbps,
     used_dn: Kbps,
+    avail_up: Kbps,
+    avail_dn: Kbps,
 }
 
 #[derive(Debug, Clone)]
@@ -132,6 +136,24 @@ pub struct Topology {
     /// contiguous slice of this vector).
     servers: Vec<NodeId>,
     root: NodeId,
+    /// Per-subtree max-free-slots aggregate, flattened as
+    /// `max_free[node_index * num_levels + target_level]`: the largest
+    /// `sub_slots_free` of any descendant subtree rooted at `target_level`
+    /// (the node's own `sub_slots_free` at its own level; 0 above it).
+    /// Maintained incrementally by `alloc_slots`/`release_slots` along the
+    /// parent path and used by [`Topology::descend_to_level`] to prune the
+    /// candidate search.
+    max_free: Vec<u64>,
+    /// Per-level sum of reserved uplink bandwidth `(up, down)`, maintained
+    /// by `adjust_uplink` so [`Topology::reserved_at_level`] is O(1).
+    level_used: Vec<(Kbps, Kbps)>,
+    /// Per-level sum of single-direction uplink capacity (fixed at build).
+    level_cap: Vec<Kbps>,
+    /// Per-level sum of `⌊(avail_up + avail_dn) / 2⌋` over the level's
+    /// uplinks, maintained by `adjust_uplink`. Exactly the numerator of the
+    /// §4.5 per-slot-availability pre-scan over a whole level, without the
+    /// O(width) walk (per-node halving is preserved bit-for-bit).
+    level_avail_half: Vec<u128>,
 }
 
 impl Topology {
@@ -148,6 +170,10 @@ impl Topology {
             levels: vec![Vec::new(); num_levels],
             servers: Vec::new(),
             root: NodeId(0),
+            max_free: Vec::new(),
+            level_used: vec![(0, 0); num_levels],
+            level_cap: vec![0; num_levels],
+            level_avail_half: vec![0; num_levels],
         };
         let root_level = (num_levels - 1) as u8;
         let root = topo.push_node(root_level, None);
@@ -181,6 +207,33 @@ impl Topology {
         // Assign server ranges with a DFS so that subtree servers are
         // contiguous in `servers`.
         topo.assign_server_ranges();
+        // Finalize the max-free aggregates bottom-up and the per-level
+        // capacity/availability caches.
+        topo.max_free = vec![0; topo.nodes.len() * num_levels];
+        for i in (0..topo.nodes.len()).rev() {
+            let level = topo.nodes[i].level;
+            topo.max_free[i * num_levels + level as usize] = topo.nodes[i].sub_slots_free;
+            if level > 0 {
+                let (cs, cl) = (
+                    topo.nodes[i].children_start as usize,
+                    topo.nodes[i].children_len as usize,
+                );
+                for tl in 0..level as usize {
+                    let mut m = 0u64;
+                    for c in cs..cs + cl {
+                        m = m.max(topo.max_free[c * num_levels + tl]);
+                    }
+                    topo.max_free[i * num_levels + tl] = m;
+                }
+            }
+        }
+        for node in &topo.nodes {
+            if let Some(u) = node.up {
+                let l = node.level as usize;
+                topo.level_cap[l] += u.cap_up;
+                topo.level_avail_half[l] += (u.avail_up as u128 + u.avail_dn as u128) / 2;
+            }
+        }
         topo
     }
 
@@ -198,6 +251,8 @@ impl Topology {
                 cap_dn: cap,
                 used_up: 0,
                 used_dn: 0,
+                avail_up: cap,
+                avail_dn: cap,
             }
         });
         self.nodes.push(Node {
@@ -280,47 +335,56 @@ impl Topology {
     }
 
     /// The root node.
+    #[inline]
     pub fn root(&self) -> NodeId {
         self.root
     }
 
     /// Number of levels (servers are level 0, root is `num_levels()-1`).
+    #[inline]
     pub fn num_levels(&self) -> usize {
         self.levels.len()
     }
 
     /// The level of a node (0 = server).
+    #[inline]
     pub fn level(&self, n: NodeId) -> u8 {
         self.nodes[n.index()].level
     }
 
     /// Whether the node is a server (a leaf holding VM slots).
+    #[inline]
     pub fn is_server(&self, n: NodeId) -> bool {
         self.nodes[n.index()].level == 0
     }
 
     /// All node ids at a given level.
+    #[inline]
     pub fn nodes_at_level(&self, level: usize) -> &[NodeId] {
         &self.levels[level]
     }
 
     /// Parent of a node (`None` for the root).
+    #[inline]
     pub fn parent(&self, n: NodeId) -> Option<NodeId> {
         self.nodes[n.index()].parent
     }
 
     /// Children of a node, as a contiguous id range (empty for servers).
+    #[inline]
     pub fn children(&self, n: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
         let node = &self.nodes[n.index()];
         (node.children_start..node.children_start + node.children_len).map(NodeId)
     }
 
     /// All servers, in DFS order.
+    #[inline]
     pub fn servers(&self) -> &[NodeId] {
         &self.servers
     }
 
     /// The servers under a subtree, as a contiguous slice (DFS order).
+    #[inline]
     pub fn servers_under(&self, n: NodeId) -> &[NodeId] {
         let node = &self.nodes[n.index()];
         let s = node.servers_start as usize;
@@ -329,6 +393,7 @@ impl Topology {
 
     /// Iterator over `n`'s ancestors starting at `n` itself and ending at the
     /// root (inclusive).
+    #[inline]
     pub fn path_to_root(&self, n: NodeId) -> PathToRoot<'_> {
         PathToRoot {
             topo: self,
@@ -347,22 +412,26 @@ impl Topology {
     // ------------------------------------------------------------------
 
     /// Total slots of a server.
+    #[inline]
     pub fn slots_total(&self, server: NodeId) -> u32 {
         self.nodes[server.index()].slots_total
     }
 
     /// Free slots on a server.
+    #[inline]
     pub fn slots_free(&self, server: NodeId) -> u32 {
         let n = &self.nodes[server.index()];
         n.slots_total - n.slots_used
     }
 
     /// Aggregate free slots in the subtree rooted at `n`.
+    #[inline]
     pub fn subtree_slots_free(&self, n: NodeId) -> u64 {
         self.nodes[n.index()].sub_slots_free
     }
 
     /// Aggregate total slots in the subtree rooted at `n`.
+    #[inline]
     pub fn subtree_slots_total(&self, n: NodeId) -> u64 {
         self.nodes[n.index()].sub_slots_total
     }
@@ -387,7 +456,105 @@ impl Topology {
             self.nodes[c.index()].sub_slots_free -= count as u64;
             cur = self.nodes[c.index()].parent;
         }
+        self.refresh_max_free(server);
         Ok(())
+    }
+
+    /// Re-derive the `max_free` aggregate along `server`'s parent path after
+    /// its free-slot count changed.
+    ///
+    /// Each ancestor updates from the *delta* of its on-path child's row:
+    /// an entry that rose becomes the new max outright; an entry that fell
+    /// triggers a max-rescan over the children only when the child was the
+    /// previous arg-max. The common case is O(depth) with no child scans at
+    /// all — the same asymptotic shape as the `sub_slots_free` walk.
+    fn refresh_max_free(&mut self, server: NodeId) {
+        const MAX_DEPTH: usize = 16;
+        let nl = self.levels.len();
+        if nl > MAX_DEPTH {
+            return self.refresh_max_free_full(server);
+        }
+        // `old_row`/`new_row` carry the on-path child's aggregate entries
+        // before and after its update (a child of a level-l node is always
+        // at level l−1, so its row covers every target level the parent
+        // aggregates).
+        let mut old_row = [0u64; MAX_DEPTH];
+        let mut new_row = [0u64; MAX_DEPTH];
+        let si = server.index() * nl;
+        old_row[0] = self.max_free[si];
+        new_row[0] = self.nodes[server.index()].sub_slots_free;
+        self.max_free[si] = new_row[0];
+        let mut cur = self.nodes[server.index()].parent;
+        while let Some(p) = cur {
+            let pi = p.index();
+            let level = self.nodes[pi].level as usize;
+            let base = pi * nl;
+            let mut p_old = [0u64; MAX_DEPTH];
+            let mut p_new = [0u64; MAX_DEPTH];
+            p_old[level] = self.max_free[base + level];
+            p_new[level] = self.nodes[pi].sub_slots_free;
+            self.max_free[base + level] = p_new[level];
+            for tl in 0..level {
+                let oldv = self.max_free[base + tl];
+                p_old[tl] = oldv;
+                let newv = if new_row[tl] > oldv {
+                    new_row[tl]
+                } else if old_row[tl] == oldv && new_row[tl] < oldv {
+                    // The on-path child held the max and dropped: rescan.
+                    let (cs, cl) = (
+                        self.nodes[pi].children_start as usize,
+                        self.nodes[pi].children_len as usize,
+                    );
+                    let mut m = 0u64;
+                    for c in cs..cs + cl {
+                        m = m.max(self.max_free[c * nl + tl]);
+                    }
+                    m
+                } else {
+                    oldv
+                };
+                p_new[tl] = newv;
+                self.max_free[base + tl] = newv;
+            }
+            old_row = p_old;
+            new_row = p_new;
+            cur = self.nodes[pi].parent;
+        }
+    }
+
+    /// Full per-ancestor recomputation of `max_free` (fallback for trees
+    /// deeper than the fast path's fixed buffers).
+    fn refresh_max_free_full(&mut self, server: NodeId) {
+        let nl = self.levels.len();
+        self.max_free[server.index() * nl] = self.nodes[server.index()].sub_slots_free;
+        let mut cur = self.nodes[server.index()].parent;
+        while let Some(p) = cur {
+            let pi = p.index();
+            let level = self.nodes[pi].level as usize;
+            let (cs, cl) = (
+                self.nodes[pi].children_start as usize,
+                self.nodes[pi].children_len as usize,
+            );
+            self.max_free[pi * nl + level] = self.nodes[pi].sub_slots_free;
+            for tl in 0..level {
+                let mut m = 0u64;
+                for c in cs..cs + cl {
+                    m = m.max(self.max_free[c * nl + tl]);
+                }
+                self.max_free[pi * nl + tl] = m;
+            }
+            cur = self.nodes[pi].parent;
+        }
+    }
+
+    /// The largest `sub_slots_free` of any subtree rooted at `target_level`
+    /// inside `n`'s subtree (0 when `target_level` is above `n`).
+    #[inline]
+    pub fn max_subtree_free_at(&self, n: NodeId, target_level: usize) -> u64 {
+        if target_level >= self.levels.len() {
+            return 0;
+        }
+        self.max_free[n.index() * self.levels.len() + target_level]
     }
 
     /// Release `count` previously-allocated VM slots on a server.
@@ -405,6 +572,7 @@ impl Topology {
             self.nodes[c.index()].sub_slots_free += count as u64;
             cur = self.nodes[c.index()].parent;
         }
+        self.refresh_max_free(server);
         Ok(())
     }
 
@@ -413,21 +581,22 @@ impl Topology {
     // ------------------------------------------------------------------
 
     /// Uplink capacity of `n` in (up, down) direction; `None` for the root.
+    #[inline]
     pub fn uplink_capacity(&self, n: NodeId) -> Option<(Kbps, Kbps)> {
         self.nodes[n.index()].up.map(|u| (u.cap_up, u.cap_dn))
     }
 
     /// Reserved bandwidth on `n`'s uplink in (up, down) direction.
+    #[inline]
     pub fn uplink_used(&self, n: NodeId) -> Option<(Kbps, Kbps)> {
         self.nodes[n.index()].up.map(|u| (u.used_up, u.used_dn))
     }
 
     /// Available (unreserved) bandwidth on `n`'s uplink in (up, down)
     /// direction; `None` for the root.
+    #[inline]
     pub fn uplink_avail(&self, n: NodeId) -> Option<(Kbps, Kbps)> {
-        self.nodes[n.index()]
-            .up
-            .map(|u| (u.cap_up - u.used_up, u.cap_dn - u.used_dn))
+        self.nodes[n.index()].up.map(|u| (u.avail_up, u.avail_dn))
     }
 
     /// Minimum available bandwidth along every uplink from `n` (inclusive)
@@ -445,6 +614,121 @@ impl Topology {
         (min_up, min_dn)
     }
 
+    /// `FindLowestSubtree` by descent from the root: the subtree at exactly
+    /// `level` with the most free slots (≥ `total_vms`) whose root path has
+    /// at least `ext_demand` available bandwidth in both directions; ties
+    /// break towards the smallest [`NodeId`].
+    ///
+    /// Equivalent to the linear scan over `nodes_at_level(level)` with
+    /// `avail_to_root` per candidate — but walks root→level guided by the
+    /// incrementally-maintained `max_free` aggregate while threading the
+    /// running path-minimum of available bandwidth, so the common case costs
+    /// O(branching × depth) instead of O(level-width × depth). Siblings are
+    /// only revisited when the greedy child fails the bandwidth check or a
+    /// tie must be broken (branch-and-bound, exact by construction:
+    /// `max_free` is a sharp upper bound on any candidate below a child, and
+    /// `NodeId` order agrees with left-to-right subtree order).
+    pub fn descend_to_level(
+        &self,
+        level: usize,
+        total_vms: u64,
+        ext_demand: (Kbps, Kbps),
+    ) -> Option<NodeId> {
+        if level >= self.levels.len() {
+            return None;
+        }
+        let mut best: Option<(u64, NodeId)> = None;
+        self.descend_rec(
+            self.root,
+            level,
+            total_vms,
+            ext_demand,
+            (Kbps::MAX, Kbps::MAX),
+            &mut best,
+        );
+        best.map(|(_, n)| n)
+    }
+
+    fn descend_rec(
+        &self,
+        node: NodeId,
+        level: usize,
+        total_vms: u64,
+        ext_demand: (Kbps, Kbps),
+        path_min: (Kbps, Kbps),
+        best: &mut Option<(u64, NodeId)>,
+    ) {
+        let ni = node.index();
+        if self.nodes[ni].level as usize == level {
+            let free = self.nodes[ni].sub_slots_free;
+            let wins = free >= total_vms
+                && best.is_none_or(|(bf, bid)| free > bf || (free == bf && node < bid));
+            if wins {
+                *best = Some((free, node));
+            }
+            return;
+        }
+        let (cs, cl) = (
+            self.nodes[ni].children_start as usize,
+            self.nodes[ni].children_len as usize,
+        );
+        let num_levels = self.levels.len();
+        // Visit children best-bound-first (bound ties left-to-right). The
+        // `max_free` aggregate is a sharp upper bound on any candidate's
+        // free slots below a child, and every id below a child exceeds the
+        // child's own id, so lexicographic (free desc, id asc) dominance
+        // pruning against the incumbent is exact. Visited children are
+        // tracked in bitmasks (no allocation); fanouts beyond 128 fall back
+        // to plain id order, which drops the early `break` but stays exact.
+        let ordered = cl <= 128;
+        let mut visited = [0u64; 2];
+        let mut order_pos = 0usize;
+        loop {
+            let picked = if ordered {
+                let mut pick: Option<(u64, usize)> = None;
+                for k in 0..cl {
+                    if visited[k / 64] >> (k % 64) & 1 == 1 {
+                        continue;
+                    }
+                    let bound = self.max_free[(cs + k) * num_levels + level];
+                    if pick.is_none_or(|(pb, _)| bound > pb) {
+                        pick = Some((bound, k));
+                    }
+                }
+                match pick {
+                    Some((bound, k)) => {
+                        visited[k / 64] |= 1 << (k % 64);
+                        Some((bound, k))
+                    }
+                    None => None,
+                }
+            } else if order_pos < cl {
+                let k = order_pos;
+                order_pos += 1;
+                Some((self.max_free[(cs + k) * num_levels + level], k))
+            } else {
+                None
+            };
+            let Some((bound, k)) = picked else { break };
+            let child = NodeId((cs + k) as u32);
+            if bound < total_vms || best.is_some_and(|(bf, _)| bound < bf) {
+                if ordered {
+                    break; // remaining children have no larger bounds
+                }
+                continue;
+            }
+            if best.is_some_and(|(bf, bid)| bound == bf && bid < child) {
+                continue; // incumbent wins any tie below this child
+            }
+            let (au, ad) = self.uplink_avail(child).expect("non-root child");
+            let pm = (path_min.0.min(au), path_min.1.min(ad));
+            if pm.0 < ext_demand.0 || pm.1 < ext_demand.1 {
+                continue; // every candidate below shares this bottleneck
+            }
+            self.descend_rec(child, level, total_vms, ext_demand, pm, best);
+        }
+    }
+
     /// Atomically apply signed deltas to the reservation on `n`'s uplink.
     ///
     /// Fails (leaving state untouched) when a positive delta exceeds the
@@ -456,6 +740,7 @@ impl Topology {
         delta_up: i64,
         delta_dn: i64,
     ) -> Result<(), TopologyError> {
+        let level = self.nodes[n.index()].level as usize;
         let node = &mut self.nodes[n.index()];
         let up = node
             .up
@@ -463,33 +748,40 @@ impl Topology {
             .ok_or(TopologyError::InsufficientBandwidth { node: n })?;
         let new_up = apply_delta(up.used_up, delta_up, up.cap_up, n)?;
         let new_dn = apply_delta(up.used_dn, delta_dn, up.cap_dn, n)?;
+        let old_half = (up.avail_up as u128 + up.avail_dn as u128) / 2;
         up.used_up = new_up;
         up.used_dn = new_dn;
+        up.avail_up = up.cap_up - new_up;
+        up.avail_dn = up.cap_dn - new_dn;
+        let new_half = (up.avail_up as u128 + up.avail_dn as u128) / 2;
+        let lu = &mut self.level_used[level];
+        lu.0 = (lu.0 as i64 + delta_up) as Kbps;
+        lu.1 = (lu.1 as i64 + delta_dn) as Kbps;
+        self.level_avail_half[level] = self.level_avail_half[level] - old_half + new_half;
         Ok(())
     }
 
     /// Sum of reserved uplink bandwidth over all nodes of a level, per
     /// direction. This is the paper's Table 1 metric ("aggregate bandwidth
     /// reserved on uplinks from the server, ToR, and agg switch levels").
+    #[inline]
     pub fn reserved_at_level(&self, level: usize) -> (Kbps, Kbps) {
-        let mut up = 0;
-        let mut dn = 0;
-        for &n in &self.levels[level] {
-            if let Some((u, d)) = self.uplink_used(n) {
-                up += u;
-                dn += d;
-            }
-        }
-        (up, dn)
+        self.level_used[level]
     }
 
     /// Total uplink capacity over all nodes of a level (single direction).
+    #[inline]
     pub fn capacity_at_level(&self, level: usize) -> Kbps {
-        self.levels[level]
-            .iter()
-            .filter_map(|&n| self.uplink_capacity(n))
-            .map(|(u, _)| u)
-            .sum()
+        self.level_cap[level]
+    }
+
+    /// Sum of `⌊(avail_up + avail_dn) / 2⌋` over every uplink of a level —
+    /// the numerator of the §4.5 per-slot-availability test applied to a
+    /// whole level, maintained incrementally (bit-identical to summing
+    /// per-node halves).
+    #[inline]
+    pub fn avail_half_sum_at_level(&self, level: usize) -> u128 {
+        self.level_avail_half[level]
     }
 
     /// Check internal invariants; returns a description of the first
@@ -515,6 +807,58 @@ impl Topology {
                     "{id}: sub_slots_free {} != recomputed {expect_free}",
                     node.sub_slots_free
                 ));
+            }
+            if let Some(u) = node.up {
+                if u.avail_up != u.cap_up - u.used_up || u.avail_dn != u.cap_dn - u.used_dn {
+                    return Err(format!("{id}: cached uplink avail out of sync"));
+                }
+            }
+            // The max-free aggregate at every target level, against a
+            // brute-force recomputation from the children.
+            let num_levels = self.levels.len();
+            for tl in 0..num_levels {
+                let expect: u64 = if tl == node.level as usize {
+                    node.sub_slots_free
+                } else if tl < node.level as usize {
+                    self.children(id)
+                        .map(|c| self.max_free[c.index() * num_levels + tl])
+                        .max()
+                        .unwrap_or(0)
+                } else {
+                    0
+                };
+                let got = self.max_free[i * num_levels + tl];
+                if got != expect {
+                    return Err(format!(
+                        "{id}: max_free[level {tl}] {got} != recomputed {expect}"
+                    ));
+                }
+            }
+        }
+        // Per-level caches against brute-force sums over the level's nodes.
+        for level in 0..self.levels.len() {
+            let mut used = (0u64, 0u64);
+            let mut cap = 0u64;
+            let mut half = 0u128;
+            for &n in &self.levels[level] {
+                if let Some(u) = self.nodes[n.index()].up {
+                    used.0 += u.used_up;
+                    used.1 += u.used_dn;
+                    cap += u.cap_up;
+                    half += (u.avail_up as u128 + u.avail_dn as u128) / 2;
+                }
+            }
+            if self.level_used[level] != used {
+                return Err(format!(
+                    "level {level}: cached reserved {:?} != recomputed {used:?}",
+                    self.level_used[level]
+                ));
+            }
+            if self.level_cap[level] != cap {
+                return Err(format!("level {level}: cached capacity out of sync"));
+            }
+            if self.level_avail_half[level] != half {
+                return Err(format!("level {level}: cached avail-half sum out of sync"));
             }
         }
         Ok(())
@@ -545,6 +889,7 @@ pub struct PathToRoot<'a> {
 impl Iterator for PathToRoot<'_> {
     type Item = NodeId;
 
+    #[inline]
     fn next(&mut self) -> Option<NodeId> {
         let cur = self.next?;
         self.next = self.topo.parent(cur);
@@ -719,6 +1064,113 @@ mod tests {
             t.uplink_capacity(t.servers()[0]),
             Some((mbps(10.0), mbps(10.0)))
         );
+    }
+
+    /// Reference linear scan for descend_to_level equivalence checks.
+    fn linear_find(t: &Topology, level: usize, vms: u64, ext: (Kbps, Kbps)) -> Option<NodeId> {
+        if level >= t.num_levels() {
+            return None;
+        }
+        let mut best: Option<(u64, NodeId)> = None;
+        for &n in t.nodes_at_level(level) {
+            let free = t.subtree_slots_free(n);
+            if free < vms {
+                continue;
+            }
+            let (up, dn) = t.avail_to_root(n);
+            if up < ext.0 || dn < ext.1 {
+                continue;
+            }
+            if best.is_none_or(|(bf, _)| free > bf) {
+                best = Some((free, n));
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+
+    #[test]
+    fn descend_matches_linear_scan_on_fresh_tree() {
+        let t = paper();
+        for level in 0..t.num_levels() {
+            for vms in [0u64, 1, 25, 800, 2048 * 25, 2048 * 25 + 1] {
+                assert_eq!(
+                    t.descend_to_level(level, vms, (0, 0)),
+                    linear_find(&t, level, vms, (0, 0)),
+                    "level {level}, vms {vms}"
+                );
+            }
+        }
+        assert_eq!(t.descend_to_level(t.num_levels(), 1, (0, 0)), None);
+    }
+
+    #[test]
+    fn descend_matches_linear_scan_under_load() {
+        let mut t = paper();
+        // Unbalance slots and bandwidth deterministically.
+        for (i, &s) in t.servers().to_vec().iter().enumerate() {
+            t.alloc_slots(s, (i % 26) as u32).unwrap();
+            if i % 3 == 0 {
+                t.adjust_uplink(s, gbps(9.0) as i64, gbps(2.0) as i64)
+                    .unwrap();
+            }
+        }
+        for (i, &tor) in t.nodes_at_level(1).to_vec().iter().enumerate() {
+            if i % 2 == 0 {
+                t.adjust_uplink(tor, gbps(70.0) as i64, gbps(10.0) as i64)
+                    .unwrap();
+            }
+        }
+        t.check_invariants().unwrap();
+        for level in 0..t.num_levels() {
+            for vms in [1u64, 10, 25, 200, 1000] {
+                for ext in [(0, 0), (gbps(2.0), gbps(1.0)), (gbps(15.0), 0)] {
+                    assert_eq!(
+                        t.descend_to_level(level, vms, ext),
+                        linear_find(&t, level, vms, ext),
+                        "level {level}, vms {vms}, ext {ext:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_subtree_free_tracks_alloc_release() {
+        let mut t = paper();
+        let tor = t.nodes_at_level(1)[0];
+        assert_eq!(t.max_subtree_free_at(t.root(), 0), 25);
+        assert_eq!(t.max_subtree_free_at(tor, 0), 25);
+        assert_eq!(t.max_subtree_free_at(tor, 1), 32 * 25);
+        assert_eq!(t.max_subtree_free_at(tor, 2), 0, "level above the node");
+        // Drain one whole rack; its ToR aggregate drops, the root's doesn't.
+        for &s in t.servers_under(tor).to_vec().iter() {
+            t.alloc_slots(s, 25).unwrap();
+        }
+        assert_eq!(t.max_subtree_free_at(tor, 0), 0);
+        assert_eq!(t.max_subtree_free_at(t.root(), 0), 25);
+        assert_eq!(t.max_subtree_free_at(t.root(), 1), 32 * 25);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn level_caches_match_brute_force() {
+        let mut t = paper();
+        let s0 = t.servers()[0];
+        let tor = t.parent(s0).unwrap();
+        t.adjust_uplink(s0, 1001, 500).unwrap();
+        t.adjust_uplink(tor, 777, 333).unwrap();
+        // check_invariants recomputes all three caches brute-force.
+        t.check_invariants().unwrap();
+        assert_eq!(t.reserved_at_level(0), (1001, 500));
+        assert_eq!(t.reserved_at_level(1), (777, 333));
+        assert_eq!(t.capacity_at_level(1), 64 * gbps(80.0));
+        let expect_half: u128 = t
+            .nodes_at_level(0)
+            .iter()
+            .filter_map(|&n| t.uplink_avail(n))
+            .map(|(u, d)| (u as u128 + d as u128) / 2)
+            .sum();
+        assert_eq!(t.avail_half_sum_at_level(0), expect_half);
     }
 
     #[test]

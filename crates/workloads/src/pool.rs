@@ -2,13 +2,18 @@
 
 use cm_core::model::Tag;
 use cm_topology::Kbps;
+use std::sync::Arc;
 
 /// A pool of tenants with bandwidth in relative units, as sampled by the
 /// simulator's arrival process.
+///
+/// Tenants are held behind [`Arc`] so the simulator can hand a model to a
+/// placer ([`Placer::place_shared`](cm_core::placement::Placer)) without
+/// deep-cloning it on every arrival.
 #[derive(Debug, Clone)]
 pub struct TenantPool {
     name: String,
-    tenants: Vec<Tag>,
+    tenants: Vec<Arc<Tag>>,
 }
 
 /// Summary statistics of a pool (used to validate generators against the
@@ -36,7 +41,7 @@ impl TenantPool {
         assert!(!tenants.is_empty(), "a pool needs at least one tenant");
         TenantPool {
             name: name.into(),
-            tenants,
+            tenants: tenants.into_iter().map(Arc::new).collect(),
         }
     }
 
@@ -45,8 +50,8 @@ impl TenantPool {
         &self.name
     }
 
-    /// The tenants (relative bandwidth units).
-    pub fn tenants(&self) -> &[Tag] {
+    /// The tenants (relative bandwidth units), as shared handles.
+    pub fn tenants(&self) -> &[Arc<Tag>] {
         &self.tenants
     }
 
@@ -83,7 +88,11 @@ impl TenantPool {
         let factor = bmax as f64 / max_bvm;
         TenantPool {
             name: self.name.clone(),
-            tenants: self.tenants.iter().map(|t| t.scaled(factor)).collect(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| Arc::new(t.scaled(factor)))
+                .collect(),
         }
     }
 

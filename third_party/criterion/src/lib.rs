@@ -104,17 +104,27 @@ fn report(name: &str, samples: &mut [Duration]) {
 /// Top-level benchmark driver (stub of `criterion::Criterion`).
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            test_mode: false,
+        }
     }
 }
 
 impl Criterion {
-    /// Accept CLI arguments (ignored by the stub).
-    pub fn configure_from_args(self) -> Self {
+    /// Parse CLI arguments. Like real criterion, `--test` switches to test
+    /// mode: every benchmark routine runs exactly once, untimed — the CI
+    /// smoke mode that keeps benches compiling *and running* without the
+    /// measurement cost. Other arguments are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
         self
     }
 
@@ -122,10 +132,14 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
         let mut b = Bencher {
             samples: Vec::new(),
-            sample_size: self.sample_size,
+            sample_size: if self.test_mode { 0 } else { self.sample_size },
         };
         f(&mut b);
-        report(name, &mut b.samples);
+        if self.test_mode {
+            println!("{name:<40} ok (test mode)");
+        } else {
+            report(name, &mut b.samples);
+        }
     }
 
     /// Open a named benchmark group.
@@ -167,10 +181,18 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher {
             samples: Vec::new(),
-            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            sample_size: if self.criterion.test_mode {
+                0
+            } else {
+                self.sample_size.unwrap_or(self.criterion.sample_size)
+            },
         };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id), &mut b.samples);
+        if self.criterion.test_mode {
+            println!("{}/{id:<32} ok (test mode)", self.name);
+        } else {
+            report(&format!("{}/{}", self.name, id), &mut b.samples);
+        }
         self
     }
 
@@ -182,10 +204,18 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let mut b = Bencher {
             samples: Vec::new(),
-            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            sample_size: if self.criterion.test_mode {
+                0
+            } else {
+                self.sample_size.unwrap_or(self.criterion.sample_size)
+            },
         };
         f(&mut b);
-        report(&format!("{}/{}", self.name, id), &mut b.samples);
+        if self.criterion.test_mode {
+            println!("{}/{id:<32} ok (test mode)", self.name);
+        } else {
+            report(&format!("{}/{}", self.name, id), &mut b.samples);
+        }
         self
     }
 

@@ -221,6 +221,12 @@ impl Arbitrary for bool {
     }
 }
 
+impl Arbitrary for u16 {
+    fn from_bits(bits: u64) -> u16 {
+        bits as u16
+    }
+}
+
 impl Arbitrary for u32 {
     fn from_bits(bits: u64) -> u32 {
         bits as u32
