@@ -19,6 +19,7 @@ use cm_bench::print_table;
 use cm_core::placement::{CmConfig, CmPlacer, Placer, SearchStrategy};
 use cm_sim::admission::PlacerAdmission;
 use cm_sim::events::run_sim_timed;
+use cm_sim::schedule::{build_schedule, run_schedule_concurrent, Schedule};
 use cm_sim::SimConfig;
 use cm_workloads::{bing_like_pool, TenantPool};
 use std::fmt::Write as _;
@@ -102,9 +103,89 @@ fn pre_change_baseline(quick: bool, full: bool) -> Option<&'static [(&'static st
     }
 }
 
+/// One thread-scaling measurement: the concurrent engine driving `threads`
+/// workers over a pre-generated schedule.
+struct ScalingRow {
+    placer: &'static str,
+    threads: usize,
+    arrivals: usize,
+    wall_secs: f64,
+}
+
+fn bench_concurrent<P: Placer, F: Fn() -> P + Sync>(
+    schedule: &Schedule,
+    make: F,
+    threads: usize,
+) -> ScalingRow {
+    let name = make().name();
+    let t0 = Instant::now();
+    let run = run_schedule_concurrent(schedule, make, threads);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(run.result.rejections.arrivals, schedule.arrivals);
+    ScalingRow {
+        placer: name,
+        threads,
+        arrivals: schedule.arrivals,
+        wall_secs: wall,
+    }
+}
+
+/// The thread counts to record: always 1/2/4 (the scaling-curve artifact),
+/// extended by `--threads N` when N is larger.
+fn thread_counts(max: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = [1usize, 2, 4].into_iter().filter(|&t| t <= max).collect();
+    if !v.contains(&max) {
+        v.push(max);
+    }
+    v
+}
+
+fn thread_scaling(cfg: &SimConfig, pool: &TenantPool, max_threads: usize) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    let counts = thread_counts(max_threads);
+    // The five production placers of the stress suite. SecondNet gets a
+    // reduced arrival slice, as in the main table.
+    let mut sn_cfg = cfg.clone();
+    sn_cfg.arrivals = (cfg.arrivals / 4).max(50);
+    let sched = build_schedule(cfg, pool);
+    let sn_sched = build_schedule(&sn_cfg, pool);
+    for &t in &counts {
+        rows.push(bench_concurrent(
+            &sched,
+            || CmPlacer::new(CmConfig::cm()),
+            t,
+        ));
+    }
+    for &t in &counts {
+        rows.push(bench_concurrent(
+            &sched,
+            || CmPlacer::named(CmConfig::cm_ha(0.5), "CM+HA"),
+            t,
+        ));
+    }
+    for &t in &counts {
+        rows.push(bench_concurrent(&sched, OvocPlacer::new, t));
+    }
+    for &t in &counts {
+        rows.push(bench_concurrent(&sched, OktopusVcPlacer::new, t));
+    }
+    for &t in &counts {
+        rows.push(bench_concurrent(&sn_sched, SecondNetPlacer::new, t));
+    }
+    rows
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let max_threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(1);
     let mut cfg = SimConfig::paper_default();
     cfg.arrivals = if quick {
         300
@@ -206,6 +287,34 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
+    // Thread scaling: the sharded concurrent engine over a pre-generated
+    // schedule, per placer, at 1/2/4 (and --threads N) workers.
+    // ------------------------------------------------------------------
+    let scaling = thread_scaling(&cfg, &pool, max_threads);
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scaling_table: Vec<Vec<String>> = scaling
+        .iter()
+        .map(|r| {
+            vec![
+                r.placer.to_string(),
+                r.threads.to_string(),
+                r.arrivals.to_string(),
+                format!("{:.2}", r.wall_secs),
+                format!("{:.1}", r.arrivals as f64 / r.wall_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Concurrent admission thread scaling (sharded engine; {hardware_threads} hardware thread(s))"
+        ),
+        &["placer", "threads", "arrivals", "wall (s)", "arrivals/s"],
+        &scaling_table,
+    );
+
+    // ------------------------------------------------------------------
     // BENCH_placement.json
     // ------------------------------------------------------------------
     let mut json = String::new();
@@ -240,6 +349,34 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"thread_scaling\": {{");
+    let _ = writeln!(json, "    \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"sharded concurrent engine (pod shards, sequence-numbered optimistic commits) over a pre-generated schedule; decisions are identical to the serial engine at every thread count. Scaling beyond 1x requires hardware_threads > 1.\","
+    );
+    let _ = writeln!(json, "    \"entries\": [");
+    for (i, r) in scaling.iter().enumerate() {
+        let base = scaling
+            .iter()
+            .find(|b| b.placer == r.placer && b.threads == 1)
+            .expect("1-thread baseline recorded");
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"placer\": \"{}\", \"threads\": {}, \"arrivals\": {}, \
+             \"wall_secs\": {:.4}, \"arrivals_per_sec\": {:.1}, \
+             \"speedup_vs_1_thread\": {:.2}}}{comma}",
+            r.placer,
+            r.threads,
+            r.arrivals,
+            r.wall_secs,
+            r.arrivals as f64 / r.wall_secs,
+            base.wall_secs / r.wall_secs,
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"speedup_vs_linear_reference\": {:.2},",

@@ -48,8 +48,12 @@
 //! * [`reserve`] — per-tenant placement + bandwidth reservation ledger.
 //! * [`txn`] — transactional staging over the ledger: savepoints, commit,
 //!   exact rollback.
-//! * [`placement`] — the unified [`placement::Placer`] engine and the
-//!   CloudMirror placer (Algorithm 1, §4.5 HA).
+//! * [`placement`] — the unified [`placement::Placer`] engine, the
+//!   CloudMirror placer (Algorithm 1, §4.5 HA), and the sharded
+//!   concurrent admission engine ([`placement::run_events`]): pod-level
+//!   shards, speculative placement with read-set traces, and a
+//!   sequence-numbered optimistic commit protocol that keeps decisions
+//!   bit-identical to serial admission at any thread count.
 
 pub mod coloc;
 pub mod cut;

@@ -77,8 +77,23 @@ impl PipeModel {
     }
 
     fn with_adjacency(n: u32, pipes: Vec<(u32, u32, Kbps)>) -> PipeModel {
-        let mut out_adj = vec![Vec::new(); n as usize];
-        let mut in_adj = vec![Vec::new(); n as usize];
+        // Count degrees first so every adjacency vector is allocated once
+        // at its exact size — the conversion of a dense tenant pushes tens
+        // of thousands of entries, and reallocation used to dominate it.
+        let mut out_deg = vec![0u32; n as usize];
+        let mut in_deg = vec![0u32; n as usize];
+        for &(s, d, _) in &pipes {
+            out_deg[s as usize] += 1;
+            in_deg[d as usize] += 1;
+        }
+        let mut out_adj: Vec<Vec<(u32, Kbps)>> = out_deg
+            .iter()
+            .map(|&d| Vec::with_capacity(d as usize))
+            .collect();
+        let mut in_adj: Vec<Vec<(u32, Kbps)>> = in_deg
+            .iter()
+            .map(|&d| Vec::with_capacity(d as usize))
+            .collect();
         for &(s, d, bw) in &pipes {
             out_adj[s as usize].push((d, bw));
             in_adj[d as usize].push((s, bw));
@@ -136,7 +151,22 @@ impl PipeModel {
             offset[t.index()] = n;
             n += tag.tier(t).size;
         }
-        let mut pipes = Vec::new();
+        // Upper bound on the pipe count (entries skipped for rounding to
+        // zero only make this an overestimate): one exact allocation.
+        let mut cap = 0usize;
+        for e in tag.edges() {
+            if offset[e.from.index()] == u32::MAX || offset[e.to.index()] == u32::MAX {
+                continue;
+            }
+            let nu = tag.tier(e.from).size as usize;
+            let nv = tag.tier(e.to).size as usize;
+            cap += if e.is_self_loop() {
+                nu.saturating_sub(1) * nu
+            } else {
+                nu * nv
+            };
+        }
+        let mut pipes = Vec::with_capacity(cap);
         for e in tag.edges() {
             let fi = e.from.index();
             let ti = e.to.index();

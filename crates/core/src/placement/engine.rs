@@ -29,6 +29,39 @@ use crate::reserve::TenantState;
 use crate::txn::ReservationTxn;
 use cm_topology::{Kbps, NodeId, Topology};
 
+/// Read-set evidence of one placement computation, recorded by
+/// [`search_and_place_traced`] for the concurrent engine's conflict
+/// validation.
+///
+/// The engine needs to know which subtrees a speculative placement *looked
+/// at* — not just where it finally landed — because a failed attempt inside
+/// pod `q` makes the decision depend on `q`'s state even when the tenant
+/// ends up in pod `p`. A trace listing every attempted subtree (plus
+/// whether the search was fully traced at all) is exactly enough: together
+/// with the monotonicity of intervening admissions, attempts confined to
+/// untouched pods prove the speculative decision equals the serial one.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementTrace {
+    /// Every subtree handed to an `attempt` (successful or not), in order.
+    pub attempts: Vec<NodeId>,
+    /// False when some part of the computation was not traced — the engine
+    /// must then assume the whole topology was read.
+    pub complete: bool,
+}
+
+impl PlacementTrace {
+    /// Reset for a fresh computation, optimistically marked complete.
+    pub fn reset(&mut self) {
+        self.attempts.clear();
+        self.complete = true;
+    }
+
+    /// Mark the read-set as unknown (conflicts with everything).
+    pub fn mark_unknown(&mut self) {
+        self.complete = false;
+    }
+}
+
 /// A placement algorithm that can deploy TAG tenants.
 ///
 /// Implementations are free to translate the TAG into their own pricing
@@ -51,6 +84,37 @@ pub trait Placer {
     ) -> Result<Deployed, RejectReason> {
         self.place(topo, tag)
     }
+
+    /// [`Placer::place_shared`] for the concurrent engine's speculation
+    /// path. Two contract differences:
+    ///
+    /// * it must record its read-set into `trace` (or call
+    ///   [`PlacementTrace::mark_unknown`], as this default does);
+    /// * it must **not** advance any cross-arrival placer state — the
+    ///   engine may call it repeatedly for the same arrival (speculate,
+    ///   invalidate, recompute) and expects identical answers on identical
+    ///   topologies. Cross-arrival state advances exactly once per arrival
+    ///   through [`Placer::note_arrival`] instead.
+    ///
+    /// The default forwards to `place_shared`, which is correct for
+    /// stateless placers (the engine then validates conservatively).
+    fn place_speculative(
+        &mut self,
+        topo: &mut Topology,
+        tag: &std::sync::Arc<Tag>,
+        trace: &mut PlacementTrace,
+    ) -> Result<Deployed, RejectReason> {
+        trace.mark_unknown();
+        self.place_shared(topo, tag)
+    }
+
+    /// Advance cross-arrival placer state for one arrival (in sequence
+    /// order), without placing. `CmPlacer` feeds its demand-predictor EWMA
+    /// here; stateless placers keep the no-op default. The concurrent
+    /// engine calls this exactly once per arrival on every worker's placer
+    /// replica, so placer state stays a pure function of the arrival
+    /// prefix — identical to the serial engine's per-arrival observation.
+    fn note_arrival(&mut self, _tag: &std::sync::Arc<Tag>) {}
 }
 
 /// A deployed tenant, whichever placer and pricing model produced it.
@@ -112,6 +176,12 @@ impl Deployed {
     /// Total bandwidth reserved across all links (out + in).
     pub fn total_reserved_kbps(&self) -> Kbps {
         with_state!(self, s => s.total_reserved_kbps())
+    }
+
+    /// Every uplink reservation of the tenant, sorted by node id (see
+    /// [`TenantState::reservations`]).
+    pub fn reservations(&self) -> Vec<(NodeId, (Kbps, Kbps))> {
+        with_state!(self, s => s.reservations())
     }
 
     /// Check the tenant's ledger against a from-scratch recomputation
@@ -225,6 +295,36 @@ pub fn search_and_place_with<M, F>(
     ext_demand: (Kbps, Kbps),
     start_level: usize,
     search: SearchStrategy,
+    attempt: F,
+) -> Result<(), RejectReason>
+where
+    M: CutModel,
+    F: FnMut(&mut ReservationTxn<'_, M>, NodeId) -> bool,
+{
+    search_and_place_traced(
+        topo,
+        state,
+        total_vms,
+        ext_demand,
+        start_level,
+        search,
+        None,
+        attempt,
+    )
+}
+
+/// [`search_and_place_with`] that additionally records every attempted
+/// subtree into `trace` (see [`PlacementTrace`]) — the concurrent engine's
+/// evidence that a speculative placement read only the pods it attempted.
+#[allow(clippy::too_many_arguments)]
+pub fn search_and_place_traced<M, F>(
+    topo: &mut Topology,
+    state: &mut TenantState<M>,
+    total_vms: u64,
+    ext_demand: (Kbps, Kbps),
+    start_level: usize,
+    search: SearchStrategy,
+    mut trace: Option<&mut PlacementTrace>,
     mut attempt: F,
 ) -> Result<(), RejectReason>
 where
@@ -244,6 +344,9 @@ where
                 continue;
             }
         };
+        if let Some(t) = trace.as_deref_mut() {
+            t.attempts.push(st);
+        }
         let mut txn = ReservationTxn::begin(topo, state);
         if attempt(&mut txn, st) {
             // Reserve the tenant's external traffic above st

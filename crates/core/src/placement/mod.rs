@@ -26,12 +26,17 @@
 //!   free while preserving all bandwidth guarantees.
 
 mod cm;
+mod concurrent;
 mod engine;
 mod predictor;
 
 pub use cm::CmPlacer;
+pub use concurrent::{
+    run_events, AdmitRecord, ConcurrentConfig, ConcurrentOutcome, Event, EventOutcome,
+};
 pub use engine::{
-    reject_reason, search_and_place, search_and_place_with, Deployed, Placer, SearchStrategy,
+    reject_reason, search_and_place, search_and_place_traced, search_and_place_with, Deployed,
+    PlacementTrace, Placer, SearchStrategy,
 };
 pub use predictor::DemandPredictor;
 

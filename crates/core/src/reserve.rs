@@ -244,6 +244,43 @@ impl<M: CutModel> TenantState<M> {
         Ok(())
     }
 
+    /// [`TenantState::sync_uplink`] when the caller has already computed
+    /// the required cut in closed form: applies the delta to `want`
+    /// without re-evaluating the model. `want` **must** equal what
+    /// [`TenantState::required_cut`] would return — debug builds assert
+    /// it; the SecondNet placer uses this because the pipe cut's
+    /// additivity makes the per-server delta O(peers) instead of
+    /// O(placed × degree).
+    pub fn sync_uplink_exact(
+        &mut self,
+        topo: &mut Topology,
+        node: NodeId,
+        want: (Kbps, Kbps),
+    ) -> Result<(), TopologyError> {
+        if node == topo.root() {
+            return Ok(());
+        }
+        debug_assert_eq!(
+            want,
+            self.required_cut(node),
+            "closed-form cut disagrees with the model at {node}"
+        );
+        let (want_out, want_in) = want;
+        let (have_out, have_in) = self.reserved_on(node);
+        let d_out = want_out as i64 - have_out as i64;
+        let d_in = want_in as i64 - have_in as i64;
+        if d_out == 0 && d_in == 0 {
+            return Ok(());
+        }
+        topo.adjust_uplink(node, d_out, d_in)?;
+        if want_out == 0 && want_in == 0 {
+            self.reserved.remove(&node);
+        } else {
+            self.reserved.insert(node, (want_out, want_in));
+        }
+        Ok(())
+    }
+
     /// Set the reservation on a link to an exact prior value (rollback
     /// helper for [`crate::txn::ReservationTxn`]; decreases or restores
     /// always succeed).
@@ -288,6 +325,24 @@ impl<M: CutModel> TenantState<M> {
     /// Total bandwidth reserved by this tenant across all links (out + in).
     pub fn total_reserved_kbps(&self) -> Kbps {
         self.reserved.values().map(|&(o, i)| o + i).sum()
+    }
+
+    /// Every uplink reservation held by this tenant, sorted by node id for
+    /// determinism. The concurrent engine serializes these into commit
+    /// records so worker replicas can replay an admission without the
+    /// placer.
+    pub fn reservations(&self) -> Vec<(NodeId, (Kbps, Kbps))> {
+        let mut v: Vec<(NodeId, (Kbps, Kbps))> =
+            self.reserved.iter().map(|(&n, &r)| (n, r)).collect();
+        v.sort_by_key(|&(n, _)| n);
+        v
+    }
+
+    /// Every node with a count entry (including entries rolled back to
+    /// all-zero), unsorted. Used to enumerate a tenant's touched switches
+    /// without materializing the placement map.
+    pub fn touched_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.counts.keys().copied()
     }
 
     /// Swap the tenant's model and re-sync every touched link to the new

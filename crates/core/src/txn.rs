@@ -149,6 +149,22 @@ impl<'a, M: CutModel> ReservationTxn<'a, M> {
         Ok(())
     }
 
+    /// [`ReservationTxn::sync_uplink`] with a caller-computed target
+    /// reservation (see [`TenantState::sync_uplink_exact`]): identical
+    /// staging and undo-log behaviour, minus the model's cut evaluation.
+    pub fn sync_uplink_to(
+        &mut self,
+        node: NodeId,
+        want: (Kbps, Kbps),
+    ) -> Result<(), TopologyError> {
+        let prev = self.state.reserved_on(node);
+        self.state.sync_uplink_exact(self.topo, node, want)?;
+        if self.state.reserved_on(node) != prev {
+            self.log.push(TxnOp::Reserve { node, prev });
+        }
+        Ok(())
+    }
+
     /// Stage reservation syncs for every uplink from `node` (inclusive) to
     /// the root. On failure the links already synced *by this call* are
     /// unwound, leaving the transaction where it was.

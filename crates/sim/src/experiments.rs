@@ -118,6 +118,8 @@ pub struct SweepPoint {
 pub enum Algo {
     /// CloudMirror with the given configuration.
     Cm(CmConfig),
+    /// CloudMirror with an explicit display label (HA approximations etc.).
+    CmLabeled(CmConfig, &'static str),
     /// Improved Oktopus VOC.
     Ovoc,
 }
@@ -127,6 +129,7 @@ impl Algo {
     pub fn label(&self) -> &'static str {
         match self {
             Algo::Cm(cfg) => cfg.label(),
+            Algo::CmLabeled(_, label) => label,
             Algo::Ovoc => "OVOC",
         }
     }
@@ -135,9 +138,33 @@ impl Algo {
     pub fn admission(&self) -> Box<dyn Admission> {
         match self {
             Algo::Cm(cfg) => Box::new(CmAdmission::with_config(*cfg, self.label())),
+            Algo::CmLabeled(cfg, label) => Box::new(CmAdmission::with_config(*cfg, label)),
             Algo::Ovoc => Box::new(OvocAdmission::new()),
         }
     }
+}
+
+/// One independent experiment cell: a full simulation configuration plus
+/// the algorithm to run it with.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The simulation configuration of this cell.
+    pub cfg: SimConfig,
+    /// The admission algorithm of this cell.
+    pub algo: Algo,
+}
+
+/// Run every cell and return the results in cell order. Cells are fanned
+/// across [`crate::parallel::par_map_indexed`] workers (default:
+/// [`crate::parallel::default_threads`]); each cell builds its own
+/// topology, RNG, and admission controller, so the results are identical
+/// for any thread count — the experiment drivers below all funnel through
+/// here, which is what parallelizes every figure harness.
+pub fn run_sweep_cells(pool: &TenantPool, cells: Vec<SweepCell>, threads: usize) -> Vec<SimResult> {
+    crate::parallel::par_map_indexed(threads, cells, |_, cell| {
+        let mut adm = cell.algo.admission();
+        run_sim(&cell.cfg, pool, adm.as_mut())
+    })
 }
 
 /// Figs. 7 & 12 x-axis sweep: vary `B_max` at a fixed load.
@@ -147,17 +174,19 @@ pub fn sweep_bmax(
     algo: Algo,
     bmax_mbps: &[f64],
 ) -> Vec<SweepPoint> {
-    bmax_mbps
+    let cells = bmax_mbps
         .iter()
         .map(|&b| {
             let mut cfg = base.clone();
             cfg.bmax_kbps = (b * 1000.0) as u64;
-            let mut adm = algo.admission();
-            SweepPoint {
-                x: b,
-                result: run_sim(&cfg, pool, adm.as_mut()),
-            }
+            SweepCell { cfg, algo }
         })
+        .collect();
+    let results = run_sweep_cells(pool, cells, crate::parallel::default_threads());
+    bmax_mbps
+        .iter()
+        .zip(results)
+        .map(|(&b, result)| SweepPoint { x: b, result })
         .collect()
 }
 
@@ -168,16 +197,21 @@ pub fn sweep_load(
     algo: Algo,
     loads: &[f64],
 ) -> Vec<SweepPoint> {
-    loads
+    let cells = loads
         .iter()
         .map(|&l| {
             let mut cfg = base.clone();
             cfg.load = l;
-            let mut adm = algo.admission();
-            SweepPoint {
-                x: l * 100.0,
-                result: run_sim(&cfg, pool, adm.as_mut()),
-            }
+            SweepCell { cfg, algo }
+        })
+        .collect();
+    let results = run_sweep_cells(pool, cells, crate::parallel::default_threads());
+    loads
+        .iter()
+        .zip(results)
+        .map(|(&l, result)| SweepPoint {
+            x: l * 100.0,
+            result,
         })
         .collect()
 }
@@ -189,17 +223,19 @@ pub fn sweep_oversubscription(
     algo: Algo,
     ratios: &[f64],
 ) -> Vec<SweepPoint> {
-    ratios
+    let cells = ratios
         .iter()
         .map(|&o| {
             let mut cfg = base.clone();
             cfg.spec = TreeSpec::paper_datacenter_with_oversubscription(o);
-            let mut adm = algo.admission();
-            SweepPoint {
-                x: o,
-                result: run_sim(&cfg, pool, adm.as_mut()),
-            }
+            SweepCell { cfg, algo }
         })
+        .collect();
+    let results = run_sweep_cells(pool, cells, crate::parallel::default_threads());
+    ratios
+        .iter()
+        .zip(results)
+        .map(|(&o, result)| SweepPoint { x: o, result })
         .collect()
 }
 
@@ -211,13 +247,14 @@ pub fn ablation(pool: &TenantPool, base: &SimConfig) -> Vec<SimResult> {
         Algo::Cm(CmConfig::balance_only()),
         Algo::Ovoc,
     ];
-    variants
+    let cells = variants
         .iter()
-        .map(|a| {
-            let mut adm = a.admission();
-            run_sim(base, pool, adm.as_mut())
+        .map(|&algo| SweepCell {
+            cfg: base.clone(),
+            algo,
         })
-        .collect()
+        .collect();
+    run_sweep_cells(pool, cells, crate::parallel::default_threads())
 }
 
 /// Fig. 11: guarantee a required WCS and measure achieved WCS + rejected
@@ -230,24 +267,34 @@ pub fn ha_sweep(
     base: &SimConfig,
     rwcs_list: &[f64],
 ) -> Vec<(f64, SimResult, SimResult)> {
+    let ovoc_ha = |r: f64| CmConfig {
+        colocate: false,
+        balance: false,
+        ha: cm_core::placement::HaPolicy::Guaranteed {
+            rwcs: r,
+            laa_level: 0,
+        },
+    };
+    let cells: Vec<SweepCell> = rwcs_list
+        .iter()
+        .flat_map(|&r| {
+            [
+                SweepCell {
+                    cfg: base.clone(),
+                    algo: Algo::Cm(CmConfig::cm_ha(r)),
+                },
+                SweepCell {
+                    cfg: base.clone(),
+                    algo: Algo::CmLabeled(ovoc_ha(r), "OVOC+HA"),
+                },
+            ]
+        })
+        .collect();
+    let results = run_sweep_cells(pool, cells, crate::parallel::default_threads());
     rwcs_list
         .iter()
-        .map(|&r| {
-            let cm = Algo::Cm(CmConfig::cm_ha(r));
-            let mut adm = cm.admission();
-            let cm_res = run_sim(base, pool, adm.as_mut());
-            let ovoc_ha_cfg = CmConfig {
-                colocate: false,
-                balance: false,
-                ha: cm_core::placement::HaPolicy::Guaranteed {
-                    rwcs: r,
-                    laa_level: 0,
-                },
-            };
-            let mut adm2 = CmAdmission::with_config(ovoc_ha_cfg, "OVOC+HA");
-            let ovoc_res = run_sim(base, pool, &mut adm2);
-            (r * 100.0, cm_res, ovoc_res)
-        })
+        .zip(results.chunks_exact(2))
+        .map(|(&r, pair)| (r * 100.0, pair[0].clone(), pair[1].clone()))
         .collect()
 }
 

@@ -26,6 +26,8 @@ pub mod admission;
 pub mod events;
 pub mod experiments;
 pub mod metrics;
+pub mod parallel;
+pub mod schedule;
 
 pub use admission::{
     Admission, CmAdmission, Deployed, OvocAdmission, PlacerAdmission, SecondNetAdmission,
@@ -33,3 +35,5 @@ pub use admission::{
 };
 pub use events::{run_sim, SimConfig, SimResult};
 pub use metrics::{reprice_by_level, RejectionCounts, WcsStats};
+pub use parallel::{default_threads, par_map_indexed};
+pub use schedule::{build_schedule, run_schedule_concurrent, run_schedule_serial, Schedule};

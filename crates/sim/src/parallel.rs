@@ -1,0 +1,100 @@
+//! A hand-rolled scoped thread pool for embarrassingly-parallel work.
+//!
+//! **Why hand-rolled:** this workspace builds in a network-isolated
+//! container (see `third_party/`), so rayon/crossbeam are deliberately out
+//! of reach; `std::thread::scope` plus a mutex-guarded work queue covers
+//! everything the experiment sweeps need. Contributions must keep it that
+//! way — no new external concurrency dependencies.
+//!
+//! [`par_map_indexed`] preserves determinism by construction: each task's
+//! result is stored at its input index, so the output order (and therefore
+//! every downstream table) is independent of the thread count and of
+//! scheduling. Tasks must be independently deterministic — which every
+//! simulation cell is, since each builds its own topology, RNG, and
+//! admission controller from scratch.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default worker count for experiment sweeps: `CM_SWEEP_THREADS` when
+/// set (0 or unparsable falls back), else the machine's available
+/// parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("CM_SWEEP_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item on up to `threads` workers and return the
+/// results in input order. `f(i, item)` receives the item's index; results
+/// are merged by index, so the outcome is identical for any `threads`.
+pub fn par_map_indexed<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop_front();
+                let Some((i, item)) = job else { break };
+                let r = f(i, item);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("every task ran to completion")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let got = par_map_indexed(threads, items.clone(), |_, x| x * x);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn index_is_passed_through() {
+        let got = par_map_indexed(4, vec!["a", "b", "c"], |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u32> = par_map_indexed(4, Vec::<u32>::new(), |_, x| x);
+        assert!(got.is_empty());
+    }
+}

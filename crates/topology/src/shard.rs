@@ -1,0 +1,207 @@
+//! Pod-level partitioning of a [`Topology`] for concurrent admission.
+//!
+//! The concurrent engine in `cm-core` shards the datacenter into the
+//! subtrees rooted at a configurable level (the "pods": on the paper
+//! datacenter, the 8 aggregation-switch subtrees of 256 servers each).
+//! Every node at or below the shard level belongs to exactly one shard;
+//! nodes strictly above it (the root on the paper tree) belong to none and
+//! form the shared *core*. A tenant whose placement and reservations stay
+//! inside one shard conflicts only with commits that touched that shard,
+//! which is what lets speculative placements of different pods validate
+//! independently.
+//!
+//! `PodPartition` is a read-only index over the topology's structure: shard
+//! membership never changes after build, so it can be shared freely across
+//! worker threads (`&self` everywhere, no interior mutability).
+
+use crate::tree::{NodeId, Topology};
+
+/// Index of a shard (a subtree rooted at the partition level).
+pub type ShardId = u32;
+
+/// Sentinel stored for nodes above the partition level.
+const NO_SHARD: u32 = u32::MAX;
+
+/// A static pod-level partition of a topology (see the module docs).
+#[derive(Debug, Clone)]
+pub struct PodPartition {
+    level: u8,
+    /// Per node index: the shard it belongs to, or `NO_SHARD` above the
+    /// partition level.
+    shard_of: Vec<u32>,
+    /// Shard roots (the nodes at the partition level), ascending id.
+    roots: Vec<NodeId>,
+}
+
+impl PodPartition {
+    /// Partition `topo` at `level` (each node at that level roots one
+    /// shard). `level` must be below the root so that at least one shared
+    /// core node exists; partitioning at the server level is allowed but
+    /// pointless.
+    ///
+    /// # Panics
+    /// Panics if `level >= topo.num_levels() - 1`.
+    pub fn new(topo: &Topology, level: u8) -> PodPartition {
+        assert!(
+            (level as usize) < topo.num_levels() - 1,
+            "shard level {level} must be below the root"
+        );
+        let roots: Vec<NodeId> = topo.nodes_at_level(level as usize).to_vec();
+        let mut shard_of = vec![NO_SHARD; topo.num_nodes()];
+        for (s, &root) in roots.iter().enumerate() {
+            mark_subtree(topo, root, s as u32, &mut shard_of);
+        }
+        PodPartition {
+            level,
+            shard_of,
+            roots,
+        }
+    }
+
+    /// The default partition level for a topology: directly below the root,
+    /// so the shared core is exactly the root's child uplinks (the paper
+    /// datacenter's 8 pod uplinks).
+    pub fn default_level(topo: &Topology) -> u8 {
+        (topo.num_levels() - 2) as u8
+    }
+
+    /// The partition level.
+    #[inline]
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The shard roots, ascending id.
+    #[inline]
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// The shard containing `n`, or `None` when `n` lies above the
+    /// partition level (in the shared core).
+    #[inline]
+    pub fn shard_of(&self, n: NodeId) -> Option<ShardId> {
+        match self.shard_of[n.index()] {
+            NO_SHARD => None,
+            s => Some(s),
+        }
+    }
+}
+
+fn mark_subtree(topo: &Topology, node: NodeId, shard: u32, out: &mut [u32]) {
+    out[node.index()] = shard;
+    // Children ids are contiguous; recursion depth is bounded by tree depth.
+    for c in topo.children(node) {
+        mark_subtree(topo, c, shard, out);
+    }
+}
+
+/// A set of shards touched by a placement or commit, with an explicit
+/// "touched the shared core / everything" state for placements that escape
+/// a single pod. Backed by a bitmask for up to 128 shards; larger
+/// partitions degrade to the conservative `All` state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSet {
+    /// Touches only the shards in the mask.
+    Mask(u128),
+    /// Touches the shared core or an unknown set: conflicts with everything.
+    All,
+}
+
+impl ShardSet {
+    /// The empty set.
+    pub const EMPTY: ShardSet = ShardSet::Mask(0);
+
+    /// Insert a shard (degrading to [`ShardSet::All`] past 128 shards).
+    pub fn insert(&mut self, shard: ShardId) {
+        if let ShardSet::Mask(m) = self {
+            if shard < 128 {
+                *m |= 1u128 << shard;
+            } else {
+                *self = ShardSet::All;
+            }
+        }
+    }
+
+    /// Insert the shard of `n` under `part`, degrading to `All` for core
+    /// nodes.
+    pub fn insert_node(&mut self, part: &PodPartition, n: NodeId) {
+        match part.shard_of(n) {
+            Some(s) => self.insert(s),
+            None => *self = ShardSet::All,
+        }
+    }
+
+    /// Whether the two sets share a shard (or either is `All`).
+    pub fn intersects(&self, other: &ShardSet) -> bool {
+        match (self, other) {
+            (ShardSet::All, _) | (_, ShardSet::All) => true,
+            (ShardSet::Mask(a), ShardSet::Mask(b)) => a & b != 0,
+        }
+    }
+
+    /// Whether the set is exactly one shard (the single-pod fast path).
+    pub fn is_single(&self) -> bool {
+        matches!(self, ShardSet::Mask(m) if m.count_ones() == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TreeSpec;
+
+    #[test]
+    fn paper_partition_shapes() {
+        let t = Topology::build(&TreeSpec::paper_datacenter());
+        let p = PodPartition::new(&t, PodPartition::default_level(&t));
+        assert_eq!(p.level(), 2);
+        assert_eq!(p.num_shards(), 8);
+        // The root is core; every pod root maps to its own shard.
+        assert_eq!(p.shard_of(t.root()), None);
+        for (i, &r) in p.roots().iter().enumerate() {
+            assert_eq!(p.shard_of(r), Some(i as u32));
+        }
+        // Every server belongs to the shard of its pod ancestor.
+        for &s in t.servers() {
+            let pod = t
+                .path_to_root(s)
+                .find(|&a| t.level(a) == 2)
+                .expect("server has a pod ancestor");
+            assert_eq!(p.shard_of(s), p.shard_of(pod));
+        }
+    }
+
+    #[test]
+    fn shard_sets_track_conflicts() {
+        let t = Topology::build(&TreeSpec::paper_datacenter());
+        let p = PodPartition::new(&t, 2);
+        let mut a = ShardSet::EMPTY;
+        a.insert_node(&p, t.servers()[0]); // pod 0
+        let mut b = ShardSet::EMPTY;
+        b.insert_node(&p, t.servers()[2047]); // pod 7
+        assert!(!a.intersects(&b));
+        assert!(a.is_single() && b.is_single());
+        b.insert_node(&p, t.servers()[0]);
+        assert!(a.intersects(&b));
+        assert!(!b.is_single());
+        let mut c = ShardSet::EMPTY;
+        c.insert_node(&p, t.root());
+        assert_eq!(c, ShardSet::All);
+        assert!(c.intersects(&a) && ShardSet::EMPTY.intersects(&c));
+        assert!(!ShardSet::EMPTY.intersects(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "below the root")]
+    fn partition_at_root_rejected() {
+        let t = Topology::build(&TreeSpec::paper_datacenter());
+        let _ = PodPartition::new(&t, 3);
+    }
+}

@@ -340,6 +340,12 @@ impl Topology {
         self.root
     }
 
+    /// Total number of nodes (servers and switches).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Number of levels (servers are level 0, root is `num_levels()-1`).
     #[inline]
     pub fn num_levels(&self) -> usize {
@@ -389,6 +395,26 @@ impl Topology {
         let node = &self.nodes[n.index()];
         let s = node.servers_start as usize;
         &self.servers[s..s + node.servers_len as usize]
+    }
+
+    /// The DFS-index range into [`Topology::servers`] covered by `n`'s
+    /// subtree. Containment of a server's [`Topology::server_dfs_index`] in
+    /// this range is an O(1) ancestor test, which the placement hot paths
+    /// use instead of walking parent pointers.
+    #[inline]
+    pub fn server_range(&self, n: NodeId) -> std::ops::Range<u32> {
+        let node = &self.nodes[n.index()];
+        node.servers_start..node.servers_start + node.servers_len
+    }
+
+    /// The DFS index of a server within [`Topology::servers`].
+    ///
+    /// # Panics
+    /// Debug-asserts that `server` is a server.
+    #[inline]
+    pub fn server_dfs_index(&self, server: NodeId) -> u32 {
+        debug_assert_eq!(self.nodes[server.index()].level, 0);
+        self.nodes[server.index()].servers_start
     }
 
     /// Iterator over `n`'s ancestors starting at `n` itself and ending at the

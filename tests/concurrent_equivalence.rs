@@ -1,0 +1,273 @@
+//! Concurrency correctness: the sharded optimistic admission engine must
+//! produce **bit-identical decisions** to the serial engine — same
+//! admitted set, same placements, same reservations — for every placer,
+//! any thread count, and any speculation/invalidation interleaving.
+//!
+//! Two layers:
+//!
+//! * a stress test on the paper datacenter (seeds 1–6, all five
+//!   production placers) comparing full per-event outcome records and
+//!   replaying the committed deltas onto a fresh topology to re-check the
+//!   physical invariants;
+//! * proptests interleaving concurrent commits with speculation rollbacks
+//!   (random schedules, random thread counts, and the engine's
+//!   force-invalidate knob, which makes every speculation take the
+//!   rollback + at-turn recompute path).
+
+use cloudmirror::baselines::{OktopusVcPlacer, OvocPlacer, SecondNetPlacer};
+use cloudmirror::core::placement::{
+    run_events, ConcurrentConfig, ConcurrentOutcome, Event, EventOutcome, Placer,
+};
+use cloudmirror::sim::schedule::{
+    build_schedule, run_schedule_concurrent, run_schedule_serial, Schedule,
+};
+use cloudmirror::sim::SimConfig;
+use cloudmirror::workloads::bing_like_pool;
+use cloudmirror::{mbps, CmConfig, CmPlacer, TagBuilder, Topology, TreeSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Replay the engine's committed records onto a fresh topology: every
+/// admission's slots and reservations applied, every departure released.
+/// Checks the physical invariants after every event and that the final
+/// state is pristine (the schedule departs everyone).
+fn replay_and_check(schedule: &Schedule, outcomes: &[EventOutcome]) {
+    let mut topo = schedule.topo.clone();
+    let mut live: Vec<Option<Arc<cloudmirror::core::placement::AdmitRecord>>> =
+        vec![None; schedule.events.len()];
+    for (ei, (e, o)) in schedule.events.iter().zip(outcomes).enumerate() {
+        match (e, o) {
+            (Event::Arrive { .. }, EventOutcome::Arrival(ConcurrentOutcome::Admitted(rec))) => {
+                for (server, counts) in &rec.placement {
+                    let n: u32 = counts.iter().sum();
+                    if n > 0 {
+                        topo.alloc_slots(*server, n).expect("replayed slots fit");
+                    }
+                }
+                for &(link, (o, i)) in &rec.reservations {
+                    topo.adjust_uplink(link, o as i64, i as i64)
+                        .expect("replayed reservation fits");
+                }
+                live[ei] = Some(Arc::clone(rec));
+            }
+            (Event::Arrive { .. }, EventOutcome::Arrival(ConcurrentOutcome::Rejected(_))) => {}
+            (Event::Depart { arrival }, EventOutcome::Departure) => {
+                if let Some(rec) = live[*arrival].take() {
+                    for (server, counts) in &rec.placement {
+                        let n: u32 = counts.iter().sum();
+                        if n > 0 {
+                            topo.release_slots(*server, n).expect("replayed release");
+                        }
+                    }
+                    for &(link, (o, i)) in &rec.reservations {
+                        topo.adjust_uplink(link, -(o as i64), -(i as i64))
+                            .expect("replayed release");
+                    }
+                }
+            }
+            _ => panic!("outcomes misaligned with events"),
+        }
+        topo.check_invariants().expect("invariants after event");
+    }
+    // Release whatever is still live (schedules need not drain), then the
+    // datacenter must be pristine.
+    for rec in live.into_iter().flatten() {
+        for (server, counts) in &rec.placement {
+            let n: u32 = counts.iter().sum();
+            if n > 0 {
+                topo.release_slots(*server, n).expect("final release");
+            }
+        }
+        for &(link, (o, i)) in &rec.reservations {
+            topo.adjust_uplink(link, -(o as i64), -(i as i64))
+                .expect("final release");
+        }
+    }
+    topo.check_invariants().expect("final invariants");
+    assert_eq!(
+        topo.subtree_slots_free(topo.root()),
+        schedule.topo.subtree_slots_free(schedule.topo.root()),
+        "all slots returned"
+    );
+    for l in 0..topo.num_levels() {
+        assert_eq!(topo.reserved_at_level(l), (0, 0), "level {l} drained");
+    }
+}
+
+/// `WcsStats` equality that treats NaN (the empty min/max sentinel) as
+/// equal to itself.
+fn wcs_eq(a: &cloudmirror::sim::WcsStats, b: &cloudmirror::sim::WcsStats) -> bool {
+    a.components == b.components
+        && a.mean.to_bits() == b.mean.to_bits()
+        && a.min.to_bits() == b.min.to_bits()
+        && a.max.to_bits() == b.max.to_bits()
+}
+
+fn admitted_count(outcomes: &[EventOutcome]) -> usize {
+    outcomes
+        .iter()
+        .filter(|o| matches!(o, EventOutcome::Arrival(ConcurrentOutcome::Admitted(_))))
+        .count()
+}
+
+/// The stress test proper: paper datacenter, seeds 1–6, each production
+/// placer; concurrent (3 workers) vs serial, full records compared.
+fn stress_one<P, F>(make: F, arrivals: usize)
+where
+    P: Placer,
+    F: Fn() -> P + Sync,
+{
+    let pool = bing_like_pool(42);
+    for seed in 1..=6u64 {
+        let mut cfg = SimConfig::paper_default();
+        cfg.seed = seed;
+        cfg.arrivals = arrivals;
+        let schedule = build_schedule(&cfg, &pool);
+        let mut serial_placer = make();
+        let serial = run_schedule_serial(&schedule, &mut serial_placer);
+        let concurrent = run_schedule_concurrent(&schedule, &make, 3);
+        assert_eq!(
+            concurrent.outcomes,
+            serial.outcomes,
+            "{}: seed {seed} diverged",
+            make().name()
+        );
+        assert_eq!(concurrent.result.rejections, serial.result.rejections);
+        assert!(wcs_eq(&concurrent.result.wcs, &serial.result.wcs));
+        assert_eq!(concurrent.result.peak_tenants, serial.result.peak_tenants);
+        replay_and_check(&schedule, &concurrent.outcomes);
+        // Sanity: the runs actually admit something.
+        assert!(admitted_count(&serial.outcomes) > 0, "degenerate schedule");
+    }
+}
+
+#[test]
+fn concurrent_matches_serial_cm_paper_seeds() {
+    stress_one(|| CmPlacer::new(CmConfig::cm()), 220);
+}
+
+#[test]
+fn concurrent_matches_serial_cm_ha_paper_seeds() {
+    stress_one(|| CmPlacer::named(CmConfig::cm_ha(0.5), "CM+HA"), 180);
+}
+
+#[test]
+fn concurrent_matches_serial_cm_opp_ha_paper_seeds() {
+    // Opportunistic HA: cross-arrival predictor state plus whole-topology
+    // availability reads — the hardest configuration for the speculation
+    // contract (its trace degrades to read-everything).
+    stress_one(|| CmPlacer::named(CmConfig::cm_opp_ha(), "CM+oppHA"), 150);
+}
+
+#[test]
+fn concurrent_matches_serial_ovoc_paper_seeds() {
+    stress_one(OvocPlacer::new, 220);
+}
+
+#[test]
+fn concurrent_matches_serial_vc_paper_seeds() {
+    stress_one(OktopusVcPlacer::new, 220);
+}
+
+#[test]
+fn concurrent_matches_serial_secondnet_paper_seeds() {
+    stress_one(SecondNetPlacer::new, 120);
+}
+
+// ---------------------------------------------------------------------
+// Proptests: random schedules, random thread counts, forced rollbacks.
+// ---------------------------------------------------------------------
+
+fn small_schedule(tags: &[(u32, u64)], depart_stride: usize) -> Schedule {
+    let topo = Topology::build(&TreeSpec::small(
+        4,
+        2,
+        4,
+        4,
+        [mbps(1000.0), mbps(2000.0), mbps(4000.0)],
+    ));
+    let mut events = Vec::new();
+    let mut arrivals = 0usize;
+    for (i, &(n, sr)) in tags.iter().enumerate() {
+        let mut b = TagBuilder::new("hose");
+        let t = b.tier("t", 1 + n % 7);
+        b.self_loop(t, 10 + sr % mbps(60.0)).unwrap();
+        events.push(Event::Arrive {
+            tag: Arc::new(b.build().unwrap()),
+        });
+        arrivals += 1;
+        if depart_stride > 0 && i % depart_stride == depart_stride - 1 {
+            // Depart the oldest not-yet-departed arrival.
+            let departed: Vec<usize> = events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Depart { arrival } => Some(*arrival),
+                    _ => None,
+                })
+                .collect();
+            if let Some(a) = (0..events.len())
+                .filter(|&j| matches!(events[j], Event::Arrive { .. }))
+                .find(|j| !departed.contains(j))
+            {
+                events.push(Event::Depart { arrival: a });
+            }
+        }
+    }
+    Schedule {
+        events,
+        arrivals,
+        topo,
+        wcs_level: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent commits interleaved with departures and speculation
+    /// rollbacks (forced and organic) always reproduce the serial
+    /// decisions, for every placer-relevant thread count and shard level.
+    #[test]
+    fn interleaved_commits_and_rollbacks_match_serial(
+        tags in prop::collection::vec((0u32..8, 0u64..mbps(60.0)), 4..28),
+        threads in 1usize..=4,
+        depart_stride in 0usize..4,
+        force_invalidate in any::<bool>(),
+        shard_level in 1u8..=2,
+    ) {
+        let schedule = small_schedule(&tags, depart_stride);
+        let mut serial_placer = CmPlacer::new(CmConfig::cm());
+        let serial = run_schedule_serial(&schedule, &mut serial_placer);
+        let cfg = ConcurrentConfig {
+            threads,
+            shard_level: Some(shard_level),
+            wcs_level: schedule.wcs_level,
+            force_invalidate,
+        };
+        let outcomes = run_events(
+            &schedule.topo,
+            &schedule.events,
+            || CmPlacer::new(CmConfig::cm()),
+            &cfg,
+        );
+        prop_assert_eq!(&outcomes, &serial.outcomes);
+        replay_and_check(&schedule, &outcomes);
+    }
+
+    /// Same interleaving property for a translating placer (OVOC), whose
+    /// speculative path exercises the traced search through a model
+    /// conversion.
+    #[test]
+    fn interleaved_ovoc_matches_serial(
+        tags in prop::collection::vec((0u32..8, 0u64..mbps(60.0)), 4..20),
+        threads in 2usize..=4,
+        depart_stride in 0usize..3,
+    ) {
+        let schedule = small_schedule(&tags, depart_stride);
+        let mut serial_placer = OvocPlacer::new();
+        let serial = run_schedule_serial(&schedule, &mut serial_placer);
+        let concurrent = run_schedule_concurrent(&schedule, OvocPlacer::new, threads);
+        prop_assert_eq!(&concurrent.outcomes, &serial.outcomes);
+        replay_and_check(&schedule, &concurrent.outcomes);
+    }
+}

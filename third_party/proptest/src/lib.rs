@@ -201,6 +201,8 @@ impl_tuple_strategy!(A);
 impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
 
 impl<S: Strategy> Strategy for Vec<S> {
     type Value = Vec<S::Value>;
