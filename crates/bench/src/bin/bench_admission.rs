@@ -19,6 +19,7 @@ use cm_bench::print_table;
 use cm_core::placement::{CmConfig, CmPlacer, Placer, SearchStrategy};
 use cm_sim::admission::PlacerAdmission;
 use cm_sim::events::run_sim_timed;
+use cm_sim::lifecycle::{run_churn, ChurnConfig, ChurnReport};
 use cm_sim::schedule::{build_schedule, run_schedule_concurrent, Schedule};
 use cm_sim::SimConfig;
 use cm_workloads::{bing_like_pool, TenantPool};
@@ -138,6 +139,24 @@ fn thread_counts(max: usize) -> Vec<usize> {
         v.push(max);
     }
     v
+}
+
+/// The autoscaling-churn scenario (admit → scale out → scale in → depart,
+/// with periodic migrations), per placer — the lifecycle workload class the
+/// `Cluster` controller opened. Tenant counts scale with the run mode.
+fn lifecycle_churn(quick: bool, full: bool, pool: &TenantPool) -> Vec<ChurnReport> {
+    let mut cfg = ChurnConfig::paper_default();
+    cfg.tenants = if quick {
+        80
+    } else if full {
+        1_200
+    } else {
+        400
+    };
+    vec![
+        run_churn(&cfg, pool, CmPlacer::new(CmConfig::cm())),
+        run_churn(&cfg, pool, OvocPlacer::new()),
+    ]
 }
 
 fn thread_scaling(cfg: &SimConfig, pool: &TenantPool, max_threads: usize) -> Vec<ScalingRow> {
@@ -315,6 +334,42 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Lifecycle churn: the admit → scale out → scale in → depart workload
+    // over the Cluster controller (exact-incremental scaling for CM, the
+    // generic re-place fallback for OVOC).
+    // ------------------------------------------------------------------
+    let churn = lifecycle_churn(quick, full, &pool);
+    let churn_table: Vec<Vec<String>> = churn
+        .iter()
+        .map(|r| {
+            vec![
+                r.placer.to_string(),
+                format!("{}/{}", r.admitted, r.admits_attempted),
+                format!("{}/{}", r.scale_ops - r.scale_rejected, r.scale_ops),
+                r.migrates.to_string(),
+                format!("{:.1}", r.ops_per_sec()),
+                format!("{:.1}", r.admit.quantile_us(0.99).unwrap_or(0.0)),
+                format!("{:.1}", r.scale.quantile_us(0.5).unwrap_or(0.0)),
+                format!("{:.1}", r.scale.quantile_us(0.99).unwrap_or(0.0)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Lifecycle churn (Cluster: admit / scale ±n / migrate / depart)",
+        &[
+            "placer",
+            "admitted",
+            "scales ok",
+            "migrates",
+            "ops/s",
+            "admit p99 (us)",
+            "scale p50 (us)",
+            "scale p99 (us)",
+        ],
+        &churn_table,
+    );
+
+    // ------------------------------------------------------------------
     // BENCH_placement.json
     // ------------------------------------------------------------------
     let mut json = String::new();
@@ -373,6 +428,40 @@ fn main() {
             r.wall_secs,
             r.arrivals as f64 / r.wall_secs,
             base.wall_secs / r.wall_secs,
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"lifecycle_churn\": {{");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"autoscaling churn over the Cluster lifecycle controller: steady-state admits with 2 scale-out/scale-in cycles per arrival and periodic migrations; CM scales exact-incrementally (only delta VMs move), baselines re-place wholesale under a snapshot\","
+    );
+    let _ = writeln!(json, "    \"entries\": [");
+    for (i, r) in churn.iter().enumerate() {
+        let comma = if i + 1 < churn.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"placer\": \"{}\", \"admits_attempted\": {}, \"admitted\": {}, \
+             \"scale_ops\": {}, \"scale_rejected\": {}, \"migrates\": {}, \"departs\": {}, \
+             \"wall_secs\": {:.4}, \"ops_per_sec\": {:.1}, \
+             \"admit_p50_us\": {:.2}, \"admit_p99_us\": {:.2}, \
+             \"scale_p50_us\": {:.2}, \"scale_p99_us\": {:.2}, \
+             \"depart_p99_us\": {:.2}}}{comma}",
+            r.placer,
+            r.admits_attempted,
+            r.admitted,
+            r.scale_ops,
+            r.scale_rejected,
+            r.migrates,
+            r.departs,
+            r.wall_secs,
+            r.ops_per_sec(),
+            r.admit.quantile_us(0.5).unwrap_or(0.0),
+            r.admit.quantile_us(0.99).unwrap_or(0.0),
+            r.scale.quantile_us(0.5).unwrap_or(0.0),
+            r.scale.quantile_us(0.99).unwrap_or(0.0),
+            r.depart.quantile_us(0.99).unwrap_or(0.0),
         );
     }
     let _ = writeln!(json, "    ]");

@@ -1,0 +1,524 @@
+//! # cm-cluster
+//!
+//! The unified tenant-lifecycle controller: one typed front door for the
+//! whole closed loop the paper describes — TAGs are **admitted** onto a
+//! datacenter by a placement algorithm, **enforced** at runtime, and
+//! **evolve** (scale out under load, scale back in, migrate, depart) until
+//! they leave.
+//!
+//! [`Cluster`] owns a [`Topology`] and any [`Placer`] and keys every live
+//! tenant by a [`TenantId`]:
+//!
+//! * [`Cluster::admit`] deploys a [`TagSpec`] and returns a
+//!   [`TenantHandle`];
+//! * [`Cluster::scale_tier`] / [`Cluster::resize_tier`] resize one tier of
+//!   a *live* deployment by ±n VMs through
+//!   [`Placer::place_incremental`] — exact incremental for CloudMirror
+//!   (only the delta VMs move, every touched link repriced under the
+//!   resized TAG), a snapshot-guarded wholesale re-place for baselines;
+//! * [`Cluster::migrate`] re-places a tenant from scratch (defragmentation
+//!   after churn), all-or-nothing: the old placement is restored exactly if
+//!   the re-admission fails;
+//! * [`Cluster::depart`] releases everything the tenant holds;
+//! * queries: [`Cluster::utilization`], [`Cluster::placement_of`], and
+//!   [`Cluster::guarantee_report`], which wires the placement into the
+//!   enforcement layer's guarantee partitioning (`cm-enforce`) — per
+//!   VM-pair guarantees under the TAG patch (or the plain-hose model, for
+//!   the §2.2 comparison), classified by whether they cross the network.
+//!
+//! Every operation is transactional: on `Err` the topology and the tenant
+//! are exactly as before. The error surface is one type, [`CmError`]
+//! (`std::error::Error`; [`RejectReason`] and
+//! [`cm_topology::TopologyError`] fold in), so callers can `?` across
+//! crate boundaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_cluster::{Cluster, CmError, TenantId};
+//! use cm_core::model::TagBuilder;
+//! use cm_core::placement::{CmConfig, CmPlacer};
+//! use cm_core::TierId;
+//! use cm_topology::{mbps, TreeSpec};
+//!
+//! fn main() -> Result<(), CmError> {
+//!     // A small datacenter run by the CloudMirror placer.
+//!     let spec = TreeSpec::small(2, 2, 4, 4, [mbps(1000.0), mbps(2000.0), mbps(4000.0)]);
+//!     let mut cluster = Cluster::new(&spec, CmPlacer::new(CmConfig::cm()));
+//!
+//!     // Admit a two-tier application.
+//!     let mut b = TagBuilder::new("shop");
+//!     let web = b.tier("web", 4);
+//!     let db = b.tier("db", 2);
+//!     b.sym_edge(web, db, mbps(100.0)).unwrap();
+//!     let tenant = cluster.admit(b.build().unwrap())?;
+//!
+//!     // Scale the web tier out by 2 VMs, then back in by 1.
+//!     assert_eq!(cluster.scale_tier(tenant.id(), web, 2)?, 6);
+//!     assert_eq!(cluster.scale_tier(tenant.id(), web, -1)?, 5);
+//!
+//!     // Inspect what the tenant holds and what it is guaranteed.
+//!     assert_eq!(cluster.utilization().slots_in_use, 7);
+//!     let report = cluster.guarantee_report(tenant.id())?;
+//!     assert!(report.total_kbps() > 0.0);
+//!
+//!     // Defragment, then depart: the datacenter ends pristine.
+//!     cluster.migrate(tenant.id())?;
+//!     cluster.depart(tenant.id())?;
+//!     assert_eq!(cluster.utilization().slots_in_use, 0);
+//!     let ghost = TenantId::from_raw(99);
+//!     assert_eq!(cluster.scale_tier(ghost, TierId(0), 1).unwrap_err(),
+//!                CmError::UnknownTenant(ghost));
+//!     Ok(())
+//! }
+//! ```
+
+use cm_core::model::{Tag, TierId};
+use cm_core::placement::{Deployed, Placer};
+use cm_topology::{NodeId, Topology, TreeSpec};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// Re-exported so downstream callers need only this crate for lifecycle
+// work (`CmError` folds `RejectReason` in; `GuaranteeModel` selects the
+// report's hose classification).
+pub use cm_core::placement::RejectReason;
+pub use cm_enforce::GuaranteeModel;
+
+mod error;
+mod report;
+
+pub use error::CmError;
+pub use report::{GuaranteeReport, PairReport, Utilization};
+
+/// Opaque identifier of a tenant inside one [`Cluster`]. Ids are assigned
+/// monotonically at admission and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(u64);
+
+impl TenantId {
+    /// Construct an id from its raw value (tests, external registries).
+    pub fn from_raw(raw: u64) -> TenantId {
+        TenantId(raw)
+    }
+
+    /// The raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// A tenant specification handed to [`Cluster::admit`]: the TAG, shared.
+/// Converts from `Tag`, `Arc<Tag>`, and `&Arc<Tag>`, so both one-off
+/// callers and pools of pre-built `Arc<Tag>`s (the simulator's hot path)
+/// admit without a deep clone beyond the unavoidable first wrap.
+#[derive(Debug, Clone)]
+pub struct TagSpec(Arc<Tag>);
+
+impl TagSpec {
+    /// The shared TAG inside the spec.
+    pub fn tag(&self) -> &Arc<Tag> {
+        &self.0
+    }
+}
+
+impl From<Tag> for TagSpec {
+    fn from(tag: Tag) -> TagSpec {
+        TagSpec(Arc::new(tag))
+    }
+}
+
+impl From<Arc<Tag>> for TagSpec {
+    fn from(tag: Arc<Tag>) -> TagSpec {
+        TagSpec(tag)
+    }
+}
+
+impl From<&Arc<Tag>> for TagSpec {
+    fn from(tag: &Arc<Tag>) -> TagSpec {
+        TagSpec(Arc::clone(tag))
+    }
+}
+
+/// What [`Cluster::admit`] returns: the assigned id plus the admitted TAG.
+/// A handle is plain data — cloning or dropping it does not affect the
+/// deployment; the cluster keeps the authoritative registry.
+#[derive(Debug, Clone)]
+pub struct TenantHandle {
+    id: TenantId,
+    tag: Arc<Tag>,
+}
+
+impl TenantHandle {
+    /// The tenant's id (the key for every lifecycle call).
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// The tenant's TAG **at admission**. After a
+    /// [`Cluster::scale_tier`] the authoritative (resized) model is
+    /// [`Cluster::tag_of`].
+    pub fn tag(&self) -> &Arc<Tag> {
+        &self.tag
+    }
+}
+
+struct TenantEntry {
+    tag: Arc<Tag>,
+    deployed: Deployed,
+}
+
+/// The single admission front door shared by [`Cluster::admit`] and the
+/// legacy borrowed-topology adapters (`cm-sim`'s `PlacerAdmission` delegates
+/// here), so there is exactly one place where a TAG turns into a live
+/// deployment.
+pub fn admit_with<P: Placer + ?Sized>(
+    topo: &mut Topology,
+    placer: &mut P,
+    tag: &Arc<Tag>,
+) -> Result<Deployed, RejectReason> {
+    placer.place_shared(topo, tag)
+}
+
+/// The unified tenant-lifecycle controller (see the [module docs](self)).
+pub struct Cluster<P: Placer> {
+    topo: Topology,
+    placer: P,
+    tenants: BTreeMap<TenantId, TenantEntry>,
+    next_id: u64,
+    guarantee_model: GuaranteeModel,
+}
+
+impl<P: Placer> Cluster<P> {
+    /// Build a fresh datacenter from `spec` and run it with `placer`.
+    pub fn new(spec: &TreeSpec, placer: P) -> Self {
+        Self::adopt(Topology::build(spec), placer)
+    }
+
+    /// Take control of an existing topology (which may already carry
+    /// deployments made outside the cluster; those are simply not in the
+    /// registry and never touched).
+    pub fn adopt(topo: Topology, placer: P) -> Self {
+        Cluster {
+            topo,
+            placer,
+            tenants: BTreeMap::new(),
+            next_id: 0,
+            guarantee_model: GuaranteeModel::Tag,
+        }
+    }
+
+    /// Select the guarantee model used by [`Cluster::guarantee_report`]
+    /// (default: [`GuaranteeModel::Tag`], the paper's patch; `Hose`
+    /// reproduces the §2.2 dilution for comparison).
+    pub fn with_guarantee_model(mut self, model: GuaranteeModel) -> Self {
+        self.guarantee_model = model;
+        self
+    }
+
+    /// Switch the guarantee model of future [`Cluster::guarantee_report`]s
+    /// in place.
+    pub fn set_guarantee_model(&mut self, model: GuaranteeModel) {
+        self.guarantee_model = model;
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Admit a tenant: deploy its TAG through the placer. On success the
+    /// tenant is live (registered under the returned handle's id) until
+    /// [`Cluster::depart`]; on rejection the datacenter is untouched.
+    pub fn admit(&mut self, spec: impl Into<TagSpec>) -> Result<TenantHandle, CmError> {
+        let TagSpec(tag) = spec.into();
+        let deployed = admit_with(&mut self.topo, &mut self.placer, &tag)?;
+        let id = TenantId(self.next_id);
+        self.next_id += 1;
+        self.tenants.insert(
+            id,
+            TenantEntry {
+                tag: Arc::clone(&tag),
+                deployed,
+            },
+        );
+        Ok(TenantHandle { id, tag })
+    }
+
+    /// Release everything the tenant holds (slots and bandwidth). The id
+    /// becomes invalid; it is never reused.
+    pub fn depart(&mut self, id: TenantId) -> Result<(), CmError> {
+        let entry = self.tenants.remove(&id).ok_or(CmError::UnknownTenant(id))?;
+        entry.deployed.release(&mut self.topo);
+        Ok(())
+    }
+
+    /// Resize `tier` of a live tenant by `delta` VMs (±n). Returns the new
+    /// tier size. Guarantees per VM are unchanged — only the tier count
+    /// moves (§3: "per-VM bandwidth guarantees Se and Re typically do not
+    /// need to change when tier sizes are changed by scaling"). On `Err`
+    /// the deployment is exactly as before.
+    pub fn scale_tier(&mut self, id: TenantId, tier: TierId, delta: i64) -> Result<u32, CmError> {
+        let entry = self
+            .tenants
+            .get_mut(&id)
+            .ok_or(CmError::UnknownTenant(id))?;
+        check_tier(id, &entry.tag, tier)?;
+        let current = entry.tag.tier(tier).size;
+        let target = match (current as i64).checked_add(delta) {
+            Some(t) if (1..=u32::MAX as i64).contains(&t) => t as u32,
+            _ => {
+                return Err(CmError::InvalidScale {
+                    tenant: id,
+                    tier,
+                    current,
+                    delta,
+                })
+            }
+        };
+        resize_entry(&mut self.topo, &mut self.placer, entry, tier, target)?;
+        Ok(target)
+    }
+
+    /// [`Cluster::scale_tier`] with an absolute target size.
+    pub fn resize_tier(
+        &mut self,
+        id: TenantId,
+        tier: TierId,
+        new_size: u32,
+    ) -> Result<(), CmError> {
+        let entry = self
+            .tenants
+            .get_mut(&id)
+            .ok_or(CmError::UnknownTenant(id))?;
+        check_tier(id, &entry.tag, tier)?;
+        if new_size == 0 {
+            return Err(CmError::InvalidScale {
+                tenant: id,
+                tier,
+                current: entry.tag.tier(tier).size,
+                delta: -(entry.tag.tier(tier).size as i64),
+            });
+        }
+        resize_entry(&mut self.topo, &mut self.placer, entry, tier, new_size)
+    }
+
+    /// Re-place the tenant from scratch with the placer's current view of
+    /// the datacenter (defragmentation after churn). All-or-nothing under a
+    /// savepoint: if the fresh placement fails, the old one is restored
+    /// bit-for-bit and the error is returned.
+    pub fn migrate(&mut self, id: TenantId) -> Result<(), CmError> {
+        let entry = self
+            .tenants
+            .get_mut(&id)
+            .ok_or(CmError::UnknownTenant(id))?;
+        // The engine's snapshot → release → re-place → restore-on-failure
+        // sequence, shared with the generic scaling fallback so the two
+        // all-or-nothing restore paths cannot diverge.
+        cm_core::placement::place_incremental_replace(
+            &mut self.placer,
+            &mut self.topo,
+            &mut entry.deployed,
+            &entry.tag,
+        )
+        .map_err(Into::into)
+    }
+
+    /// Depart every live tenant (deterministic id order). The datacenter
+    /// ends with nothing this cluster deployed still held.
+    pub fn release_all(&mut self) {
+        let tenants = std::mem::take(&mut self.tenants);
+        for (_, entry) in tenants {
+            entry.deployed.release(&mut self.topo);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// The per-server placement of a live tenant: `(server, VMs per tier)`,
+    /// sorted by server id.
+    pub fn placement_of(&self, id: TenantId) -> Result<Vec<(NodeId, Vec<u32>)>, CmError> {
+        let entry = self.tenants.get(&id).ok_or(CmError::UnknownTenant(id))?;
+        Ok(entry.deployed.placement(&self.topo))
+    }
+
+    /// The authoritative (possibly rescaled) TAG of a live tenant.
+    pub fn tag_of(&self, id: TenantId) -> Option<&Arc<Tag>> {
+        self.tenants.get(&id).map(|e| &e.tag)
+    }
+
+    /// The deployment handle of a live tenant (placement, reservations,
+    /// WCS queries).
+    pub fn deployed(&self, id: TenantId) -> Option<&Deployed> {
+        self.tenants.get(&id).map(|e| &e.deployed)
+    }
+
+    /// Datacenter-wide utilization: slots in use, tenants live, and
+    /// reserved vs. capacity bandwidth per tree level.
+    pub fn utilization(&self) -> Utilization {
+        let levels = self.topo.num_levels();
+        Utilization {
+            tenants: self.tenants.len(),
+            slots_total: self.topo.subtree_slots_total(self.topo.root()),
+            slots_in_use: self.topo.slots_in_use(),
+            reserved_by_level: (0..levels)
+                .map(|l| self.topo.reserved_at_level(l))
+                .collect(),
+            capacity_by_level: (0..levels)
+                .map(|l| self.topo.capacity_at_level(l))
+                .collect(),
+        }
+    }
+
+    /// Wire a live tenant's placement into the enforcement layer: expand
+    /// the placement into per-VM tier/server assignments, partition the
+    /// TAG's guarantees among all communicating VM pairs (every pair
+    /// greedy — the converged worst case), and classify each pair by
+    /// whether it crosses the network. See [`GuaranteeReport`].
+    pub fn guarantee_report(&self, id: TenantId) -> Result<GuaranteeReport, CmError> {
+        let entry = self.tenants.get(&id).ok_or(CmError::UnknownTenant(id))?;
+        Ok(report::build_report(
+            id,
+            &entry.tag,
+            &entry.deployed.placement(&self.topo),
+            self.guarantee_model,
+            None,
+        ))
+    }
+
+    /// [`Cluster::guarantee_report`] for a known instantaneous
+    /// communication pattern: only the given `(src VM, dst VM)` pairs are
+    /// active (each greedy). Guarantee partitioning is demand-aware, so a
+    /// concentrated pattern — Fig. 13's lone receiver — yields very
+    /// different per-pair shares than the all-pairs default. VM indices
+    /// follow the report's `vm_tier` / `vm_server` order; stale indices
+    /// (after a scale-in, say) or self-pairs are an
+    /// [`CmError::InvalidPair`].
+    pub fn guarantee_report_active(
+        &self,
+        id: TenantId,
+        active: &[(usize, usize)],
+    ) -> Result<GuaranteeReport, CmError> {
+        let entry = self.tenants.get(&id).ok_or(CmError::UnknownTenant(id))?;
+        let placement = entry.deployed.placement(&self.topo);
+        let vms = placement
+            .iter()
+            .map(|(_, c)| c.iter().sum::<u32>() as usize)
+            .sum::<usize>();
+        if let Some(&(src, dst)) = active
+            .iter()
+            .find(|&&(s, d)| s >= vms || d >= vms || s == d)
+        {
+            return Err(CmError::InvalidPair {
+                tenant: id,
+                src,
+                dst,
+                vms,
+            });
+        }
+        Ok(report::build_report(
+            id,
+            &entry.tag,
+            &placement,
+            self.guarantee_model,
+            Some(active),
+        ))
+    }
+
+    /// Number of live tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no tenant is live.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Ids of all live tenants, ascending.
+    pub fn tenant_ids(&self) -> impl Iterator<Item = TenantId> + '_ {
+        self.tenants.keys().copied()
+    }
+
+    /// The datacenter substrate.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The placement algorithm.
+    pub fn placer(&self) -> &P {
+        &self.placer
+    }
+
+    /// Mutable access to the placement algorithm (search-strategy toggles,
+    /// ...).
+    pub fn placer_mut(&mut self) -> &mut P {
+        &mut self.placer
+    }
+
+    /// Exhaustive self-check, for tests: topology invariants plus every
+    /// live tenant's ledger against a from-scratch recomputation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.topo.check_invariants()?;
+        for (id, entry) in &self.tenants {
+            entry
+                .deployed
+                .check_consistency(&self.topo)
+                .map_err(|e| format!("{id}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Scaling targets must name an existing, internal (placeable) tier.
+fn check_tier(id: TenantId, tag: &Tag, tier: TierId) -> Result<(), CmError> {
+    if tier.index() >= tag.num_tiers() || tag.tier(tier).external {
+        return Err(CmError::UnknownTier { tenant: id, tier });
+    }
+    Ok(())
+}
+
+/// The one resize path behind [`Cluster::scale_tier`] and
+/// [`Cluster::resize_tier`] (entry fetched and tier validated by the
+/// caller; `new_size >= 1`).
+fn resize_entry<P: Placer>(
+    topo: &mut Topology,
+    placer: &mut P,
+    entry: &mut TenantEntry,
+    tier: TierId,
+    new_size: u32,
+) -> Result<(), CmError> {
+    if new_size == entry.tag.tier(tier).size {
+        return Ok(());
+    }
+    let new_tag = Arc::new(entry.tag.resized(tier, new_size));
+    placer.place_incremental(topo, &mut entry.deployed, &new_tag, tier, new_size)?;
+    // The deployment's own model is authoritative where it keeps the TAG
+    // (CloudMirror); for translated models the resized TAG is.
+    entry.tag = entry
+        .deployed
+        .tag_state()
+        .map(|s| s.model_arc())
+        .unwrap_or(new_tag);
+    Ok(())
+}
+
+impl<P: Placer> std::fmt::Debug for Cluster<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("placer", &self.placer.name())
+            .field("tenants", &self.tenants.len())
+            .field("slots_in_use", &self.topo.slots_in_use())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -3,9 +3,9 @@
 use crate::cut::CutModel;
 use crate::model::{Tag, TierId};
 use crate::placement::{
-    need_is_zero, need_total, per_slot_avail_kbps, restore_need, search_and_place_traced,
-    search_and_place_with, wcs_cap, CmConfig, DemandPredictor, Deployed, HaPolicy, PlacementTrace,
-    Placer, RejectReason, SearchStrategy,
+    need_is_zero, need_total, per_slot_avail_kbps, place_incremental_replace, restore_need,
+    search_and_place_traced, search_and_place_with, wcs_cap, CmConfig, DemandPredictor, Deployed,
+    HaPolicy, PlacementTrace, Placer, RejectReason, SearchStrategy,
 };
 use crate::reserve::{PlacementEntry, TenantState};
 use crate::txn::ReservationTxn;
@@ -265,11 +265,35 @@ impl CmPlacer {
         new_size: u32,
     ) -> Result<(), RejectReason> {
         let old_tag = state.model_arc();
+        if new_size == old_tag.tier(tier).size {
+            return Ok(());
+        }
+        self.scale_tier_shared(
+            topo,
+            state,
+            tier,
+            &Arc::new(old_tag.resized(tier, new_size)),
+        )
+    }
+
+    /// [`CmPlacer::scale_tier`] with the resized TAG supplied by the caller
+    /// (the lifecycle controller already holds it): identical behaviour,
+    /// no second `resized` copy. `new_tag` must equal the current model
+    /// with exactly `tier` resized.
+    pub fn scale_tier_shared(
+        &mut self,
+        topo: &mut Topology,
+        state: &mut TenantState<Tag>,
+        tier: TierId,
+        new_tag: &Arc<Tag>,
+    ) -> Result<(), RejectReason> {
+        let old_tag = state.model_arc();
         let old_size = old_tag.tier(tier).size;
+        let new_size = new_tag.tier(tier).size;
         if new_size == old_size {
             return Ok(());
         }
-        let new_tag = Arc::new(old_tag.resized(tier, new_size));
+        let new_tag = Arc::clone(new_tag);
         let demand_mix = self.predictor.observe(new_tag.avg_per_vm_demand_kbps());
         let mut scratch = std::mem::take(&mut self.scratch);
         let res = if new_size > old_size {
@@ -348,9 +372,8 @@ impl CmPlacer {
         tier: TierId,
         new_tag: &Arc<Tag>,
     ) -> Result<(), RejectReason> {
-        let delta = state.model().tier(tier).size - new_tag.tier(tier).size;
-        // Remove from the least-populated servers first: large colocated
-        // blocks (the bandwidth savers) survive.
+        let new_size = new_tag.tier(tier).size;
+        let delta = state.model().tier(tier).size - new_size;
         let mut placement: Vec<(NodeId, u32)> = state
             .placement(topo)
             .into_iter()
@@ -359,22 +382,43 @@ impl CmPlacer {
                 (k > 0).then_some((s, k))
             })
             .collect();
-        placement.sort_by_key(|&(s, k)| (k, s));
-        let mut removal: Vec<PlacementEntry> = Vec::new();
-        let mut left = delta;
-        for (server, k) in placement {
-            if left == 0 {
-                break;
+        let removal = match self.cfg.ha {
+            // Guaranteed HA: the shrink must leave the tier within the
+            // Eq. 7 cap of its NEW size in every fault domain, so vacate
+            // the fullest domains first (water-draining minimizes the
+            // final max). A shrink that cannot reach the cap without
+            // moving VMs is rejected; the caller can migrate instead.
+            HaPolicy::Guaranteed { rwcs, laa_level } => Self::shrink_removal_capped(
+                topo,
+                &placement,
+                tier,
+                delta,
+                wcs_cap(new_size, rwcs),
+                laa_level,
+            )?,
+            // No HA guarantee: remove from the least-populated servers
+            // first, so large colocated blocks (the bandwidth savers)
+            // survive.
+            HaPolicy::None | HaPolicy::Opportunistic { .. } => {
+                placement.sort_by_key(|&(s, k)| (k, s));
+                let mut removal: Vec<PlacementEntry> = Vec::new();
+                let mut left = delta;
+                for (server, k) in placement {
+                    if left == 0 {
+                        break;
+                    }
+                    let take = k.min(left);
+                    removal.push(PlacementEntry {
+                        server,
+                        tier: tier.index(),
+                        count: take,
+                    });
+                    left -= take;
+                }
+                assert_eq!(left, 0, "deployment holds fewer VMs than its model");
+                removal
             }
-            let take = k.min(left);
-            removal.push(PlacementEntry {
-                server,
-                tier: tier.index(),
-                count: take,
-            });
-            left -= take;
-        }
-        assert_eq!(left, 0, "deployment holds fewer VMs than its model");
+        };
         let mut txn = ReservationTxn::begin(topo, state);
         for e in &removal {
             txn.unplace(e.server, e.tier, e.count);
@@ -403,6 +447,68 @@ impl CmPlacer {
         }
         txn.commit();
         Ok(())
+    }
+
+    /// Water-drain removal plan for a Guaranteed-HA shrink: remove `delta`
+    /// VMs of `tier` one at a time from whichever `laa_level` fault domain
+    /// currently holds the most (ties to the smaller domain id; inside a
+    /// domain, the least-populated server goes first so colocated blocks
+    /// survive). Draining the fullest domains minimizes the final
+    /// per-domain maximum, so if the result still exceeds `cap` no
+    /// removal-only shrink can satisfy Eq. 7 and the operation is rejected
+    /// (a `migrate` can redistribute instead).
+    fn shrink_removal_capped(
+        topo: &Topology,
+        placement: &[(NodeId, u32)],
+        tier: TierId,
+        delta: u32,
+        cap: u32,
+        laa_level: u8,
+    ) -> Result<Vec<PlacementEntry>, RejectReason> {
+        let domain_of = |server: NodeId| -> NodeId {
+            let mut n = server;
+            while topo.level(n) < laa_level {
+                n = topo.parent(n).expect("LAA level is below the root");
+            }
+            n
+        };
+        // (domain, server, remaining, removed), servers sorted by
+        // (count, id) for the within-domain order.
+        let mut rows: Vec<(NodeId, NodeId, u32, u32)> = placement
+            .iter()
+            .map(|&(s, k)| (domain_of(s), s, k, 0u32))
+            .collect();
+        rows.sort_by_key(|&(d, s, k, _)| (d, k, s));
+        // Per-domain totals, maintained incrementally as VMs drain.
+        let mut totals: std::collections::BTreeMap<NodeId, u32> = Default::default();
+        for &(d, _, k, _) in &rows {
+            *totals.entry(d).or_insert(0) += k;
+        }
+        for _ in 0..delta {
+            let (&max_domain, _) = totals
+                .iter()
+                .max_by_key(|&(&d, &t)| (t, std::cmp::Reverse(d)))
+                .expect("deployment holds fewer VMs than its model");
+            let row = rows
+                .iter_mut()
+                .find(|r| r.0 == max_domain && r.2 > 0)
+                .expect("the fullest domain has a populated server");
+            row.2 -= 1;
+            row.3 += 1;
+            *totals.get_mut(&max_domain).expect("domain tracked") -= 1;
+        }
+        if totals.values().any(|&t| t > cap) {
+            return Err(RejectReason::InsufficientBandwidth);
+        }
+        Ok(rows
+            .into_iter()
+            .filter(|&(_, _, _, removed)| removed > 0)
+            .map(|(_, server, _, removed)| PlacementEntry {
+                server,
+                tier: tier.index(),
+                count: removed,
+            })
+            .collect())
     }
 
     /// `Alloc(g, st)`: place as much of `need` as possible under `st`,
@@ -1438,6 +1544,27 @@ impl Placer for CmPlacer {
 
     fn note_arrival(&mut self, tag: &Arc<Tag>) {
         self.predictor.observe(tag.avg_per_vm_demand_kbps());
+    }
+
+    fn place_incremental(
+        &mut self,
+        topo: &mut Topology,
+        deployed: &mut Deployed,
+        new_tag: &Arc<Tag>,
+        tier: TierId,
+        new_size: u32,
+    ) -> Result<(), RejectReason> {
+        // Exact incremental scaling: CloudMirror prices deployments on the
+        // TAG itself, so only the delta VMs move — existing placement stays
+        // put and every touched link is repriced under the resized model
+        // (see [`CmPlacer::scale_tier`]). Non-TAG handles (impossible for
+        // deployments this placer produced) fall back to the generic
+        // re-place path.
+        let _ = new_size;
+        match deployed.tag_state_mut() {
+            Some(state) => self.scale_tier_shared(topo, state, tier, new_tag),
+            None => place_incremental_replace(self, topo, deployed, new_tag),
+        }
     }
 }
 #[cfg(test)]

@@ -23,7 +23,7 @@
 //! and the criterion benches pick it up unchanged.
 
 use crate::cut::CutModel;
-use crate::model::{PipeModel, Tag, VocModel};
+use crate::model::{PipeModel, Tag, TierId, VocModel};
 use crate::placement::RejectReason;
 use crate::reserve::TenantState;
 use crate::txn::ReservationTxn;
@@ -115,6 +115,144 @@ pub trait Placer {
     /// replica, so placer state stays a pure function of the arrival
     /// prefix — identical to the serial engine's per-arrival observation.
     fn note_arrival(&mut self, _tag: &std::sync::Arc<Tag>) {}
+
+    /// Resize one tier of a **live** deployment to `new_size` VMs — the
+    /// tenant-lifecycle `scale` operation (§3/§6 auto-scaling). `new_tag`
+    /// is the already-resized TAG (`tag.resized(tier, new_size)`); per-VM
+    /// guarantees are unchanged, only the tier count moves. All-or-nothing:
+    /// on `Err` the deployment and topology are exactly as before.
+    ///
+    /// The default is the generic **re-place fallback**: snapshot the
+    /// tenant's ledger, release it, deploy the resized TAG from scratch
+    /// through [`Placer::place_shared`], and on failure restore the
+    /// snapshot bit-for-bit. Placers that keep the TAG as their pricing
+    /// model can do better — [`crate::placement::CmPlacer`] overrides this
+    /// with an exact incremental path that places only the delta VMs
+    /// (growing) or vacates the least-populated servers (shrinking),
+    /// repricing every touched link under the resized model.
+    fn place_incremental(
+        &mut self,
+        topo: &mut Topology,
+        deployed: &mut Deployed,
+        new_tag: &std::sync::Arc<Tag>,
+        _tier: TierId,
+        _new_size: u32,
+    ) -> Result<(), RejectReason> {
+        place_incremental_replace(self, topo, deployed, new_tag)
+    }
+}
+
+/// The generic re-place fallback behind [`Placer::place_incremental`]:
+/// snapshot → release → deploy the resized TAG wholesale → restore the
+/// snapshot on failure. Exposed so overrides that only specialize their own
+/// handle type can delegate foreign handles here.
+pub fn place_incremental_replace<P: Placer + ?Sized>(
+    placer: &mut P,
+    topo: &mut Topology,
+    deployed: &mut Deployed,
+    new_tag: &std::sync::Arc<Tag>,
+) -> Result<(), RejectReason> {
+    let snapshot = deployed.snapshot();
+    deployed.clear_in_place(topo);
+    match placer.place_shared(topo, new_tag) {
+        Ok(d) => {
+            *deployed = d;
+            Ok(())
+        }
+        Err(r) => {
+            snapshot.reapply(topo);
+            *deployed = snapshot;
+            Err(r)
+        }
+    }
+}
+
+/// Mutable references to placers are placers (lets a lifecycle controller
+/// borrow a placer instead of owning it).
+impl<P: Placer + ?Sized> Placer for &mut P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn place(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        (**self).place(topo, tag)
+    }
+
+    fn place_shared(
+        &mut self,
+        topo: &mut Topology,
+        tag: &std::sync::Arc<Tag>,
+    ) -> Result<Deployed, RejectReason> {
+        (**self).place_shared(topo, tag)
+    }
+
+    fn place_speculative(
+        &mut self,
+        topo: &mut Topology,
+        tag: &std::sync::Arc<Tag>,
+        trace: &mut PlacementTrace,
+    ) -> Result<Deployed, RejectReason> {
+        (**self).place_speculative(topo, tag, trace)
+    }
+
+    fn note_arrival(&mut self, tag: &std::sync::Arc<Tag>) {
+        (**self).note_arrival(tag)
+    }
+
+    fn place_incremental(
+        &mut self,
+        topo: &mut Topology,
+        deployed: &mut Deployed,
+        new_tag: &std::sync::Arc<Tag>,
+        tier: TierId,
+        new_size: u32,
+    ) -> Result<(), RejectReason> {
+        (**self).place_incremental(topo, deployed, new_tag, tier, new_size)
+    }
+}
+
+/// Boxed placers are placers (lets heterogeneous placer sets drive one
+/// generic lifecycle controller through `Box<dyn Placer>`).
+impl<P: Placer + ?Sized> Placer for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn place(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        (**self).place(topo, tag)
+    }
+
+    fn place_shared(
+        &mut self,
+        topo: &mut Topology,
+        tag: &std::sync::Arc<Tag>,
+    ) -> Result<Deployed, RejectReason> {
+        (**self).place_shared(topo, tag)
+    }
+
+    fn place_speculative(
+        &mut self,
+        topo: &mut Topology,
+        tag: &std::sync::Arc<Tag>,
+        trace: &mut PlacementTrace,
+    ) -> Result<Deployed, RejectReason> {
+        (**self).place_speculative(topo, tag, trace)
+    }
+
+    fn note_arrival(&mut self, tag: &std::sync::Arc<Tag>) {
+        (**self).note_arrival(tag)
+    }
+
+    fn place_incremental(
+        &mut self,
+        topo: &mut Topology,
+        deployed: &mut Deployed,
+        new_tag: &std::sync::Arc<Tag>,
+        tier: TierId,
+        new_size: u32,
+    ) -> Result<(), RejectReason> {
+        (**self).place_incremental(topo, deployed, new_tag, tier, new_size)
+    }
 }
 
 /// A deployed tenant, whichever placer and pricing model produced it.
@@ -146,6 +284,59 @@ impl Deployed {
             DeployedState::Tag(mut s) => s.clear(topo),
             DeployedState::Voc(mut s) => s.clear(topo),
             DeployedState::Pipe(mut s) => s.clear(topo),
+        }
+    }
+
+    /// [`Deployed::release`] through a mutable reference: the handle stays
+    /// usable (and empty) afterwards. Lifecycle operations that may need to
+    /// restore the tenant on failure use this together with
+    /// [`Deployed::snapshot`].
+    pub fn clear_in_place(&mut self, topo: &mut Topology) {
+        match &mut self.0 {
+            DeployedState::Tag(s) => s.clear(topo),
+            DeployedState::Voc(s) => s.clear(topo),
+            DeployedState::Pipe(s) => s.clear(topo),
+        }
+    }
+
+    /// A deep copy of the tenant's ledger (the model itself is shared, not
+    /// cloned). Together with [`Deployed::reapply`] this gives lifecycle
+    /// operations savepoint semantics across a release: snapshot, release,
+    /// attempt a re-placement, and on failure restore the snapshot exactly.
+    pub fn snapshot(&self) -> Deployed {
+        match &self.0 {
+            DeployedState::Tag(s) => Deployed(DeployedState::Tag(s.clone())),
+            DeployedState::Voc(s) => Deployed(DeployedState::Voc(s.clone())),
+            DeployedState::Pipe(s) => Deployed(DeployedState::Pipe(s.clone())),
+        }
+    }
+
+    /// Re-acquire every slot and reservation of a snapshot whose resources
+    /// were just released (see [`Deployed::snapshot`]). Panics if the
+    /// topology cannot hold them — impossible when nothing else touched the
+    /// topology since the release.
+    pub fn reapply(&self, topo: &mut Topology) {
+        with_state!(self, s => s.reapply(topo))
+    }
+
+    /// The underlying TAG-priced tenant state, if this deployment was
+    /// priced directly on the TAG (CloudMirror and its variants). Baseline
+    /// deployments translate the TAG into VOC/pipe models and return
+    /// `None`.
+    pub fn tag_state(&self) -> Option<&TenantState<Tag>> {
+        match &self.0 {
+            DeployedState::Tag(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the TAG-priced tenant state (see
+    /// [`Deployed::tag_state`]); `CmPlacer::place_incremental` scales live
+    /// deployments through this.
+    pub fn tag_state_mut(&mut self) -> Option<&mut TenantState<Tag>> {
+        match &mut self.0 {
+            DeployedState::Tag(s) => Some(s),
+            _ => None,
         }
     }
 

@@ -35,8 +35,8 @@ pub use concurrent::{
     run_events, AdmitRecord, ConcurrentConfig, ConcurrentOutcome, Event, EventOutcome,
 };
 pub use engine::{
-    reject_reason, search_and_place, search_and_place_traced, search_and_place_with, Deployed,
-    PlacementTrace, Placer, SearchStrategy,
+    place_incremental_replace, reject_reason, search_and_place, search_and_place_traced,
+    search_and_place_with, Deployed, PlacementTrace, Placer, SearchStrategy,
 };
 pub use predictor::DemandPredictor;
 

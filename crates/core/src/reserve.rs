@@ -127,12 +127,15 @@ impl<M: CutModel> TenantState<M> {
     }
 
     /// The final placement: per server, VM count per tier. Sorted by server
-    /// id for determinism.
+    /// id for determinism. Servers the tenant has fully vacated (rolled
+    /// back during placement, or emptied by a scale-in) are omitted — the
+    /// ledger keeps their zeroed entries internally, but they are not part
+    /// of the placement.
     pub fn placement(&self, topo: &Topology) -> Vec<(NodeId, Vec<u32>)> {
         let mut v: Vec<(NodeId, Vec<u32>)> = self
             .counts
             .iter()
-            .filter(|(&n, _)| topo.is_server(n))
+            .filter(|(&n, c)| topo.is_server(n) && c.iter().any(|&x| x > 0))
             .map(|(&n, c)| (n, c.clone()))
             .collect();
         v.sort_by_key(|(n, _)| *n);
@@ -319,6 +322,30 @@ impl<M: CutModel> TenantState<M> {
                         .expect("releasing held slots cannot fail");
                 }
             }
+        }
+    }
+
+    /// Re-apply this ledger's slots and reservations to a topology they
+    /// were just released from — the inverse of [`TenantState::clear`] for
+    /// a snapshot taken before the release. Because every resource being
+    /// re-acquired was freed by that release (and nothing else ran in
+    /// between), none of the acquisitions can fail; the all-or-nothing
+    /// lifecycle operations (`migrate`, the generic re-place fallback of
+    /// `Placer::place_incremental`) rely on this to restore a tenant
+    /// exactly after a failed re-placement.
+    pub(crate) fn reapply(&self, topo: &mut Topology) {
+        for (&n, c) in &self.counts {
+            if topo.is_server(n) {
+                let held: u32 = c.iter().sum();
+                if held > 0 {
+                    topo.alloc_slots(n, held)
+                        .expect("snapshot slots were just released");
+                }
+            }
+        }
+        for (&n, &(out, inc)) in &self.reserved {
+            topo.adjust_uplink(n, out as i64, inc as i64)
+                .expect("snapshot reservations were just released");
         }
     }
 

@@ -61,7 +61,7 @@ pub fn split_guarantee(g: f64, demands: &[f64]) -> Vec<f64> {
 /// a TAG.
 #[derive(Debug, Clone)]
 pub struct Enforcer {
-    tag: Tag,
+    tag: std::sync::Arc<Tag>,
     vm_tier: Vec<TierId>,
     model: GuaranteeModel,
 }
@@ -70,6 +70,16 @@ impl Enforcer {
     /// Create an enforcer for a tenant whose VM `i` belongs to
     /// `vm_tier[i]`.
     pub fn new(tag: Tag, vm_tier: Vec<TierId>, model: GuaranteeModel) -> Self {
+        Self::new_shared(std::sync::Arc::new(tag), vm_tier, model)
+    }
+
+    /// [`Enforcer::new`] over an already-shared TAG (the controller's
+    /// admission path hands tenants around as `Arc<Tag>`; no deep clone).
+    pub fn new_shared(
+        tag: std::sync::Arc<Tag>,
+        vm_tier: Vec<TierId>,
+        model: GuaranteeModel,
+    ) -> Self {
         Enforcer {
             tag,
             vm_tier,

@@ -1,19 +1,27 @@
-//! Admission control over the unified placement engine.
+//! Admission control over the unified lifecycle front door.
 //!
 //! The simulator drives every algorithm through [`Admission`], and there is
 //! exactly one implementation: [`PlacerAdmission`], generic over any
-//! [`Placer`] from `cm-core` or `cm-baselines`. The seed's four
-//! per-algorithm adapter structs (and their boxed `DeployedOps` handles)
-//! are gone — a new placement strategy reaches the simulator by
-//! implementing `Placer`, nothing else.
+//! [`Placer`] from `cm-core` or `cm-baselines`. Since the lifecycle
+//! redesign, `PlacerAdmission` is a thin shim over the
+//! [`cm_cluster`] controller's admission front door
+//! ([`cm_cluster::admit_with`]) — the same code path
+//! [`cm_cluster::Cluster::admit`] takes, so borrowed-topology admission and
+//! controller-owned admission cannot diverge.
 //!
-//! The familiar names remain as type aliases ([`CmAdmission`],
+//! The shared-model path ([`Admission::admit_shared`], taking `Arc<Tag>`)
+//! is the **primary** interface; the by-reference [`Admission::admit`] is a
+//! compatibility wrapper that pays one deep clone to enter it. The seed's
+//! per-algorithm adapter structs are long gone — a new placement strategy
+//! reaches the simulator by implementing `Placer`, nothing else; the
+//! familiar names remain as type aliases ([`CmAdmission`],
 //! [`OvocAdmission`], [`VcAdmission`], [`SecondNetAdmission`]).
 
 use cm_baselines::{OktopusVcPlacer, OvocPlacer, SecondNetPlacer};
 use cm_core::model::Tag;
 use cm_core::placement::{CmConfig, CmPlacer, Placer, RejectReason};
 use cm_topology::Topology;
+use std::sync::Arc;
 
 pub use cm_core::placement::Deployed;
 
@@ -22,17 +30,19 @@ pub trait Admission {
     /// Short name used in result tables ("CM", "OVOC", ...).
     fn name(&self) -> &'static str;
 
-    /// Try to deploy the tenant; `Err` leaves the topology untouched.
-    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason>;
-
-    /// [`Admission::admit`] for a shared model — the simulator's hot path,
-    /// which lets placers adopt the tenant's TAG without deep-cloning it.
+    /// Try to deploy a shared tenant model; `Err` leaves the topology
+    /// untouched. This is the primary (hot-path) entry point: pools hand
+    /// out `Arc<Tag>`s and placers adopt them without a deep clone.
     fn admit_shared(
         &mut self,
         topo: &mut Topology,
-        tag: &std::sync::Arc<Tag>,
-    ) -> Result<Deployed, RejectReason> {
-        self.admit(topo, tag)
+        tag: &Arc<Tag>,
+    ) -> Result<Deployed, RejectReason>;
+
+    /// Compatibility wrapper over [`Admission::admit_shared`] for callers
+    /// holding a bare `&Tag`: pays one clone to share the model.
+    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        self.admit_shared(topo, &Arc::new(tag.clone()))
     }
 }
 
@@ -80,16 +90,12 @@ impl<P: Placer> Admission for PlacerAdmission<P> {
         self.placer.name()
     }
 
-    fn admit(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
-        self.placer.place(topo, tag)
-    }
-
     fn admit_shared(
         &mut self,
         topo: &mut Topology,
-        tag: &std::sync::Arc<Tag>,
+        tag: &Arc<Tag>,
     ) -> Result<Deployed, RejectReason> {
-        self.placer.place_shared(topo, tag)
+        cm_cluster::admit_with(topo, &mut self.placer, tag)
     }
 }
 
@@ -136,6 +142,25 @@ mod tests {
                 assert_eq!(topo.reserved_at_level(l), (0, 0), "{}", ctl.name());
             }
         }
+    }
+
+    #[test]
+    fn admit_is_a_shared_path_wrapper() {
+        // The by-reference compatibility path and the primary shared path
+        // make identical decisions (and identical placements).
+        let spec = TreeSpec::small(2, 2, 4, 4, [mbps(1000.0), mbps(2000.0), mbps(4000.0)]);
+        let tag = apps::mapreduce(6, mbps(30.0));
+        let shared = Arc::new(tag.clone());
+        let mut topo_a = Topology::build(&spec);
+        let mut topo_b = Topology::build(&spec);
+        let a = CmAdmission::new().admit(&mut topo_a, &tag).unwrap();
+        let b = CmAdmission::new()
+            .admit_shared(&mut topo_b, &shared)
+            .unwrap();
+        assert_eq!(a.placement(&topo_a), b.placement(&topo_b));
+        assert_eq!(a.reservations(), b.reservations());
+        a.release(&mut topo_a);
+        b.release(&mut topo_b);
     }
 
     #[test]

@@ -1,14 +1,25 @@
 //! The Poisson arrival/departure event loop (§5 "Simulation Setup").
+//!
+//! Since the lifecycle redesign the loop itself is a thin driver over a
+//! [`cm_cluster::Cluster`]: arrivals become [`Cluster::admit`], departures
+//! become [`Cluster::depart`], and the cluster owns the topology and the
+//! tenant registry. Decisions are bit-identical to the pre-redesign loop
+//! (the cluster's admission front door calls the same
+//! `Placer::place_shared` in the same order), which
+//! `tests/cluster_decisions.rs` pins with golden fingerprints.
 
-use crate::admission::{Admission, Deployed};
+use crate::admission::Admission;
 use crate::metrics::{RejectionCounts, WcsAccumulator, WcsStats};
-use cm_core::placement::RejectReason;
+use cm_cluster::{Cluster, TenantId};
+use cm_core::model::Tag;
+use cm_core::placement::{Deployed, Placer, RejectReason};
 use cm_topology::{Kbps, Topology, TreeSpec};
 use cm_workloads::TenantPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone)]
@@ -137,6 +148,29 @@ pub fn run_sim_timed(
     (r, t)
 }
 
+/// Lifts a borrowed `dyn Admission` into a [`Placer`] so the event loop
+/// can hand it to the lifecycle controller; admission stays dyn-dispatched
+/// exactly as before the redesign.
+struct DynPlacer<'a>(&'a mut dyn Admission);
+
+impl Placer for DynPlacer<'_> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn place(&mut self, topo: &mut Topology, tag: &Tag) -> Result<Deployed, RejectReason> {
+        self.0.admit(topo, tag)
+    }
+
+    fn place_shared(
+        &mut self,
+        topo: &mut Topology,
+        tag: &Arc<Tag>,
+    ) -> Result<Deployed, RejectReason> {
+        self.0.admit_shared(topo, tag)
+    }
+}
+
 fn run_sim_inner(
     cfg: &SimConfig,
     pool: &TenantPool,
@@ -148,7 +182,8 @@ fn run_sim_inner(
     } else {
         pool.clone()
     };
-    let mut topo = Topology::build(&cfg.spec);
+    let algo = admission.name();
+    let mut cluster = Cluster::adopt(Topology::build(&cfg.spec), DynPlacer(admission));
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let total_slots = cfg.spec.total_slots() as f64;
@@ -159,7 +194,7 @@ fn run_sim_inner(
     let mut counts = RejectionCounts::default();
     let mut wcs_acc = WcsAccumulator::default();
     let mut departures: BinaryHeap<Reverse<Departure>> = BinaryHeap::new();
-    let mut live: std::collections::HashMap<u64, Deployed> = std::collections::HashMap::new();
+    let mut live: std::collections::HashMap<u64, TenantId> = std::collections::HashMap::new();
     let mut peak = 0usize;
     let mut now = 0.0f64;
 
@@ -171,8 +206,8 @@ fn run_sim_inner(
                 break;
             }
             let d = departures.pop().expect("peeked").0;
-            if let Some(t) = live.remove(&d.id) {
-                t.release(&mut topo);
+            if let Some(tid) = live.remove(&d.id) {
+                cluster.depart(tid).expect("live tenants depart cleanly");
             }
         }
         let tag = &pool.tenants()[rng.random_range(0..pool.len())];
@@ -182,14 +217,15 @@ fn run_sim_inner(
         counts.total_vms += vms;
         counts.total_bw_kbps += bw;
         let t0 = timings.as_ref().map(|_| std::time::Instant::now());
-        let outcome = admission.admit_shared(&mut topo, tag);
+        let outcome = cluster.admit(tag);
         if let (Some(t), Some(t0)) = (timings.as_deref_mut(), t0) {
             t.admit_secs.push(t0.elapsed().as_secs_f64());
         }
         match outcome {
-            Ok(deployed) => {
+            Ok(handle) => {
+                let deployed = cluster.deployed(handle.id()).expect("just admitted");
                 wcs_acc.record(
-                    &deployed.wcs_at_level(&topo, cfg.wcs_level),
+                    &deployed.wcs_at_level(cluster.topology(), cfg.wcs_level),
                     &deployed.tier_sizes(),
                 );
                 let dwell = exp_sample(&mut rng, 1.0 / cfg.td_mean);
@@ -197,10 +233,13 @@ fn run_sim_inner(
                     time: now + dwell,
                     id,
                 }));
-                live.insert(id, deployed);
-                peak = peak.max(live.len());
+                live.insert(id, handle.id());
+                peak = peak.max(cluster.tenant_count());
             }
-            Err(reason) => {
+            Err(e) => {
+                let reason = e
+                    .reject_reason()
+                    .expect("admission can only fail with a placement rejection");
                 counts.rejected_tenants += 1;
                 counts.rejected_vms += vms;
                 counts.rejected_bw_kbps += bw;
@@ -213,14 +252,13 @@ fn run_sim_inner(
     }
     // Drain remaining tenants so the topology ends clean (a cheap global
     // leak check in debug builds).
-    for (_, t) in live.drain() {
-        t.release(&mut topo);
-    }
-    debug_assert!(topo.check_invariants().is_ok());
-    debug_assert!((0..topo.num_levels()).all(|l| topo.reserved_at_level(l) == (0, 0)));
+    cluster.release_all();
+    debug_assert!(cluster.check_invariants().is_ok());
+    debug_assert!((0..cluster.topology().num_levels())
+        .all(|l| cluster.topology().reserved_at_level(l) == (0, 0)));
 
     SimResult {
-        algo: admission.name(),
+        algo,
         rejections: counts,
         wcs: wcs_acc.finish(),
         peak_tenants: peak,

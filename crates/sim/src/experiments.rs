@@ -6,6 +6,7 @@
 use crate::admission::{Admission, CmAdmission, OvocAdmission};
 use crate::events::{run_sim, SimConfig, SimResult};
 use crate::metrics::{reprice_by_level, PricedPlacement};
+use cm_cluster::Cluster;
 use cm_core::cut::CutModel;
 use cm_core::model::VocModel;
 use cm_core::placement::{CmConfig, CmPlacer, RejectReason};
@@ -38,25 +39,25 @@ pub fn table1(pool: &TenantPool, seed: u64, bmax_kbps: u64) -> Vec<Table1Row> {
         .map(|_| rng.random_range(0..pool.len()))
         .collect();
 
-    // CM+TAG.
-    let mut topo_cm = Topology::build(&spec);
-    let mut placer = CmPlacer::new(CmConfig::cm());
-    let mut cm_states = Vec::new();
+    // CM+TAG, arrivals-only through the lifecycle controller.
+    let mut cm_ctl = Cluster::adopt(Topology::build(&spec), CmPlacer::new(CmConfig::cm()));
+    let mut cm_admitted: Vec<(cm_cluster::TenantId, usize)> = Vec::new();
     for &idx in &sequence {
-        match placer.place_tag_shared(&mut topo_cm, &pool.tenants()[idx]) {
-            Ok(st) => cm_states.push((st, idx)),
-            Err(RejectReason::InsufficientSlots) => break,
-            Err(RejectReason::InsufficientBandwidth) => {
-                unreachable!("bandwidth is unlimited in Table 1")
-            }
+        match cm_ctl.admit(&pool.tenants()[idx]) {
+            Ok(h) => cm_admitted.push((h.id(), idx)),
+            Err(e) => match e.reject_reason() {
+                Some(RejectReason::InsufficientSlots) => break,
+                _ => unreachable!("bandwidth is unlimited in Table 1"),
+            },
         }
     }
     // Price CM's placement under TAG and under VOC.
     type Placements = Vec<(Vec<(NodeId, Vec<u32>)>, usize)>;
-    let placements: Placements = cm_states
+    let placements: Placements = cm_admitted
         .iter()
-        .map(|(st, idx)| (st.placement(&topo_cm), *idx))
+        .map(|(id, idx)| (cm_ctl.placement_of(*id).expect("admitted"), *idx))
         .collect();
+    let topo_cm = cm_ctl.topology();
     let vocs: Vec<VocModel> = pool
         .tenants()
         .iter()
@@ -70,21 +71,20 @@ pub fn table1(pool: &TenantPool, seed: u64, bmax_kbps: u64) -> Vec<Table1Row> {
         .iter()
         .map(|(p, idx)| (p.as_slice(), &vocs[*idx] as &dyn CutModel))
         .collect();
-    let cm_tag = reprice_by_level(&topo_cm, &tag_deployments);
-    let cm_voc = reprice_by_level(&topo_cm, &voc_deployments);
+    let cm_tag = reprice_by_level(topo_cm, &tag_deployments);
+    let cm_voc = reprice_by_level(topo_cm, &voc_deployments);
 
-    // Oktopus+VOC deploys the same sequence on its own unlimited topology.
-    let mut topo_ov = Topology::build(&spec);
-    let mut ovoc = cm_baselines::OvocPlacer::new();
-    let mut ovoc_states = Vec::new();
-    for &idx in &sequence[..cm_states.len().min(sequence.len())] {
+    // Oktopus+VOC deploys the same sequence on its own unlimited
+    // datacenter, through its own controller.
+    let mut ov_ctl = Cluster::adopt(Topology::build(&spec), cm_baselines::OvocPlacer::new());
+    for &idx in &sequence[..cm_admitted.len().min(sequence.len())] {
         // Same accepted set: capacity is unlimited, so admission is
         // slot-bound and identical across algorithms.
-        match ovoc.place_tag(&mut topo_ov, &pool.tenants()[idx]) {
-            Ok(st) => ovoc_states.push(st),
-            Err(_) => break,
+        if ov_ctl.admit(&pool.tenants()[idx]).is_err() {
+            break;
         }
     }
+    let topo_ov = ov_ctl.topology();
     let ovoc_by_level: Vec<u64> = (0..topo_ov.num_levels())
         .map(|l| {
             let (o, i) = topo_ov.reserved_at_level(l);

@@ -20,11 +20,16 @@
 //!
 //! One generic [`PlacerAdmission`] adapter lifts any `cm-core`
 //! [`Placer`](cm_core::placement::Placer) — CloudMirror or baseline — into
-//! the event loop, so a single simulator drives them all.
+//! the event loop, so a single simulator drives them all. The loop itself
+//! is a thin driver over the [`cm_cluster::Cluster`] lifecycle controller
+//! (arrival = `admit`, departure = `depart`), and the [`lifecycle`] module
+//! adds the autoscaling-churn workload (admit → scale out → scale in →
+//! depart) on top of the same controller.
 
 pub mod admission;
 pub mod events;
 pub mod experiments;
+pub mod lifecycle;
 pub mod metrics;
 pub mod parallel;
 pub mod schedule;
@@ -33,7 +38,9 @@ pub use admission::{
     Admission, CmAdmission, Deployed, OvocAdmission, PlacerAdmission, SecondNetAdmission,
     VcAdmission,
 };
+pub use cm_cluster::{Cluster, CmError, TagSpec, TenantHandle, TenantId};
 pub use events::{run_sim, SimConfig, SimResult};
+pub use lifecycle::{run_churn, ChurnConfig, ChurnReport, OpLatencies};
 pub use metrics::{reprice_by_level, RejectionCounts, WcsStats};
 pub use parallel::{default_threads, par_map_indexed};
 pub use schedule::{build_schedule, run_schedule_concurrent, run_schedule_serial, Schedule};

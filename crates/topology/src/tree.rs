@@ -462,6 +462,15 @@ impl Topology {
         self.nodes[n.index()].sub_slots_total
     }
 
+    /// VM slots currently allocated across the whole datacenter
+    /// (total − free at the root); the slot half of a cluster-utilization
+    /// report.
+    #[inline]
+    pub fn slots_in_use(&self) -> u64 {
+        let r = self.root();
+        self.subtree_slots_total(r) - self.subtree_slots_free(r)
+    }
+
     /// Allocate `count` VM slots on a server.
     pub fn alloc_slots(&mut self, server: NodeId, count: u32) -> Result<(), TopologyError> {
         let node = &self.nodes[server.index()];

@@ -1,6 +1,6 @@
 //! TAG flexibility under auto-scaling (§3 "Benefits", §6): per-VM
 //! guarantees stay fixed while a live deployment's web tier scales
-//! 4 → 24 → 6 VMs in place via [`CmPlacer::scale_tier`] — no tenant
+//! 4 → 24 → 6 VMs in place via [`Cluster::scale_tier`] — no tenant
 //! redeployment, no guarantee recomputation. A per-pipe model would need a
 //! fresh value for every VM pair at every step.
 //!
@@ -11,17 +11,16 @@
 use cloudmirror::core::model::PipeModel;
 use cloudmirror::core::TierId;
 use cloudmirror::workloads::apps;
-use cloudmirror::{mbps, CmConfig, CmPlacer, Topology, TreeSpec};
+use cloudmirror::{mbps, Cluster, CmConfig, CmError, CmPlacer, TreeSpec};
 
-fn main() {
+fn main() -> Result<(), CmError> {
     let spec = TreeSpec::small(2, 4, 8, 8, [mbps(5_000.0), mbps(20_000.0), mbps(40_000.0)]);
-    let mut topo = Topology::build(&spec);
-    let mut placer = CmPlacer::new(CmConfig::cm());
+    let mut cluster = Cluster::new(&spec, CmPlacer::new(CmConfig::cm()));
 
     // Deploy at the initial size: 4 web, 8 logic, 4 db.
     let tag = apps::three_tier(4, 8, 4, mbps(300.0), mbps(100.0), mbps(50.0));
     let web = TierId(0);
-    let mut deployment = placer.place_tag(&mut topo, &tag).expect("fits");
+    let tenant = cluster.admit(tag)?;
 
     println!("auto-scaling the web tier of a LIVE deployment:\n");
     println!(
@@ -29,25 +28,23 @@ fn main() {
         "web VMs", "TAG edges", "TAG values", "pipe values", "servers", "reserved Mbps"
     );
     for target in [4u32, 12, 24, 6] {
-        placer
-            .scale_tier(&mut topo, &mut deployment, web, target)
-            .expect("scaling fits");
-        deployment.check_consistency(&topo).expect("ledger exact");
+        cluster.resize_tier(tenant.id(), web, target)?;
+        cluster.check_invariants().expect("ledger exact");
+        let model = cluster.tag_of(tenant.id()).expect("live");
         // What a pipe model would need at this size.
-        let pipes = PipeModel::from_tag_idealized(deployment.model())
-            .pipes()
-            .len();
+        let pipes = PipeModel::from_tag_idealized(model).pipes().len();
+        let deployed = cluster.deployed(tenant.id()).expect("live");
         println!(
             "{:>8} | {:>10} | {:>12} | {:>14} | {:>12} | {:>14.0}",
             target,
-            deployment.model().edges().len(),
+            model.edges().len(),
             "unchanged",
             pipes,
-            deployment.placement(&topo).len(),
-            deployment.total_reserved_kbps() as f64 / 1000.0
+            cluster.placement_of(tenant.id())?.len(),
+            deployed.total_reserved_kbps() as f64 / 1000.0
         );
     }
-    deployment.clear(&mut topo);
+    cluster.depart(tenant.id())?;
     println!(
         "\nThe TAG stays 5 edges with identical per-VM values at every scale\n\
          (\"per-VM bandwidth guarantees Se and Re typically do not need to\n\
@@ -55,4 +52,5 @@ fn main() {
          equivalent balloons with the pair count and every value would need\n\
          recomputation whenever the load balancer re-spreads traffic."
     );
+    Ok(())
 }

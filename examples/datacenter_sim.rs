@@ -1,6 +1,8 @@
 //! A miniature version of the paper's §5.1 evaluation: Poisson tenant
 //! arrivals/departures from the bing-like pool against the 2048-server
-//! datacenter, comparing CloudMirror with improved Oktopus.
+//! datacenter, comparing CloudMirror with improved Oktopus. The event loop
+//! (`run_sim`) is a thin driver over the `Cluster` lifecycle controller —
+//! each arrival is an `admit`, each departure a `depart`.
 //!
 //! ```text
 //! cargo run --release --example datacenter_sim

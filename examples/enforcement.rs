@@ -7,6 +7,7 @@
 //! ```
 
 use cloudmirror::enforce::{fig13_throughput, GuaranteeModel};
+use cloudmirror::{mbps, Cluster, CmConfig, CmPlacer, TagBuilder, TreeSpec};
 
 fn main() {
     println!(
@@ -36,4 +37,48 @@ fn main() {
          The unpatched hose dilutes X to 1/(k+1) of Z's aggregate hose —\n\
          the §2.2 failure that motivates TAG."
     );
+
+    // The §5.2 controller hand-off, live: admit the Fig. 13 tenant through
+    // the lifecycle controller and ask it what enforcement must protect —
+    // guarantees partitioned over the VM pairs of the *actual* placement.
+    let mut b = TagBuilder::new("fig13");
+    let c1 = b.tier("C1", 1);
+    let c2 = b.tier("C2", 5);
+    b.edge(c1, c2, mbps(450.0), mbps(450.0)).unwrap();
+    b.self_loop(c2, mbps(450.0)).unwrap();
+    let spec = TreeSpec::small(1, 2, 2, 4, [mbps(1_000.0), mbps(4_000.0), mbps(8_000.0)]);
+    let mut cluster = Cluster::new(&spec, CmPlacer::new(CmConfig::cm()));
+    let tenant = cluster.admit(b.build().unwrap()).expect("fits");
+    // Reconstruct the Fig. 13 demand pattern on the controller's VM view:
+    // X (the C1 VM) sends to one C2 VM "Z", and every other C2 VM also
+    // blasts Z with intra-tier traffic.
+    let layout = cluster.guarantee_report(tenant.id()).expect("live");
+    let x = layout.vm_tier.iter().position(|&t| t == c1).expect("has X");
+    let c2_vms: Vec<usize> = (0..layout.vm_tier.len())
+        .filter(|&v| layout.vm_tier[v] == c2)
+        .collect();
+    let z = c2_vms[0];
+    let mut active = vec![(x, z)];
+    active.extend(c2_vms[1..].iter().map(|&s| (s, z)));
+
+    for model in [GuaranteeModel::Tag, GuaranteeModel::Hose] {
+        cluster.set_guarantee_model(model);
+        let report = cluster
+            .guarantee_report_active(tenant.id(), &active)
+            .expect("live");
+        let x_to_z = report.pairs[0].kbps;
+        let intra: f64 = report.pairs[1..].iter().map(|p| p.kbps).sum();
+        println!(
+            "\ncontroller report ({model:?} model, Fig. 13 demand pattern): \
+             X->Z guaranteed {:.0} Mbps, intra senders share {:.0} Mbps",
+            x_to_z / 1000.0,
+            intra / 1000.0,
+        );
+    }
+    println!(
+        "\nThe controller knows the placement AND the abstraction, so the\n\
+         TAG-patched partitioner protects X's trunk guarantee; the plain\n\
+         hose dilutes it into Z's aggregate receive hose."
+    );
+    cluster.depart(tenant.id()).expect("departs");
 }

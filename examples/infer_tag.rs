@@ -1,8 +1,9 @@
 //! Automatic TAG generation (§3 "Producing TAG Models"): synthesize a raw
 //! VM-to-VM traffic trace from a known application, recover its component
 //! structure with Louvain clustering, score it with adjusted mutual
-//! information, and build the TAG with statistical-multiplexing-aware
-//! guarantees.
+//! information, build the TAG with statistical-multiplexing-aware
+//! guarantees — and close the paper's loop by admitting the inferred TAG
+//! onto a datacenter through the lifecycle controller.
 //!
 //! ```text
 //! cargo run --release --example infer_tag
@@ -13,6 +14,7 @@ use cloudmirror::inference::{
     SynthConfig,
 };
 use cloudmirror::workloads::apps;
+use cloudmirror::{mbps, Cluster, CmConfig, CmPlacer, TreeSpec};
 
 fn main() {
     // Ground truth: a three-tier app (10 web, 10 logic, 5 db VMs).
@@ -69,5 +71,25 @@ fn main() {
             e.snd_kbps,
             e.rcv_kbps
         );
+    }
+
+    // Close the loop: the inferred TAG is a deployable tenant. Admit it
+    // onto a datacenter and see what its guarantees cost the network.
+    let spec = TreeSpec::small(2, 2, 4, 8, [mbps(10_000.0), mbps(20_000.0), mbps(40_000.0)]);
+    let mut cluster = Cluster::new(&spec, CmPlacer::new(CmConfig::cm()));
+    match cluster.admit(tag) {
+        Ok(tenant) => {
+            let placement = cluster.placement_of(tenant.id()).expect("live");
+            let deployed = cluster.deployed(tenant.id()).expect("live");
+            println!(
+                "\ndeployed the inferred TAG: {} VMs on {} servers, \
+                 {:.0} Mbps reserved end to end",
+                deployed.total_placed(cluster.topology()),
+                placement.len(),
+                deployed.total_reserved_kbps() as f64 / 1000.0
+            );
+            cluster.depart(tenant.id()).expect("departs");
+        }
+        Err(e) => println!("\ninferred TAG was rejected: {e}"),
     }
 }

@@ -1,14 +1,14 @@
-//! Quickstart: describe a three-tier web application as a TAG, deploy it
-//! on a small datacenter with CloudMirror, inspect the placement and the
-//! bandwidth it reserves, then release it.
+//! Quickstart: describe a three-tier web application as a TAG, run it
+//! through the full tenant lifecycle on a [`Cluster`] — admit, inspect the
+//! placement and guarantees, scale a tier under load, and depart.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use cloudmirror::{mbps, CmConfig, CmPlacer, TagBuilder, Topology, TreeSpec};
+use cloudmirror::{mbps, Cluster, CmConfig, CmError, CmPlacer, Placer, TagBuilder, TreeSpec};
 
-fn main() {
+fn main() -> Result<(), CmError> {
     // 1. The application (the paper's Fig. 2(a)): a web tier talking to a
     //    business-logic tier at 500 Mbps per VM, the logic tier talking to
     //    a database tier at 100 Mbps per VM, and 50 Mbps of intra-database
@@ -29,28 +29,30 @@ fn main() {
         tag.total_bandwidth_kbps() as f64 / 1000.0
     );
 
-    // 2. The datacenter: 2 pods x 2 racks x 4 servers, 4 VM slots each,
-    //    10 G NICs with oversubscribed 20 G ToR and 20 G agg uplinks.
+    // 2. The datacenter, run by the CloudMirror placer behind a lifecycle
+    //    controller: 2 pods x 2 racks x 4 servers, 4 VM slots each, 10 G
+    //    NICs with oversubscribed 20 G ToR and 20 G agg uplinks.
     let spec = TreeSpec::small(2, 2, 4, 4, [mbps(10_000.0), mbps(20_000.0), mbps(20_000.0)]);
-    let mut topo = Topology::build(&spec);
+    let mut cluster = Cluster::new(&spec, CmPlacer::new(CmConfig::cm()));
     println!(
-        "datacenter: {} servers, {} slots",
+        "datacenter: {} servers, {} slots, placer {}",
         spec.num_servers(),
-        spec.total_slots()
+        spec.total_slots(),
+        cluster.placer().name()
     );
 
-    // 3. Deploy with CloudMirror.
-    let mut placer = CmPlacer::new(CmConfig::cm());
-    let mut deployment = placer.place_tag(&mut topo, &tag).expect("tenant fits");
+    // 3. Admit the tenant.
+    let tenant = cluster.admit(tag)?;
+    let tag = tenant.tag().clone();
     println!("\nplacement (server -> VMs per tier):");
-    for (server, counts) in deployment.placement(&topo) {
+    for (server, counts) in cluster.placement_of(tenant.id())? {
         let named: Vec<String> = counts
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(t, &c)| format!("{}x{}", c, tag.tiers()[t].name))
             .collect();
-        let (up, dn) = topo.uplink_used(server).unwrap();
+        let (up, dn) = cluster.topology().uplink_used(server).unwrap();
         println!(
             "  {server}: {:<24} NIC reserved {:>6.0}/{:>6.0} Mbps (out/in)",
             named.join(" + "),
@@ -58,30 +60,39 @@ fn main() {
             dn as f64 / 1000.0
         );
     }
-    for level in 1..topo.num_levels() - 1 {
-        let (up, dn) = topo.reserved_at_level(level);
-        println!(
-            "level {level} uplinks reserve {:.0}/{:.0} Mbps (out/in) in total",
-            up as f64 / 1000.0,
-            dn as f64 / 1000.0
-        );
-    }
+    let util = cluster.utilization();
+    println!(
+        "utilization: {}/{} slots ({:.0}%), {} tenant(s) live",
+        util.slots_in_use,
+        util.slots_total,
+        util.slot_fraction() * 100.0,
+        util.tenants
+    );
 
-    // 4. Survivability of the placement (fraction of each tier that
-    //    survives any single server failure).
-    let wcs = deployment.wcs_at_level(&topo, 0);
-    for (t, w) in wcs.iter().enumerate() {
-        if let Some(w) = w {
-            println!(
-                "tier '{}' worst-case survivability: {:.0}%",
-                tag.tiers()[t].name,
-                w * 100.0
-            );
-        }
-    }
+    // 4. What runtime enforcement must protect: the TAG's guarantees
+    //    partitioned over the actual VM pairs of this placement.
+    let report = cluster.guarantee_report(tenant.id())?;
+    println!(
+        "guarantees: {:.0} Mbps total across {} pairs — {:.0} Mbps crosses \
+         the network, {:.0} Mbps absorbed by colocation",
+        report.total_kbps() / 1000.0,
+        report.pairs.len(),
+        report.cross_network_kbps() / 1000.0,
+        report.colocated_kbps() / 1000.0
+    );
 
-    // 5. Release everything.
-    deployment.clear(&mut topo);
-    assert_eq!(topo.subtree_slots_free(topo.root()), spec.total_slots());
-    println!("\nreleased: datacenter is clean again");
+    // 5. Load spike: scale the web tier out by 4 VMs, then back in. Per-VM
+    //    guarantees never change (§3) — only the delta VMs are placed.
+    let new_size = cluster.scale_tier(tenant.id(), web, 4)?;
+    println!(
+        "\nscaled web tier to {new_size} VMs: {} slots in use",
+        cluster.utilization().slots_in_use
+    );
+    cluster.scale_tier(tenant.id(), web, -4)?;
+
+    // 6. Departure releases everything.
+    cluster.depart(tenant.id())?;
+    assert_eq!(cluster.utilization().slots_in_use, 0);
+    println!("departed: datacenter is clean again");
+    Ok(())
 }

@@ -9,7 +9,7 @@ use cloudmirror::baselines::OvocPlacer;
 use cloudmirror::core::model::VocModel;
 use cloudmirror::core::CutModel;
 use cloudmirror::workloads::apps;
-use cloudmirror::{mbps, CmConfig, CmPlacer, Topology, TreeSpec};
+use cloudmirror::{mbps, Cluster, CmConfig, CmPlacer, TreeSpec};
 
 fn main() {
     // Storm job: spout1 -> {bolt1, bolt2}, bolt2 -> bolt3; 8 VMs per
@@ -25,16 +25,14 @@ fn main() {
     let spec = TreeSpec::small(1, 2, 4, 4, [mbps(1_000.0), mbps(2_000.0), mbps(4_000.0)]);
 
     // Deploy with CloudMirror (TAG pricing)...
-    let mut topo_cm = Topology::build(&spec);
-    let mut cm = CmPlacer::new(CmConfig::cm());
-    let cm_state = cm.place_tag(&mut topo_cm, &tag).expect("fits");
-    let (cm_tor_up, cm_tor_dn) = topo_cm.reserved_at_level(1);
+    let mut cm = Cluster::new(&spec, CmPlacer::new(CmConfig::cm()));
+    cm.admit(tag.clone()).expect("fits");
+    let (cm_tor_up, cm_tor_dn) = cm.topology().reserved_at_level(1);
 
     // ... and with improved Oktopus (VOC pricing).
-    let mut topo_ov = Topology::build(&spec);
-    let mut ovoc = OvocPlacer::new();
-    let ovoc_state = ovoc.place_tag(&mut topo_ov, &tag).expect("fits");
-    let (ov_tor_up, ov_tor_dn) = topo_ov.reserved_at_level(1);
+    let mut ovoc = Cluster::new(&spec, OvocPlacer::new());
+    ovoc.admit(tag.clone()).expect("fits");
+    let (ov_tor_up, ov_tor_dn) = ovoc.topology().reserved_at_level(1);
 
     println!("\nToR-uplink bandwidth reserved for the same job:");
     println!(
@@ -61,5 +59,4 @@ fn main() {
          oversubscribed hose, so it cannot see that only spout1->bolt2 crosses\n\
          the cut — and reserves for bolt1 and bolt3 traffic that never leaves."
     );
-    drop((cm_state, ovoc_state));
 }

@@ -22,7 +22,11 @@
 //!   harnesses and the benches drive them interchangeably;
 //! * a **runtime enforcement** layer — an ElasticSwitch-style guarantee
 //!   partitioner with the paper's TAG patch, over a fluid max-min network
-//!   ([`enforce`]).
+//!   ([`enforce`]);
+//! * a **tenant-lifecycle controller** — [`Cluster`] owns a topology and
+//!   any placer and exposes the whole closed loop as one typed API:
+//!   `admit` / `scale_tier` / `migrate` / `depart`, plus utilization and
+//!   enforcement-wired guarantee queries ([`cluster`]).
 //!
 //! Everything the evaluation needs is included: the tree-datacenter
 //! substrate ([`topology`]), the Oktopus VC/VOC and SecondNet baselines
@@ -41,6 +45,7 @@
 //! ```
 
 pub use cm_baselines as baselines;
+pub use cm_cluster as cluster;
 pub use cm_core as core;
 pub use cm_enforce as enforce;
 pub use cm_inference as inference;
@@ -49,6 +54,7 @@ pub use cm_topology as topology;
 pub use cm_workloads as workloads;
 
 // Convenience re-exports of the items almost every user touches.
+pub use cm_cluster::{Cluster, CmError, GuaranteeReport, TagSpec, TenantHandle, TenantId};
 pub use cm_core::{
     CmConfig, CmPlacer, CutModel, Deployed, HaPolicy, Placer, RejectReason, ReservationTxn, Tag,
     TagBuilder, TierId,

@@ -1,0 +1,146 @@
+//! Lifecycle conservation: random interleavings of admit / scale_tier /
+//! migrate / depart leave the topology exactly pristine once every tenant
+//! has departed, with `check_invariants` (topology + per-tenant ledger
+//! recomputation) holding at every step. Driven by proptest over op
+//! scripts, for CloudMirror (exact-incremental scaling) and OVOC (the
+//! generic re-place fallback).
+
+use cloudmirror::baselines::OvocPlacer;
+use cloudmirror::workloads::mixed_pool;
+use cloudmirror::{mbps, Cluster, CmConfig, CmPlacer, Placer, TenantId, TierId, TreeSpec};
+use proptest::prelude::*;
+
+fn small_spec() -> TreeSpec {
+    TreeSpec::small(2, 2, 4, 4, [mbps(1_000.0), mbps(2_000.0), mbps(4_000.0)])
+}
+
+/// One scripted lifecycle op; indices are reduced modulo the live set.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Admit(usize),
+    Scale {
+        victim: usize,
+        tier: usize,
+        delta: i64,
+    },
+    Migrate(usize),
+    Depart(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..8, 0usize..60, 0usize..4, -3i64..4).prop_map(|(kind, idx, tier, delta)| match kind {
+        // Admissions weighted heaviest so scripts build up live tenants.
+        0..=2 => Op::Admit(idx),
+        3 | 4 => Op::Scale {
+            victim: idx,
+            tier,
+            delta: if delta == 0 { 1 } else { delta },
+        },
+        5 => Op::Migrate(idx),
+        _ => Op::Depart(idx),
+    })
+}
+
+fn run_script<P: Placer>(placer: P, seed: u64, script: &[Op]) {
+    let pool = mixed_pool(seed);
+    let spec = small_spec();
+    let mut cluster = Cluster::new(&spec, placer);
+    let mut live: Vec<TenantId> = Vec::new();
+    for (step, &op) in script.iter().enumerate() {
+        match op {
+            Op::Admit(idx) => {
+                if let Ok(h) = cluster.admit(&pool.tenants()[idx % pool.len()]) {
+                    live.push(h.id());
+                }
+            }
+            Op::Scale {
+                victim,
+                tier,
+                delta,
+            } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[victim % live.len()];
+                let tiers: Vec<TierId> = cluster.tag_of(id).unwrap().internal_tiers().collect();
+                let tier = tiers[tier % tiers.len()];
+                // Both accepted and rejected scales must keep the books
+                // balanced; rejections must change nothing.
+                let before = cluster.placement_of(id).unwrap();
+                if cluster.scale_tier(id, tier, delta).is_err() {
+                    assert_eq!(
+                        cluster.placement_of(id).unwrap(),
+                        before,
+                        "step {step}: failed scale moved VMs"
+                    );
+                }
+            }
+            Op::Migrate(victim) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[victim % live.len()];
+                let before_slots = cluster.topology().slots_in_use();
+                let _ = cluster.migrate(id);
+                assert_eq!(
+                    cluster.topology().slots_in_use(),
+                    before_slots,
+                    "step {step}: migrate changed total slot usage"
+                );
+            }
+            Op::Depart(victim) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.swap_remove(victim % live.len());
+                cluster.depart(id).expect("live tenant departs");
+            }
+        }
+        cluster
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("step {step} ({op:?}): {e}"));
+    }
+    // All departures: the datacenter must be exactly pristine.
+    for id in live {
+        cluster.depart(id).unwrap();
+    }
+    assert_eq!(cluster.topology().slots_in_use(), 0);
+    assert_eq!(
+        cluster
+            .topology()
+            .subtree_slots_free(cluster.topology().root()),
+        small_spec().total_slots()
+    );
+    for l in 0..cluster.topology().num_levels() {
+        assert_eq!(cluster.topology().reserved_at_level(l), (0, 0));
+    }
+    cluster.topology().check_invariants().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cm_lifecycle_conserves_resources(
+        script in prop::collection::vec(arb_op(), 1..40),
+        seed in 0u64..4,
+    ) {
+        run_script(CmPlacer::new(CmConfig::cm()), seed, &script);
+    }
+
+    #[test]
+    fn cm_ha_lifecycle_conserves_resources(
+        script in prop::collection::vec(arb_op(), 1..30),
+        seed in 0u64..3,
+    ) {
+        run_script(CmPlacer::new(CmConfig::cm_ha(0.5)), seed, &script);
+    }
+
+    #[test]
+    fn ovoc_fallback_lifecycle_conserves_resources(
+        script in prop::collection::vec(arb_op(), 1..30),
+        seed in 0u64..3,
+    ) {
+        run_script(OvocPlacer::new(), seed, &script);
+    }
+}

@@ -157,8 +157,10 @@ macro_rules! impl_int_strategy {
             type Value = $t;
             fn sample(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
-                let span = (self.end as u128 - self.start as u128) as u64;
-                (self.start as u128 + rng.below(span) as u128) as $t
+                // i128 arithmetic so ranges with negative bounds (any
+                // integer type up to 64 bits) span correctly.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -166,8 +168,8 @@ macro_rules! impl_int_strategy {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
-                let span = (hi as u128 - lo as u128 + 1).min(u64::MAX as u128) as u64;
-                (lo as u128 + rng.below(span) as u128) as $t
+                let span = (hi as i128 - lo as i128 + 1).min(u64::MAX as i128) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
             }
         }
     )*};
@@ -269,7 +271,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Element count for [`vec`].
+        /// Element count for [`vec()`].
         pub struct SizeRange {
             lo: usize,
             hi_incl: usize,
@@ -300,7 +302,7 @@ pub mod prop {
             }
         }
 
-        /// Output of [`vec`].
+        /// Output of [`vec()`].
         pub struct VecStrategy<S> {
             elem: S,
             size: SizeRange,
