@@ -17,10 +17,12 @@
 use cm_baselines::{OktopusVcPlacer, OvocPlacer, SecondNetPlacer};
 use cm_bench::print_table;
 use cm_core::placement::{CmConfig, CmPlacer, Placer, SearchStrategy};
+use cm_enforce::GuaranteeModel;
 use cm_sim::admission::PlacerAdmission;
 use cm_sim::events::run_sim_timed;
 use cm_sim::lifecycle::{run_churn, ChurnConfig, ChurnReport};
 use cm_sim::schedule::{build_schedule, run_schedule_concurrent, Schedule};
+use cm_sim::traffic::{run_churn_traffic, TrafficChurnConfig, TrafficChurnReport};
 use cm_sim::SimConfig;
 use cm_workloads::{bing_like_pool, TenantPool};
 use std::fmt::Write as _;
@@ -157,6 +159,30 @@ fn lifecycle_churn(quick: bool, full: bool, pool: &TenantPool) -> Vec<ChurnRepor
         run_churn(&cfg, pool, CmPlacer::new(CmConfig::cm())),
         run_churn(&cfg, pool, OvocPlacer::new()),
     ]
+}
+
+/// The datacenter traffic workload: lifecycle churn with periodic
+/// cluster-wide traffic solves, once under the paper's TAG-patched
+/// enforcement and once under the plain hose baseline — identical
+/// placements, different floors. Records per-solve latency and
+/// guarantee-compliance violations.
+fn traffic_bench(quick: bool, full: bool, pool: &TenantPool) -> Vec<TrafficChurnReport> {
+    let (tenants, solve_every) = if quick {
+        (60, 20)
+    } else if full {
+        (400, 40)
+    } else {
+        (200, 25)
+    };
+    [GuaranteeModel::Tag, GuaranteeModel::Hose]
+        .into_iter()
+        .map(|model| {
+            let mut cfg = TrafficChurnConfig::paper_default(model);
+            cfg.churn.tenants = tenants;
+            cfg.solve_every = solve_every;
+            run_churn_traffic(&cfg, pool, CmPlacer::new(CmConfig::cm()))
+        })
+        .collect()
 }
 
 fn thread_scaling(cfg: &SimConfig, pool: &TenantPool, max_threads: usize) -> Vec<ScalingRow> {
@@ -370,6 +396,48 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Datacenter traffic engine: every live tenant's flows routed over the
+    // physical tree and solved as one shared max-min network, stepped
+    // through the churn — TAG-patched enforcement vs the hose baseline.
+    // ------------------------------------------------------------------
+    let traffic = traffic_bench(quick, full, &pool);
+    let traffic_table: Vec<Vec<String>> = traffic
+        .iter()
+        .map(|r| {
+            let solve = r.solve_latencies();
+            let step = r.step_latencies();
+            vec![
+                r.churn.placer.to_string(),
+                format!("{:?}", r.model),
+                r.steps.len().to_string(),
+                format!("{:.0}", r.flows_mean()),
+                r.flows_max().to_string(),
+                format!("{:.2}", solve.quantile_us(0.5).unwrap_or(0.0) / 1000.0),
+                format!("{:.2}", solve.quantile_us(0.99).unwrap_or(0.0) / 1000.0),
+                format!("{:.2}", step.quantile_us(0.99).unwrap_or(0.0) / 1000.0),
+                r.violations_total().to_string(),
+                format!("{}/{}", r.work_conserving_steps(), r.steps.len()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Datacenter traffic (placed tenants -> physical tree -> shared max-min)",
+        &[
+            "placer",
+            "model",
+            "steps",
+            "flows (mean)",
+            "flows (max)",
+            "solve p50 (ms)",
+            "solve p99 (ms)",
+            "step p99 (ms)",
+            "violations",
+            "work-conserving",
+        ],
+        &traffic_table,
+    );
+
+    // ------------------------------------------------------------------
     // BENCH_placement.json
     // ------------------------------------------------------------------
     let mut json = String::new();
@@ -462,6 +530,46 @@ fn main() {
             r.scale.quantile_us(0.5).unwrap_or(0.0),
             r.scale.quantile_us(0.99).unwrap_or(0.0),
             r.depart.quantile_us(0.99).unwrap_or(0.0),
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"traffic\": {{");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"datacenter traffic engine stepped through lifecycle churn: all live tenants' TAG edges expanded into VM-pair flows, routed over their physical uplink/downlink paths, floors from the enforcement model, one shared guarantee-weighted max-min solve; solve_* time the fluid solve alone, step_p99_ms the whole engine run (expand + partition + route + solve); violations count pairs whose achieved rate falls below the TAG-intended guarantee\","
+    );
+    let _ = writeln!(json, "    \"entries\": [");
+    for (i, r) in traffic.iter().enumerate() {
+        let solve = r.solve_latencies();
+        let step = r.step_latencies();
+        let comma = if i + 1 < traffic.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"placer\": \"{}\", \"model\": \"{:?}\", \"steps\": {}, \
+             \"flows_mean\": {:.1}, \"flows_max\": {}, \
+             \"solve_p50_ms\": {:.3}, \"solve_p99_ms\": {:.3}, \"step_p99_ms\": {:.3}, \
+             \"violations\": {}, \"violating_tenants_max\": {}, \
+             \"work_conserving_steps\": {}, \"max_link_utilization\": {:.4}}}{comma}",
+            r.churn.placer,
+            r.model,
+            r.steps.len(),
+            r.flows_mean(),
+            r.flows_max(),
+            solve.quantile_us(0.5).unwrap_or(0.0) / 1000.0,
+            solve.quantile_us(0.99).unwrap_or(0.0) / 1000.0,
+            step.quantile_us(0.99).unwrap_or(0.0) / 1000.0,
+            r.violations_total(),
+            r.steps
+                .iter()
+                .map(|s| s.violating_tenants)
+                .max()
+                .unwrap_or(0),
+            r.work_conserving_steps(),
+            r.steps
+                .iter()
+                .map(|s| s.max_link_utilization)
+                .fold(0.0, f64::max),
         );
     }
     let _ = writeln!(json, "    ]");

@@ -81,8 +81,12 @@ use std::sync::Arc;
 
 // Re-exported so downstream callers need only this crate for lifecycle
 // work (`CmError` folds `RejectReason` in; `GuaranteeModel` selects the
-// report's hose classification).
+// report's hose classification; the traffic-report types come back from
+// [`Cluster::traffic_report`]).
 pub use cm_core::placement::RejectReason;
+pub use cm_enforce::datacenter::{
+    LevelUtilization, PairFlow, TenantSummary, TenantTraffic, TrafficReport,
+};
 pub use cm_enforce::GuaranteeModel;
 
 mod error;
@@ -430,6 +434,84 @@ impl<P: Placer> Cluster<P> {
             self.guarantee_model,
             Some(active),
         ))
+    }
+
+    /// Run **every** live tenant's flows over the physical tree and solve
+    /// one shared weighted max-min network
+    /// ([`cm_enforce::datacenter::solve`]): active TAG edges expand into
+    /// VM-pair flows, each pair is routed over its real uplink/downlink
+    /// path, floors come from the cluster's guarantee model, and achieved
+    /// rates are scored against the TAG-intended guarantees. This is the
+    /// paper's end-to-end claim — placement *plus* enforcement — as one
+    /// queryable artifact.
+    pub fn traffic_report(&self) -> TrafficReport {
+        self.traffic_report_as(self.guarantee_model)
+    }
+
+    /// [`Cluster::traffic_report`] under an explicit guarantee model (run
+    /// `Hose` against `Tag` on the same placements to reproduce the
+    /// Fig. 13/14 dilution through the placement layer).
+    pub fn traffic_report_as(&self, model: GuaranteeModel) -> TrafficReport {
+        let tenants = self.collect_traffic(model);
+        cm_enforce::datacenter::solve(&self.topo, &tenants)
+    }
+
+    /// [`Cluster::traffic_report`] with explicit instantaneous
+    /// communication patterns: tenants named in `active` send on exactly
+    /// those `(src VM, dst VM)` pairs (each greedy); every other live
+    /// tenant defaults to all edge-connected pairs. VM indices follow the
+    /// reports' server-major order; stale indices or self-pairs are a
+    /// [`CmError::InvalidPair`], unknown tenants a
+    /// [`CmError::UnknownTenant`].
+    pub fn traffic_report_active(
+        &self,
+        active: &[(TenantId, Vec<(usize, usize)>)],
+    ) -> Result<TrafficReport, CmError> {
+        let mut tenants = self.collect_traffic(self.guarantee_model);
+        for (id, pairs) in active {
+            if !self.tenants.contains_key(id) {
+                return Err(CmError::UnknownTenant(*id));
+            }
+            let t = tenants
+                .iter_mut()
+                .find(|t| t.id == id.raw())
+                .expect("live tenant collected");
+            let vms = t.vm_tier.len();
+            if let Some(&(src, dst)) = pairs.iter().find(|&&(s, d)| s >= vms || d >= vms || s == d)
+            {
+                return Err(CmError::InvalidPair {
+                    tenant: *id,
+                    src,
+                    dst,
+                    vms,
+                });
+            }
+            t.active = Some(pairs.clone());
+        }
+        Ok(cm_enforce::datacenter::solve(&self.topo, &tenants))
+    }
+
+    /// Every live tenant's placement expanded into a [`TenantTraffic`]
+    /// (ascending id order, so reports are deterministic). Uses the same
+    /// [`report::expand_placement`] as the guarantee reports, so VM
+    /// indices in traffic patterns and guarantee reports can never
+    /// diverge.
+    fn collect_traffic(&self, model: GuaranteeModel) -> Vec<TenantTraffic> {
+        self.tenants
+            .iter()
+            .map(|(id, entry)| {
+                let placement = entry.deployed.placement(&self.topo);
+                let (vm_tier, vm_server) = report::expand_placement(&placement);
+                TenantTraffic {
+                    id: id.raw(),
+                    tag: Arc::clone(&entry.tag),
+                    vm_tier,
+                    vm_server,
+                    model,
+                    active: None,
+                }
+            })
+            .collect()
     }
 
     /// Number of live tenants.

@@ -231,6 +231,84 @@ fn guarantee_report_classifies_colocation() {
 }
 
 #[test]
+fn traffic_report_solves_all_live_tenants() {
+    let mut cluster = Cluster::new(&small_spec(), CmPlacer::new(CmConfig::cm()));
+    let a = cluster.admit(web_db(4, 2)).unwrap();
+    let b = cluster.admit(web_db(2, 2)).unwrap();
+    let r = cluster.traffic_report();
+    assert_eq!(r.tenants.len(), 2);
+    assert_eq!(r.tenants[0].id, a.id().raw());
+    assert_eq!(r.tenants[1].id, b.id().raw());
+    // web↔db both ways + db self-loop pairs, per tenant.
+    assert_eq!(r.tenants[0].pairs, 4 * 2 * 2 + 2);
+    assert_eq!(r.tenants[1].pairs, 2 * 2 * 2 + 2);
+    assert_eq!(r.flows.len(), r.cross_flows + r.colocated_flows);
+    // TAG floors are sized by admission, so the Tag model meets every
+    // intent on the placed topology.
+    assert_eq!(r.violations, 0);
+    assert!(r.work_conserving);
+    // Cross-network pairs must at least achieve their floors.
+    for f in &r.flows {
+        if !f.colocated {
+            assert!(
+                f.rate_kbps + 1e-3 >= f.floor_kbps,
+                "pair {}→{} got {} < floor {}",
+                f.src,
+                f.dst,
+                f.rate_kbps,
+                f.floor_kbps
+            );
+        }
+    }
+    // The same placements under hose enforcement re-partition the floors
+    // but keep the identical pair population.
+    let hose = cluster.traffic_report_as(GuaranteeModel::Hose);
+    assert_eq!(hose.flows.len(), r.flows.len());
+    assert_eq!(hose.cross_flows, r.cross_flows);
+
+    // Active-pattern validation is typed, like the guarantee reports.
+    assert!(matches!(
+        cluster
+            .traffic_report_active(&[(a.id(), vec![(0, 99)])])
+            .unwrap_err(),
+        CmError::InvalidPair { .. }
+    ));
+    let ghost = TenantId::from_raw(99);
+    assert!(matches!(
+        cluster
+            .traffic_report_active(&[(ghost, vec![(0, 1)])])
+            .unwrap_err(),
+        CmError::UnknownTenant(_)
+    ));
+    // A concrete pattern restricts the named tenant only.
+    let focused = cluster
+        .traffic_report_active(&[(a.id(), vec![(0, 5)])])
+        .unwrap();
+    assert_eq!(focused.tenants[0].pairs, 1);
+    assert_eq!(focused.tenants[1].pairs, 2 * 2 * 2 + 2);
+}
+
+#[test]
+fn traffic_vm_indexing_matches_guarantee_reports() {
+    // The standalone `TenantTraffic::from_placement` constructor must
+    // expand placements in exactly the server-major/tier-major order the
+    // cluster's reports (and `collect_traffic`) use — VM indices in active
+    // patterns are interchangeable between the two APIs.
+    let mut cluster = Cluster::new(&small_spec(), CmPlacer::new(CmConfig::cm()));
+    let h = cluster.admit(web_db(5, 3)).unwrap();
+    let report = cluster.guarantee_report(h.id()).unwrap();
+    let placement = cluster.placement_of(h.id()).unwrap();
+    let traffic = crate::TenantTraffic::from_placement(
+        h.id().raw(),
+        std::sync::Arc::clone(cluster.tag_of(h.id()).unwrap()),
+        &placement,
+        GuaranteeModel::Tag,
+    );
+    assert_eq!(traffic.vm_tier, report.vm_tier);
+    assert_eq!(traffic.vm_server, report.vm_server);
+}
+
+#[test]
 fn utilization_tracks_levels() {
     let mut cluster = Cluster::new(&small_spec(), CmPlacer::new(CmConfig::cm()));
     let u0 = cluster.utilization();

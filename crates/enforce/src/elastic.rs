@@ -64,7 +64,15 @@ pub struct Enforcer {
     tag: std::sync::Arc<Tag>,
     vm_tier: Vec<TierId>,
     model: GuaranteeModel,
+    /// Dense `(from, to) -> edge index` lookup (`num_tiers²` entries,
+    /// `u16::MAX` = no edge), so pair classification is O(1) instead of a
+    /// scan over the edge list — [`Enforcer::partition`] classifies every
+    /// pair and the datacenter traffic engine feeds it hundreds of
+    /// thousands per solve.
+    edge_at: Vec<u16>,
 }
+
+const NO_EDGE: u16 = u16::MAX;
 
 impl Enforcer {
     /// Create an enforcer for a tenant whose VM `i` belongs to
@@ -80,10 +88,31 @@ impl Enforcer {
         vm_tier: Vec<TierId>,
         model: GuaranteeModel,
     ) -> Self {
+        let t = tag.num_tiers();
+        debug_assert!(
+            tag.edges().len() < NO_EDGE as usize,
+            "edge table indexes edges as u16 and reserves u16::MAX as the \
+             no-edge sentinel"
+        );
+        let mut edge_at = vec![NO_EDGE; t * t];
+        for (i, e) in tag.edges().iter().enumerate() {
+            edge_at[e.from.index() * t + e.to.index()] = i as u16;
+        }
         Enforcer {
             tag,
             vm_tier,
             model,
+            edge_at,
+        }
+    }
+
+    /// Index of the TAG edge connecting `u -> v`, if any.
+    #[inline]
+    fn edge_between(&self, u: TierId, v: TierId) -> Option<usize> {
+        let t = self.tag.num_tiers();
+        match self.edge_at[u.index() * t + v.index()] {
+            NO_EDGE => None,
+            i => Some(i as usize),
         }
     }
 
@@ -108,12 +137,19 @@ impl Enforcer {
         let mut src_share = vec![0.0f64; pairs.len()];
         let mut dst_share = vec![0.0f64; pairs.len()];
 
+        // Classify every pair once; the sorts below then compare plain
+        // integers instead of re-deriving the edge per comparison.
+        let keys: Vec<u32> = pairs
+            .iter()
+            .map(|&(s, d, _)| self.edge_key(s, d) as u32)
+            .collect();
+
         // Group pairs by (src VM, charged send guarantee) and split.
-        let mut order: Vec<usize> = (0..pairs.len()).collect();
-        order.sort_by_key(|&i| (pairs[i].0, self.edge_key(pairs[i].0, pairs[i].1)));
-        self.split_side(pairs, &order, true, &mut src_share);
-        order.sort_by_key(|&i| (pairs[i].1, self.edge_key(pairs[i].0, pairs[i].1)));
-        self.split_side(pairs, &order, false, &mut dst_share);
+        let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
+        order.sort_by_key(|&i| (pairs[i as usize].0, keys[i as usize]));
+        self.split_side(pairs, &keys, &order, true, &mut src_share);
+        order.sort_by_key(|&i| (pairs[i as usize].1, keys[i as usize]));
+        self.split_side(pairs, &keys, &order, false, &mut dst_share);
 
         for (i, &(s, d, _)) in pairs.iter().enumerate() {
             out.push(PairGuarantee {
@@ -130,16 +166,10 @@ impl Enforcer {
     fn edge_key(&self, src: usize, dst: usize) -> usize {
         match self.model {
             GuaranteeModel::Hose => 0,
-            GuaranteeModel::Tag => {
-                let u = self.vm_tier[src];
-                let v = self.vm_tier[dst];
-                self.tag
-                    .edges()
-                    .iter()
-                    .position(|e| e.from == u && e.to == v)
-                    .map(|i| i + 1)
-                    .unwrap_or(0)
-            }
+            GuaranteeModel::Tag => self
+                .edge_between(self.vm_tier[src], self.vm_tier[dst])
+                .map(|i| i + 1)
+                .unwrap_or(0),
         }
     }
 
@@ -155,48 +185,47 @@ impl Enforcer {
                     self.tag.per_vm_rcv(t)
                 }) as f64
             }
-            GuaranteeModel::Tag => {
-                let u = self.vm_tier[src];
-                let v = self.vm_tier[dst];
-                self.tag
-                    .edges()
-                    .iter()
-                    .find(|e| e.from == u && e.to == v)
-                    .map(|e| (if send { e.snd_kbps } else { e.rcv_kbps }) as f64)
-                    .unwrap_or(0.0)
-            }
+            GuaranteeModel::Tag => self
+                .edge_between(self.vm_tier[src], self.vm_tier[dst])
+                .map(|i| {
+                    let e = &self.tag.edges()[i];
+                    (if send { e.snd_kbps } else { e.rcv_kbps }) as f64
+                })
+                .unwrap_or(0.0),
         }
     }
 
     /// Split guarantees within groups of pairs sharing one (VM, key)
-    /// bucket; `order` must be sorted by that bucket.
+    /// bucket; `order` must be sorted by that bucket (`keys[i]` caches
+    /// `edge_key` for pair `i`).
     fn split_side(
         &self,
         pairs: &[(usize, usize, f64)],
-        order: &[usize],
+        keys: &[u32],
+        order: &[u32],
         send: bool,
         share: &mut [f64],
     ) {
         let mut i = 0;
         while i < order.len() {
-            let pi = order[i];
+            let pi = order[i] as usize;
             let vm = if send { pairs[pi].0 } else { pairs[pi].1 };
-            let key = self.edge_key(pairs[pi].0, pairs[pi].1);
+            let key = keys[pi];
             let mut j = i;
             while j < order.len() {
-                let pj = order[j];
+                let pj = order[j] as usize;
                 let vm_j = if send { pairs[pj].0 } else { pairs[pj].1 };
-                if vm_j != vm || self.edge_key(pairs[pj].0, pairs[pj].1) != key {
+                if vm_j != vm || keys[pj] != key {
                     break;
                 }
                 j += 1;
             }
             let group = &order[i..j];
             let g = self.side_guarantee(pairs[pi].0, pairs[pi].1, send);
-            let demands: Vec<f64> = group.iter().map(|&p| pairs[p].2).collect();
+            let demands: Vec<f64> = group.iter().map(|&p| pairs[p as usize].2).collect();
             let splits = split_guarantee(g, &demands);
             for (&p, s) in group.iter().zip(splits) {
-                share[p] = s;
+                share[p as usize] = s;
             }
             i = j;
         }

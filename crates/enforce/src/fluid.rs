@@ -7,11 +7,19 @@
 //! limiters never throttle a pair below its guarantee), caps model rate
 //! limiters, weights model the guarantee-proportional spare sharing that
 //! ElasticSwitch's probing converges to.
+//!
+//! [`Fluid::rates`] is engineered for datacenter-scale inputs (hundreds of
+//! thousands of flows over thousands of links, see [`crate::datacenter`]):
+//! it indexes flows per link once and advances a single global fill level,
+//! so a whole solve costs `O(Σ|path| + links × rounds)` where every round
+//! provably freezes at least one flow. The pre-rewrite `O(flows × links)`
+//! scan survives as [`Fluid::rates_reference`] for differential testing.
 
 /// One flow: a path over link indices plus its rate-control parameters.
 #[derive(Debug, Clone)]
 pub struct FlowSpec {
     /// Links the flow traverses (indices into the fluid network's links).
+    /// Order is irrelevant; a link must not appear twice.
     pub path: Vec<usize>,
     /// Application demand (kbps; `f64::INFINITY` for a greedy TCP flow).
     pub demand: f64,
@@ -34,9 +42,18 @@ impl FlowSpec {
 
     /// Set the guaranteed floor and use it as the sharing weight
     /// (ElasticSwitch shares spare bandwidth in proportion to guarantees).
+    /// Only an exactly-zero guarantee keeps a token unit weight so the flow
+    /// still participates in the fill; any positive guarantee — however
+    /// small — shares spare capacity in exact proportion to it. (The old
+    /// `g.max(1.0)` clamp made every sub-kbps guarantee share as if it were
+    /// 1 kbps, collapsing unequal small guarantees into equal shares.)
+    /// Note the declared discontinuity at zero: a sub-unit guarantee weighs
+    /// *less* than the 1.0 token of an unguaranteed flow — guarantees are
+    /// kbps-scale in practice, and callers who care can set
+    /// [`FlowSpec::weight`] directly.
     pub fn with_guarantee(mut self, g: f64) -> Self {
         self.floor = g;
-        self.weight = g.max(1.0); // zero-guarantee flows keep a token weight
+        self.weight = if g > 0.0 { g } else { 1.0 };
         self
     }
 }
@@ -63,8 +80,12 @@ impl Fluid {
 
     /// Add a flow; returns its index.
     pub fn flow(&mut self, f: FlowSpec) -> usize {
-        for &l in &f.path {
+        for (i, &l) in f.path.iter().enumerate() {
             assert!(l < self.caps.len(), "flow references unknown link {l}");
+            debug_assert!(
+                !f.path[..i].contains(&l),
+                "flow path repeats link {l}; paths must be duplicate-free"
+            );
         }
         assert!(f.floor >= 0.0 && f.weight > 0.0);
         self.flows.push(f);
@@ -76,6 +97,21 @@ impl Fluid {
         self.flows.len()
     }
 
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Capacity of link `l` (kbps).
+    pub fn link_cap(&self, l: usize) -> f64 {
+        self.caps[l]
+    }
+
+    /// The flows in insertion order (rate vectors index into this).
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+
     /// Compute the weighted max-min fair allocation with floors.
     ///
     /// Phase 1 grants every flow its floor (capped by demand). Floors are
@@ -85,7 +121,292 @@ impl Fluid {
     /// Phase 2 progressively fills the remaining capacity in proportion to
     /// the flows' weights until each flow hits its demand or a saturated
     /// link.
+    ///
+    /// Termination is exact, not capped: every filling round either
+    /// saturates the bottleneck link that produced the round's fill step
+    /// (freezing its flows) or freezes the flow that reached its demand, so
+    /// the loop runs at most `num_flows` rounds. On exit the allocation is
+    /// debug-asserted work-conserving: every flow is demand-capped or
+    /// crosses a saturated link.
     pub fn rates(&self) -> Vec<f64> {
+        let n = self.flows.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let nl = self.caps.len();
+        // Per-link flow index, built once — replaces the O(flows) `path
+        // .contains` scan the reference implementation performs per link.
+        let mut link_flows: Vec<Vec<u32>> = vec![Vec::new(); nl];
+        for (i, f) in self.flows.iter().enumerate() {
+            for &l in &f.path {
+                link_flows[l].push(i as u32);
+            }
+        }
+
+        // Phase 1: floors capped by demand, defensively scaled on
+        // oversubscribed links (worst link first, like the reference).
+        let mut rate: Vec<f64> = self.flows.iter().map(|f| f.floor.min(f.demand)).collect();
+        let mut used = vec![0.0f64; nl];
+        loop {
+            for (l, u) in used.iter_mut().enumerate() {
+                *u = link_flows[l].iter().map(|&i| rate[i as usize]).sum();
+            }
+            let mut worst: Option<(usize, f64)> = None;
+            for (l, &u) in used.iter().enumerate() {
+                if u > self.caps[l] * (1.0 + 1e-9) {
+                    let scale = self.caps[l] / u;
+                    if worst.is_none_or(|(_, s)| scale < s) {
+                        worst = Some((l, scale));
+                    }
+                }
+            }
+            match worst {
+                Some((l, scale)) => {
+                    for &i in &link_flows[l] {
+                        rate[i as usize] *= scale;
+                    }
+                }
+                None => break,
+            }
+        }
+        let mut residual: Vec<f64> = self
+            .caps
+            .iter()
+            .zip(&used)
+            .map(|(&c, &u)| (c - u).max(0.0))
+            .collect();
+
+        // Phase 2: weighted progressive filling of the residual, driven by
+        // one global fill level. While flow `i` is active its rate is
+        // implicitly `rate[i] + weight_i × fill`; only the freeze event
+        // materializes it, so a round costs O(links) plus the frozen flows'
+        // path lengths — never a sweep over all flows.
+        let mut active: Vec<bool> = self
+            .flows
+            .iter()
+            .zip(&rate)
+            .map(|(f, r)| *r + 1e-9 < f.demand)
+            .collect();
+        // Active weight sum and active flow count per link. The count going
+        // to zero resets the sum to exactly 0.0, so accumulated float error
+        // can never leave a ghost positive weight on a drained link.
+        let mut wsum = vec![0.0f64; nl];
+        let mut wcount = vec![0u32; nl];
+        for (i, f) in self.flows.iter().enumerate() {
+            if active[i] {
+                for &l in &f.path {
+                    wsum[l] += f.weight;
+                    wcount[l] += 1;
+                }
+            }
+        }
+        // Finite-demand active flows (greedy flows never appear here).
+        let mut finite: Vec<u32> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter(|&(i, f)| active[i] && f.demand.is_finite())
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut remaining = active.iter().filter(|&&a| a).count();
+        let mut fill = 0.0f64;
+        let mut to_freeze: Vec<u32> = Vec::new();
+        while remaining > 0 {
+            // Next event: the tightest link saturates, or the tightest
+            // finite-demand flow reaches its demand.
+            let mut t = f64::INFINITY;
+            let mut event_link: Option<usize> = None;
+            let mut event_flow: Option<u32> = None;
+            for (l, &w) in wsum.iter().enumerate() {
+                if w > 0.0 {
+                    let tl = residual[l] / w;
+                    if tl < t {
+                        t = tl;
+                        event_link = Some(l);
+                    }
+                }
+            }
+            for &i in &finite {
+                let f = &self.flows[i as usize];
+                let tf = (f.demand - (rate[i as usize] + f.weight * fill)) / f.weight;
+                if tf < t {
+                    t = tf;
+                    event_link = None;
+                    event_flow = Some(i);
+                }
+            }
+            if !t.is_finite() {
+                // Only unconstrained infinite-demand flows remain.
+                break;
+            }
+            let t = t.max(0.0);
+            fill += t;
+            for (l, r) in residual.iter_mut().enumerate() {
+                if wsum[l] > 0.0 {
+                    *r -= wsum[l] * t;
+                }
+            }
+            // The event's link lands on exactly zero by construction; pin it
+            // there so float error cannot leave it epsilon above the
+            // saturation threshold (that would stall the round).
+            if let Some(l) = event_link {
+                residual[l] = 0.0;
+            }
+            // Freeze every active flow on a saturated link, the event flow,
+            // and any finite flow that reached demand this round.
+            to_freeze.clear();
+            for (l, r) in residual.iter().enumerate() {
+                if wcount[l] > 0 && *r <= 1e-6 {
+                    for &i in &link_flows[l] {
+                        if active[i as usize] {
+                            to_freeze.push(i);
+                        }
+                    }
+                }
+            }
+            if let Some(i) = event_flow {
+                to_freeze.push(i);
+            }
+            for &i in &finite {
+                let f = &self.flows[i as usize];
+                if active[i as usize] && rate[i as usize] + f.weight * fill + 1e-6 >= f.demand {
+                    to_freeze.push(i);
+                }
+            }
+            let mut frozen = 0usize;
+            for &i in &to_freeze {
+                let i = i as usize;
+                if !active[i] {
+                    continue; // reachable via several saturated links
+                }
+                active[i] = false;
+                let f = &self.flows[i];
+                rate[i] = (rate[i] + f.weight * fill).min(f.demand);
+                for &l in &f.path {
+                    wsum[l] -= f.weight;
+                    wcount[l] -= 1;
+                    if wcount[l] == 0 {
+                        wsum[l] = 0.0;
+                    }
+                }
+                remaining -= 1;
+                frozen += 1;
+            }
+            if !finite.is_empty() {
+                finite.retain(|&i| active[i as usize]);
+            }
+            debug_assert!(
+                frozen > 0,
+                "filling round froze no flow: termination invariant broken"
+            );
+        }
+        // Flows still active hit no capacitated link and no demand: they
+        // are unbounded in the fluid limit; report the filled level reached
+        // (matches the reference's early exit).
+        for (i, f) in self.flows.iter().enumerate() {
+            if active[i] {
+                rate[i] += f.weight * fill;
+            }
+        }
+        debug_assert!(
+            self.is_work_conserving(&rate),
+            "allocation is not work-conserving"
+        );
+        rate
+    }
+
+    /// Whether `rates` is work-conserving: no link exceeds its capacity and
+    /// every flow with a nonempty path is either demand-capped or crosses a
+    /// saturated link (i.e. no flow could be increased without violating a
+    /// constraint). Degenerate flows with empty paths are exempt.
+    pub fn is_work_conserving(&self, rates: &[f64]) -> bool {
+        assert_eq!(rates.len(), self.flows.len());
+        let mut used = vec![0.0f64; self.caps.len()];
+        for (f, &r) in self.flows.iter().zip(rates) {
+            for &l in &f.path {
+                used[l] += r;
+            }
+        }
+        let sat = |l: usize| used[l] >= self.caps[l] - tol(self.caps[l]);
+        for (l, &u) in used.iter().enumerate() {
+            if u > self.caps[l] + tol(self.caps[l]) {
+                return false;
+            }
+        }
+        self.flows.iter().zip(rates).all(|(f, &r)| {
+            f.path.is_empty()
+                || r + tol(f.demand.min(1e12)) >= f.demand
+                || f.path.iter().any(|&l| sat(l))
+        })
+    }
+
+    /// Verify that `rates` is *the* weighted max-min allocation with floors:
+    /// caps respected, demands respected, floors granted (assumes admissible
+    /// floors), work conservation, and the KKT bottleneck condition — every
+    /// flow below demand crosses a saturated link on which its fill level
+    /// `(rate − floor) / weight` is maximal. Returns the first violated
+    /// property. Intended for tests ([`Fluid::rates`] itself only
+    /// debug-asserts work conservation).
+    pub fn verify_max_min(&self, rates: &[f64]) -> Result<(), String> {
+        assert_eq!(rates.len(), self.flows.len());
+        let mut used = vec![0.0f64; self.caps.len()];
+        for (f, &r) in self.flows.iter().zip(rates) {
+            for &l in &f.path {
+                used[l] += r;
+            }
+        }
+        for (l, &u) in used.iter().enumerate() {
+            if u > self.caps[l] + tol(self.caps[l]) {
+                return Err(format!("link {l}: used {u} exceeds cap {}", self.caps[l]));
+            }
+        }
+        for (i, (f, &r)) in self.flows.iter().zip(rates).enumerate() {
+            if r > f.demand + tol(f.demand.min(1e12)) {
+                return Err(format!("flow {i}: rate {r} exceeds demand {}", f.demand));
+            }
+            let floor = f.floor.min(f.demand);
+            if r + tol(floor) < floor {
+                return Err(format!("flow {i}: rate {r} below floor {floor}"));
+            }
+        }
+        if !self.is_work_conserving(rates) {
+            return Err("allocation is not work-conserving".into());
+        }
+        // KKT: per saturated link, the largest fill level among its flows.
+        let fill = |i: usize| {
+            (rates[i] - self.flows[i].floor.min(self.flows[i].demand)) / self.flows[i].weight
+        };
+        let mut max_fill = vec![f64::NEG_INFINITY; self.caps.len()];
+        for (i, f) in self.flows.iter().enumerate() {
+            for &l in &f.path {
+                max_fill[l] = max_fill[l].max(fill(i));
+            }
+        }
+        for (i, (f, &r)) in self.flows.iter().zip(rates).enumerate() {
+            if r + tol(f.demand.min(1e12)) >= f.demand || f.path.is_empty() {
+                continue;
+            }
+            let bottlenecked = f.path.iter().any(|&l| {
+                used[l] >= self.caps[l] - tol(self.caps[l])
+                    && fill(i) + 1e-6 * (1.0 + max_fill[l].abs()) >= max_fill[l]
+            });
+            if !bottlenecked {
+                return Err(format!(
+                    "flow {i}: below demand but holds the max fill level on no \
+                     saturated link (not weighted max-min)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The pre-rewrite allocation: per-link `path.contains` scans and a
+    /// fixed iteration cap on the filling loop. Kept verbatim as the
+    /// differential-test reference for [`Fluid::rates`] — do not use on
+    /// large networks (it is `O(flows × links)` per round) and beware that
+    /// the iteration cap can exit before the fill completes (the
+    /// non-work-conserving bug the rewrite fixes).
+    pub fn rates_reference(&self) -> Vec<f64> {
         let n = self.flows.len();
         let mut rate: Vec<f64> = self.flows.iter().map(|f| f.floor.min(f.demand)).collect();
 
@@ -190,6 +511,12 @@ impl Fluid {
     }
 }
 
+/// Absolute + relative comparison slack for kbps-scale quantities.
+#[inline]
+fn tol(magnitude: f64) -> f64 {
+    1e-6 + 1e-9 * magnitude.abs()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +560,7 @@ mod tests {
         assert!(r[0] >= 450.0, "guaranteed flow got {}", r[0]);
         let total: f64 = r.iter().sum();
         assert!((total - 1000.0).abs() < 1e-3, "full utilization: {total}");
+        net.verify_max_min(&r).unwrap();
     }
 
     #[test]
@@ -248,6 +576,33 @@ mod tests {
     }
 
     #[test]
+    fn sub_kbps_guarantees_share_proportionally() {
+        // The old `g.max(1.0)` weight clamp made both flows share the spare
+        // equally; guarantee-proportional weights keep the 2:1 ratio at any
+        // magnitude.
+        let mut net = Fluid::new();
+        let l = net.link(0.9);
+        net.flow(FlowSpec::greedy(vec![l]).with_guarantee(0.4));
+        net.flow(FlowSpec::greedy(vec![l]).with_guarantee(0.2));
+        let r = net.rates();
+        assert!((r[0] - 0.6).abs() < 1e-9, "{r:?}");
+        assert!((r[1] - 0.3).abs() < 1e-9, "{r:?}");
+        net.verify_max_min(&r).unwrap();
+    }
+
+    #[test]
+    fn zero_guarantee_keeps_token_weight() {
+        let mut net = Fluid::new();
+        let l = net.link(300.0);
+        net.flow(FlowSpec::greedy(vec![l]).with_guarantee(0.0));
+        net.flow(FlowSpec::greedy(vec![l]).with_guarantee(0.0));
+        let r = net.rates();
+        // Two zero-guarantee flows share equally via the token weight.
+        assert!((r[0] - 150.0).abs() < 1e-6, "{r:?}");
+        assert!((r[1] - 150.0).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
     fn multihop_bottleneck() {
         let mut net = Fluid::new();
         let a = net.link(1000.0);
@@ -257,6 +612,7 @@ mod tests {
         let r = net.rates();
         assert!((r[0] - 100.0).abs() < 1e-6);
         assert!((r[1] - 900.0).abs() < 1e-6);
+        net.verify_max_min(&r).unwrap();
     }
 
     #[test]
@@ -275,5 +631,30 @@ mod tests {
     fn empty_network() {
         let net = Fluid::new();
         assert!(net.rates().is_empty());
+    }
+
+    #[test]
+    fn termination_is_exact_on_a_long_freeze_cascade() {
+        // A chain of links with strictly decreasing spare capacity freezes
+        // exactly one flow per round — the shape that exhausted the
+        // reference implementation's fixed iteration cap when scaled up.
+        let mut net = Fluid::new();
+        let mut links = Vec::new();
+        for i in 0..60 {
+            links.push(net.link(1000.0 + 10.0 * i as f64));
+        }
+        for (i, &l) in links.iter().enumerate() {
+            // One private flow per link plus one flow crossing all links.
+            net.flow(FlowSpec::greedy(vec![l]).with_guarantee(100.0 + i as f64));
+        }
+        net.flow(FlowSpec::greedy(links.clone()));
+        let r = net.rates();
+        assert!(net.is_work_conserving(&r));
+        net.verify_max_min(&r).unwrap();
+        // And it matches the reference on this instance.
+        let reference = net.rates_reference();
+        for (a, b) in r.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "{a} vs {b}");
+        }
     }
 }

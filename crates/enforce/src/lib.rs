@@ -26,11 +26,19 @@
 //! exactly; ElasticSwitch's converged state is modeled by floors
 //! (guarantees) plus guarantee-weighted filling of the spare
 //! (see `DESIGN.md` for the substitution argument).
+//!
+//! [`datacenter`] scales the substitution to the whole datacenter: every
+//! admitted tenant's placement expands into VM-pair flows routed over the
+//! physical tree and solved as one shared weighted max-min network — the
+//! Fig. 13/14 interference experiments *through the placement layer*
+//! instead of on synthetic 2-link topologies.
 
+pub mod datacenter;
 pub mod elastic;
 pub mod fluid;
 pub mod scenario;
 
+pub use datacenter::{LevelUtilization, PairFlow, TenantSummary, TenantTraffic, TrafficReport};
 pub use elastic::{split_guarantee, Enforcer, GuaranteeModel, PairGuarantee};
 pub use fluid::{FlowSpec, Fluid};
 pub use scenario::{fig13_throughput, fig4_throughput, Fig13Point, Fig4Point};

@@ -78,10 +78,22 @@ pub fn fig4_throughput(web_senders: u32, db_senders: u32, model: GuaranteeModel)
     let web = b.tier("web", web_senders);
     let logic = b.tier("logic", 1);
     let db = b.tier("db", db_senders);
-    // Per-VM send guarantees sized so the tier totals are 500 / 100 Mbps.
-    b.edge(web, logic, 500_000 / web_senders as u64, 500_000)
-        .expect("valid");
-    b.edge(db, logic, 100_000 / db_senders as u64, 100_000)
+    // Per-VM send guarantees sized so the tier totals are exactly
+    // 500 / 100 Mbps. Rounding *up* distributes the remainder of a
+    // non-divisor sender count across the tier: every sender's own send
+    // guarantee then at least matches its max-min share of the logic VM's
+    // exact receive guarantee, so the receive side is the binding minimum
+    // and the tier total lands on 500/100 to the bit. (Truncating division
+    // silently shrank the totals — e.g. 3 web senders got 3 × 166 666 =
+    // 499 998 kbps.)
+    b.edge(
+        web,
+        logic,
+        500_000_u64.div_ceil(web_senders as u64),
+        500_000,
+    )
+    .expect("valid");
+    b.edge(db, logic, 100_000_u64.div_ceil(db_senders as u64), 100_000)
         .expect("valid");
     // DB-DB consistency traffic (B3 of Fig. 2(a)). Under the hose model it
     // inflates each DB VM's aggregate send hose (Fig. 2(b): B2 + B3), which
@@ -163,6 +175,24 @@ mod tests {
         let p = fig4_throughput(5, 5, GuaranteeModel::Tag);
         assert!((p.web_mbps - 500.0).abs() < 1.0, "web {}", p.web_mbps);
         assert!((p.db_mbps - 100.0).abs() < 1.0, "db {}", p.db_mbps);
+    }
+
+    #[test]
+    fn fig4_tier_totals_exact_for_non_divisor_senders() {
+        // 3 web and 3 db senders: 500 000 and 100 000 kbps do not divide
+        // evenly. Truncating per-VM sizing used to drift the tier totals to
+        // 499 998 / 99 999 kbps; remainder-aware sizing keeps them exact.
+        let p = fig4_throughput(3, 3, GuaranteeModel::Tag);
+        assert!(
+            (p.web_mbps - 500.0).abs() < 1e-3,
+            "web total must be exactly 500 Mbps, got {}",
+            p.web_mbps
+        );
+        assert!(
+            (p.db_mbps - 100.0).abs() < 1e-3,
+            "db total must be exactly 100 Mbps, got {}",
+            p.db_mbps
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Differential property test: the rewritten indexed [`Fluid::rates`]
+//! against the pre-rewrite implementation ([`Fluid::rates_reference`],
+//! kept verbatim), on random networks.
+//!
+//! Weighted max-min with floors has a *unique* solution, so the two
+//! algorithms must agree wherever the reference is correct; on top of the
+//! comparison, every allocation the new solver produces is checked against
+//! the definition itself — floors respected, caps respected, work
+//! conserving, and the weighted-fairness KKT condition (every flow below
+//! demand holds the maximal fill level on some saturated link).
+
+use cm_enforce::{FlowSpec, Fluid};
+use proptest::prelude::*;
+
+/// Recipe for one random flow: which links it crosses (as a bitmask over
+/// the network's links), its demand class and its guarantee.
+#[derive(Debug, Clone)]
+struct FlowRecipe {
+    path_mask: u64,
+    /// Demand in kbps; `None` = greedy.
+    demand: Option<f64>,
+    guarantee: f64,
+}
+
+#[derive(Debug, Clone)]
+struct NetRecipe {
+    caps: Vec<f64>,
+    flows: Vec<FlowRecipe>,
+}
+
+fn arb_net() -> impl Strategy<Value = NetRecipe> {
+    (2usize..7, 1usize..14).prop_flat_map(|(links, flows)| {
+        (
+            prop::collection::vec(50.0f64..2000.0, links..=links),
+            prop::collection::vec(
+                (
+                    1u64..(1 << links as u64),
+                    0u8..3,
+                    10.0f64..500.0,
+                    0.0f64..300.0,
+                ),
+                flows..=flows,
+            ),
+        )
+            .prop_map(|(caps, raw)| NetRecipe {
+                caps,
+                flows: raw
+                    .into_iter()
+                    .map(|(path_mask, kind, demand, guarantee)| FlowRecipe {
+                        path_mask,
+                        // Mix of greedy flows (the common case), moderate
+                        // finite demands, and demands below the guarantee.
+                        demand: match kind {
+                            0 => None,
+                            1 => Some(demand),
+                            _ => Some(demand.min(guarantee * 0.5 + 1.0)),
+                        },
+                        guarantee,
+                    })
+                    .collect(),
+            })
+    })
+}
+
+/// Instantiate the recipe. When `admissible` is set, guarantees are scaled
+/// down so that per-link floor sums fit the capacities (the regime the
+/// placement layer establishes); otherwise raw floors may oversubscribe
+/// and exercise the defensive scaling path.
+fn build(recipe: &NetRecipe, admissible: bool) -> Fluid {
+    let mut scale = 1.0f64;
+    if admissible {
+        for (l, &cap) in recipe.caps.iter().enumerate() {
+            let floor_sum: f64 = recipe
+                .flows
+                .iter()
+                .filter(|f| f.path_mask & (1 << l) != 0)
+                .map(|f| f.guarantee)
+                .sum();
+            if floor_sum > cap {
+                scale = scale.min(0.95 * cap / floor_sum);
+            }
+        }
+    }
+    let mut net = Fluid::new();
+    let links: Vec<usize> = recipe.caps.iter().map(|&c| net.link(c)).collect();
+    for f in &recipe.flows {
+        let path: Vec<usize> = links
+            .iter()
+            .enumerate()
+            .filter(|&(l, _)| f.path_mask & (1 << l) != 0)
+            .map(|(_, &id)| id)
+            .collect();
+        let mut spec = FlowSpec::greedy(path).with_guarantee(f.guarantee * scale);
+        if let Some(d) = f.demand {
+            spec.demand = d;
+        }
+        net.flow(spec);
+    }
+    net
+}
+
+fn assert_close(a: &[f64], b: &[f64], what: &str) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-6 * (1.0 + y.abs()),
+            "{what}: flow {i}: indexed {x} vs reference {y}\n  indexed: {a:?}\n  reference: {b:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Admissible floors: the reference is exact here, so the indexed
+    /// solver must match it AND satisfy the full max-min definition.
+    #[test]
+    fn indexed_matches_reference_and_is_max_min(recipe in arb_net()) {
+        let net = build(&recipe, true);
+        let rates = net.rates();
+        let reference = net.rates_reference();
+        assert_close(&rates, &reference, "admissible floors");
+        net.verify_max_min(&rates).unwrap_or_else(|e| {
+            panic!("verify failed: {e}\n  recipe: {recipe:?}\n  rates: {rates:?}")
+        });
+        prop_assert!(net.is_work_conserving(&rates));
+    }
+
+    /// Oversubscribed floors exercise the defensive proportional-scaling
+    /// phase; the two implementations share it and must still agree, and
+    /// capacities must never be exceeded.
+    #[test]
+    fn oversubscribed_floors_still_agree(recipe in arb_net()) {
+        let net = build(&recipe, false);
+        let rates = net.rates();
+        let reference = net.rates_reference();
+        assert_close(&rates, &reference, "oversubscribed floors");
+        // Caps hold even when floors had to be scaled down.
+        let mut used = vec![0.0f64; net.num_links()];
+        for (f, &r) in net.flows().iter().zip(&rates) {
+            for &l in &f.path {
+                used[l] += r;
+            }
+        }
+        for (l, &u) in used.iter().enumerate() {
+            prop_assert!(
+                u <= net.link_cap(l) * (1.0 + 1e-6) + 1e-6,
+                "link {l}: {u} > cap {}", net.link_cap(l)
+            );
+        }
+        prop_assert!(net.is_work_conserving(&rates));
+    }
+}

@@ -24,7 +24,10 @@
 //! is a thin driver over the [`cm_cluster::Cluster`] lifecycle controller
 //! (arrival = `admit`, departure = `depart`), and the [`lifecycle`] module
 //! adds the autoscaling-churn workload (admit → scale out → scale in →
-//! depart) on top of the same controller.
+//! depart) on top of the same controller. The [`traffic`] module steps
+//! that churn through time with periodic datacenter-wide traffic solves
+//! (every live tenant's flows over the physical tree, floors from the
+//! enforcement layer).
 
 pub mod admission;
 pub mod events;
@@ -33,6 +36,7 @@ pub mod lifecycle;
 pub mod metrics;
 pub mod parallel;
 pub mod schedule;
+pub mod traffic;
 
 pub use admission::{
     Admission, CmAdmission, Deployed, OvocAdmission, PlacerAdmission, SecondNetAdmission,
@@ -40,7 +44,8 @@ pub use admission::{
 };
 pub use cm_cluster::{Cluster, CmError, TagSpec, TenantHandle, TenantId};
 pub use events::{run_sim, SimConfig, SimResult};
-pub use lifecycle::{run_churn, ChurnConfig, ChurnReport, OpLatencies};
+pub use lifecycle::{run_churn, run_churn_observed, ChurnConfig, ChurnReport, OpLatencies};
 pub use metrics::{reprice_by_level, RejectionCounts, WcsStats};
 pub use parallel::{default_threads, par_map_indexed};
 pub use schedule::{build_schedule, run_schedule_concurrent, run_schedule_serial, Schedule};
+pub use traffic::{run_churn_traffic, TrafficChurnConfig, TrafficChurnReport, TrafficStep};

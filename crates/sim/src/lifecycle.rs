@@ -65,6 +65,12 @@ impl OpLatencies {
         self.secs.push(s);
     }
 
+    /// Record one observation (seconds). Public so other workload drivers
+    /// (the traffic engine's per-step solves) reuse the percentile math.
+    pub fn push_secs(&mut self, s: f64) {
+        self.push(s);
+    }
+
     /// Number of operations observed.
     pub fn count(&self) -> usize {
         self.secs.len()
@@ -135,6 +141,22 @@ fn scalable_tiers<P: Placer>(cluster: &Cluster<P>, id: TenantId) -> Vec<TierId> 
 /// configuration and pool: every decision comes from the seeded RNG and
 /// the cluster's typed API.
 pub fn run_churn<P: Placer>(cfg: &ChurnConfig, pool: &TenantPool, placer: P) -> ChurnReport {
+    run_churn_observed(cfg, pool, placer, |_, _| {})
+}
+
+/// [`run_churn`] with an observer called after every arrival's full
+/// lifecycle slice (depart + admit + scale cycles + periodic migrate), with
+/// the arrival index and the live cluster. The observer cannot mutate the
+/// cluster, so the churn decision stream is identical to the unobserved
+/// run — this is how the time-stepped traffic driver
+/// ([`crate::traffic::run_churn_traffic`]) snapshots the datacenter
+/// mid-churn.
+pub fn run_churn_observed<P: Placer>(
+    cfg: &ChurnConfig,
+    pool: &TenantPool,
+    placer: P,
+    mut observe: impl FnMut(usize, &Cluster<P>),
+) -> ChurnReport {
     let pool = if cfg.bmax_kbps > 0 {
         pool.scaled_to_bmax(cfg.bmax_kbps)
     } else {
@@ -216,6 +238,8 @@ pub fn run_churn<P: Placer>(cfg: &ChurnConfig, pool: &TenantPool, placer: P) -> 
             report.migrates += 1;
             let _ = cluster.migrate(id);
         }
+
+        observe(arrival, &cluster);
     }
 
     // Final drain: every remaining tenant departs; the datacenter must end

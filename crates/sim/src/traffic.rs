@@ -1,0 +1,240 @@
+//! The time-stepped datacenter traffic workload: lifecycle churn with
+//! periodic cluster-wide traffic solves.
+//!
+//! [`run_churn_traffic`] drives the same deterministic autoscaling-churn
+//! scenario as [`crate::lifecycle::run_churn`], but every `solve_every`
+//! arrivals it freezes time and runs the **datacenter traffic engine**
+//! ([`cm_cluster::Cluster::traffic_report_as`]): every live tenant's
+//! active TAG edges expand into VM-pair flows, each pair is routed over
+//! its physical uplink/downlink path, and one shared weighted max-min
+//! network is solved — per-step solve time, flow counts,
+//! guarantee-compliance violations and link utilization are recorded.
+//! `bench_admission` writes the result as the `traffic` section of
+//! `BENCH_placement.json`, comparing the paper's TAG-patched enforcement
+//! against the plain hose-model baseline on identical placements.
+
+use crate::lifecycle::{run_churn_observed, ChurnConfig, ChurnReport, OpLatencies};
+use cm_cluster::GuaranteeModel;
+use cm_core::placement::Placer;
+use cm_workloads::TenantPool;
+
+/// Configuration of one traffic-churn run.
+#[derive(Debug, Clone)]
+pub struct TrafficChurnConfig {
+    /// The underlying lifecycle churn (datacenter, tenant count, scale
+    /// cycles, migrations).
+    pub churn: ChurnConfig,
+    /// Solve the datacenter network after every this-many arrivals (the
+    /// last arrival always solves, so every run has a final snapshot).
+    pub solve_every: usize,
+    /// Guarantee model enforcing the floors ([`GuaranteeModel::Tag`] = the
+    /// paper's patched ElasticSwitch, `Hose` = the §2.2 baseline).
+    pub model: GuaranteeModel,
+}
+
+impl TrafficChurnConfig {
+    /// The default scenario: paper datacenter churn with a solve every 25
+    /// arrivals under the given model.
+    pub fn paper_default(model: GuaranteeModel) -> Self {
+        TrafficChurnConfig {
+            churn: ChurnConfig::paper_default(),
+            solve_every: 25,
+            model,
+        }
+    }
+}
+
+/// One traffic snapshot taken mid-churn.
+#[derive(Debug, Clone)]
+pub struct TrafficStep {
+    /// Arrival index the snapshot was taken after.
+    pub arrival: usize,
+    /// Live tenants at the snapshot.
+    pub live_tenants: usize,
+    /// VM-pair flows that traversed the network.
+    pub cross_flows: usize,
+    /// VM-pair flows absorbed by colocation.
+    pub colocated_flows: usize,
+    /// Pairs whose achieved rate fell short of the TAG intent.
+    pub violations: usize,
+    /// Tenants with at least one violated pair.
+    pub violating_tenants: usize,
+    /// Whether the allocation was work-conserving.
+    pub work_conserving: bool,
+    /// Σ achieved cross-network rate (kbps).
+    pub total_rate_kbps: f64,
+    /// Largest directional-link utilization.
+    pub max_link_utilization: f64,
+    /// Seconds spent expanding, partitioning and routing.
+    pub build_secs: f64,
+    /// Seconds spent in the fluid max-min solve.
+    pub solve_secs: f64,
+}
+
+/// Everything one traffic-churn run produces.
+#[derive(Debug, Clone)]
+pub struct TrafficChurnReport {
+    /// Guarantee model the floors were enforced under.
+    pub model: GuaranteeModel,
+    /// The underlying lifecycle-churn outcome (placer name, op counts,
+    /// latencies).
+    pub churn: ChurnReport,
+    /// One entry per traffic solve, in arrival order.
+    pub steps: Vec<TrafficStep>,
+}
+
+impl TrafficChurnReport {
+    /// Latencies of the fluid max-min solve alone, for percentile queries.
+    pub fn solve_latencies(&self) -> OpLatencies {
+        let mut lat = OpLatencies::default();
+        for s in &self.steps {
+            lat.push_secs(s.solve_secs);
+        }
+        lat
+    }
+
+    /// Latencies of the full per-step engine run (expand + partition +
+    /// route + solve), for percentile queries.
+    pub fn step_latencies(&self) -> OpLatencies {
+        let mut lat = OpLatencies::default();
+        for s in &self.steps {
+            lat.push_secs(s.build_secs + s.solve_secs);
+        }
+        lat
+    }
+
+    /// Largest cross-network flow count any step solved.
+    pub fn flows_max(&self) -> usize {
+        self.steps.iter().map(|s| s.cross_flows).max().unwrap_or(0)
+    }
+
+    /// Mean cross-network flow count per step.
+    pub fn flows_mean(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.cross_flows).sum::<usize>() as f64 / self.steps.len() as f64
+    }
+
+    /// Σ violations over all steps.
+    pub fn violations_total(&self) -> usize {
+        self.steps.iter().map(|s| s.violations).sum()
+    }
+
+    /// Steps whose allocation was work-conserving.
+    pub fn work_conserving_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.work_conserving).count()
+    }
+}
+
+/// Run lifecycle churn with periodic datacenter traffic solves (see the
+/// module docs). The churn decision stream is bit-identical to
+/// [`crate::lifecycle::run_churn`] with the same [`ChurnConfig`] — the
+/// traffic engine only reads the cluster.
+pub fn run_churn_traffic<P: Placer>(
+    cfg: &TrafficChurnConfig,
+    pool: &TenantPool,
+    placer: P,
+) -> TrafficChurnReport {
+    let every = cfg.solve_every.max(1);
+    let last = cfg.churn.tenants.saturating_sub(1);
+    let mut steps: Vec<TrafficStep> = Vec::new();
+    let churn = run_churn_observed(&cfg.churn, pool, placer, |arrival, cluster| {
+        if (arrival + 1) % every != 0 && arrival != last {
+            return;
+        }
+        let r = cluster.traffic_report_as(cfg.model);
+        steps.push(TrafficStep {
+            arrival,
+            live_tenants: cluster.tenant_count(),
+            cross_flows: r.cross_flows,
+            colocated_flows: r.colocated_flows,
+            violations: r.violations,
+            violating_tenants: r.violating_tenants(),
+            work_conserving: r.work_conserving,
+            total_rate_kbps: r.total_rate_kbps,
+            max_link_utilization: r.max_link_utilization(),
+            build_secs: r.build_secs,
+            solve_secs: r.solve_secs,
+        });
+    });
+    TrafficChurnReport {
+        model: cfg.model,
+        churn,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::placement::{CmConfig, CmPlacer};
+    use cm_topology::{mbps, TreeSpec};
+    use cm_workloads::mixed_pool;
+
+    fn quick_cfg(model: GuaranteeModel) -> TrafficChurnConfig {
+        TrafficChurnConfig {
+            churn: ChurnConfig {
+                seed: 5,
+                spec: TreeSpec::small(2, 4, 8, 8, [mbps(1000.0), mbps(4000.0), mbps(8000.0)]),
+                bmax_kbps: mbps(100.0),
+                tenants: 40,
+                target_live: 10,
+                scale_cycles: 1,
+                migrate_every: 10,
+            },
+            solve_every: 10,
+            model,
+        }
+    }
+
+    #[test]
+    fn traffic_steps_snapshot_the_churn() {
+        let pool = mixed_pool(3);
+        let r = run_churn_traffic(
+            &quick_cfg(GuaranteeModel::Tag),
+            &pool,
+            CmPlacer::new(CmConfig::cm()),
+        );
+        // 40 arrivals, solve every 10 → steps at arrivals 9/19/29/39.
+        assert_eq!(r.steps.len(), 4);
+        assert_eq!(r.steps.last().unwrap().arrival, 39);
+        assert!(r.steps.iter().all(|s| s.live_tenants > 0));
+        assert!(r.flows_max() > 0);
+        // Every step's allocation must be work-conserving, and Tag-model
+        // floors sized by admission meet every intent.
+        assert_eq!(r.work_conserving_steps(), r.steps.len());
+        assert_eq!(r.violations_total(), 0);
+        // The observer does not perturb the churn decisions.
+        let plain = crate::lifecycle::run_churn(
+            &quick_cfg(GuaranteeModel::Tag).churn,
+            &pool,
+            CmPlacer::new(CmConfig::cm()),
+        );
+        assert_eq!(plain.admitted, r.churn.admitted);
+        assert_eq!(plain.scale_rejected, r.churn.scale_rejected);
+        assert_eq!(plain.departs, r.churn.departs);
+    }
+
+    #[test]
+    fn hose_model_reports_the_same_flows() {
+        let pool = mixed_pool(3);
+        let tag = run_churn_traffic(
+            &quick_cfg(GuaranteeModel::Tag),
+            &pool,
+            CmPlacer::new(CmConfig::cm()),
+        );
+        let hose = run_churn_traffic(
+            &quick_cfg(GuaranteeModel::Hose),
+            &pool,
+            CmPlacer::new(CmConfig::cm()),
+        );
+        // Identical churn → identical pair populations; only the floors
+        // (and hence possibly the achieved split) differ.
+        assert_eq!(tag.steps.len(), hose.steps.len());
+        for (a, b) in tag.steps.iter().zip(&hose.steps) {
+            assert_eq!(a.cross_flows, b.cross_flows);
+            assert_eq!(a.colocated_flows, b.colocated_flows);
+        }
+    }
+}
