@@ -17,13 +17,14 @@
 use cm_baselines::{OktopusVcPlacer, OvocPlacer, SecondNetPlacer};
 use cm_bench::print_table;
 use cm_core::placement::{CmConfig, CmPlacer, Placer, SearchStrategy};
-use cm_enforce::GuaranteeModel;
+use cm_enforce::{EcmpConfig, GuaranteeModel};
 use cm_sim::admission::PlacerAdmission;
 use cm_sim::events::run_sim_timed;
 use cm_sim::lifecycle::{run_churn, ChurnConfig, ChurnReport};
 use cm_sim::schedule::{build_schedule, run_schedule_concurrent, Schedule};
 use cm_sim::traffic::{run_churn_traffic, TrafficChurnConfig, TrafficChurnReport};
 use cm_sim::SimConfig;
+use cm_topology::{gbps, TreeSpec};
 use cm_workloads::{bing_like_pool, TenantPool};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -161,12 +162,22 @@ fn lifecycle_churn(quick: bool, full: bool, pool: &TenantPool) -> Vec<ChurnRepor
     ]
 }
 
+/// One traffic-bench run plus the scale it ran at (the JSON's `servers`
+/// field lets CI apply per-scale step-latency bounds).
+struct TrafficRun {
+    servers: usize,
+    ecmp_ways: u32,
+    report: TrafficChurnReport,
+}
+
 /// The datacenter traffic workload: lifecycle churn with periodic
-/// cluster-wide traffic solves, once under the paper's TAG-patched
+/// incremental traffic-engine steps, once under the paper's TAG-patched
 /// enforcement and once under the plain hose baseline — identical
-/// placements, different floors. Records per-solve latency and
-/// guarantee-compliance violations.
-fn traffic_bench(quick: bool, full: bool, pool: &TenantPool) -> Vec<TrafficChurnReport> {
+/// placements, different floors — on the paper's 2,048-server datacenter,
+/// plus a 32,768-server ECMP fat-tree run under the Tag model. Records
+/// per-step expand/route/solve/score latency and guarantee-compliance
+/// violations.
+fn traffic_bench(quick: bool, full: bool, pool: &TenantPool) -> Vec<TrafficRun> {
     let (tenants, solve_every) = if quick {
         (60, 20)
     } else if full {
@@ -174,15 +185,37 @@ fn traffic_bench(quick: bool, full: bool, pool: &TenantPool) -> Vec<TrafficChurn
     } else {
         (200, 25)
     };
-    [GuaranteeModel::Tag, GuaranteeModel::Hose]
+    let mut runs: Vec<TrafficRun> = [GuaranteeModel::Tag, GuaranteeModel::Hose]
         .into_iter()
         .map(|model| {
             let mut cfg = TrafficChurnConfig::paper_default(model);
             cfg.churn.tenants = tenants;
             cfg.solve_every = solve_every;
-            run_churn_traffic(&cfg, pool, CmPlacer::new(CmConfig::cm()))
+            TrafficRun {
+                servers: 2048,
+                ecmp_ways: 1,
+                report: run_churn_traffic(&cfg, pool, CmPlacer::new(CmConfig::cm())),
+            }
         })
-        .collect()
+        .collect();
+    // 32k-server fat-tree: 32 pods x 32 racks x 32 servers, 8-way
+    // ECMP-hashed core — the scale the incremental engine exists for.
+    let mut cfg = TrafficChurnConfig::paper_default(GuaranteeModel::Tag);
+    cfg.churn.spec = TreeSpec {
+        fanout_top_down: vec![32, 32, 32],
+        uplink_kbps: vec![gbps(10.0), gbps(80.0), gbps(320.0)],
+        slots_per_server: 25,
+    };
+    cfg.churn.tenants = tenants;
+    cfg.churn.target_live = 180;
+    cfg.solve_every = solve_every;
+    cfg.ecmp = EcmpConfig::hashed(8);
+    runs.push(TrafficRun {
+        servers: 32_768,
+        ecmp_ways: 8,
+        report: run_churn_traffic(&cfg, pool, CmPlacer::new(CmConfig::cm())),
+    });
+    runs
 }
 
 fn thread_scaling(cfg: &SimConfig, pool: &TenantPool, max_threads: usize) -> Vec<ScalingRow> {
@@ -403,17 +436,23 @@ fn main() {
     let traffic = traffic_bench(quick, full, &pool);
     let traffic_table: Vec<Vec<String>> = traffic
         .iter()
-        .map(|r| {
+        .map(|t| {
+            let r = &t.report;
+            let expand = r.phase_latencies(|s| s.expand_secs);
+            let route = r.phase_latencies(|s| s.route_secs);
             let solve = r.solve_latencies();
+            let score = r.phase_latencies(|s| s.score_secs);
             let step = r.step_latencies();
             vec![
-                r.churn.placer.to_string(),
+                t.servers.to_string(),
                 format!("{:?}", r.model),
+                format!("{}x", t.ecmp_ways),
                 r.steps.len().to_string(),
-                format!("{:.0}", r.flows_mean()),
                 r.flows_max().to_string(),
-                format!("{:.2}", solve.quantile_us(0.5).unwrap_or(0.0) / 1000.0),
+                format!("{:.2}", expand.quantile_us(0.99).unwrap_or(0.0) / 1000.0),
+                format!("{:.2}", route.quantile_us(0.99).unwrap_or(0.0) / 1000.0),
                 format!("{:.2}", solve.quantile_us(0.99).unwrap_or(0.0) / 1000.0),
+                format!("{:.2}", score.quantile_us(0.99).unwrap_or(0.0) / 1000.0),
                 format!("{:.2}", step.quantile_us(0.99).unwrap_or(0.0) / 1000.0),
                 r.violations_total().to_string(),
                 format!("{}/{}", r.work_conserving_steps(), r.steps.len()),
@@ -421,16 +460,18 @@ fn main() {
         })
         .collect();
     print_table(
-        "Datacenter traffic (placed tenants -> physical tree -> shared max-min)",
+        "Datacenter traffic (incremental engine; p99 per phase, ms)",
         &[
-            "placer",
+            "servers",
             "model",
+            "ecmp",
             "steps",
-            "flows (mean)",
             "flows (max)",
-            "solve p50 (ms)",
-            "solve p99 (ms)",
-            "step p99 (ms)",
+            "expand",
+            "route",
+            "solve",
+            "score",
+            "step",
             "violations",
             "work-conserving",
         ],
@@ -537,27 +578,39 @@ fn main() {
     let _ = writeln!(json, "  \"traffic\": {{");
     let _ = writeln!(
         json,
-        "    \"note\": \"datacenter traffic engine stepped through lifecycle churn: all live tenants' TAG edges expanded into VM-pair flows, routed over their physical uplink/downlink paths, floors from the enforcement model, one shared guarantee-weighted max-min solve; solve_* time the fluid solve alone, step_p99_ms the whole engine run (expand + partition + route + solve); violations count pairs whose achieved rate falls below the TAG-intended guarantee\","
+        "    \"note\": \"incremental traffic engine stepped through lifecycle churn: dirty tenants re-expand their TAG edges into bundled flows (expand), the fluid flow set is assembled from cached bundles over LCA-memoized paths (route), one shared guarantee-weighted max-min solve (solve), achieved rates scored against TAG intents (score); *_p99_ms are per-phase p99s, step_p99_ms the whole engine step; violations count pairs whose achieved rate falls below the TAG-intended guarantee\","
     );
     let _ = writeln!(json, "    \"entries\": [");
-    for (i, r) in traffic.iter().enumerate() {
+    for (i, t) in traffic.iter().enumerate() {
+        let r = &t.report;
+        let expand = r.phase_latencies(|s| s.expand_secs);
+        let route = r.phase_latencies(|s| s.route_secs);
         let solve = r.solve_latencies();
+        let score = r.phase_latencies(|s| s.score_secs);
         let step = r.step_latencies();
         let comma = if i + 1 < traffic.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "      {{\"placer\": \"{}\", \"model\": \"{:?}\", \"steps\": {}, \
+            "      {{\"placer\": \"{}\", \"servers\": {}, \"ecmp_ways\": {}, \
+             \"model\": \"{:?}\", \"steps\": {}, \
              \"flows_mean\": {:.1}, \"flows_max\": {}, \
-             \"solve_p50_ms\": {:.3}, \"solve_p99_ms\": {:.3}, \"step_p99_ms\": {:.3}, \
+             \"expand_p99_ms\": {:.3}, \"route_p99_ms\": {:.3}, \
+             \"solve_p50_ms\": {:.3}, \"solve_p99_ms\": {:.3}, \
+             \"score_p99_ms\": {:.3}, \"step_p99_ms\": {:.3}, \
              \"violations\": {}, \"violating_tenants_max\": {}, \
              \"work_conserving_steps\": {}, \"max_link_utilization\": {:.4}}}{comma}",
             r.churn.placer,
+            t.servers,
+            t.ecmp_ways,
             r.model,
             r.steps.len(),
             r.flows_mean(),
             r.flows_max(),
+            expand.quantile_us(0.99).unwrap_or(0.0) / 1000.0,
+            route.quantile_us(0.99).unwrap_or(0.0) / 1000.0,
             solve.quantile_us(0.5).unwrap_or(0.0) / 1000.0,
             solve.quantile_us(0.99).unwrap_or(0.0) / 1000.0,
+            score.quantile_us(0.99).unwrap_or(0.0) / 1000.0,
             step.quantile_us(0.99).unwrap_or(0.0) / 1000.0,
             r.violations_total(),
             r.steps

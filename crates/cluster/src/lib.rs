@@ -24,7 +24,13 @@
 //!   [`Cluster::guarantee_report`], which wires the placement into the
 //!   enforcement layer's guarantee partitioning (`cm-enforce`) — per
 //!   VM-pair guarantees under the TAG patch (or the plain-hose model, for
-//!   the §2.2 comparison), classified by whether they cross the network.
+//!   the §2.2 comparison), classified by whether they cross the network;
+//! * traffic: [`Cluster::traffic_report`] (detailed) and
+//!   [`Cluster::traffic_step`] (summary-only, the hot churn path) solve
+//!   every live tenant's flows over the physical tree through an embedded
+//!   persistent [`TrafficEngine`] that re-expands only tenants whose
+//!   placement changed ([`Cluster::set_traffic_ecmp`] selects multipath
+//!   core routing).
 //!
 //! Every operation is transactional: on `Err` the topology and the tenant
 //! are exactly as before. The error surface is one type, [`CmError`]
@@ -87,7 +93,10 @@ pub use cm_core::placement::RejectReason;
 pub use cm_enforce::datacenter::{
     LevelUtilization, PairFlow, TenantSummary, TenantTraffic, TrafficReport,
 };
-pub use cm_enforce::GuaranteeModel;
+pub use cm_enforce::{EcmpConfig, EcmpMode, GuaranteeModel};
+
+use cm_enforce::TrafficEngine;
+use std::cell::{RefCell, RefMut};
 
 mod error;
 mod report;
@@ -176,6 +185,11 @@ impl TenantHandle {
 struct TenantEntry {
     tag: Arc<Tag>,
     deployed: Deployed,
+    /// Placement version, bumped on every successful placement-changing
+    /// operation (scale, resize, migrate). The embedded traffic engine
+    /// diffs these to find the dirty set — tenants whose cached flow
+    /// state must be re-expanded.
+    version: u64,
 }
 
 /// The single admission front door shared by [`Cluster::admit`] and the
@@ -197,6 +211,14 @@ pub struct Cluster<P: Placer> {
     tenants: BTreeMap<TenantId, TenantEntry>,
     next_id: u64,
     guarantee_model: GuaranteeModel,
+    /// ECMP layout for the embedded traffic engine.
+    traffic_ecmp: EcmpConfig,
+    /// Persistent incremental traffic engine, built lazily on the first
+    /// traffic query and kept in sync via tenant version diffing.
+    /// `RefCell` keeps the traffic queries `&self` (they are logically
+    /// reads; the engine mutation is cache maintenance) — the `Cluster`
+    /// is a single-threaded controller, so losing `Sync` costs nothing.
+    traffic: RefCell<Option<TrafficEngine>>,
 }
 
 impl<P: Placer> Cluster<P> {
@@ -215,6 +237,8 @@ impl<P: Placer> Cluster<P> {
             tenants: BTreeMap::new(),
             next_id: 0,
             guarantee_model: GuaranteeModel::Tag,
+            traffic_ecmp: EcmpConfig::none(),
+            traffic: RefCell::new(None),
         }
     }
 
@@ -249,6 +273,7 @@ impl<P: Placer> Cluster<P> {
             TenantEntry {
                 tag: Arc::clone(&tag),
                 deployed,
+                version: 1,
             },
         );
         Ok(TenantHandle { id, tag })
@@ -329,8 +354,9 @@ impl<P: Placer> Cluster<P> {
             &mut self.topo,
             &mut entry.deployed,
             &entry.tag,
-        )
-        .map_err(Into::into)
+        )?;
+        entry.version += 1;
+        Ok(())
     }
 
     /// Depart every live tenant (deterministic id order). The datacenter
@@ -451,9 +477,55 @@ impl<P: Placer> Cluster<P> {
     /// [`Cluster::traffic_report`] under an explicit guarantee model (run
     /// `Hose` against `Tag` on the same placements to reproduce the
     /// Fig. 13/14 dilution through the placement layer).
+    ///
+    /// Served by the embedded incremental [`TrafficEngine`]: only tenants
+    /// whose placement changed since the last traffic query are
+    /// re-expanded and re-routed.
     pub fn traffic_report_as(&self, model: GuaranteeModel) -> TrafficReport {
-        let tenants = self.collect_traffic(model);
-        cm_enforce::datacenter::solve(&self.topo, &tenants)
+        self.sync_traffic_engine(model).solve_detailed(&self.topo)
+    }
+
+    /// The hot churn-step variant of [`Cluster::traffic_report`]:
+    /// identical totals, violations, and level utilization, but the
+    /// report's per-pair `flows` list is left empty — at datacenter scale
+    /// that list dominates the step cost and observers polling every step
+    /// rarely read it.
+    pub fn traffic_step(&self) -> TrafficReport {
+        self.traffic_step_as(self.guarantee_model)
+    }
+
+    /// [`Cluster::traffic_step`] under an explicit guarantee model.
+    pub fn traffic_step_as(&self, model: GuaranteeModel) -> TrafficReport {
+        self.sync_traffic_engine(model).solve(&self.topo)
+    }
+
+    /// Select the ECMP layout used by the embedded traffic engine
+    /// (default: [`EcmpConfig::none`], single-path routing identical to
+    /// the batch solver). Changing the layout rebuilds the engine on the
+    /// next traffic query.
+    pub fn set_traffic_ecmp(&mut self, ecmp: EcmpConfig) {
+        if self.traffic_ecmp != ecmp {
+            self.traffic_ecmp = ecmp;
+            *self.traffic.borrow_mut() = None;
+        }
+    }
+
+    /// Bring the embedded engine in sync with the live registry: create it
+    /// on first use, switch its guarantee model, drop departed tenants,
+    /// and re-expand exactly the tenants whose placement version moved.
+    fn sync_traffic_engine(&self, model: GuaranteeModel) -> RefMut<'_, TrafficEngine> {
+        let mut slot = self.traffic.borrow_mut();
+        let engine =
+            slot.get_or_insert_with(|| TrafficEngine::new(&self.topo, model, self.traffic_ecmp));
+        engine.set_model(model);
+        engine.retain_tenants(|id| self.tenants.contains_key(&TenantId(id)));
+        for (id, entry) in &self.tenants {
+            if engine.version_of(id.raw()) != Some(entry.version) {
+                let placement = entry.deployed.placement(&self.topo);
+                engine.upsert_tenant(&self.topo, id.raw(), entry.version, &entry.tag, &placement);
+            }
+        }
+        RefMut::map(slot, |s| s.as_mut().expect("engine just ensured"))
     }
 
     /// [`Cluster::traffic_report`] with explicit instantaneous
@@ -589,6 +661,7 @@ fn resize_entry<P: Placer>(
         .tag_state()
         .map(|s| s.model_arc())
         .unwrap_or(new_tag);
+    entry.version += 1;
     Ok(())
 }
 

@@ -100,39 +100,52 @@ impl TenantTraffic {
         self
     }
 
-    /// Every TAG-edge-connected VM pair, all greedy.
-    fn all_pairs(&self) -> Vec<(usize, usize, f64)> {
-        let mut by_tier: Vec<Vec<u32>> = vec![Vec::new(); self.tag.num_tiers()];
-        for (i, &t) in self.vm_tier.iter().enumerate() {
-            by_tier[t.index()].push(i as u32);
+    /// Append this tenant's active pair list (explicit pattern or every
+    /// TAG-edge-connected pair, all greedy) into `out`, reusing `scratch`
+    /// across calls. The old `all_pairs`/`pairs` pair allocated a fresh
+    /// per-tier index and pair vector for every tenant on every solve; at
+    /// datacenter scale that dominated the expansion phase.
+    fn pairs_into(&self, scratch: &mut PairScratch, out: &mut Vec<(usize, usize, f64)>) {
+        out.clear();
+        if let Some(p) = &self.active {
+            out.extend(p.iter().map(|&(s, d)| (s, d, f64::INFINITY)));
+            return;
         }
+        let nt = self.tag.num_tiers();
+        if scratch.by_tier.len() < nt {
+            scratch.by_tier.resize_with(nt, Vec::new);
+        }
+        for v in &mut scratch.by_tier[..nt] {
+            v.clear();
+        }
+        for (i, &t) in self.vm_tier.iter().enumerate() {
+            scratch.by_tier[t.index()].push(i as u32);
+        }
+        let by_tier = &scratch.by_tier;
         let total: usize = self
             .tag
             .edges()
             .iter()
             .map(|e| by_tier[e.from.index()].len() * by_tier[e.to.index()].len())
             .sum();
-        let mut pairs = Vec::with_capacity(total);
+        out.reserve(total);
         for e in self.tag.edges() {
             for &s in &by_tier[e.from.index()] {
                 for &d in &by_tier[e.to.index()] {
                     if s != d {
-                        pairs.push((s as usize, d as usize, f64::INFINITY));
+                        out.push((s as usize, d as usize, f64::INFINITY));
                     }
                 }
             }
         }
-        pairs
     }
+}
 
-    /// The pair list this tenant contributes (explicit pattern or all
-    /// pairs).
-    fn pairs(&self) -> Vec<(usize, usize, f64)> {
-        match &self.active {
-            Some(p) => p.iter().map(|&(s, d)| (s, d, f64::INFINITY)).collect(),
-            None => self.all_pairs(),
-        }
-    }
+/// Pooled scratch for [`TenantTraffic::pairs_into`]: the per-tier VM index
+/// is reused across tenants and steps instead of reallocated per call.
+#[derive(Debug, Default)]
+struct PairScratch {
+    by_tier: Vec<Vec<u32>>,
 }
 
 /// One VM pair's solved steady state.
@@ -220,11 +233,27 @@ pub struct TrafficReport {
     pub work_conserving: bool,
     /// Σ violations over all tenants.
     pub violations: usize,
+    /// Flows handed to the fluid solver. The batch solver materializes one
+    /// per cross VM pair (= `cross_flows`); the incremental engine bundles
+    /// same-class pairs, so this is typically far smaller.
+    pub fluid_flows: usize,
     /// Seconds spent expanding placements, partitioning guarantees and
-    /// routing paths.
+    /// routing paths (`expand_secs + route_secs`).
     pub build_secs: f64,
+    /// Seconds expanding tenants into flow classes: for the incremental
+    /// engine, only tenants whose placement changed since the last solve
+    /// (including their route-cache fills); for the batch solver, all of
+    /// `build_secs`.
+    pub expand_secs: f64,
+    /// Seconds assembling the fluid flow set from the routed bundles
+    /// (zero for the batch solver, which interleaves it with expansion).
+    pub route_secs: f64,
     /// Seconds spent in the fluid max-min solve itself.
     pub solve_secs: f64,
+    /// Seconds scoring solved rates into summaries, levels and violations
+    /// (the batch solver folds this into the caller-visible wall time but
+    /// reports it as zero).
+    pub score_secs: f64,
 }
 
 impl TrafficReport {
@@ -292,9 +321,12 @@ pub fn solve(topo: &Topology, tenants: &[TenantTraffic]) -> TrafficReport {
     // Fluid-flow index -> index into `flows`, to write solved rates back.
     let mut fluid_to_pair: Vec<u32> = Vec::new();
     let mut path = Vec::with_capacity(2 * num_levels);
+    let mut scratch = PairScratch::default();
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
 
     for tenant in tenants {
-        let pairs = tenant.pairs();
+        tenant.pairs_into(&mut scratch, &mut pairs);
+        let pairs = &pairs;
         // Floors under the tenant's enforcement model; intents are always
         // the TAG-model partition (what the abstraction promised).
         let enforcer = Enforcer::new_shared(
@@ -302,7 +334,7 @@ pub fn solve(topo: &Topology, tenants: &[TenantTraffic]) -> TrafficReport {
             tenant.vm_tier.clone(),
             tenant.model,
         );
-        let floors = enforcer.partition(&pairs);
+        let floors = enforcer.partition(pairs);
         let intents = if tenant.model == GuaranteeModel::Tag {
             None // floors already are the intents
         } else {
@@ -311,7 +343,7 @@ pub fn solve(topo: &Topology, tenants: &[TenantTraffic]) -> TrafficReport {
                 tenant.vm_tier.clone(),
                 GuaranteeModel::Tag,
             );
-            Some(tag_enforcer.partition(&pairs))
+            Some(tag_enforcer.partition(pairs))
         };
 
         let flows_start = flows.len();
@@ -436,8 +468,12 @@ pub fn solve(topo: &Topology, tenants: &[TenantTraffic]) -> TrafficReport {
         total_rate_kbps,
         work_conserving,
         violations,
+        fluid_flows: cross_flows,
         build_secs,
+        expand_secs: build_secs,
+        route_secs: 0.0,
         solve_secs,
+        score_secs: 0.0,
     }
 }
 

@@ -1,0 +1,917 @@
+//! Persistent incremental traffic engine: per-step work proportional to
+//! *churn*, not cluster size.
+//!
+//! [`crate::datacenter::solve`] re-expands every live tenant's VM pairs,
+//! re-partitions every guarantee and re-routes every pair on every call —
+//! at paper scale ~94 % of a churn step is that redundant rebuild, while
+//! the fluid solve itself takes milliseconds. [`TrafficEngine`] keeps the
+//! expensive state across steps:
+//!
+//! * **Per-tenant flow state.** Each tenant's placement expands once into
+//!   routed, bundled flow classes; a tenant is re-expanded only when its
+//!   `version` changes (the cluster bumps it on scale/migrate/resize) or
+//!   the guarantee model switches. Unchanged tenants cost nothing.
+//! * **Closed-form guarantee partition.** In the all-pairs (converged
+//!   worst-case) pattern every pair of one TAG edge receives the *same*
+//!   floor, so the [`crate::elastic::Enforcer`] max-min split collapses to
+//!   one division per edge — computed once per re-expansion and reused
+//!   across steps (the cached guarantee partition).
+//! * **Flow bundling.** All colocation-free VM pairs of one tenant that
+//!   share a TAG edge and a `(src server, dst server)` route are one
+//!   aggregate [`FlowSpec`] (floors and weights summed). Weighted max-min
+//!   treats `m` identical flows and one `m`-weighted aggregate identically,
+//!   so per-pair rates are recovered exactly as `rate / m` — the O(VM²)
+//!   flow count collapses to O(server pairs).
+//! * **Route cache + ECMP.** Server-pair paths come from the LCA-keyed
+//!   [`RouteCache`]; under an [`EcmpConfig`] with `ways > 1` core uplinks
+//!   are parallel sub-links and bundles are hashed or split across them.
+//!
+//! Each [`TrafficEngine::solve`] clears the fluid network's flow set
+//! (capacity-retaining) and re-adds every live bundle in ascending tenant
+//! id order. The flow order is therefore a pure function of the tenant
+//! states — an engine that churned through any history produces
+//! **bit-identical** rates to a fresh engine fed the same final state,
+//! which is what the differential tests pin.
+
+use crate::datacenter::{LevelUtilization, PairFlow, TenantSummary, TrafficReport};
+use crate::elastic::GuaranteeModel;
+use crate::fluid::{FlowSpec, Fluid};
+use crate::route::{flow_seed, EcmpConfig, EcmpMode, RouteCache};
+use cm_core::model::Tag;
+use cm_topology::{NodeId, Topology};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One bundled flow class: every `(src VM, dst VM)` pair of one TAG edge
+/// between one ordered server pair. All members share floor, intent, route
+/// — and therefore, by symmetry of weighted max-min, the solved rate.
+#[derive(Debug, Clone)]
+struct Bundle {
+    /// First VM index of the sender run (tenant-local, canonical order).
+    src: u32,
+    /// Sender VMs in the run.
+    src_cnt: u32,
+    /// First VM index of the receiver run.
+    dst: u32,
+    /// Receiver VMs in the run.
+    dst_cnt: u32,
+    /// Per-pair enforced floor (kbps).
+    floor: f64,
+    /// Per-pair TAG intent (kbps).
+    intent: f64,
+    /// Aggregate floor per sub-flow (`members × floor / paths`).
+    sub_floor: f64,
+    /// Aggregate weight per sub-flow.
+    sub_weight: f64,
+    /// Fluid link paths: one entry per sub-flow (1, or `ways` under
+    /// [`EcmpMode::EqualSplit`] when the route crosses a split link).
+    paths: Vec<Vec<usize>>,
+}
+
+impl Bundle {
+    #[inline]
+    fn members(&self) -> u32 {
+        self.src_cnt * self.dst_cnt
+    }
+}
+
+/// Pairs absorbed by colocation: both runs on one server; each pair runs
+/// at its intent (hypervisor-local, never touches the network).
+#[derive(Debug, Clone)]
+struct CoClass {
+    src: u32,
+    src_cnt: u32,
+    dst: u32,
+    dst_cnt: u32,
+    /// Same run on both sides (self-loop edge within one server): the
+    /// `src == dst` diagonal is excluded.
+    diagonal: bool,
+    floor: f64,
+    intent: f64,
+}
+
+impl CoClass {
+    #[inline]
+    fn members(&self) -> u32 {
+        self.src_cnt * self.dst_cnt - if self.diagonal { self.src_cnt } else { 0 }
+    }
+}
+
+/// Cached expanded/routed state of one tenant.
+#[derive(Debug, Clone)]
+struct EngineTenant {
+    /// Placement version this expansion reflects.
+    version: u64,
+    vms: usize,
+    /// Active pairs (cross + colocated).
+    pairs: usize,
+    cross_pairs: usize,
+    colocated_pairs: usize,
+    /// Σ intent over cross pairs (kbps).
+    intent_kbps: f64,
+    bundles: Vec<Bundle>,
+    colocated: Vec<CoClass>,
+}
+
+/// The persistent incremental engine (see the [module docs](self)).
+#[derive(Debug)]
+pub struct TrafficEngine {
+    model: GuaranteeModel,
+    route: RouteCache,
+    net: Fluid,
+    num_levels: usize,
+    /// Ascending-id order gives every solve a canonical flow order.
+    tenants: BTreeMap<u64, EngineTenant>,
+    /// Expansion seconds accumulated by `upsert_tenant` since the last
+    /// solve (the dirty-set work of the step).
+    pending_expand: f64,
+}
+
+impl TrafficEngine {
+    /// Create an engine over `topo` — the same `Topology` must be passed
+    /// to every later call — with the given enforcement model and ECMP
+    /// layout.
+    pub fn new(topo: &Topology, model: GuaranteeModel, ecmp: EcmpConfig) -> Self {
+        let mut net = Fluid::new();
+        let route = RouteCache::build(topo, ecmp, &mut net);
+        TrafficEngine {
+            model,
+            route,
+            net,
+            num_levels: topo.num_levels(),
+            tenants: BTreeMap::new(),
+            pending_expand: 0.0,
+        }
+    }
+
+    /// The enforcement model floors are derived under.
+    pub fn model(&self) -> GuaranteeModel {
+        self.model
+    }
+
+    /// The ECMP configuration the link layout was built with.
+    pub fn ecmp(&self) -> EcmpConfig {
+        self.route.config()
+    }
+
+    /// Switch the enforcement model. Floors are placement-dependent state,
+    /// so every cached tenant is dropped; the next sync re-expands them
+    /// (their versions read as unknown).
+    pub fn set_model(&mut self, model: GuaranteeModel) {
+        if model != self.model {
+            self.model = model;
+            self.tenants.clear();
+        }
+    }
+
+    /// The placement version tenant `id` was last expanded at, if cached.
+    pub fn version_of(&self, id: u64) -> Option<u64> {
+        self.tenants.get(&id).map(|t| t.version)
+    }
+
+    /// Tenants currently cached.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Drop every cached tenant `keep` rejects (departures).
+    pub fn retain_tenants(&mut self, mut keep: impl FnMut(u64) -> bool) {
+        self.tenants.retain(|&id, _| keep(id));
+    }
+
+    /// Expand (or re-expand) tenant `id` at placement `placement` (the
+    /// `(server, VMs per tier)` shape `Deployed::placement` returns, in
+    /// ascending server order — the canonical VM indexing of
+    /// [`crate::datacenter::expand_placement`]). No-op if the cached
+    /// version already matches.
+    pub fn upsert_tenant(
+        &mut self,
+        topo: &Topology,
+        id: u64,
+        version: u64,
+        tag: &Arc<Tag>,
+        placement: &[(NodeId, Vec<u32>)],
+    ) {
+        if self.tenants.get(&id).is_some_and(|t| t.version == version) {
+            return;
+        }
+        let t = Instant::now();
+        let expanded = expand_tenant(
+            self.model,
+            tag,
+            placement,
+            topo,
+            &mut self.route,
+            version,
+            id,
+        );
+        self.tenants.insert(id, expanded);
+        self.pending_expand += t.elapsed().as_secs_f64();
+    }
+
+    /// Solve the current state: summary-only (`flows` empty) — the hot
+    /// churn-step path.
+    pub fn solve(&mut self, topo: &Topology) -> TrafficReport {
+        self.solve_inner(topo, false)
+    }
+
+    /// Solve and materialize every per-pair [`PairFlow`] (the
+    /// `traffic_report` path; O(VM pairs) to write out).
+    pub fn solve_detailed(&mut self, topo: &Topology) -> TrafficReport {
+        self.solve_inner(topo, true)
+    }
+
+    fn solve_inner(&mut self, topo: &Topology, detailed: bool) -> TrafficReport {
+        debug_assert_eq!(topo.num_levels(), self.num_levels);
+        let expand_secs = self.pending_expand;
+        self.pending_expand = 0.0;
+
+        // Route phase: rebuild the fluid flow set from the cached bundles,
+        // in canonical (ascending tenant id, bundle order) order.
+        let t_route = Instant::now();
+        self.net.clear_flows();
+        for tenant in self.tenants.values() {
+            for b in &tenant.bundles {
+                for p in &b.paths {
+                    let mut spec = FlowSpec::greedy(p.clone());
+                    spec.floor = b.sub_floor;
+                    spec.weight = b.sub_weight;
+                    self.net.flow(spec);
+                }
+            }
+        }
+        let fluid_flows = self.net.num_flows();
+        let route_secs = t_route.elapsed().as_secs_f64();
+
+        let t_solve = Instant::now();
+        let rates = self.net.rates();
+        let solve_secs = t_solve.elapsed().as_secs_f64();
+
+        // Score phase: walk the bundles in the same canonical order,
+        // recovering per-pair rates as aggregate / members.
+        let t_score = Instant::now();
+        let work_conserving = self.net.is_work_conserving(&rates);
+        let mut summaries = Vec::with_capacity(self.tenants.len());
+        let mut flows: Vec<PairFlow> = Vec::new();
+        let mut cross_flows = 0usize;
+        let mut colocated_flows = 0usize;
+        let mut total_rate_kbps = 0.0;
+        let mut violations = 0usize;
+        let mut cursor = 0usize;
+        for (&id, tenant) in &self.tenants {
+            let mut summary = TenantSummary {
+                id,
+                vms: tenant.vms,
+                pairs: tenant.pairs,
+                cross_pairs: tenant.cross_pairs,
+                intent_kbps: tenant.intent_kbps,
+                achieved_kbps: 0.0,
+                violations: 0,
+                worst_shortfall_kbps: 0.0,
+            };
+            if detailed {
+                for c in &tenant.colocated {
+                    for s in c.src..c.src + c.src_cnt {
+                        for d in c.dst..c.dst + c.dst_cnt {
+                            if c.diagonal && s == d {
+                                continue;
+                            }
+                            flows.push(PairFlow {
+                                tenant: id,
+                                src: s as usize,
+                                dst: d as usize,
+                                floor_kbps: c.floor,
+                                intent_kbps: c.intent,
+                                rate_kbps: c.intent,
+                                colocated: true,
+                            });
+                        }
+                    }
+                }
+            }
+            for b in &tenant.bundles {
+                let mut aggregate = 0.0;
+                for _ in 0..b.paths.len() {
+                    aggregate += rates[cursor];
+                    cursor += 1;
+                }
+                let m = b.members();
+                let per_pair = aggregate / m as f64;
+                summary.achieved_kbps += aggregate;
+                total_rate_kbps += aggregate;
+                if per_pair + violation_tol(b.intent) < b.intent {
+                    summary.violations += m as usize;
+                    violations += m as usize;
+                    summary.worst_shortfall_kbps =
+                        summary.worst_shortfall_kbps.max(b.intent - per_pair);
+                }
+                if detailed {
+                    for s in b.src..b.src + b.src_cnt {
+                        for d in b.dst..b.dst + b.dst_cnt {
+                            flows.push(PairFlow {
+                                tenant: id,
+                                src: s as usize,
+                                dst: d as usize,
+                                floor_kbps: b.floor,
+                                intent_kbps: b.intent,
+                                rate_kbps: per_pair,
+                                colocated: false,
+                            });
+                        }
+                    }
+                }
+            }
+            cross_flows += tenant.cross_pairs;
+            colocated_flows += tenant.colocated_pairs;
+            summaries.push(summary);
+        }
+        debug_assert_eq!(cursor, rates.len());
+
+        // Link utilization per tree level, from the bundled flows.
+        let mut used = vec![0.0f64; self.net.num_links()];
+        for (spec, &r) in self.net.flows().iter().zip(&rates) {
+            for &l in &spec.path {
+                used[l] += r;
+            }
+        }
+        let mut levels: Vec<LevelUtilization> = (0..self.num_levels.saturating_sub(1))
+            .map(|level| LevelUtilization {
+                level,
+                links: 0,
+                mean_utilization: 0.0,
+                max_utilization: 0.0,
+                saturated: 0,
+            })
+            .collect();
+        for (l, &u) in used.iter().enumerate() {
+            let cap = self.net.link_cap(l);
+            let util = if cap > 0.0 { u / cap } else { 0.0 };
+            let lv = &mut levels[self.route.link_level(l) as usize];
+            lv.links += 1;
+            lv.mean_utilization += util;
+            lv.max_utilization = lv.max_utilization.max(util);
+            if util >= 0.999 {
+                lv.saturated += 1;
+            }
+        }
+        for lv in &mut levels {
+            if lv.links > 0 {
+                lv.mean_utilization /= lv.links as f64;
+            }
+        }
+        let score_secs = t_score.elapsed().as_secs_f64();
+
+        TrafficReport {
+            tenants: summaries,
+            flows,
+            levels,
+            cross_flows,
+            colocated_flows,
+            total_rate_kbps,
+            work_conserving,
+            violations,
+            fluid_flows,
+            build_secs: expand_secs + route_secs,
+            expand_secs,
+            route_secs,
+            solve_secs,
+            score_secs,
+        }
+    }
+}
+
+/// Shortfalls below this are float noise, not violations (mirrors
+/// `datacenter::violation_tol`).
+#[inline]
+fn violation_tol(intent: f64) -> f64 {
+    1e-3 + 1e-6 * intent.abs()
+}
+
+/// The closed-form all-pairs guarantee split: `Enforcer::partition` on a
+/// group of `cnt` greedy (infinite-demand) peers performs exactly one
+/// max-min round handing each `g / cnt` — unless `g` is below the split's
+/// activation epsilon, in which case every share stays zero. Replicated
+/// bit-exactly (same single IEEE division, same `1e-9` gate).
+#[inline]
+fn even_share(g: f64, cnt: u32) -> f64 {
+    if cnt > 0 && g > 1e-9 {
+        g / cnt as f64
+    } else {
+        0.0
+    }
+}
+
+/// Expand one tenant's placement into bundled flow classes with
+/// closed-form class floors (see the [module docs](self)).
+fn expand_tenant(
+    model: GuaranteeModel,
+    tag: &Arc<Tag>,
+    placement: &[(NodeId, Vec<u32>)],
+    topo: &Topology,
+    route: &mut RouteCache,
+    version: u64,
+    id: u64,
+) -> EngineTenant {
+    let nt = tag.num_tiers();
+    let edges = tag.edges();
+
+    // Placed VMs per tier, and each placement entry's per-tier VM index
+    // runs under the canonical server-major, tier-major indexing.
+    let mut n = vec![0u32; nt];
+    let mut runs: Vec<(NodeId, Vec<(u32, u32)>)> = Vec::with_capacity(placement.len());
+    let mut idx = 0u32;
+    for (server, counts) in placement {
+        debug_assert_eq!(counts.len(), nt);
+        let mut per_tier = Vec::with_capacity(nt);
+        for (t, &c) in counts.iter().enumerate() {
+            n[t] += c;
+            per_tier.push((idx, c));
+            idx += c;
+        }
+        runs.push((*server, per_tier));
+    }
+    let vms = idx as usize;
+
+    // Closed-form class floors per directed TAG edge. Intents are always
+    // the Tag-model partition; floors follow the enforcement model.
+    let peer_cnt = |e: &cm_core::model::TagEdge| {
+        let excl = u32::from(e.is_self_loop());
+        let snd_peers = n[e.to.index()].saturating_sub(excl); // dsts per src
+        let rcv_peers = n[e.from.index()].saturating_sub(excl); // srcs per dst
+        (snd_peers, rcv_peers)
+    };
+    let mut intents = Vec::with_capacity(edges.len());
+    for e in edges {
+        let (snd_peers, rcv_peers) = peer_cnt(e);
+        intents.push(
+            even_share(e.snd_kbps as f64, snd_peers).min(even_share(e.rcv_kbps as f64, rcv_peers)),
+        );
+    }
+    let floors: Vec<f64> = match model {
+        GuaranteeModel::Tag => intents.clone(),
+        GuaranteeModel::Hose => {
+            // Under plain hose semantics a VM's single send (receive) hose
+            // splits over its edge-connected peers across ALL edges.
+            let mut snd_peers_of = vec![0u32; nt];
+            let mut rcv_peers_of = vec![0u32; nt];
+            for e in edges {
+                let (snd_peers, rcv_peers) = peer_cnt(e);
+                snd_peers_of[e.from.index()] += snd_peers;
+                rcv_peers_of[e.to.index()] += rcv_peers;
+            }
+            edges
+                .iter()
+                .map(|e| {
+                    let u = e.from;
+                    let v = e.to;
+                    even_share(tag.per_vm_snd(u) as f64, snd_peers_of[u.index()]).min(even_share(
+                        tag.per_vm_rcv(v) as f64,
+                        rcv_peers_of[v.index()],
+                    ))
+                })
+                .collect()
+        }
+    };
+
+    let cfg = route.config();
+    let mut tenant = EngineTenant {
+        version,
+        vms,
+        pairs: 0,
+        cross_pairs: 0,
+        colocated_pairs: 0,
+        intent_kbps: 0.0,
+        bundles: Vec::new(),
+        colocated: Vec::new(),
+    };
+    let mut path = Vec::new();
+    for (ei, e) in edges.iter().enumerate() {
+        let (u, v) = (e.from.index(), e.to.index());
+        if n[u] == 0 || n[v] == 0 {
+            continue;
+        }
+        let (floor, intent) = (floors[ei], intents[ei]);
+        for (src_server, src_tiers) in &runs {
+            let (src_server, (src, src_cnt)) = (*src_server, src_tiers[u]);
+            if src_cnt == 0 {
+                continue;
+            }
+            for (dst_server, dst_tiers) in &runs {
+                let (dst_server, (dst, dst_cnt)) = (*dst_server, dst_tiers[v]);
+                if dst_cnt == 0 {
+                    continue;
+                }
+                if src_server == dst_server {
+                    let co = CoClass {
+                        src,
+                        src_cnt,
+                        dst,
+                        dst_cnt,
+                        diagonal: u == v,
+                        floor,
+                        intent,
+                    };
+                    let m = co.members() as usize;
+                    tenant.pairs += m;
+                    tenant.colocated_pairs += m;
+                    if m > 0 {
+                        tenant.colocated.push(co);
+                    }
+                    continue;
+                }
+                let hops = route.hops(topo, src_server, dst_server).to_vec();
+                let mut paths: Vec<Vec<usize>> = Vec::new();
+                if cfg.mode == EcmpMode::EqualSplit && route.path_is_split(&hops) {
+                    for j in 0..cfg.sub_flows() {
+                        path.clear();
+                        route.path_split(&hops, j, &mut path);
+                        paths.push(path.clone());
+                    }
+                } else {
+                    path.clear();
+                    route.path_hashed(&hops, flow_seed(id, src_server, dst_server), &mut path);
+                    paths.push(path.clone());
+                }
+                let m = (src_cnt * dst_cnt) as f64;
+                let k = paths.len() as f64;
+                let w = if floor > 0.0 { floor } else { 1.0 };
+                let b = Bundle {
+                    src,
+                    src_cnt,
+                    dst,
+                    dst_cnt,
+                    floor,
+                    intent,
+                    sub_floor: m * floor / k,
+                    sub_weight: m * w / k,
+                    paths,
+                };
+                tenant.pairs += b.members() as usize;
+                tenant.cross_pairs += b.members() as usize;
+                tenant.intent_kbps += intent * b.members() as f64;
+                tenant.bundles.push(b);
+            }
+        }
+    }
+    tenant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenter::{self, TenantTraffic};
+    use crate::elastic::Enforcer;
+    use cm_core::model::{TagBuilder, TierId};
+    use cm_topology::{mbps, TreeSpec};
+
+    fn topo() -> Topology {
+        Topology::build(&TreeSpec::small(
+            2,
+            2,
+            2,
+            4,
+            [mbps(1000.0), mbps(4000.0), mbps(8000.0)],
+        ))
+    }
+
+    /// Deterministic xorshift for test-local randomness.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self, m: u64) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0 % m
+        }
+    }
+
+    /// Random small TAG: 2–4 tiers, random trunks and self-loops.
+    fn random_tag(rng: &mut Rng) -> Arc<Tag> {
+        loop {
+            let mut b = TagBuilder::new("rand");
+            let nt = 2 + rng.next(3) as usize;
+            let tiers: Vec<TierId> = (0..nt)
+                .map(|i| b.tier(format!("t{i}"), 1 + rng.next(4) as u32))
+                .collect();
+            let mut added = 0;
+            for u in 0..nt {
+                for v in 0..nt {
+                    if rng.next(3) != 0 {
+                        continue;
+                    }
+                    let bw = 1000 * (1 + rng.next(50));
+                    let ok = if u == v {
+                        b.self_loop(tiers[u], bw).is_ok()
+                    } else {
+                        b.edge(tiers[u], tiers[v], bw, 1000 * (1 + rng.next(50)))
+                            .is_ok()
+                    };
+                    if ok {
+                        added += 1;
+                    }
+                }
+            }
+            if added > 0 {
+                if let Ok(tag) = b.build() {
+                    return Arc::new(tag);
+                }
+            }
+        }
+    }
+
+    /// Scatter a TAG's VMs over servers: returns the canonical placement
+    /// shape (ascending server order, per-tier counts).
+    fn random_placement(rng: &mut Rng, tag: &Tag, servers: &[NodeId]) -> Vec<(NodeId, Vec<u32>)> {
+        let nt = tag.num_tiers();
+        let mut counts: std::collections::BTreeMap<NodeId, Vec<u32>> = Default::default();
+        for t in tag.internal_tiers() {
+            let size = tag.tier(t).size;
+            for _ in 0..size {
+                let s = servers[rng.next(servers.len() as u64) as usize];
+                counts.entry(s).or_insert_with(|| vec![0; nt])[t.index()] += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+
+    /// The closed-form class floors must equal `Enforcer::partition`
+    /// bit-exactly, for both models, across random TAGs and placements.
+    #[test]
+    fn closed_form_floors_match_enforcer_partition_exactly() {
+        let topo = topo();
+        let servers = topo.servers();
+        let mut rng = Rng(0xC0FFEE);
+        for _ in 0..60 {
+            let tag = random_tag(&mut rng);
+            let placement = random_placement(&mut rng, &tag, servers);
+            for model in [GuaranteeModel::Tag, GuaranteeModel::Hose] {
+                let mut engine = TrafficEngine::new(&topo, model, EcmpConfig::none());
+                engine.upsert_tenant(&topo, 1, 1, &tag, &placement);
+                let report = engine.solve_detailed(&topo);
+
+                let tt = TenantTraffic::from_placement(1, Arc::clone(&tag), &placement, model);
+                let enforcer = Enforcer::new_shared(Arc::clone(&tag), tt.vm_tier.clone(), model);
+                let pairs: Vec<(usize, usize, f64)> = {
+                    // Reconstruct the all-pairs list the enforcer sees.
+                    let mut by_tier: Vec<Vec<usize>> = vec![Vec::new(); tag.num_tiers()];
+                    for (i, &t) in tt.vm_tier.iter().enumerate() {
+                        by_tier[t.index()].push(i);
+                    }
+                    let mut out = Vec::new();
+                    for e in tag.edges() {
+                        for &s in &by_tier[e.from.index()] {
+                            for &d in &by_tier[e.to.index()] {
+                                if s != d {
+                                    out.push((s, d, f64::INFINITY));
+                                }
+                            }
+                        }
+                    }
+                    out
+                };
+                let reference = enforcer.partition(&pairs);
+                assert_eq!(report.flows.len(), pairs.len());
+                for g in &reference {
+                    let f = report
+                        .pair(1, g.src, g.dst)
+                        .unwrap_or_else(|| panic!("engine missing pair ({}, {})", g.src, g.dst));
+                    assert_eq!(
+                        f.floor_kbps.to_bits(),
+                        g.kbps.to_bits(),
+                        "floor mismatch for ({}, {}): engine {} vs enforcer {}",
+                        g.src,
+                        g.dst,
+                        f.floor_kbps,
+                        g.kbps
+                    );
+                }
+            }
+        }
+    }
+
+    /// Bundling exactness: the engine's per-pair rates, violations and
+    /// aggregates match the unbundled batch solver within float tolerance,
+    /// across random tenant mixes — including the oversubscribed-floor
+    /// regime where phase-1 scaling kicks in.
+    #[test]
+    fn bundled_solve_matches_batch_solver() {
+        let topo = topo();
+        let servers = topo.servers();
+        let mut rng = Rng(0xBEEF);
+        for round in 0..20 {
+            let model = if round % 2 == 0 {
+                GuaranteeModel::Tag
+            } else {
+                GuaranteeModel::Hose
+            };
+            let mut engine = TrafficEngine::new(&topo, model, EcmpConfig::none());
+            let mut tenants = Vec::new();
+            for id in 0..3u64 {
+                let tag = random_tag(&mut rng);
+                let placement = random_placement(&mut rng, &tag, servers);
+                engine.upsert_tenant(&topo, id, 1, &tag, &placement);
+                tenants.push(TenantTraffic::from_placement(id, tag, &placement, model));
+            }
+            let got = engine.solve_detailed(&topo);
+            let want = datacenter::solve(&topo, &tenants);
+            assert_report_close(&got, &want, &format!("round {round}"));
+        }
+    }
+
+    /// Oversubscribed floors (phase-1 scaling, the `R < F` recovery
+    /// regime): many high-guarantee pairs squeezed through one NIC.
+    #[test]
+    fn bundling_is_exact_under_oversubscribed_floors() {
+        // 1-slot topology is too small; use the 4-slot default and pile
+        // two fat tiers onto two servers so floors exceed the NIC.
+        let topo = topo();
+        let servers = topo.servers();
+        let mut b = TagBuilder::new("fat");
+        let a = b.tier("a", 4);
+        let z = b.tier("z", 4);
+        // 4×4 pairs × 500 Mbps floors ≫ the 1 Gbps NIC.
+        b.sym_edge(a, z, mbps(2000.0)).unwrap();
+        let tag = Arc::new(b.build().unwrap());
+        let placement = vec![(servers[0], vec![4, 0]), (servers[7], vec![0, 4])];
+        let mut engine = TrafficEngine::new(&topo, GuaranteeModel::Tag, EcmpConfig::none());
+        engine.upsert_tenant(&topo, 5, 1, &tag, &placement);
+        let got = engine.solve_detailed(&topo);
+        let want = datacenter::solve(
+            &topo,
+            &[TenantTraffic::from_placement(
+                5,
+                Arc::clone(&tag),
+                &placement,
+                GuaranteeModel::Tag,
+            )],
+        );
+        // Floors oversubscribe: phase-1 scaling must have engaged.
+        let f = want.pair(5, 0, 4).unwrap();
+        assert!(f.rate_kbps < f.floor_kbps, "scaling regime not reached");
+        assert_report_close(&got, &want, "oversubscribed");
+        // And the whole thing collapsed to 2 aggregate fluid flows
+        // (one per direction) from 32 VM pairs.
+        assert_eq!(got.cross_flows, 32);
+        assert_eq!(got.fluid_flows, 2);
+    }
+
+    /// Incremental re-expansion: after upserts/removals/version bumps, the
+    /// engine is bit-identical to a fresh engine fed the final state.
+    #[test]
+    fn churned_engine_is_bit_equal_to_fresh_engine() {
+        let topo = topo();
+        let servers = topo.servers();
+        let mut rng = Rng(7);
+        let mut engine = TrafficEngine::new(&topo, GuaranteeModel::Tag, EcmpConfig::none());
+        type Entry = (u64, Arc<Tag>, Vec<(NodeId, Vec<u32>)>);
+        let mut state: BTreeMap<u64, Entry> = BTreeMap::new();
+        for step in 0..40 {
+            let id = rng.next(6);
+            if state.contains_key(&id) && rng.next(3) == 0 {
+                state.remove(&id);
+            } else {
+                let tag = random_tag(&mut rng);
+                let placement = random_placement(&mut rng, &tag, servers);
+                let version = step as u64 + 1;
+                state.insert(id, (version, Arc::clone(&tag), placement));
+            }
+            engine.retain_tenants(|id| state.contains_key(&id));
+            for (&id, (version, tag, placement)) in &state {
+                engine.upsert_tenant(&topo, id, *version, tag, placement);
+            }
+            let got = engine.solve_detailed(&topo);
+
+            let mut fresh = TrafficEngine::new(&topo, GuaranteeModel::Tag, EcmpConfig::none());
+            for (&id, (version, tag, placement)) in &state {
+                fresh.upsert_tenant(&topo, id, *version, tag, placement);
+            }
+            let want = fresh.solve_detailed(&topo);
+            assert_eq!(got.flows.len(), want.flows.len(), "step {step}");
+            for (a, b) in got.flows.iter().zip(&want.flows) {
+                assert_eq!(a.tenant, b.tenant);
+                assert_eq!((a.src, a.dst), (b.src, b.dst));
+                assert_eq!(a.rate_kbps.to_bits(), b.rate_kbps.to_bits(), "step {step}");
+                assert_eq!(a.floor_kbps.to_bits(), b.floor_kbps.to_bits());
+            }
+            assert_eq!(got.violations, want.violations);
+            assert_eq!(got.work_conserving, want.work_conserving);
+            assert_eq!(
+                got.total_rate_kbps.to_bits(),
+                want.total_rate_kbps.to_bits()
+            );
+        }
+    }
+
+    /// ECMP: equal-split over `ways` symmetric sub-links reproduces the
+    /// single-pipe allocation; hashed mode stays work-conserving and
+    /// cannot beat the split total under incast.
+    #[test]
+    fn ecmp_modes_behave() {
+        let topo = topo();
+        let servers = topo.servers();
+        // Cross-pod incast: 4 senders (one per remote rack pair) into one
+        // receiver, all crossing the core.
+        let mut b = TagBuilder::new("incast");
+        let snd = b.tier("snd", 4);
+        let rcv = b.tier("rcv", 1);
+        b.edge(snd, rcv, mbps(500.0), mbps(2000.0)).unwrap();
+        let tag = Arc::new(b.build().unwrap());
+        let placement = vec![
+            (servers[4], vec![2, 0]),
+            (servers[5], vec![2, 0]),
+            (servers[0], vec![0, 1]),
+        ];
+        let rate_for = |cfg: EcmpConfig| {
+            let mut e = TrafficEngine::new(&topo, GuaranteeModel::Tag, cfg);
+            e.upsert_tenant(&topo, 1, 1, &tag, &placement);
+            let r = e.solve(&topo);
+            assert!(r.work_conserving, "{cfg:?}");
+            r.total_rate_kbps
+        };
+        let single = rate_for(EcmpConfig::none());
+        let split = rate_for(EcmpConfig::equal_split(4));
+        let hashed = rate_for(EcmpConfig::hashed(4));
+        // Packet spraying over symmetric quarters = one fat pipe.
+        assert!(
+            (split - single).abs() < 1e-3 * (1.0 + single),
+            "split {split} vs single {single}"
+        );
+        // Hash collisions can only hurt, never help.
+        assert!(hashed <= split + 1e-6 * (1.0 + split), "hashed {hashed}");
+    }
+
+    /// Model switching drops cached tenants so floors re-derive.
+    #[test]
+    fn set_model_invalidates_cached_tenants() {
+        let topo = topo();
+        let servers = topo.servers();
+        let mut rng = Rng(99);
+        let tag = random_tag(&mut rng);
+        let placement = random_placement(&mut rng, &tag, servers);
+        let mut engine = TrafficEngine::new(&topo, GuaranteeModel::Tag, EcmpConfig::none());
+        engine.upsert_tenant(&topo, 1, 1, &tag, &placement);
+        assert_eq!(engine.version_of(1), Some(1));
+        engine.set_model(GuaranteeModel::Hose);
+        assert_eq!(engine.version_of(1), None);
+        engine.upsert_tenant(&topo, 1, 1, &tag, &placement);
+        let hose = engine.solve_detailed(&topo);
+        let want = datacenter::solve(
+            &topo,
+            &[TenantTraffic::from_placement(
+                1,
+                Arc::clone(&tag),
+                &placement,
+                GuaranteeModel::Hose,
+            )],
+        );
+        assert_report_close(&hose, &want, "post-switch");
+    }
+
+    /// Compare an engine report against a batch-solver report: same pair
+    /// set, tolerance-equal rates/floors/intents, equal violations and
+    /// work-conservation, tolerance-equal aggregates.
+    fn assert_report_close(got: &TrafficReport, want: &TrafficReport, ctx: &str) {
+        assert_eq!(got.flows.len(), want.flows.len(), "{ctx}: pair count");
+        assert_eq!(got.cross_flows, want.cross_flows, "{ctx}");
+        assert_eq!(got.colocated_flows, want.colocated_flows, "{ctx}");
+        for w in &want.flows {
+            let g = got
+                .pair(w.tenant, w.src, w.dst)
+                .unwrap_or_else(|| panic!("{ctx}: missing pair {w:?}"));
+            let close = |a: f64, b: f64| (a - b).abs() < 1e-6 * (1.0 + b.abs());
+            assert!(
+                close(g.floor_kbps, w.floor_kbps),
+                "{ctx}: floor {g:?} vs {w:?}"
+            );
+            assert!(
+                close(g.intent_kbps, w.intent_kbps),
+                "{ctx}: intent {g:?} vs {w:?}"
+            );
+            assert!(
+                close(g.rate_kbps, w.rate_kbps),
+                "{ctx}: rate {g:?} vs {w:?}"
+            );
+            assert_eq!(g.colocated, w.colocated, "{ctx}");
+        }
+        assert_eq!(got.violations, want.violations, "{ctx}");
+        assert_eq!(got.work_conserving, want.work_conserving, "{ctx}");
+        assert!(
+            (got.total_rate_kbps - want.total_rate_kbps).abs()
+                < 1e-6 * (1.0 + want.total_rate_kbps),
+            "{ctx}: total {} vs {}",
+            got.total_rate_kbps,
+            want.total_rate_kbps
+        );
+        for (g, w) in got.levels.iter().zip(&want.levels) {
+            assert_eq!(g.links, w.links, "{ctx}");
+            assert!(
+                (g.mean_utilization - w.mean_utilization).abs() < 1e-6,
+                "{ctx}: level {} mean {} vs {}",
+                g.level,
+                g.mean_utilization,
+                w.mean_utilization
+            );
+        }
+    }
+}

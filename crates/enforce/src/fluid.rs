@@ -59,10 +59,24 @@ impl FlowSpec {
 }
 
 /// A fluid network: capacitated links and flows.
+///
+/// The per-link flow index is **maintained incrementally**: [`Fluid::flow`]
+/// registers the new flow on each of its links, [`Fluid::remove_flow`]
+/// detaches it in O(|path|), and [`Fluid::clear_flows`] drops every flow
+/// while retaining links, capacities and the per-link vectors' allocations.
+/// [`Fluid::rates`] therefore starts solving immediately instead of
+/// rebuilding the index from scratch on every call — the contract the
+/// incremental traffic engine ([`crate::engine`]) relies on when it reuses
+/// one network across churn steps.
 #[derive(Debug, Clone, Default)]
 pub struct Fluid {
     caps: Vec<f64>,
     flows: Vec<FlowSpec>,
+    /// `link_flows[l]` = indices of the flows crossing link `l`.
+    link_flows: Vec<Vec<u32>>,
+    /// `flow_pos[f][k]` = position of flow `f` inside
+    /// `link_flows[flows[f].path[k]]`, so removal never scans a link list.
+    flow_pos: Vec<Vec<u32>>,
 }
 
 impl Fluid {
@@ -75,6 +89,7 @@ impl Fluid {
     pub fn link(&mut self, cap_kbps: f64) -> usize {
         assert!(cap_kbps >= 0.0);
         self.caps.push(cap_kbps);
+        self.link_flows.push(Vec::new());
         self.caps.len() - 1
     }
 
@@ -88,8 +103,61 @@ impl Fluid {
             );
         }
         assert!(f.floor >= 0.0 && f.weight > 0.0);
+        let id = self.flows.len() as u32;
+        let mut pos = Vec::with_capacity(f.path.len());
+        for &l in &f.path {
+            pos.push(self.link_flows[l].len() as u32);
+            self.link_flows[l].push(id);
+        }
+        self.flow_pos.push(pos);
         self.flows.push(f);
         self.flows.len() - 1
+    }
+
+    /// Remove flow `i` in O(|path|): it is detached from every link it
+    /// crosses and the **last** flow takes over its index (swap-remove), so
+    /// callers tracking flow indices must apply that single rename.
+    /// Returns the removed spec.
+    pub fn remove_flow(&mut self, i: usize) -> FlowSpec {
+        let path_len = self.flows[i].path.len();
+        // Detach `i` from its links; each swap-removed hole is patched by
+        // fixing the moved flow's cached position for that link.
+        for k in 0..path_len {
+            let l = self.flows[i].path[k];
+            let p = self.flow_pos[i][k] as usize;
+            self.link_flows[l].swap_remove(p);
+            if p < self.link_flows[l].len() {
+                let moved = self.link_flows[l][p] as usize;
+                let slot = self.flows[moved]
+                    .path
+                    .iter()
+                    .position(|&ml| ml == l)
+                    .expect("indexed flow crosses the link");
+                self.flow_pos[moved][slot] = p as u32;
+            }
+        }
+        let spec = self.flows.swap_remove(i);
+        let _ = self.flow_pos.swap_remove(i);
+        // The former last flow now lives at index `i`: update every link
+        // list entry that still names it by its old index.
+        if i < self.flows.len() {
+            for (k, &l) in self.flows[i].path.iter().enumerate() {
+                let p = self.flow_pos[i][k] as usize;
+                self.link_flows[l][p] = i as u32;
+            }
+        }
+        spec
+    }
+
+    /// Drop every flow while keeping all links and their capacities. The
+    /// per-link index vectors and the flow vectors keep their allocations,
+    /// so a clear-and-refill cycle allocates nothing in steady state.
+    pub fn clear_flows(&mut self) {
+        self.flows.clear();
+        self.flow_pos.clear();
+        for lf in &mut self.link_flows {
+            lf.clear();
+        }
     }
 
     /// Number of flows.
@@ -134,14 +202,10 @@ impl Fluid {
             return Vec::new();
         }
         let nl = self.caps.len();
-        // Per-link flow index, built once — replaces the O(flows) `path
-        // .contains` scan the reference implementation performs per link.
-        let mut link_flows: Vec<Vec<u32>> = vec![Vec::new(); nl];
-        for (i, f) in self.flows.iter().enumerate() {
-            for &l in &f.path {
-                link_flows[l].push(i as u32);
-            }
-        }
+        // The per-link flow index is maintained by `flow`/`remove_flow`/
+        // `clear_flows`, so the solve starts immediately — no O(Σ|path|)
+        // rebuild per call.
+        let link_flows = &self.link_flows;
 
         // Phase 1: floors capped by demand, defensively scaled on
         // oversubscribed links (worst link first, like the reference).
@@ -630,6 +694,104 @@ mod tests {
     #[test]
     fn empty_network() {
         let net = Fluid::new();
+        assert!(net.rates().is_empty());
+    }
+
+    /// Build the same flow set two ways — incrementally (with interleaved
+    /// removals) and from scratch — and require identical allocations.
+    #[test]
+    fn incremental_removal_matches_fresh_build() {
+        // Deterministic pseudo-random flow shapes over a small link set.
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        };
+        let mut net = Fluid::new();
+        let links: Vec<usize> = (0..8).map(|i| net.link(500.0 + 100.0 * i as f64)).collect();
+        let mk = |a: usize, b: usize, g: f64| {
+            let mut path = vec![links[a]];
+            if b != a {
+                path.push(links[b]);
+            }
+            FlowSpec::greedy(path).with_guarantee(g)
+        };
+        let mut live: Vec<FlowSpec> = Vec::new();
+        for step in 0..200 {
+            if !live.is_empty() && next(3) == 0 {
+                let victim = next(net.num_flows());
+                let spec = net.remove_flow(victim);
+                // remove_flow swap-removes: mirror that on the shadow list.
+                let shadow = live.swap_remove(victim);
+                assert_eq!(spec.path, shadow.path);
+                assert_eq!(spec.floor, shadow.floor);
+            } else {
+                let f = mk(next(8), next(8), (step % 5) as f64 * 50.0);
+                live.push(f.clone());
+                net.flow(f);
+            }
+            // The incremental network must allocate like a network rebuilt
+            // from the shadow list. Swap-removal permutes the per-link flow
+            // lists, so float summation order differs — tolerance equality,
+            // not bit equality (that stronger property belongs to
+            // `clear_flows` + in-order re-add, tested separately).
+            let mut fresh = Fluid::new();
+            for &c in &[500.0, 600.0, 700.0, 800.0, 900.0, 1000.0, 1100.0, 1200.0] {
+                fresh.link(c);
+            }
+            for f in &live {
+                fresh.flow(f.clone());
+            }
+            let a = net.rates();
+            let b = fresh.rates();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!(
+                    (x - y).abs() < 1e-6 * (1.0 + y.abs()),
+                    "step {step}: {x} vs {y}"
+                );
+            }
+            assert!(net.is_work_conserving(&a));
+        }
+    }
+
+    #[test]
+    fn clear_flows_retains_links_and_resets_state() {
+        let mut net = Fluid::new();
+        let a = net.link(1000.0);
+        let b = net.link(100.0);
+        net.flow(FlowSpec::greedy(vec![a, b]));
+        net.flow(FlowSpec::greedy(vec![a]));
+        let first = net.rates();
+        net.clear_flows();
+        assert_eq!(net.num_flows(), 0);
+        assert_eq!(net.num_links(), 2);
+        assert!(net.rates().is_empty());
+        // Re-adding the same flows reproduces the original allocation.
+        net.flow(FlowSpec::greedy(vec![a, b]));
+        net.flow(FlowSpec::greedy(vec![a]));
+        let again = net.rates();
+        for (x, y) in first.iter().zip(&again) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn remove_last_and_only_flows() {
+        let mut net = Fluid::new();
+        let l = net.link(900.0);
+        net.flow(FlowSpec::greedy(vec![l]));
+        net.flow(FlowSpec::greedy(vec![l]).with_guarantee(100.0));
+        // Removing the last flow needs no rename.
+        net.remove_flow(1);
+        assert_eq!(net.num_flows(), 1);
+        let r = net.rates();
+        assert!((r[0] - 900.0).abs() < 1e-6, "{r:?}");
+        // Removing the only flow empties the network.
+        net.remove_flow(0);
+        assert_eq!(net.num_flows(), 0);
         assert!(net.rates().is_empty());
     }
 

@@ -31,14 +31,23 @@
 //! admitted tenant's placement expands into VM-pair flows routed over the
 //! physical tree and solved as one shared weighted max-min network — the
 //! Fig. 13/14 interference experiments *through the placement layer*
-//! instead of on synthetic 2-link topologies.
+//! instead of on synthetic 2-link topologies. [`engine`] makes that solve
+//! *incremental*: a persistent [`engine::TrafficEngine`] re-expands only
+//! tenants whose placement changed, memoizes server-pair routes in an
+//! LCA-keyed [`route::RouteCache`], bundles same-class VM pairs into
+//! aggregate flows, and optionally models the fat-tree core as ECMP
+//! multipath ([`route::EcmpConfig`]).
 
 pub mod datacenter;
 pub mod elastic;
+pub mod engine;
 pub mod fluid;
+pub mod route;
 pub mod scenario;
 
 pub use datacenter::{LevelUtilization, PairFlow, TenantSummary, TenantTraffic, TrafficReport};
 pub use elastic::{split_guarantee, Enforcer, GuaranteeModel, PairGuarantee};
+pub use engine::TrafficEngine;
 pub use fluid::{FlowSpec, Fluid};
+pub use route::{EcmpConfig, EcmpMode, RouteCache};
 pub use scenario::{fig13_throughput, fig4_throughput, Fig13Point, Fig4Point};

@@ -155,6 +155,21 @@ pub fn run_churn_observed<P: Placer>(
     cfg: &ChurnConfig,
     pool: &TenantPool,
     placer: P,
+    observe: impl FnMut(usize, &Cluster<P>),
+) -> ChurnReport {
+    run_churn_prepared(cfg, pool, placer, |_| {}, observe)
+}
+
+/// [`run_churn_observed`] with a one-shot `prepare` hook called on the
+/// freshly built (still empty) cluster before any churn decision — the
+/// place to flip cluster-level knobs that must not perturb the decision
+/// stream, e.g. [`Cluster::set_traffic_ecmp`] for the traffic driver's
+/// multipath runs.
+pub fn run_churn_prepared<P: Placer>(
+    cfg: &ChurnConfig,
+    pool: &TenantPool,
+    placer: P,
+    prepare: impl FnOnce(&mut Cluster<P>),
     mut observe: impl FnMut(usize, &Cluster<P>),
 ) -> ChurnReport {
     let pool = if cfg.bmax_kbps > 0 {
@@ -163,6 +178,7 @@ pub fn run_churn_observed<P: Placer>(
         pool.clone()
     };
     let mut cluster = Cluster::adopt(Topology::build(&cfg.spec), placer);
+    prepare(&mut cluster);
     let placer_name = cluster.placer().name();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut report = ChurnReport {

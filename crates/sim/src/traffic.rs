@@ -3,18 +3,20 @@
 //!
 //! [`run_churn_traffic`] drives the same deterministic autoscaling-churn
 //! scenario as [`crate::lifecycle::run_churn`], but every `solve_every`
-//! arrivals it freezes time and runs the **datacenter traffic engine**
-//! ([`cm_cluster::Cluster::traffic_report_as`]): every live tenant's
-//! active TAG edges expand into VM-pair flows, each pair is routed over
-//! its physical uplink/downlink path, and one shared weighted max-min
-//! network is solved — per-step solve time, flow counts,
-//! guarantee-compliance violations and link utilization are recorded.
-//! `bench_admission` writes the result as the `traffic` section of
-//! `BENCH_placement.json`, comparing the paper's TAG-patched enforcement
-//! against the plain hose-model baseline on identical placements.
+//! arrivals it freezes time and steps the cluster's **incremental traffic
+//! engine** ([`cm_cluster::Cluster::traffic_step_as`]): tenants whose
+//! placement changed since the previous step re-expand their active TAG
+//! edges into bundled flows, each bundle is routed over its physical
+//! uplink/downlink path (optionally ECMP-split across the core), and one
+//! shared weighted max-min network is solved — per-step expand/route/
+//! solve/score times, flow counts, guarantee-compliance violations and
+//! link utilization are recorded. `bench_admission` writes the result as
+//! the `traffic` section of `BENCH_placement.json`, comparing the paper's
+//! TAG-patched enforcement against the plain hose-model baseline on
+//! identical placements.
 
-use crate::lifecycle::{run_churn_observed, ChurnConfig, ChurnReport, OpLatencies};
-use cm_cluster::GuaranteeModel;
+use crate::lifecycle::{run_churn_prepared, ChurnConfig, ChurnReport, OpLatencies};
+use cm_cluster::{EcmpConfig, GuaranteeModel};
 use cm_core::placement::Placer;
 use cm_workloads::TenantPool;
 
@@ -30,16 +32,20 @@ pub struct TrafficChurnConfig {
     /// Guarantee model enforcing the floors ([`GuaranteeModel::Tag`] = the
     /// paper's patched ElasticSwitch, `Hose` = the §2.2 baseline).
     pub model: GuaranteeModel,
+    /// ECMP layout of the traffic engine ([`EcmpConfig::none`] = the
+    /// single-path tree routing of the batch solver).
+    pub ecmp: EcmpConfig,
 }
 
 impl TrafficChurnConfig {
     /// The default scenario: paper datacenter churn with a solve every 25
-    /// arrivals under the given model.
+    /// arrivals under the given model, single-path routing.
     pub fn paper_default(model: GuaranteeModel) -> Self {
         TrafficChurnConfig {
             churn: ChurnConfig::paper_default(),
             solve_every: 25,
             model,
+            ecmp: EcmpConfig::none(),
         }
     }
 }
@@ -65,10 +71,27 @@ pub struct TrafficStep {
     pub total_rate_kbps: f64,
     /// Largest directional-link utilization.
     pub max_link_utilization: f64,
-    /// Seconds spent expanding, partitioning and routing.
-    pub build_secs: f64,
+    /// Seconds spent re-expanding dirty tenants (guarantee partitioning,
+    /// bundling, route-cache fills).
+    pub expand_secs: f64,
+    /// Seconds spent assembling the fluid flow set from cached bundles.
+    pub route_secs: f64,
     /// Seconds spent in the fluid max-min solve.
     pub solve_secs: f64,
+    /// Seconds spent scoring achieved rates against TAG intents.
+    pub score_secs: f64,
+}
+
+impl TrafficStep {
+    /// Seconds of everything before the fluid solve (expand + route).
+    pub fn build_secs(&self) -> f64 {
+        self.expand_secs + self.route_secs
+    }
+
+    /// Full per-step engine seconds (expand + route + solve + score).
+    pub fn step_secs(&self) -> f64 {
+        self.expand_secs + self.route_secs + self.solve_secs + self.score_secs
+    }
 }
 
 /// Everything one traffic-churn run produces.
@@ -93,12 +116,22 @@ impl TrafficChurnReport {
         lat
     }
 
-    /// Latencies of the full per-step engine run (expand + partition +
-    /// route + solve), for percentile queries.
+    /// Latencies of the full per-step engine run (expand + route + solve
+    /// + score), for percentile queries.
     pub fn step_latencies(&self) -> OpLatencies {
         let mut lat = OpLatencies::default();
         for s in &self.steps {
-            lat.push_secs(s.build_secs + s.solve_secs);
+            lat.push_secs(s.step_secs());
+        }
+        lat
+    }
+
+    /// Latencies of one engine phase, selected by `f` (percentile queries
+    /// over the expand/route/score breakdown).
+    pub fn phase_latencies(&self, f: impl Fn(&TrafficStep) -> f64) -> OpLatencies {
+        let mut lat = OpLatencies::default();
+        for s in &self.steps {
+            lat.push_secs(f(s));
         }
         lat
     }
@@ -139,25 +172,33 @@ pub fn run_churn_traffic<P: Placer>(
     let every = cfg.solve_every.max(1);
     let last = cfg.churn.tenants.saturating_sub(1);
     let mut steps: Vec<TrafficStep> = Vec::new();
-    let churn = run_churn_observed(&cfg.churn, pool, placer, |arrival, cluster| {
-        if (arrival + 1) % every != 0 && arrival != last {
-            return;
-        }
-        let r = cluster.traffic_report_as(cfg.model);
-        steps.push(TrafficStep {
-            arrival,
-            live_tenants: cluster.tenant_count(),
-            cross_flows: r.cross_flows,
-            colocated_flows: r.colocated_flows,
-            violations: r.violations,
-            violating_tenants: r.violating_tenants(),
-            work_conserving: r.work_conserving,
-            total_rate_kbps: r.total_rate_kbps,
-            max_link_utilization: r.max_link_utilization(),
-            build_secs: r.build_secs,
-            solve_secs: r.solve_secs,
-        });
-    });
+    let churn = run_churn_prepared(
+        &cfg.churn,
+        pool,
+        placer,
+        |cluster| cluster.set_traffic_ecmp(cfg.ecmp),
+        |arrival, cluster| {
+            if (arrival + 1) % every != 0 && arrival != last {
+                return;
+            }
+            let r = cluster.traffic_step_as(cfg.model);
+            steps.push(TrafficStep {
+                arrival,
+                live_tenants: cluster.tenant_count(),
+                cross_flows: r.cross_flows,
+                colocated_flows: r.colocated_flows,
+                violations: r.violations,
+                violating_tenants: r.violating_tenants(),
+                work_conserving: r.work_conserving,
+                total_rate_kbps: r.total_rate_kbps,
+                max_link_utilization: r.max_link_utilization(),
+                expand_secs: r.expand_secs,
+                route_secs: r.route_secs,
+                solve_secs: r.solve_secs,
+                score_secs: r.score_secs,
+            });
+        },
+    );
     TrafficChurnReport {
         model: cfg.model,
         churn,
@@ -185,6 +226,7 @@ mod tests {
             },
             solve_every: 10,
             model,
+            ecmp: EcmpConfig::none(),
         }
     }
 

@@ -433,6 +433,27 @@ impl Topology {
         self.path_to_root(n).any(|a| a == ancestor)
     }
 
+    /// Lowest common ancestor of two nodes: the deepest node whose subtree
+    /// contains both (a node is its own ancestor, so `lca(n, n) == n`).
+    /// O(depth); the single-rooted tree guarantees the walk meets at the
+    /// root at the latest. The traffic engine's route cache keys server-pair
+    /// paths by this node: the route is the up-chain of `a` to the LCA
+    /// joined with the reversed down-chain of `b`.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut a, mut b) = (a, b);
+        while self.level(a) < self.level(b) {
+            a = self.parent(a).expect("below the root, parent exists");
+        }
+        while self.level(b) < self.level(a) {
+            b = self.parent(b).expect("below the root, parent exists");
+        }
+        while a != b {
+            a = self.parent(a).expect("distinct nodes at the root level");
+            b = self.parent(b).expect("distinct nodes at the root level");
+        }
+        a
+    }
+
     // ------------------------------------------------------------------
     // Slot accounting
     // ------------------------------------------------------------------
@@ -977,6 +998,35 @@ mod tests {
         assert_eq!(t.level(path[0]), 0);
         assert_eq!(t.level(path[3]), 3);
         assert_eq!(path[3], t.root());
+    }
+
+    #[test]
+    fn lca_matches_ancestor_structure() {
+        let t = paper();
+        let s0 = t.servers()[0];
+        let s1 = t.servers()[1]; // same rack
+        let s40 = t.servers()[40]; // same pod, different rack
+        let s300 = t.servers()[300]; // different pod
+        assert_eq!(t.lca(s0, s0), s0);
+        assert_eq!(t.lca(s0, s1), t.parent(s0).unwrap());
+        assert_eq!(t.lca(s0, s40), t.parent(t.parent(s0).unwrap()).unwrap());
+        assert_eq!(t.lca(s0, s300), t.root());
+        assert_eq!(t.lca(s0, s300), t.lca(s300, s0), "symmetric");
+        // Mixed levels: a server against its own ToR and a foreign ToR.
+        let tor = t.parent(s0).unwrap();
+        assert_eq!(t.lca(s0, tor), tor);
+        let other_tor = t.parent(s300).unwrap();
+        assert_eq!(t.lca(s0, other_tor), t.root());
+        // The LCA is an ancestor of both and the deepest such node: every
+        // cross-check against the brute-force path intersection agrees.
+        for &(x, y) in &[(s0, s1), (s0, s40), (s0, s300), (s1, s40)] {
+            let px: Vec<_> = t.path_to_root(x).collect();
+            let brute = t
+                .path_to_root(y)
+                .find(|n| px.contains(n))
+                .expect("root is common");
+            assert_eq!(t.lca(x, y), brute);
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 
 use cloudmirror::workloads::bing_like_pool;
 use cloudmirror::{
-    mbps, Cluster, CmConfig, CmPlacer, GuaranteeModel, TagBuilder, TenantId, TreeSpec,
+    gbps, mbps, Cluster, CmConfig, CmPlacer, EcmpConfig, GuaranteeModel, TagBuilder, TenantId,
+    TreeSpec,
 };
 
 /// Fig. 13 through placement: tenant A is the paper's scenario — VM `X`
@@ -174,6 +175,94 @@ fn paper_scale_snapshot_solves_fast_and_compliant() {
             secs < 1.0,
             "paper-scale snapshot took {secs:.3} s ({} flows)",
             r.cross_flows
+        );
+    }
+}
+
+/// The incremental engine's scale claim: a 32,768-server ECMP fat-tree
+/// (32 pods x 32 racks x 32 servers, 8-way-hashed core) with ~90 live
+/// bing-like tenants must step in < 1 s in release builds — both the cold
+/// step (every tenant expands, routes fill) and a warm step after one
+/// scale operation (only the dirty tenant re-expands). Compliance holds at
+/// every scale: admission reserved every TAG floor, so the Tag model meets
+/// every intent. (Debug builds run a reduced snapshot without the timing
+/// bound, which is a release property — how CI runs this test.)
+#[test]
+fn fat_tree_32k_snapshot_steps_under_a_second() {
+    let spec = TreeSpec {
+        fanout_top_down: vec![32, 32, 32],
+        uplink_kbps: vec![gbps(10.0), gbps(80.0), gbps(320.0)],
+        slots_per_server: 25,
+    };
+    let pool = bing_like_pool(42).scaled_to_bmax(800_000);
+    let mut cluster = Cluster::new(&spec, CmPlacer::new(CmConfig::cm()));
+    cluster.set_traffic_ecmp(EcmpConfig::hashed(8));
+    let (target, size_cap) = if cfg!(debug_assertions) {
+        (12usize, 120u64)
+    } else {
+        (90usize, u64::MAX)
+    };
+    let mut admitted = 0usize;
+    let mut last = None;
+    'fill: loop {
+        let before = admitted;
+        for tag in pool.tenants() {
+            if tag.total_vms() > size_cap {
+                continue;
+            }
+            if let Ok(h) = cluster.admit(tag.clone()) {
+                last = Some(h);
+                admitted += 1;
+                if admitted >= target {
+                    break 'fill;
+                }
+            }
+        }
+        if admitted == before {
+            break;
+        }
+    }
+    assert!(admitted >= target / 2, "only {admitted} tenants admitted");
+
+    let cold = cluster.traffic_step();
+    assert!(cold.cross_flows > 100, "expected a real flow mix");
+    assert!(cold.work_conserving);
+    assert_eq!(cold.violations, 0, "Tag floors meet every intent at 32k");
+    assert!(
+        cold.fluid_flows <= cold.cross_flows,
+        "bundling never inflates the solver's flow count"
+    );
+
+    // Dirty exactly one tenant; the next step re-expands only it.
+    let h = last.expect("at least one tenant admitted");
+    let tier = cluster
+        .tag_of(h.id())
+        .unwrap()
+        .internal_tiers()
+        .next()
+        .unwrap();
+    let _ = cluster.scale_tier(h.id(), tier, 1);
+    let warm = cluster.traffic_step();
+    assert_eq!(warm.violations, 0);
+    #[cfg(not(debug_assertions))]
+    {
+        let cold_secs = cold.build_secs + cold.solve_secs + cold.score_secs;
+        let warm_secs = warm.build_secs + warm.solve_secs + warm.score_secs;
+        assert!(
+            cold_secs < 1.0,
+            "32k cold step took {cold_secs:.3} s ({} fluid flows)",
+            cold.fluid_flows
+        );
+        assert!(
+            warm_secs < 1.0,
+            "32k warm step took {warm_secs:.3} s ({} fluid flows)",
+            warm.fluid_flows
+        );
+        assert!(
+            warm.expand_secs <= cold.expand_secs,
+            "warm step re-expanded more than the cold step ({:.4} s vs {:.4} s)",
+            warm.expand_secs,
+            cold.expand_secs
         );
     }
 }

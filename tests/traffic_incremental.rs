@@ -1,0 +1,252 @@
+//! Differential correctness of the incremental traffic engine: a cluster
+//! churned through hundreds of randomized lifecycle operations must report
+//! **bit-identical** traffic to a from-scratch [`TrafficEngine`] built off
+//! the same placements (the engine re-expands only dirty tenants, but every
+//! solve re-adds flows in canonical order, so no churn history may leak
+//! into the arithmetic), and must agree with the batch
+//! [`datacenter::solve`] reference up to float-summation tolerance with
+//! exactly the same violation verdicts.
+
+use cloudmirror::enforce::datacenter::{self, TenantTraffic};
+use cloudmirror::enforce::TrafficEngine;
+use cloudmirror::{
+    mbps, Cluster, CmConfig, CmPlacer, EcmpConfig, GuaranteeModel, Tag, TagBuilder, TenantId,
+    TierId, TrafficReport, TreeSpec,
+};
+use std::sync::Arc;
+
+/// Deterministic xorshift64* stream driving the churn decisions.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Small TAG shapes exercising trunks, self-loops, and fan-in.
+fn pool() -> Vec<Arc<Tag>> {
+    let mut tags = Vec::new();
+    let mut b = TagBuilder::new("web-db");
+    let w = b.tier("web", 3);
+    let d = b.tier("db", 2);
+    b.sym_edge(w, d, mbps(40.0)).unwrap();
+    tags.push(Arc::new(b.build().unwrap()));
+
+    let mut b = TagBuilder::new("three-tier");
+    let fe = b.tier("fe", 2);
+    let mid = b.tier("mid", 3);
+    let back = b.tier("back", 2);
+    b.sym_edge(fe, mid, mbps(30.0)).unwrap();
+    b.edge(mid, back, mbps(20.0), mbps(20.0)).unwrap();
+    b.self_loop(mid, mbps(25.0)).unwrap();
+    tags.push(Arc::new(b.build().unwrap()));
+
+    let mut b = TagBuilder::new("workers");
+    let wk = b.tier("wk", 4);
+    b.self_loop(wk, mbps(30.0)).unwrap();
+    tags.push(Arc::new(b.build().unwrap()));
+
+    let mut b = TagBuilder::new("hub");
+    let src = b.tier("src", 1);
+    let sink = b.tier("sink", 4);
+    b.edge(src, sink, mbps(50.0), mbps(50.0)).unwrap();
+    tags.push(Arc::new(b.build().unwrap()));
+    tags
+}
+
+/// A from-scratch engine over the cluster's current placements (every
+/// tenant expanded fresh — no churn history, no warm route cache).
+fn from_scratch_report(
+    cluster: &Cluster<CmPlacer>,
+    model: GuaranteeModel,
+    ecmp: EcmpConfig,
+) -> TrafficReport {
+    let topo = cluster.topology();
+    let mut engine = TrafficEngine::new(topo, model, ecmp);
+    for id in cluster.tenant_ids() {
+        let placement = cluster.placement_of(id).unwrap();
+        let tag = cluster.tag_of(id).unwrap().clone();
+        engine.upsert_tenant(topo, id.raw(), 1, &tag, &placement);
+    }
+    engine.solve_detailed(topo)
+}
+
+/// The batch reference solve over the same placements.
+fn batch_report(cluster: &Cluster<CmPlacer>, model: GuaranteeModel) -> TrafficReport {
+    let tenants: Vec<TenantTraffic> = cluster
+        .tenant_ids()
+        .map(|id| {
+            TenantTraffic::from_placement(
+                id.raw(),
+                cluster.tag_of(id).unwrap().clone(),
+                &cluster.placement_of(id).unwrap(),
+                model,
+            )
+        })
+        .collect();
+    datacenter::solve(cluster.topology(), &tenants)
+}
+
+fn assert_bits(x: f64, y: f64, what: &str, step: usize) {
+    assert!(
+        x.to_bits() == y.to_bits(),
+        "step {step}: {what} not bit-equal ({x} vs {y})"
+    );
+}
+
+/// Churned-engine output must be bit-identical to a fresh engine.
+fn assert_bit_equal(got: &TrafficReport, fresh: &TrafficReport, step: usize) {
+    assert_eq!(got.cross_flows, fresh.cross_flows, "step {step}");
+    assert_eq!(got.colocated_flows, fresh.colocated_flows, "step {step}");
+    assert_eq!(got.fluid_flows, fresh.fluid_flows, "step {step}");
+    assert_eq!(got.violations, fresh.violations, "step {step}");
+    assert_eq!(got.work_conserving, fresh.work_conserving, "step {step}");
+    assert_bits(got.total_rate_kbps, fresh.total_rate_kbps, "total", step);
+    assert_eq!(got.flows.len(), fresh.flows.len(), "step {step}");
+    for (a, b) in got.flows.iter().zip(&fresh.flows) {
+        assert_eq!(
+            (a.tenant, a.src, a.dst, a.colocated),
+            (b.tenant, b.src, b.dst, b.colocated),
+            "step {step}: flow identity"
+        );
+        assert_bits(a.rate_kbps, b.rate_kbps, "rate", step);
+        assert_bits(a.floor_kbps, b.floor_kbps, "floor", step);
+        assert_bits(a.intent_kbps, b.intent_kbps, "intent", step);
+    }
+    assert_eq!(got.tenants.len(), fresh.tenants.len(), "step {step}");
+    for (a, b) in got.tenants.iter().zip(&fresh.tenants) {
+        assert_eq!(
+            (a.id, a.vms, a.pairs, a.cross_pairs, a.violations),
+            (b.id, b.vms, b.pairs, b.cross_pairs, b.violations),
+            "step {step}: tenant summary"
+        );
+        assert_bits(a.intent_kbps, b.intent_kbps, "tenant intent", step);
+        assert_bits(a.achieved_kbps, b.achieved_kbps, "tenant achieved", step);
+    }
+    for (a, b) in got.levels.iter().zip(&fresh.levels) {
+        assert_bits(a.mean_utilization, b.mean_utilization, "level mean", step);
+        assert_bits(a.max_utilization, b.max_utilization, "level max", step);
+    }
+}
+
+fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() < 1e-6 * (1.0 + y.abs())
+}
+
+/// Engine vs batch: identical pair populations and violation verdicts,
+/// tolerance-equal rates (bundled vs per-pair summation order differs).
+fn assert_matches_batch(eng: &TrafficReport, batch: &TrafficReport, step: usize) {
+    assert_eq!(eng.cross_flows, batch.cross_flows, "step {step}");
+    assert_eq!(eng.colocated_flows, batch.colocated_flows, "step {step}");
+    assert_eq!(eng.violations, batch.violations, "step {step}");
+    assert_eq!(eng.work_conserving, batch.work_conserving, "step {step}");
+    assert!(
+        close(eng.total_rate_kbps, batch.total_rate_kbps),
+        "step {step}: totals {} vs {}",
+        eng.total_rate_kbps,
+        batch.total_rate_kbps
+    );
+    assert_eq!(eng.flows.len(), batch.flows.len(), "step {step}");
+    for f in &eng.flows {
+        let r = batch
+            .flows
+            .iter()
+            .find(|b| (b.tenant, b.src, b.dst) == (f.tenant, f.src, f.dst))
+            .unwrap_or_else(|| panic!("step {step}: batch misses pair {f:?}"));
+        assert_eq!(f.colocated, r.colocated, "step {step}");
+        assert!(
+            close(f.rate_kbps, r.rate_kbps)
+                && close(f.floor_kbps, r.floor_kbps)
+                && close(f.intent_kbps, r.intent_kbps),
+            "step {step}: pair {}/{}->{} engine ({}, {}, {}) vs batch ({}, {}, {})",
+            f.tenant,
+            f.src,
+            f.dst,
+            f.rate_kbps,
+            f.floor_kbps,
+            f.intent_kbps,
+            r.rate_kbps,
+            r.floor_kbps,
+            r.intent_kbps
+        );
+    }
+}
+
+/// Drive ≥200 randomized lifecycle steps (admit / scale ± / migrate /
+/// depart), checking the cluster's embedded engine against a from-scratch
+/// engine after **every** step, and against the batch solver periodically
+/// (batch comparison only under single-path routing — the batch solver has
+/// no ECMP).
+fn churn_differential(model: GuaranteeModel, ecmp: EcmpConfig, seed: u64) {
+    const STEPS: usize = 220;
+    let spec = TreeSpec::small(2, 3, 4, 4, [mbps(1000.0), mbps(4000.0), mbps(8000.0)]);
+    let mut cluster =
+        Cluster::new(&spec, CmPlacer::new(CmConfig::cm())).with_guarantee_model(model);
+    cluster.set_traffic_ecmp(ecmp);
+    let pool = pool();
+    let single_path = ecmp == EcmpConfig::none();
+    let mut rng = Rng(seed);
+    let mut live: Vec<TenantId> = Vec::new();
+    for step in 0..STEPS {
+        let op = if live.len() >= 10 { 90 } else { rng.below(100) };
+        match op {
+            0..=44 => {
+                let tag = &pool[rng.below(pool.len() as u64) as usize];
+                if let Ok(h) = cluster.admit(tag) {
+                    live.push(h.id());
+                }
+            }
+            45..=69 if !live.is_empty() => {
+                let id = live[rng.below(live.len() as u64) as usize];
+                let tiers: Vec<TierId> = cluster.tag_of(id).unwrap().internal_tiers().collect();
+                let tier = tiers[rng.below(tiers.len() as u64) as usize];
+                let delta = 1 + rng.below(3) as i64;
+                let delta = if rng.below(2) == 0 { delta } else { -delta };
+                let _ = cluster.scale_tier(id, tier, delta);
+            }
+            70..=84 if !live.is_empty() => {
+                let id = live[rng.below(live.len() as u64) as usize];
+                let _ = cluster.migrate(id);
+            }
+            _ if !live.is_empty() => {
+                let id = live.swap_remove(rng.below(live.len() as u64) as usize);
+                cluster.depart(id).unwrap();
+            }
+            _ => {}
+        }
+
+        let got = cluster.traffic_report_as(model);
+        let fresh = from_scratch_report(&cluster, model, ecmp);
+        assert_bit_equal(&got, &fresh, step);
+        if single_path && step % 5 == 0 {
+            assert_matches_batch(&got, &batch_report(&cluster, model), step);
+        }
+    }
+    assert!(!live.is_empty(), "churn kept a live population");
+    cluster.check_invariants().unwrap();
+}
+
+#[test]
+fn incremental_engine_matches_from_scratch_tag() {
+    churn_differential(GuaranteeModel::Tag, EcmpConfig::none(), 7);
+}
+
+#[test]
+fn incremental_engine_matches_from_scratch_hose() {
+    churn_differential(GuaranteeModel::Hose, EcmpConfig::none(), 11);
+}
+
+#[test]
+fn incremental_engine_matches_from_scratch_under_ecmp() {
+    churn_differential(GuaranteeModel::Tag, EcmpConfig::hashed(2), 13);
+}
