@@ -510,6 +510,21 @@ impl<P: Placer> Cluster<P> {
         }
     }
 
+    /// Force every dirty component of the embedded engine's fluid solver
+    /// to cold-solve (skipping warm starts). Differential-test knob: the
+    /// forced-cold engine is bit-identical to a from-scratch one.
+    pub fn set_traffic_force_cold(&mut self, on: bool) {
+        self.sync_traffic_engine(self.guarantee_model)
+            .set_force_cold(on);
+    }
+
+    /// Run `f` against the embedded (synced) traffic engine — read-only
+    /// access for differential tests that compare the engine's fluid
+    /// network against a from-scratch solve.
+    pub fn with_traffic_engine<R>(&self, f: impl FnOnce(&TrafficEngine) -> R) -> R {
+        f(&self.sync_traffic_engine(self.guarantee_model))
+    }
+
     /// Bring the embedded engine in sync with the live registry: create it
     /// on first use, switch its guarantee model, drop departed tenants,
     /// and re-expand exactly the tenants whose placement version moved.

@@ -250,6 +250,25 @@ pub struct TrafficReport {
     pub route_secs: f64,
     /// Seconds spent in the fluid max-min solve itself.
     pub solve_secs: f64,
+    /// Seconds of `solve_secs` spent in cold per-component solves. The
+    /// batch solver's whole solve is one cold pass, so here it equals
+    /// `solve_secs`.
+    pub solve_cold_secs: f64,
+    /// Seconds of `solve_secs` spent in warm-start attempts and their
+    /// verification (zero for the batch solver).
+    pub solve_warm_secs: f64,
+    /// Connected components the solver re-solved this step (the batch
+    /// solver always re-solves everything as one component).
+    pub components_dirty: usize,
+    /// Connected components among links carrying at least one flow.
+    pub components_total: usize,
+    /// Largest used/capacity over ECMP sub-links (links split `ways > 1`
+    /// ways); 0 when nothing is split. Compared against
+    /// `ecmp_mean_utilization` this measures hash-collision imbalance in
+    /// the fat-tree core (EqualSplit keeps the two equal by construction).
+    pub ecmp_max_utilization: f64,
+    /// Mean used/capacity over ECMP sub-links; 0 when nothing is split.
+    pub ecmp_mean_utilization: f64,
     /// Seconds scoring solved rates into summaries, levels and violations
     /// (the batch solver folds this into the caller-visible wall time but
     /// reports it as zero).
@@ -397,9 +416,12 @@ pub fn solve(topo: &Topology, tenants: &[TenantTraffic]) -> TrafficReport {
     }
     let build_secs = t_build.elapsed().as_secs_f64();
 
-    // One shared solve across every tenant.
+    // One shared solve across every tenant (reusing the output vector is
+    // moot here — the network is rebuilt per call — but keeps the hot
+    // entry point exercised).
     let t_solve = Instant::now();
-    let rates = net.rates();
+    let mut rates = Vec::new();
+    net.rates_into(&mut rates);
     let solve_secs = t_solve.elapsed().as_secs_f64();
     let work_conserving = net.is_work_conserving(&rates);
     for (fi, &pi) in fluid_to_pair.iter().enumerate() {
@@ -473,6 +495,12 @@ pub fn solve(topo: &Topology, tenants: &[TenantTraffic]) -> TrafficReport {
         expand_secs: build_secs,
         route_secs: 0.0,
         solve_secs,
+        solve_cold_secs: solve_secs,
+        solve_warm_secs: 0.0,
+        components_dirty: 1,
+        components_total: 1,
+        ecmp_max_utilization: 0.0,
+        ecmp_mean_utilization: 0.0,
         score_secs: 0.0,
     }
 }

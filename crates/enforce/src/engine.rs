@@ -26,16 +26,27 @@
 //!   [`RouteCache`]; under an [`EcmpConfig`] with `ways > 1` core uplinks
 //!   are parallel sub-links and bundles are hashed or split across them.
 //!
-//! Each [`TrafficEngine::solve`] clears the fluid network's flow set
-//! (capacity-retaining) and re-adds every live bundle in ascending tenant
-//! id order. The flow order is therefore a pure function of the tenant
-//! states — an engine that churned through any history produces
-//! **bit-identical** rates to a fresh engine fed the same final state,
-//! which is what the differential tests pin.
+//! The fluid flow set is **persistent**: each bundle's sub-flows live in
+//! an [`IncrementalFluid`] across steps, added on (re-)expansion and
+//! removed on departure/re-expansion, so a solve re-runs only the
+//! connected components churn touched — warm-started from the previous
+//! step's water levels — while clean components keep their rates
+//! verbatim (see [`crate::incremental`]).
+//!
+//! Determinism contract: component *cold* solves order flows by the
+//! canonical `(tenant id, bundle sub-flow sequence)` key, so a
+//! forced-cold engine that churned through any history produces
+//! **bit-identical** rates to a fresh engine fed the same final state.
+//! With warm starts enabled the rates are tolerance-equal with identical
+//! violation verdicts (warm results are verified against the same
+//! max-min conditions and discarded on any mismatch); floors and intents
+//! stay bit-identical either way. The differential tests pin all three
+//! properties.
 
 use crate::datacenter::{LevelUtilization, PairFlow, TenantSummary, TrafficReport};
 use crate::elastic::GuaranteeModel;
 use crate::fluid::{FlowSpec, Fluid};
+use crate::incremental::IncrementalFluid;
 use crate::route::{flow_seed, EcmpConfig, EcmpMode, RouteCache};
 use cm_core::model::Tag;
 use cm_topology::{NodeId, Topology};
@@ -112,6 +123,10 @@ struct EngineTenant {
     intent_kbps: f64,
     bundles: Vec<Bundle>,
     colocated: Vec<CoClass>,
+    /// Stable fluid-flow ids of the tenant's live sub-flows, one per
+    /// `(bundle, path)` in bundle order — removed on re-expansion or
+    /// departure.
+    flow_ids: Vec<u32>,
 }
 
 /// The persistent incremental engine (see the [module docs](self)).
@@ -119,13 +134,15 @@ struct EngineTenant {
 pub struct TrafficEngine {
     model: GuaranteeModel,
     route: RouteCache,
-    net: Fluid,
+    net: IncrementalFluid,
     num_levels: usize,
-    /// Ascending-id order gives every solve a canonical flow order.
+    /// Ascending-id order gives every report a canonical tenant order.
     tenants: BTreeMap<u64, EngineTenant>,
     /// Expansion seconds accumulated by `upsert_tenant` since the last
     /// solve (the dirty-set work of the step).
     pending_expand: f64,
+    /// Pooled per-link usage buffer for the scoring pass.
+    used_scratch: Vec<f64>,
 }
 
 impl TrafficEngine {
@@ -138,11 +155,25 @@ impl TrafficEngine {
         TrafficEngine {
             model,
             route,
-            net,
+            net: IncrementalFluid::new(net),
             num_levels: topo.num_levels(),
             tenants: BTreeMap::new(),
             pending_expand: 0.0,
+            used_scratch: Vec::new(),
         }
+    }
+
+    /// Force every dirty component to cold-solve (test knob for the
+    /// warm-vs-cold differential tests).
+    pub fn set_force_cold(&mut self, on: bool) {
+        self.net.set_force_cold(on);
+    }
+
+    /// The engine's persistent fluid network — current flow set and
+    /// last-solve rates, exposed for differential tests against a
+    /// from-scratch global [`crate::fluid::Fluid::rates`] solve.
+    pub fn network(&self) -> &IncrementalFluid {
+        &self.net
     }
 
     /// The enforcement model floors are derived under.
@@ -162,6 +193,7 @@ impl TrafficEngine {
         if model != self.model {
             self.model = model;
             self.tenants.clear();
+            self.net.clear_flows();
         }
     }
 
@@ -175,9 +207,20 @@ impl TrafficEngine {
         self.tenants.len()
     }
 
-    /// Drop every cached tenant `keep` rejects (departures).
+    /// Drop every cached tenant `keep` rejects (departures), removing
+    /// their fluid flows — which dirties exactly the components those
+    /// flows crossed.
     pub fn retain_tenants(&mut self, mut keep: impl FnMut(u64) -> bool) {
-        self.tenants.retain(|&id, _| keep(id));
+        let net = &mut self.net;
+        self.tenants.retain(|&id, t| {
+            let k = keep(id);
+            if !k {
+                for &fid in &t.flow_ids {
+                    net.remove_flow(fid);
+                }
+            }
+            k
+        });
     }
 
     /// Expand (or re-expand) tenant `id` at placement `placement` (the
@@ -197,7 +240,12 @@ impl TrafficEngine {
             return;
         }
         let t = Instant::now();
-        let expanded = expand_tenant(
+        if let Some(old) = self.tenants.remove(&id) {
+            for &fid in &old.flow_ids {
+                self.net.remove_flow(fid);
+            }
+        }
+        let mut expanded = expand_tenant(
             self.model,
             tag,
             placement,
@@ -206,6 +254,19 @@ impl TrafficEngine {
             version,
             id,
         );
+        // Materialize the bundles' sub-flows into the persistent network
+        // under the canonical `(tenant, sequence)` key the component
+        // solver orders by.
+        let mut seq = 0u32;
+        for b in &expanded.bundles {
+            for p in &b.paths {
+                let mut spec = FlowSpec::greedy(p.clone());
+                spec.floor = b.sub_floor;
+                spec.weight = b.sub_weight;
+                expanded.flow_ids.push(self.net.add_flow(spec, (id, seq)));
+                seq += 1;
+            }
+        }
         self.tenants.insert(id, expanded);
         self.pending_expand += t.elapsed().as_secs_f64();
     }
@@ -227,39 +288,27 @@ impl TrafficEngine {
         let expand_secs = self.pending_expand;
         self.pending_expand = 0.0;
 
-        // Route phase: rebuild the fluid flow set from the cached bundles,
-        // in canonical (ascending tenant id, bundle order) order.
-        let t_route = Instant::now();
-        self.net.clear_flows();
-        for tenant in self.tenants.values() {
-            for b in &tenant.bundles {
-                for p in &b.paths {
-                    let mut spec = FlowSpec::greedy(p.clone());
-                    spec.floor = b.sub_floor;
-                    spec.weight = b.sub_weight;
-                    self.net.flow(spec);
-                }
-            }
-        }
+        // The fluid flow set is persistent (maintained by
+        // `upsert_tenant`/`retain_tenants`); nothing to rebuild here.
         let fluid_flows = self.net.num_flows();
-        let route_secs = t_route.elapsed().as_secs_f64();
+        let route_secs = 0.0;
 
         let t_solve = Instant::now();
-        let rates = self.net.rates();
+        let stats = self.net.solve();
         let solve_secs = t_solve.elapsed().as_secs_f64();
 
-        // Score phase: walk the bundles in the same canonical order,
-        // recovering per-pair rates as aggregate / members.
+        // Score phase: walk each tenant's bundles through its stable flow
+        // ids, recovering per-pair rates as aggregate / members.
         let t_score = Instant::now();
-        let work_conserving = self.net.is_work_conserving(&rates);
+        let work_conserving = self.net.is_work_conserving();
         let mut summaries = Vec::with_capacity(self.tenants.len());
         let mut flows: Vec<PairFlow> = Vec::new();
         let mut cross_flows = 0usize;
         let mut colocated_flows = 0usize;
         let mut total_rate_kbps = 0.0;
         let mut violations = 0usize;
-        let mut cursor = 0usize;
         for (&id, tenant) in &self.tenants {
+            let mut cursor = 0usize;
             let mut summary = TenantSummary {
                 id,
                 vms: tenant.vms,
@@ -293,7 +342,7 @@ impl TrafficEngine {
             for b in &tenant.bundles {
                 let mut aggregate = 0.0;
                 for _ in 0..b.paths.len() {
-                    aggregate += rates[cursor];
+                    aggregate += self.net.rate_of(tenant.flow_ids[cursor]);
                     cursor += 1;
                 }
                 let m = b.members();
@@ -322,17 +371,26 @@ impl TrafficEngine {
                     }
                 }
             }
+            debug_assert_eq!(cursor, tenant.flow_ids.len());
             cross_flows += tenant.cross_pairs;
             colocated_flows += tenant.colocated_pairs;
             summaries.push(summary);
         }
-        debug_assert_eq!(cursor, rates.len());
 
-        // Link utilization per tree level, from the bundled flows.
-        let mut used = vec![0.0f64; self.net.num_links()];
-        for (spec, &r) in self.net.flows().iter().zip(&rates) {
-            for &l in &spec.path {
-                used[l] += r;
+        // Link utilization per tree level, from the bundled flows; ECMP
+        // sub-links additionally feed the hash-imbalance aggregate.
+        let used = &mut self.used_scratch;
+        used.clear();
+        used.resize(self.net.num_links(), 0.0);
+        // Accumulate in canonical (tenant, flow-seq) order — dense order is
+        // permuted by swap-removals under churn, and a permuted float sum
+        // would break the forced-cold bit-equality contract.
+        for tenant in self.tenants.values() {
+            for &fid in &tenant.flow_ids {
+                let r = self.net.rate_of(fid);
+                for &l in &self.net.flow_of(fid).path {
+                    used[l] += r;
+                }
             }
         }
         let mut levels: Vec<LevelUtilization> = (0..self.num_levels.saturating_sub(1))
@@ -344,8 +402,11 @@ impl TrafficEngine {
                 saturated: 0,
             })
             .collect();
+        let mut ecmp_max_utilization = 0.0f64;
+        let mut ecmp_sum_utilization = 0.0f64;
+        let mut ecmp_links = 0usize;
         for (l, &u) in used.iter().enumerate() {
-            let cap = self.net.link_cap(l);
+            let cap = self.net.fluid().link_cap(l);
             let util = if cap > 0.0 { u / cap } else { 0.0 };
             let lv = &mut levels[self.route.link_level(l) as usize];
             lv.links += 1;
@@ -354,12 +415,22 @@ impl TrafficEngine {
             if util >= 0.999 {
                 lv.saturated += 1;
             }
+            if self.route.link_is_split(l) {
+                ecmp_max_utilization = ecmp_max_utilization.max(util);
+                ecmp_sum_utilization += util;
+                ecmp_links += 1;
+            }
         }
         for lv in &mut levels {
             if lv.links > 0 {
                 lv.mean_utilization /= lv.links as f64;
             }
         }
+        let ecmp_mean_utilization = if ecmp_links > 0 {
+            ecmp_sum_utilization / ecmp_links as f64
+        } else {
+            0.0
+        };
         let score_secs = t_score.elapsed().as_secs_f64();
 
         TrafficReport {
@@ -376,6 +447,12 @@ impl TrafficEngine {
             expand_secs,
             route_secs,
             solve_secs,
+            solve_cold_secs: stats.cold_secs,
+            solve_warm_secs: stats.warm_secs,
+            components_dirty: stats.components_dirty,
+            components_total: stats.components_total,
+            ecmp_max_utilization,
+            ecmp_mean_utilization,
             score_secs,
         }
     }
@@ -484,6 +561,7 @@ fn expand_tenant(
         intent_kbps: 0.0,
         bundles: Vec::new(),
         colocated: Vec::new(),
+        flow_ids: Vec::new(),
     };
     let mut path = Vec::new();
     for (ei, e) in edges.iter().enumerate() {
@@ -756,14 +834,17 @@ mod tests {
         assert_eq!(got.fluid_flows, 2);
     }
 
-    /// Incremental re-expansion: after upserts/removals/version bumps, the
-    /// engine is bit-identical to a fresh engine fed the final state.
-    #[test]
-    fn churned_engine_is_bit_equal_to_fresh_engine() {
+    /// Incremental re-expansion under churn, compared against a fresh
+    /// engine fed the final state. With `force_cold` the component solves
+    /// are canonical and the rates must be **bit-identical**; with warm
+    /// starts enabled they are tolerance-equal with identical violation
+    /// verdicts. Floors are bit-identical either way.
+    fn churned_vs_fresh(force_cold: bool) {
         let topo = topo();
         let servers = topo.servers();
         let mut rng = Rng(7);
         let mut engine = TrafficEngine::new(&topo, GuaranteeModel::Tag, EcmpConfig::none());
+        engine.set_force_cold(force_cold);
         type Entry = (u64, Arc<Tag>, Vec<(NodeId, Vec<u32>)>);
         let mut state: BTreeMap<u64, Entry> = BTreeMap::new();
         for step in 0..40 {
@@ -783,6 +864,7 @@ mod tests {
             let got = engine.solve_detailed(&topo);
 
             let mut fresh = TrafficEngine::new(&topo, GuaranteeModel::Tag, EcmpConfig::none());
+            fresh.set_force_cold(force_cold);
             for (&id, (version, tag, placement)) in &state {
                 fresh.upsert_tenant(&topo, id, *version, tag, placement);
             }
@@ -791,16 +873,43 @@ mod tests {
             for (a, b) in got.flows.iter().zip(&want.flows) {
                 assert_eq!(a.tenant, b.tenant);
                 assert_eq!((a.src, a.dst), (b.src, b.dst));
-                assert_eq!(a.rate_kbps.to_bits(), b.rate_kbps.to_bits(), "step {step}");
+                if force_cold {
+                    assert_eq!(a.rate_kbps.to_bits(), b.rate_kbps.to_bits(), "step {step}");
+                } else {
+                    assert!(
+                        (a.rate_kbps - b.rate_kbps).abs() < 1e-6 * (1.0 + b.rate_kbps.abs()),
+                        "step {step}: {} vs {}",
+                        a.rate_kbps,
+                        b.rate_kbps
+                    );
+                }
                 assert_eq!(a.floor_kbps.to_bits(), b.floor_kbps.to_bits());
             }
-            assert_eq!(got.violations, want.violations);
-            assert_eq!(got.work_conserving, want.work_conserving);
-            assert_eq!(
-                got.total_rate_kbps.to_bits(),
-                want.total_rate_kbps.to_bits()
-            );
+            assert_eq!(got.violations, want.violations, "step {step}");
+            assert_eq!(got.work_conserving, want.work_conserving, "step {step}");
+            if force_cold {
+                assert_eq!(
+                    got.total_rate_kbps.to_bits(),
+                    want.total_rate_kbps.to_bits()
+                );
+            } else {
+                assert!(
+                    (got.total_rate_kbps - want.total_rate_kbps).abs()
+                        < 1e-6 * (1.0 + want.total_rate_kbps),
+                    "step {step}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn churned_engine_is_bit_equal_to_fresh_engine_when_cold() {
+        churned_vs_fresh(true);
+    }
+
+    #[test]
+    fn churned_engine_matches_fresh_engine_with_warm_starts() {
+        churned_vs_fresh(false);
     }
 
     /// ECMP: equal-split over `ways` symmetric sub-links reproduces the

@@ -14,6 +14,14 @@
 //! so a whole solve costs `O(Σ|path| + links × rounds)` where every round
 //! provably freezes at least one flow. The pre-rewrite `O(flows × links)`
 //! scan survives as [`Fluid::rates_reference`] for differential testing.
+//! The hot churn path uses [`Fluid::rates_into`] to reuse the output
+//! allocation across steps.
+//!
+//! For solves under *churn* — where most of the network is unchanged
+//! between calls — [`crate::incremental::IncrementalFluid`] wraps a
+//! `Fluid` and re-solves only the connected components the churn touched,
+//! warm-starting each from the previous step's per-link water levels (see
+//! that module's docs for the partition and warm-start invariants).
 
 /// One flow: a path over link indices plus its rate-control parameters.
 #[derive(Debug, Clone)]
@@ -180,6 +188,13 @@ impl Fluid {
         &self.flows
     }
 
+    /// Indices of the flows currently crossing link `l` (arbitrary order;
+    /// maintained incrementally by `flow`/`remove_flow`). The incremental
+    /// component solver walks these to gather a component's flow set.
+    pub fn link_flows(&self, l: usize) -> &[u32] {
+        &self.link_flows[l]
+    }
+
     /// Compute the weighted max-min fair allocation with floors.
     ///
     /// Phase 1 grants every flow its floor (capped by demand). Floors are
@@ -197,9 +212,20 @@ impl Fluid {
     /// debug-asserted work-conserving: every flow is demand-capped or
     /// crosses a saturated link.
     pub fn rates(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.rates_into(&mut out);
+        out
+    }
+
+    /// [`Fluid::rates`] writing into a caller-owned vector (cleared first),
+    /// so the per-step output allocation is reused across churn steps. The
+    /// arithmetic is identical to `rates` — same order, same constants —
+    /// and `rates` delegates here.
+    pub fn rates_into(&self, out: &mut Vec<f64>) {
+        out.clear();
         let n = self.flows.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let nl = self.caps.len();
         // The per-link flow index is maintained by `flow`/`remove_flow`/
@@ -209,7 +235,8 @@ impl Fluid {
 
         // Phase 1: floors capped by demand, defensively scaled on
         // oversubscribed links (worst link first, like the reference).
-        let mut rate: Vec<f64> = self.flows.iter().map(|f| f.floor.min(f.demand)).collect();
+        out.extend(self.flows.iter().map(|f| f.floor.min(f.demand)));
+        let rate = out;
         let mut used = vec![0.0f64; nl];
         loop {
             for (l, u) in used.iter_mut().enumerate() {
@@ -248,7 +275,7 @@ impl Fluid {
         let mut active: Vec<bool> = self
             .flows
             .iter()
-            .zip(&rate)
+            .zip(rate.iter())
             .map(|(f, r)| *r + 1e-9 < f.demand)
             .collect();
         // Active weight sum and active flow count per link. The count going
@@ -373,10 +400,9 @@ impl Fluid {
             }
         }
         debug_assert!(
-            self.is_work_conserving(&rate),
+            self.is_work_conserving(rate),
             "allocation is not work-conserving"
         );
-        rate
     }
 
     /// Whether `rates` is work-conserving: no link exceeds its capacity and
@@ -575,9 +601,10 @@ impl Fluid {
     }
 }
 
-/// Absolute + relative comparison slack for kbps-scale quantities.
+/// Absolute + relative comparison slack for kbps-scale quantities (shared
+/// with the incremental component solver's verification pass).
 #[inline]
-fn tol(magnitude: f64) -> f64 {
+pub(crate) fn tol(magnitude: f64) -> f64 {
     1e-6 + 1e-9 * magnitude.abs()
 }
 

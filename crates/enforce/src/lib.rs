@@ -36,12 +36,18 @@
 //! tenants whose placement changed, memoizes server-pair routes in an
 //! LCA-keyed [`route::RouteCache`], bundles same-class VM pairs into
 //! aggregate flows, and optionally models the fat-tree core as ECMP
-//! multipath ([`route::EcmpConfig`]).
+//! multipath ([`route::EcmpConfig`]). The fluid solve itself is
+//! incremental too: [`incremental::IncrementalFluid`] partitions the
+//! flow/link graph into connected components, re-solves only the ones
+//! churn touched, and warm-starts each from the previous step's per-link
+//! water levels — the step that takes the engine to 100k+-server
+//! fat-trees.
 
 pub mod datacenter;
 pub mod elastic;
 pub mod engine;
 pub mod fluid;
+pub mod incremental;
 pub mod route;
 pub mod scenario;
 
@@ -49,5 +55,6 @@ pub use datacenter::{LevelUtilization, PairFlow, TenantSummary, TenantTraffic, T
 pub use elastic::{split_guarantee, Enforcer, GuaranteeModel, PairGuarantee};
 pub use engine::TrafficEngine;
 pub use fluid::{FlowSpec, Fluid};
+pub use incremental::{IncrementalFluid, SolveStats};
 pub use route::{EcmpConfig, EcmpMode, RouteCache};
 pub use scenario::{fig13_throughput, fig4_throughput, Fig13Point, Fig4Point};

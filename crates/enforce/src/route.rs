@@ -122,6 +122,9 @@ pub struct RouteCache {
     ways_of: Vec<u32>,
     /// Tree level of the node owning each fluid link.
     link_level: Vec<u8>,
+    /// Whether each fluid link is one of `ways > 1` parallel ECMP
+    /// sub-links (the "core sub-links" the imbalance report measures).
+    link_split: Vec<bool>,
     /// `(src server << 32 | dst server)` → logical hop list
     /// (`node_index << 1 | is_up` per hop, path order).
     hops: FastMap<u64, Vec<u32>>,
@@ -140,6 +143,7 @@ impl RouteCache {
         let mut dn_base = vec![u32::MAX; n];
         let mut ways_of = vec![1u32; n];
         let mut link_level = Vec::new();
+        let mut link_split = Vec::new();
         for idx in 0..n {
             let node = NodeId(idx as u32);
             let Some((cap_up, cap_dn)) = topo.uplink_capacity(node) else {
@@ -157,6 +161,7 @@ impl RouteCache {
                 net.link(cap_dn as f64 / w as f64);
             }
             link_level.extend(std::iter::repeat_n(level, 2 * w as usize));
+            link_split.extend(std::iter::repeat_n(w > 1, 2 * w as usize));
         }
         RouteCache {
             cfg,
@@ -164,6 +169,7 @@ impl RouteCache {
             dn_base,
             ways_of,
             link_level,
+            link_split,
             hops: FastMap::default(),
         }
     }
@@ -176,6 +182,14 @@ impl RouteCache {
     /// Tree level of the node owning fluid link `l`.
     pub fn link_level(&self, l: usize) -> u8 {
         self.link_level[l]
+    }
+
+    /// Whether fluid link `l` is an ECMP sub-link (one of `ways > 1`
+    /// parallel lanes of a split uplink). The traffic report aggregates
+    /// max/mean utilization over exactly these links, so hash-collision
+    /// imbalance is measurable against the [`EcmpMode::EqualSplit`] ideal.
+    pub fn link_is_split(&self, l: usize) -> bool {
+        self.link_split[l]
     }
 
     /// Fluid links laid out (2 × ways per split uplink).

@@ -1,0 +1,183 @@
+//! Differential property test for [`IncrementalFluid`]: random add/remove
+//! churn sequences with interleaved solves, checked three ways every
+//! solve —
+//!
+//! 1. the warm-started solver against a forced-cold twin driven through
+//!    the identical churn (same stable ids, so the comparison survives
+//!    swap-removals),
+//! 2. both against a from-scratch global [`Fluid::rates`] over the same
+//!    surviving flow set,
+//! 3. the invariants themselves: work conservation always, and the full
+//!    max-min definition ([`Fluid::verify_max_min`]) whenever the floors
+//!    are admissible (the verifier assumes per-link floor sums fit).
+
+use cm_enforce::{FlowSpec, Fluid, IncrementalFluid};
+use proptest::prelude::*;
+
+/// One churn op against the incremental solver.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Add a flow crossing this link bitmask, with this demand class and
+    /// guarantee.
+    Add {
+        path_mask: u64,
+        demand: Option<f64>,
+        guarantee: f64,
+    },
+    /// Remove the k-th (mod live count) surviving flow.
+    Remove(usize),
+    /// Solve both twins and run the differential checks.
+    Solve,
+}
+
+#[derive(Debug, Clone)]
+struct ChurnRecipe {
+    caps: Vec<f64>,
+    ops: Vec<Op>,
+}
+
+fn arb_op(links: usize) -> impl Strategy<Value = Op> {
+    (
+        0u8..8,
+        1u64..(1 << links as u64),
+        0u8..3,
+        10.0f64..500.0,
+        0.0f64..300.0,
+        0usize..64,
+    )
+        .prop_map(|(which, path_mask, kind, demand, guarantee, k)| {
+            match which {
+                // Half the stream adds flows, a quarter removes, a
+                // quarter solves-and-checks.
+                0..=3 => Op::Add {
+                    path_mask,
+                    demand: match kind {
+                        0 => None,
+                        1 => Some(demand),
+                        _ => Some(demand.min(guarantee * 0.5 + 1.0)),
+                    },
+                    guarantee,
+                },
+                4..=5 => Op::Remove(k),
+                _ => Op::Solve,
+            }
+        })
+}
+
+fn arb_churn() -> impl Strategy<Value = ChurnRecipe> {
+    (2usize..7).prop_flat_map(|links| {
+        (
+            prop::collection::vec(50.0f64..2000.0, links..=links),
+            prop::collection::vec(arb_op(links), 4..40),
+        )
+            .prop_map(|(caps, ops)| ChurnRecipe { caps, ops })
+    })
+}
+
+fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() <= 1e-6 * (1.0 + y.abs())
+}
+
+/// Solve both twins and run every differential check against the
+/// surviving flow set.
+fn check_solve(
+    warm: &mut IncrementalFluid,
+    cold: &mut IncrementalFluid,
+    live: &[(u32, u32, FlowSpec)],
+    caps: &[f64],
+) {
+    warm.solve();
+    cold.solve();
+    for &(wa, ca, _) in live {
+        let (x, y) = (warm.rate_of(wa), cold.rate_of(ca));
+        prop_assert!(close(x, y), "warm {} vs forced-cold {}", x, y);
+    }
+    // Global from-scratch reference over the surviving set.
+    let mut fresh = Fluid::new();
+    for &c in caps {
+        fresh.link(c);
+    }
+    for (_, _, spec) in live {
+        fresh.flow(spec.clone());
+    }
+    let want = fresh.rates();
+    for (k, (wa, _, _)) in live.iter().enumerate() {
+        let x = warm.rate_of(*wa);
+        prop_assert!(close(x, want[k]), "warm {} vs global {}", x, want[k]);
+    }
+    prop_assert!(warm.is_work_conserving());
+    prop_assert!(cold.is_work_conserving());
+    // The strict verifier assumes admissible floors; only run it when the
+    // per-link floor sums actually fit.
+    let mut floor_used = vec![0.0f64; caps.len()];
+    for (_, _, f) in live {
+        for &l in &f.path {
+            floor_used[l] += f.floor.min(f.demand);
+        }
+    }
+    if floor_used.iter().zip(caps).all(|(&u, &c)| u <= c) {
+        fresh
+            .verify_max_min(&want)
+            .unwrap_or_else(|e| panic!("global verify: {e}"));
+    }
+}
+
+/// Run the churn over both twins, checking after every solve.
+fn run(recipe: &ChurnRecipe) {
+    let mut base = Fluid::new();
+    for &c in &recipe.caps {
+        base.link(c);
+    }
+    let mut warm = IncrementalFluid::new(base.clone());
+    let mut cold = IncrementalFluid::new(base);
+    cold.set_force_cold(true);
+    // Surviving flows: (warm id, cold id, spec); ids match between twins
+    // because both see the identical add/remove sequence.
+    let mut live: Vec<(u32, u32, FlowSpec)> = Vec::new();
+    let mut seq = 0u32;
+    for op in &recipe.ops {
+        match op {
+            Op::Add {
+                path_mask,
+                demand,
+                guarantee,
+            } => {
+                let path: Vec<usize> = (0..recipe.caps.len())
+                    .filter(|l| path_mask & (1 << l) != 0)
+                    .collect();
+                let mut spec = FlowSpec::greedy(path).with_guarantee(*guarantee);
+                if let Some(d) = demand {
+                    spec.demand = *d;
+                }
+                seq += 1;
+                let key = ((seq % 7) as u64, seq);
+                let wa = warm.add_flow(spec.clone(), key);
+                let ca = cold.add_flow(spec.clone(), key);
+                prop_assert_eq!(wa, ca, "twins must hand out identical stable ids");
+                live.push((wa, ca, spec));
+            }
+            Op::Remove(k) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (wa, ca, _) = live.swap_remove(k % live.len());
+                warm.remove_flow(wa);
+                cold.remove_flow(ca);
+            }
+            Op::Solve => check_solve(&mut warm, &mut cold, &live, &recipe.caps),
+        }
+    }
+    // Always end on a checked solve so trailing churn is covered.
+    check_solve(&mut warm, &mut cold, &live, &recipe.caps);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Warm-started and forced-cold incremental solves agree with each
+    /// other and with a from-scratch global solve across random churn.
+    #[test]
+    fn warm_matches_forced_cold_and_global(recipe in arb_churn()) {
+        run(&recipe);
+    }
+}

@@ -78,6 +78,19 @@ pub struct TrafficStep {
     pub route_secs: f64,
     /// Seconds spent in the fluid max-min solve.
     pub solve_secs: f64,
+    /// Seconds of the solve spent in cold (from-scratch) component solves.
+    pub solve_cold_secs: f64,
+    /// Seconds of the solve spent in accepted warm-started component solves.
+    pub solve_warm_secs: f64,
+    /// Connected components re-solved this step (churn-touched).
+    pub components_dirty: usize,
+    /// Connected components in the flow/link graph at this step.
+    pub components_total: usize,
+    /// Largest core sub-link utilization among ECMP-split links (0 when
+    /// routing is single-path).
+    pub ecmp_max_utilization: f64,
+    /// Mean core sub-link utilization among ECMP-split links.
+    pub ecmp_mean_utilization: f64,
     /// Seconds spent scoring achieved rates against TAG intents.
     pub score_secs: f64,
 }
@@ -149,6 +162,40 @@ impl TrafficChurnReport {
         self.steps.iter().map(|s| s.cross_flows).sum::<usize>() as f64 / self.steps.len() as f64
     }
 
+    /// Mean churn-dirty component count per solve step.
+    pub fn components_dirty_mean(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.components_dirty).sum::<usize>() as f64
+            / self.steps.len() as f64
+    }
+
+    /// Component count of the final snapshot's flow/link graph.
+    pub fn components_total_last(&self) -> usize {
+        self.steps.last().map_or(0, |s| s.components_total)
+    }
+
+    /// Largest ECMP sub-link utilization seen across all steps.
+    pub fn ecmp_max_utilization(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| s.ecmp_max_utilization)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean of the per-step mean ECMP sub-link utilizations.
+    pub fn ecmp_mean_utilization(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps
+            .iter()
+            .map(|s| s.ecmp_mean_utilization)
+            .sum::<f64>()
+            / self.steps.len() as f64
+    }
+
     /// Σ violations over all steps.
     pub fn violations_total(&self) -> usize {
         self.steps.iter().map(|s| s.violations).sum()
@@ -195,6 +242,12 @@ pub fn run_churn_traffic<P: Placer>(
                 expand_secs: r.expand_secs,
                 route_secs: r.route_secs,
                 solve_secs: r.solve_secs,
+                solve_cold_secs: r.solve_cold_secs,
+                solve_warm_secs: r.solve_warm_secs,
+                components_dirty: r.components_dirty,
+                components_total: r.components_total,
+                ecmp_max_utilization: r.ecmp_max_utilization,
+                ecmp_mean_utilization: r.ecmp_mean_utilization,
                 score_secs: r.score_secs,
             });
         },

@@ -266,3 +266,96 @@ fn fat_tree_32k_snapshot_steps_under_a_second() {
         );
     }
 }
+
+/// The 131,072-server exit bar: a 32 pods x 64 racks x 64 servers 8-way
+/// ECMP fat-tree with ~90 live bing-like tenants. The first step cold-
+/// solves every component; a subsequent churn step re-solves only the
+/// components the scaled tenant touches and must stay under the release
+/// wall-clock bound. (Debug builds run a reduced snapshot without the
+/// timing bound, which is a release property — how CI runs this test.)
+#[test]
+fn fat_tree_131k_snapshot_steps_under_churn() {
+    let spec = TreeSpec {
+        fanout_top_down: vec![32, 64, 64],
+        uplink_kbps: vec![gbps(10.0), gbps(80.0), gbps(320.0)],
+        slots_per_server: 25,
+    };
+    let pool = bing_like_pool(42).scaled_to_bmax(800_000);
+    let mut cluster = Cluster::new(&spec, CmPlacer::new(CmConfig::cm()));
+    cluster.set_traffic_ecmp(EcmpConfig::hashed(8));
+    let (target, size_cap) = if cfg!(debug_assertions) {
+        (12usize, 120u64)
+    } else {
+        (90usize, u64::MAX)
+    };
+    let mut admitted = 0usize;
+    let mut last = None;
+    'fill: loop {
+        let before = admitted;
+        for tag in pool.tenants() {
+            if tag.total_vms() > size_cap {
+                continue;
+            }
+            if let Ok(h) = cluster.admit(tag.clone()) {
+                last = Some(h);
+                admitted += 1;
+                if admitted >= target {
+                    break 'fill;
+                }
+            }
+        }
+        if admitted == before {
+            break;
+        }
+    }
+    assert!(admitted >= target / 2, "only {admitted} tenants admitted");
+
+    let cold = cluster.traffic_step();
+    assert!(cold.cross_flows > 100, "expected a real flow mix");
+    assert!(cold.work_conserving);
+    assert_eq!(cold.violations, 0, "Tag floors meet every intent at 131k");
+    assert!(cold.components_total > 0);
+    assert_eq!(
+        cold.components_dirty, cold.components_total,
+        "the first solve cold-starts every component"
+    );
+
+    // Dirty exactly one tenant; the next solve touches only its components.
+    let h = last.expect("at least one tenant admitted");
+    let tier = cluster
+        .tag_of(h.id())
+        .unwrap()
+        .internal_tiers()
+        .next()
+        .unwrap();
+    let _ = cluster.scale_tier(h.id(), tier, 1);
+    let warm = cluster.traffic_step();
+    assert_eq!(warm.violations, 0);
+    assert!(
+        warm.components_dirty <= warm.components_total,
+        "dirty set is a subset of the partition"
+    );
+    #[cfg(not(debug_assertions))]
+    {
+        let cold_secs = cold.build_secs + cold.solve_secs + cold.score_secs;
+        let warm_secs = warm.build_secs + warm.solve_secs + warm.score_secs;
+        assert!(
+            cold_secs < 3.0,
+            "131k cold step took {cold_secs:.3} s ({} fluid flows)",
+            cold.fluid_flows
+        );
+        assert!(
+            warm_secs < 1.0,
+            "131k churn step took {warm_secs:.3} s ({} fluid flows, {}/{} components dirty)",
+            warm.fluid_flows,
+            warm.components_dirty,
+            warm.components_total
+        );
+        assert!(
+            warm.components_dirty < cold.components_dirty,
+            "one scaled tenant must not dirty the whole partition ({}/{})",
+            warm.components_dirty,
+            warm.components_total
+        );
+    }
+}
