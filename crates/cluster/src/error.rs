@@ -53,6 +53,25 @@ pub enum CmError {
     /// built on the same error type; `Cluster` itself stages all mutations
     /// transactionally and reports `Rejected` instead).
     Topology(TopologyError),
+    /// A lifecycle operation (scale, migrate) addressed a tenant with
+    /// unrepaired fault damage. Damaged deployments can disagree with
+    /// their admitted model (an evicted tenant has no VMs at all), so
+    /// incremental ops have no consistent base;
+    /// [`crate::Cluster::repair_tenant`] first.
+    Damaged(TenantId),
+    /// [`crate::Cluster::repair_tenant`] was asked to repair a tenant that
+    /// carries no fault damage (never hit by a fault, or already repaired).
+    NothingToRepair(TenantId),
+    /// A repair could not re-place a tenant's lost VMs — the capacity is
+    /// still gone (another fault active, or the datacenter filled up while
+    /// degraded). The deployment is left in its consistent degraded state;
+    /// retry after more capacity returns.
+    RepairFailed {
+        /// The tenant whose repair failed.
+        tenant: TenantId,
+        /// Why the re-placement of the lost VMs was rejected.
+        reason: RejectReason,
+    },
 }
 
 impl CmError {
@@ -60,6 +79,7 @@ impl CmError {
     pub fn reject_reason(&self) -> Option<RejectReason> {
         match self {
             CmError::Rejected(r) => Some(*r),
+            CmError::RepairFailed { reason, .. } => Some(*reason),
             _ => None,
         }
     }
@@ -92,6 +112,15 @@ impl std::fmt::Display for CmError {
                 "{tenant}: active pair ({src}, {dst}) invalid for {vms} placed VMs"
             ),
             CmError::Topology(e) => write!(f, "topology operation failed: {e}"),
+            CmError::Damaged(id) => {
+                write!(f, "{id} has unrepaired fault damage; repair it first")
+            }
+            CmError::NothingToRepair(id) => {
+                write!(f, "{id} has no fault damage to repair")
+            }
+            CmError::RepairFailed { tenant, reason } => {
+                write!(f, "{tenant}: repair could not re-place lost VMs: {reason}")
+            }
         }
     }
 }
@@ -101,6 +130,7 @@ impl std::error::Error for CmError {
         match self {
             CmError::Rejected(r) => Some(r),
             CmError::Topology(e) => Some(e),
+            CmError::RepairFailed { reason, .. } => Some(reason),
             _ => None,
         }
     }

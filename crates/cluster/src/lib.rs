@@ -20,6 +20,11 @@
 //!   after churn), all-or-nothing: the old placement is restored exactly if
 //!   the re-admission fails;
 //! * [`Cluster::depart`] releases everything the tenant holds;
+//! * [`Cluster::inject_fault`] / [`Cluster::repair`] make survivability a
+//!   measured quantity: kill a server, a whole fault domain, or degrade a
+//!   link ([`Fault`]); lost VMs are evacuated from their tenants' ledgers
+//!   (stranded reservations reclaimed exactly, [`FaultReport`]) and
+//!   [`Cluster::repair_tenant`] later re-places only what was lost;
 //! * queries: [`Cluster::utilization`], [`Cluster::placement_of`], and
 //!   [`Cluster::guarantee_report`], which wires the placement into the
 //!   enforcement layer's guarantee partitioning (`cm-enforce`) — per
@@ -80,8 +85,8 @@
 //! ```
 
 use cm_core::model::{Tag, TierId};
-use cm_core::placement::{Deployed, Placer};
-use cm_topology::{NodeId, Topology, TreeSpec};
+use cm_core::placement::{place_incremental_replace, Deployed, Placer};
+use cm_topology::{Kbps, NodeId, Topology, TreeSpec};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -96,7 +101,7 @@ pub use cm_enforce::datacenter::{
 pub use cm_enforce::{EcmpConfig, EcmpMode, GuaranteeModel};
 
 use cm_enforce::TrafficEngine;
-use std::cell::{RefCell, RefMut};
+use std::cell::{Cell, RefCell, RefMut};
 
 mod error;
 mod report;
@@ -182,6 +187,96 @@ impl TenantHandle {
     }
 }
 
+/// A failure (or, symmetrically, a repair target) injected into the
+/// running datacenter by [`Cluster::inject_fault`] / [`Cluster::repair`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// One server dies: its free slots leave every placement aggregate and
+    /// the VMs on it are lost (evacuated from their tenants' ledgers).
+    Server(NodeId),
+    /// A whole fault domain dies — the paper's §4.5 failure unit: the
+    /// subtree root's uplink drops to zero capacity and every server below
+    /// it fails.
+    Domain(NodeId),
+    /// A soft failure: `node`'s uplink degrades to `fraction` of nominal
+    /// capacity in both directions. Placements survive (reservations made
+    /// before the fault are honoured in the ledger), but headroom for new
+    /// work shrinks and the traffic layer routes against the reduced caps.
+    DegradeLink {
+        /// The node whose uplink degrades.
+        node: NodeId,
+        /// Remaining capacity as a fraction of nominal, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// Per-tenant damage from one [`Cluster::inject_fault`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantDamage {
+    /// The damaged tenant.
+    pub tenant: TenantId,
+    /// Tier sizes immediately before this fault's evacuation.
+    pub pre_sizes: Vec<u32>,
+    /// Worst-case survivability per tier of the pre-fault placement,
+    /// measured at the tree level of the fault domain
+    /// (`1 − max_A N^t_A / N^t`, §4.5) — the survivability this fault was
+    /// *guaranteed* not to undercut. `None` for unplaced tiers.
+    pub pre_wcs: Vec<Option<f64>>,
+    /// VMs lost per tier (indexed like the TAG's tiers).
+    pub lost: Vec<u32>,
+    /// Total VMs lost.
+    pub lost_vms: u64,
+    /// Stranded bandwidth reclaimed by the evacuation, kbps (summed over
+    /// both directions of every touched link).
+    pub reclaimed_kbps: Kbps,
+    /// Whether the whole deployment was evicted rather than kept as a
+    /// surviving fragment (a tier lost all its VMs, or — for the
+    /// fixed-hose baselines — the shrunken placement no longer satisfied
+    /// the unshrunken model).
+    pub evicted: bool,
+}
+
+/// What one [`Cluster::inject_fault`] did to the datacenter: the substrate
+/// change plus the per-tenant evacuation ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// The fault injected.
+    pub fault: Fault,
+    /// Servers newly failed by this fault (empty for a pure link degrade).
+    pub failed_servers: Vec<NodeId>,
+    /// Total VMs lost across all tenants.
+    pub lost_vms: u64,
+    /// Total stranded bandwidth reclaimed, kbps.
+    pub reclaimed_kbps: Kbps,
+    /// Per-tenant damage, ascending tenant id.
+    pub tenants: Vec<TenantDamage>,
+}
+
+/// What one [`Cluster::repair`] did: the substrate restoration plus the
+/// outcome of re-placing every damaged tenant's lost VMs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairReport {
+    /// The fault repaired.
+    pub fault: Fault,
+    /// Servers brought back by this repair.
+    pub restored_servers: Vec<NodeId>,
+    /// Tenants whose lost VMs were fully re-placed (ascending id).
+    pub repaired: Vec<TenantId>,
+    /// Tenants still damaged after this repair (capacity still gone —
+    /// typically another fault is active), with the error each hit.
+    pub degraded: Vec<(TenantId, CmError)>,
+}
+
+/// Repair bookkeeping for one damaged tenant: what to grow back to.
+struct FaultRecord {
+    /// The authoritative TAG the moment the *first* fault hit the tenant —
+    /// the repair target. Overlapping faults keep the original.
+    pre_fault_tag: Arc<Tag>,
+    /// Whether the deployment was evicted wholesale (repair re-admits from
+    /// scratch instead of regrowing a fragment).
+    evicted: bool,
+}
+
 struct TenantEntry {
     tag: Arc<Tag>,
     deployed: Deployed,
@@ -210,6 +305,12 @@ pub struct Cluster<P: Placer> {
     placer: P,
     tenants: BTreeMap<TenantId, TenantEntry>,
     next_id: u64,
+    /// Damage ledger: every tenant that lost VMs to a fault and has not
+    /// been fully repaired (or departed) since.
+    faults: BTreeMap<TenantId, FaultRecord>,
+    /// Bumped on every [`Cluster::inject_fault`] / [`Cluster::repair`];
+    /// the embedded traffic engine diffs it to re-sync link capacities.
+    fault_epoch: u64,
     guarantee_model: GuaranteeModel,
     /// ECMP layout for the embedded traffic engine.
     traffic_ecmp: EcmpConfig,
@@ -219,6 +320,8 @@ pub struct Cluster<P: Placer> {
     /// reads; the engine mutation is cache maintenance) — the `Cluster`
     /// is a single-threaded controller, so losing `Sync` costs nothing.
     traffic: RefCell<Option<TrafficEngine>>,
+    /// The `fault_epoch` the engine's link capacities last reflected.
+    traffic_fault_epoch: Cell<u64>,
 }
 
 impl<P: Placer> Cluster<P> {
@@ -236,9 +339,12 @@ impl<P: Placer> Cluster<P> {
             placer,
             tenants: BTreeMap::new(),
             next_id: 0,
+            faults: BTreeMap::new(),
+            fault_epoch: 0,
             guarantee_model: GuaranteeModel::Tag,
             traffic_ecmp: EcmpConfig::none(),
             traffic: RefCell::new(None),
+            traffic_fault_epoch: Cell::new(0),
         }
     }
 
@@ -283,6 +389,7 @@ impl<P: Placer> Cluster<P> {
     /// becomes invalid; it is never reused.
     pub fn depart(&mut self, id: TenantId) -> Result<(), CmError> {
         let entry = self.tenants.remove(&id).ok_or(CmError::UnknownTenant(id))?;
+        self.faults.remove(&id);
         entry.deployed.release(&mut self.topo);
         Ok(())
     }
@@ -291,8 +398,12 @@ impl<P: Placer> Cluster<P> {
     /// tier size. Guarantees per VM are unchanged — only the tier count
     /// moves (§3: "per-VM bandwidth guarantees Se and Re typically do not
     /// need to change when tier sizes are changed by scaling"). On `Err`
-    /// the deployment is exactly as before.
+    /// the deployment is exactly as before. Tenants with unrepaired fault
+    /// damage are rejected with [`CmError::Damaged`] — their deployment
+    /// can disagree with the admitted model, so there is no consistent
+    /// base to scale from.
     pub fn scale_tier(&mut self, id: TenantId, tier: TierId, delta: i64) -> Result<u32, CmError> {
+        self.check_undamaged(id)?;
         let entry = self
             .tenants
             .get_mut(&id)
@@ -321,6 +432,7 @@ impl<P: Placer> Cluster<P> {
         tier: TierId,
         new_size: u32,
     ) -> Result<(), CmError> {
+        self.check_undamaged(id)?;
         let entry = self
             .tenants
             .get_mut(&id)
@@ -340,8 +452,12 @@ impl<P: Placer> Cluster<P> {
     /// Re-place the tenant from scratch with the placer's current view of
     /// the datacenter (defragmentation after churn). All-or-nothing under a
     /// savepoint: if the fresh placement fails, the old one is restored
-    /// bit-for-bit and the error is returned.
+    /// bit-for-bit and the error is returned. Tenants with unrepaired
+    /// fault damage are rejected with [`CmError::Damaged`]: migrating a
+    /// damaged fragment at full model size would be a silent repair with
+    /// none of [`Cluster::repair_tenant`]'s accounting.
     pub fn migrate(&mut self, id: TenantId) -> Result<(), CmError> {
+        self.check_undamaged(id)?;
         let entry = self
             .tenants
             .get_mut(&id)
@@ -363,9 +479,222 @@ impl<P: Placer> Cluster<P> {
     /// ends with nothing this cluster deployed still held.
     pub fn release_all(&mut self) {
         let tenants = std::mem::take(&mut self.tenants);
+        self.faults.clear();
         for (_, entry) in tenants {
             entry.deployed.release(&mut self.topo);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & recovery
+    // ------------------------------------------------------------------
+
+    /// Inject a fault into the running datacenter: apply the substrate
+    /// change, then evacuate every tenant that had VMs on newly failed
+    /// servers — lost VMs leave their ledgers and stranded reservations
+    /// are reclaimed exactly, so surviving placement and admission
+    /// decisions never see dead capacity. Damage is recorded per tenant
+    /// (the pre-fault TAG is the repair target) until
+    /// [`Cluster::repair_tenant`] regrows it.
+    ///
+    /// CloudMirror deployments shrink their TAG to the surviving tier
+    /// sizes (evacuation is then infallible — every cut price is monotone
+    /// non-increasing); a tier losing *all* its VMs evicts the tenant
+    /// wholesale. The fixed-hose baselines keep their admitted model, so
+    /// an evacuation that no longer satisfies it also evicts.
+    ///
+    /// # Panics
+    ///
+    /// [`Fault::DegradeLink`] with `fraction` outside `[0, 1]`.
+    pub fn inject_fault(&mut self, fault: Fault) -> Result<FaultReport, CmError> {
+        let (failed_servers, domain_level) = match fault {
+            Fault::Server(s) => {
+                let newly = if self.topo.fail_server(s)? {
+                    vec![s]
+                } else {
+                    Vec::new()
+                };
+                (newly, 0u8)
+            }
+            Fault::Domain(n) => {
+                let level = self.topo.level(n);
+                (self.topo.fail_domain(n)?, level)
+            }
+            Fault::DegradeLink { node, fraction } => {
+                self.topo.degrade_link(node, fraction)?;
+                (Vec::new(), 0u8)
+            }
+        };
+        self.fault_epoch += 1;
+        let mut tenants = Vec::new();
+        if !failed_servers.is_empty() {
+            for (&id, entry) in self.tenants.iter_mut() {
+                let pre = Arc::clone(&entry.tag);
+                let pre_wcs = entry.deployed.wcs_at_level(&self.topo, domain_level);
+                let pre_sizes = entry.deployed.tier_sizes();
+                let Some(ev) = entry.deployed.evacuate_failed(&mut self.topo) else {
+                    continue;
+                };
+                // A CloudMirror deployment shrank its model during the
+                // evacuation; the registry tag follows, so guarantee
+                // reports and the traffic engine describe only the
+                // surviving VMs.
+                if let Some(s) = entry.deployed.tag_state() {
+                    entry.tag = s.model_arc();
+                }
+                entry.version += 1;
+                let record = self.faults.entry(id).or_insert(FaultRecord {
+                    pre_fault_tag: pre,
+                    evicted: false,
+                });
+                record.evicted |= ev.evicted;
+                tenants.push(TenantDamage {
+                    tenant: id,
+                    pre_sizes,
+                    pre_wcs,
+                    lost: ev.lost,
+                    lost_vms: ev.lost_vms,
+                    reclaimed_kbps: ev.reclaimed_kbps,
+                    evicted: ev.evicted,
+                });
+            }
+        }
+        Ok(FaultReport {
+            fault,
+            failed_servers,
+            lost_vms: tenants.iter().map(|t| t.lost_vms).sum(),
+            reclaimed_kbps: tenants.iter().map(|t| t.reclaimed_kbps).sum(),
+            tenants,
+        })
+    }
+
+    /// Undo a fault: restore the substrate (bit-exact — nominal capacities
+    /// come back from the spec, a restored server re-publishes exactly its
+    /// unused slots), then attempt [`Cluster::repair_tenant`] for *every*
+    /// damaged tenant in ascending id order. Tenants whose capacity is
+    /// still gone (another fault active, or the datacenter filled up while
+    /// degraded) stay recorded and are returned as `degraded`.
+    pub fn repair(&mut self, fault: Fault) -> Result<RepairReport, CmError> {
+        let restored_servers = match fault {
+            Fault::Server(s) => {
+                if self.topo.restore_server(s)? {
+                    vec![s]
+                } else {
+                    Vec::new()
+                }
+            }
+            Fault::Domain(n) => self.topo.restore_domain(n)?,
+            Fault::DegradeLink { node, .. } => {
+                self.topo.restore_link(node)?;
+                Vec::new()
+            }
+        };
+        self.fault_epoch += 1;
+        let mut repaired = Vec::new();
+        let mut degraded = Vec::new();
+        for id in self.faults.keys().copied().collect::<Vec<_>>() {
+            match self.repair_tenant(id) {
+                Ok(()) => repaired.push(id),
+                Err(e) => degraded.push((id, e)),
+            }
+        }
+        Ok(RepairReport {
+            fault,
+            restored_servers,
+            repaired,
+            degraded,
+        })
+    }
+
+    /// Re-place exactly the VMs a damaged tenant lost, growing it back to
+    /// its recorded pre-fault TAG:
+    ///
+    /// * an evicted tenant is re-admitted from scratch under the pre-fault
+    ///   TAG;
+    /// * a surviving CloudMirror fragment regrows each shrunk tier through
+    ///   [`Placer::place_incremental`] — only the lost VMs move, every
+    ///   touched link is repriced under the regrown TAG;
+    /// * a surviving baseline fragment is re-placed wholesale under a
+    ///   snapshot guard (restored exactly on failure).
+    ///
+    /// On success the damage record is cleared. On
+    /// [`CmError::RepairFailed`] the deployment is left in its consistent
+    /// degraded state (for the tier-by-tier path, tiers regrown before the
+    /// failing one stay regrown) and the record is kept, so the repair can
+    /// be retried when capacity returns.
+    pub fn repair_tenant(&mut self, id: TenantId) -> Result<(), CmError> {
+        let record = self.faults.get(&id).ok_or(CmError::NothingToRepair(id))?;
+        let pre = Arc::clone(&record.pre_fault_tag);
+        let evicted = record.evicted;
+        let entry = self
+            .tenants
+            .get_mut(&id)
+            .ok_or(CmError::UnknownTenant(id))?;
+        if evicted || entry.deployed.total_placed(&self.topo) == 0 {
+            let deployed = self
+                .placer
+                .place_shared(&mut self.topo, &pre)
+                .map_err(|reason| CmError::RepairFailed { tenant: id, reason })?;
+            let old = std::mem::replace(&mut entry.deployed, deployed);
+            old.release(&mut self.topo);
+            entry.tag = entry
+                .deployed
+                .tag_state()
+                .map(|s| s.model_arc())
+                .unwrap_or(pre);
+            entry.version += 1;
+        } else if entry.deployed.tag_state().is_some() {
+            for t in 0..pre.num_tiers() {
+                let tier = TierId(t as u16);
+                if pre.tier(tier).external {
+                    continue;
+                }
+                let want = pre.tier(tier).size;
+                if entry.tag.tier(tier).size >= want {
+                    continue;
+                }
+                resize_entry(&mut self.topo, &mut self.placer, entry, tier, want).map_err(|e| {
+                    match e {
+                        CmError::Rejected(reason) => CmError::RepairFailed { tenant: id, reason },
+                        other => other,
+                    }
+                })?;
+            }
+        } else {
+            place_incremental_replace(&mut self.placer, &mut self.topo, &mut entry.deployed, &pre)
+                .map_err(|reason| CmError::RepairFailed { tenant: id, reason })?;
+            entry.version += 1;
+        }
+        self.faults.remove(&id);
+        Ok(())
+    }
+
+    /// Tenants currently carrying fault damage (lost VMs not yet
+    /// re-placed), ascending.
+    pub fn faulted_tenants(&self) -> impl Iterator<Item = TenantId> + '_ {
+        self.faults.keys().copied()
+    }
+
+    /// Guard for incremental lifecycle ops: a damaged tenant's deployment
+    /// can disagree with its admitted model, so scale/migrate refuse until
+    /// [`Cluster::repair_tenant`] reconciles them.
+    fn check_undamaged(&self, id: TenantId) -> Result<(), CmError> {
+        if self.faults.contains_key(&id) {
+            return Err(CmError::Damaged(id));
+        }
+        Ok(())
+    }
+
+    /// The recorded pre-fault TAG of a damaged tenant — what
+    /// [`Cluster::repair_tenant`] will grow it back to.
+    pub fn pre_fault_tag(&self, id: TenantId) -> Option<&Arc<Tag>> {
+        self.faults.get(&id).map(|r| &r.pre_fault_tag)
+    }
+
+    /// Monotonic counter bumped by every [`Cluster::inject_fault`] and
+    /// [`Cluster::repair`].
+    pub fn fault_epoch(&self) -> u64 {
+        self.fault_epoch
     }
 
     // ------------------------------------------------------------------
@@ -526,13 +855,23 @@ impl<P: Placer> Cluster<P> {
     }
 
     /// Bring the embedded engine in sync with the live registry: create it
-    /// on first use, switch its guarantee model, drop departed tenants,
-    /// and re-expand exactly the tenants whose placement version moved.
+    /// on first use, switch its guarantee model, re-sync link capacities
+    /// if a fault or repair landed since the last query, drop departed
+    /// tenants, and re-expand exactly the tenants whose placement version
+    /// moved.
     fn sync_traffic_engine(&self, model: GuaranteeModel) -> RefMut<'_, TrafficEngine> {
         let mut slot = self.traffic.borrow_mut();
         let engine =
             slot.get_or_insert_with(|| TrafficEngine::new(&self.topo, model, self.traffic_ecmp));
         engine.set_model(model);
+        if self.traffic_fault_epoch.get() != self.fault_epoch {
+            // Degraded/restored uplinks shrink/restore their fluid
+            // sub-links in place, dirtying only the components they carry
+            // (a freshly built engine read the current caps already and
+            // syncs zero links).
+            engine.sync_link_caps(&self.topo);
+            self.traffic_fault_epoch.set(self.fault_epoch);
+        }
         engine.retain_tenants(|id| self.tenants.contains_key(&TenantId(id)));
         for (id, entry) in &self.tenants {
             if engine.version_of(id.raw()) != Some(entry.version) {
@@ -641,6 +980,11 @@ impl<P: Placer> Cluster<P> {
                 .deployed
                 .check_consistency(&self.topo)
                 .map_err(|e| format!("{id}: {e}"))?;
+        }
+        for id in self.faults.keys() {
+            if !self.tenants.contains_key(id) {
+                return Err(format!("fault record for non-live {id}"));
+            }
         }
         Ok(())
     }

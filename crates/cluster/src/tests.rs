@@ -325,6 +325,268 @@ fn utilization_tracks_levels() {
 }
 
 #[test]
+fn server_fault_evacuates_and_repair_regrows() {
+    // CM+HA spreads each tier over multiple servers (Eq. 7), so killing
+    // one server always leaves a surviving fragment — the repair rides
+    // the exact per-tier incremental regrow path.
+    let mut cluster = Cluster::new(&small_spec(), CmPlacer::new(CmConfig::cm_ha(0.5)));
+    let h = cluster.admit(web_db(4, 2)).unwrap();
+    let victim = cluster.placement_of(h.id()).unwrap()[0].0;
+    let report = cluster.inject_fault(crate::Fault::Server(victim)).unwrap();
+    assert_eq!(report.failed_servers, vec![victim]);
+    assert!(report.lost_vms > 0);
+    assert!(report.reclaimed_kbps > 0);
+    assert_eq!(report.tenants.len(), 1);
+    assert_eq!(report.tenants[0].tenant, h.id());
+    assert!(!report.tenants[0].evicted);
+    cluster.check_invariants().unwrap();
+    // The damage is recorded; the registry tag shrank to the survivors.
+    assert_eq!(cluster.faulted_tenants().collect::<Vec<_>>(), vec![h.id()]);
+    assert_eq!(
+        cluster.pre_fault_tag(h.id()).unwrap().tier(TierId(0)).size,
+        4
+    );
+    let surviving = 6 - report.lost_vms;
+    let placed = cluster
+        .deployed(h.id())
+        .unwrap()
+        .total_placed(cluster.topology());
+    assert_eq!(placed, surviving);
+    let shrunk = cluster.tag_of(h.id()).unwrap();
+    assert_eq!(
+        (shrunk.tier(TierId(0)).size + shrunk.tier(TierId(1)).size) as u64,
+        surviving
+    );
+    // The failed server's whole capacity reads as in-use until restored;
+    // the survivors account for the rest.
+    assert_eq!(cluster.utilization().slots_in_use, surviving + 4);
+    // Re-injecting the same fault is a no-op.
+    let again = cluster.inject_fault(crate::Fault::Server(victim)).unwrap();
+    assert!(again.failed_servers.is_empty() && again.tenants.is_empty());
+
+    let fixed = cluster.repair(crate::Fault::Server(victim)).unwrap();
+    assert_eq!(fixed.restored_servers, vec![victim]);
+    assert_eq!(fixed.repaired, vec![h.id()]);
+    assert!(fixed.degraded.is_empty());
+    assert_eq!(cluster.faulted_tenants().count(), 0);
+    assert_eq!(cluster.tag_of(h.id()).unwrap().tier(TierId(0)).size, 4);
+    assert_eq!(cluster.tag_of(h.id()).unwrap().tier(TierId(1)).size, 2);
+    assert_eq!(cluster.utilization().slots_in_use, 6);
+    cluster.check_invariants().unwrap();
+    cluster.depart(h.id()).unwrap();
+    assert_pristine(&cluster);
+}
+
+#[test]
+fn domain_kill_evicts_and_repair_readmits() {
+    // One rack: killing its ToR domain takes every VM of a rack-local
+    // tenant, so the evacuation is a wholesale eviction and the repair a
+    // fresh re-admission of the recorded pre-fault TAG.
+    let mut cluster = Cluster::new(&small_spec(), CmPlacer::new(CmConfig::cm()));
+    let h = cluster.admit(web_db(4, 2)).unwrap();
+    let server = cluster.placement_of(h.id()).unwrap()[0].0;
+    let tor = cluster.topology().parent(server).unwrap();
+    let report = cluster.inject_fault(crate::Fault::Domain(tor)).unwrap();
+    assert_eq!(report.failed_servers.len(), 4);
+    cluster.check_invariants().unwrap();
+    if report.lost_vms == 6 {
+        // The whole deployment died with the rack; the dead rack's 16
+        // slots read as in-use until the domain is restored.
+        assert!(report.tenants[0].evicted);
+        assert_eq!(cluster.utilization().slots_in_use, 16);
+        assert_eq!(
+            cluster
+                .deployed(h.id())
+                .unwrap()
+                .total_placed(cluster.topology()),
+            0
+        );
+    }
+    // Guarantee queries stay well-typed on the damaged tenant.
+    let _ = cluster.guarantee_report(h.id()).unwrap();
+    let fixed = cluster.repair(crate::Fault::Domain(tor)).unwrap();
+    assert_eq!(fixed.repaired, vec![h.id()]);
+    assert_eq!(cluster.utilization().slots_in_use, 6);
+    assert_eq!(cluster.tag_of(h.id()).unwrap().tier(TierId(0)).size, 4);
+    cluster.check_invariants().unwrap();
+    cluster.depart(h.id()).unwrap();
+    assert_pristine(&cluster);
+}
+
+#[test]
+fn repair_without_capacity_is_a_typed_failure_and_retryable() {
+    // A full 2-server rack: failing one server strands more VMs than the
+    // survivor can absorb, so repairing before the server returns is a
+    // RepairFailed that leaves the fragment intact and retryable.
+    let spec = TreeSpec::small(1, 1, 2, 6, [mbps(1000.0), mbps(2000.0), mbps(4000.0)]);
+    let mut cluster = Cluster::new(&spec, CmPlacer::new(CmConfig::cm()));
+    let h = cluster.admit(web_db(6, 6)).unwrap();
+    assert_eq!(cluster.utilization().slots_in_use, 12);
+    let victim = cluster.placement_of(h.id()).unwrap()[0].0;
+    let report = cluster.inject_fault(crate::Fault::Server(victim)).unwrap();
+    assert_eq!(report.lost_vms, 6);
+    let err = cluster.repair_tenant(h.id()).unwrap_err();
+    assert!(matches!(err, CmError::RepairFailed { tenant, .. } if tenant == h.id()));
+    assert!(err.reject_reason().is_some());
+    cluster.check_invariants().unwrap();
+    // Still recorded; a repair after capacity returns succeeds.
+    assert_eq!(cluster.faulted_tenants().count(), 1);
+    let fixed = cluster.repair(crate::Fault::Server(victim)).unwrap();
+    assert_eq!(fixed.repaired, vec![h.id()]);
+    assert_eq!(cluster.utilization().slots_in_use, 12);
+    cluster.check_invariants().unwrap();
+    // Repairing a healthy tenant is typed too.
+    assert_eq!(
+        cluster.repair_tenant(h.id()).unwrap_err(),
+        CmError::NothingToRepair(h.id())
+    );
+    cluster.depart(h.id()).unwrap();
+    assert_pristine(&cluster);
+}
+
+#[test]
+fn degraded_link_blocks_admission_until_restored() {
+    let mut cluster = Cluster::new(&small_spec(), CmPlacer::new(CmConfig::cm()));
+    let h = cluster.admit(web_db(4, 2)).unwrap();
+    // Soft-fail every rack uplink: existing reservations survive, no VMs
+    // are lost, but a bandwidth-hungry newcomer no longer fits.
+    let tors: Vec<_> = cluster.topology().nodes_at_level(1).to_vec();
+    for &tor in &tors {
+        let report = cluster
+            .inject_fault(crate::Fault::DegradeLink {
+                node: tor,
+                fraction: 0.0,
+            })
+            .unwrap();
+        assert_eq!(report.lost_vms, 0);
+        assert!(report.tenants.is_empty());
+    }
+    cluster.check_invariants().unwrap();
+    assert_eq!(cluster.faulted_tenants().count(), 0);
+    let mut b = TagBuilder::new("hungry");
+    let t = b.tier("t", 16);
+    b.self_loop(t, mbps(400.0)).unwrap();
+    let hungry = b.build().unwrap();
+    let err = cluster.admit(hungry.clone()).unwrap_err();
+    assert!(matches!(err, CmError::Rejected(_)));
+    for &tor in &tors {
+        cluster
+            .repair(crate::Fault::DegradeLink {
+                node: tor,
+                fraction: 0.0,
+            })
+            .unwrap();
+    }
+    cluster.check_invariants().unwrap();
+    let h2 = cluster.admit(hungry).unwrap();
+    cluster.depart(h2.id()).unwrap();
+    cluster.depart(h.id()).unwrap();
+    assert_pristine(&cluster);
+}
+
+#[test]
+fn baseline_fragments_repair_via_replace() {
+    for (name, run) in [("ovoc", 0usize), ("vc", 1), ("secondnet", 2)] {
+        fn drive<P: cm_core::placement::Placer>(placer: P, name: &str) {
+            let mut cluster = Cluster::new(&small_spec(), placer);
+            let h = cluster.admit(web_db(4, 2)).unwrap();
+            let victim = cluster.placement_of(h.id()).unwrap()[0].0;
+            let report = cluster.inject_fault(crate::Fault::Server(victim)).unwrap();
+            assert!(report.lost_vms > 0, "{name}");
+            cluster.check_invariants().unwrap();
+            let fixed = cluster.repair(crate::Fault::Server(victim)).unwrap();
+            assert_eq!(fixed.repaired, vec![h.id()], "{name}: {:?}", fixed.degraded);
+            assert_eq!(cluster.utilization().slots_in_use, 6, "{name}");
+            // The pre-fault model is authoritative again.
+            assert_eq!(cluster.tag_of(h.id()).unwrap().tier(TierId(0)).size, 4);
+            cluster.check_invariants().unwrap();
+            cluster.depart(h.id()).unwrap();
+            assert_pristine(&cluster);
+        }
+        match run {
+            0 => drive(OvocPlacer::new(), name),
+            1 => drive(OktopusVcPlacer::new(), name),
+            _ => drive(SecondNetPlacer::new(), name),
+        }
+    }
+}
+
+/// Degrading links mid-flight must flow into the traffic engine via the
+/// fault-epoch guard: the next report measures the dead links (violations),
+/// and repair restores the healthy verdicts without rebuilding the engine.
+#[test]
+fn traffic_report_measures_degraded_links_and_recovers() {
+    let mut cluster = Cluster::new(&small_spec(), CmPlacer::new(CmConfig::cm()));
+    // 20 slots > one 16-slot rack, so some web<->db pairs cross a ToR uplink.
+    let h = cluster.admit(web_db(12, 8)).unwrap();
+    let healthy = cluster.traffic_report();
+    assert_eq!(
+        healthy.violations, 0,
+        "admitted guarantees hold when healthy"
+    );
+    assert!(healthy.total_rate_kbps > 0.0);
+
+    // Kill every ToR uplink: all cross-rack traffic is stranded.
+    let tors: Vec<_> = cluster.topology().nodes_at_level(1).to_vec();
+    for &t in &tors {
+        let report = cluster
+            .inject_fault(crate::Fault::DegradeLink {
+                node: t,
+                fraction: 0.0,
+            })
+            .unwrap();
+        assert_eq!(report.lost_vms, 0, "degrade loses no VMs");
+        assert!(report.failed_servers.is_empty());
+    }
+    let degraded = cluster.traffic_report();
+    assert!(
+        degraded.violations > 0,
+        "stranded cross-rack floors violate"
+    );
+    assert!(degraded.total_rate_kbps < healthy.total_rate_kbps);
+
+    // Repair restores the caps and the verdicts; no placement was damaged.
+    for &t in &tors {
+        let report = cluster
+            .repair(crate::Fault::DegradeLink {
+                node: t,
+                fraction: 0.0,
+            })
+            .unwrap();
+        assert!(report.repaired.is_empty() && report.degraded.is_empty());
+    }
+    let restored = cluster.traffic_report();
+    assert_eq!(restored.violations, 0);
+    assert!((restored.total_rate_kbps - healthy.total_rate_kbps).abs() < 1.0);
+    cluster.check_invariants().unwrap();
+    cluster.depart(h.id()).unwrap();
+    assert_pristine(&cluster);
+}
+
+#[test]
+fn departing_a_damaged_tenant_clears_its_record() {
+    let mut cluster = Cluster::new(&small_spec(), CmPlacer::new(CmConfig::cm()));
+    let h = cluster.admit(web_db(4, 2)).unwrap();
+    let victim = cluster.placement_of(h.id()).unwrap()[0].0;
+    cluster.inject_fault(crate::Fault::Server(victim)).unwrap();
+    assert_eq!(cluster.faulted_tenants().count(), 1);
+    // A damaged deployment can disagree with its model: incremental
+    // lifecycle ops are refused until repair reconciles them.
+    assert_eq!(
+        cluster.scale_tier(h.id(), TierId(0), 1).unwrap_err(),
+        CmError::Damaged(h.id())
+    );
+    assert_eq!(
+        cluster.migrate(h.id()).unwrap_err(),
+        CmError::Damaged(h.id())
+    );
+    cluster.depart(h.id()).unwrap();
+    assert_eq!(cluster.faulted_tenants().count(), 0);
+    cluster.repair(crate::Fault::Server(victim)).unwrap();
+    assert_pristine(&cluster);
+}
+
+#[test]
 fn release_all_empties_the_cluster() {
     let mut cluster = Cluster::new(&small_spec(), CmPlacer::new(CmConfig::cm()));
     for _ in 0..4 {

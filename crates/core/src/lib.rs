@@ -65,6 +65,6 @@ pub mod txn;
 
 pub use cut::CutModel;
 pub use model::{Tag, TagBuilder, TierId};
-pub use placement::{CmConfig, CmPlacer, Deployed, HaPolicy, Placer, RejectReason};
+pub use placement::{CmConfig, CmPlacer, Deployed, Evacuation, HaPolicy, Placer, RejectReason};
 pub use reserve::TenantState;
 pub use txn::{ReservationTxn, Savepoint};

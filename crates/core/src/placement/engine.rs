@@ -25,7 +25,7 @@
 use crate::cut::CutModel;
 use crate::model::{PipeModel, Tag, TierId, VocModel};
 use crate::placement::RejectReason;
-use crate::reserve::TenantState;
+use crate::reserve::{PlacementEntry, TenantState};
 use crate::txn::ReservationTxn;
 use cm_topology::{Kbps, NodeId, Topology};
 
@@ -380,6 +380,152 @@ impl Deployed {
     pub fn check_consistency(&self, topo: &Topology) -> Result<(), String> {
         with_state!(self, s => s.check_consistency(topo))
     }
+
+    /// Remove every VM the tenant holds on a failed server and reclaim the
+    /// stranded reservations, leaving the surviving fragment internally
+    /// consistent. Returns `None` when the tenant holds nothing on failed
+    /// hardware.
+    ///
+    /// TAG-priced deployments are additionally shrunk to the surviving
+    /// tier sizes (`Tag::resized` per tier), so the fragment remains a
+    /// fully-consistent smaller deployment that a later repair can grow
+    /// back through the exact incremental scaling path. Because the tier
+    /// sizes shrink together with the inside counts, every per-edge cut
+    /// price `min(S·inside_src, R·outside_dst)` is monotone non-increasing
+    /// under the combined unplace+reprice, so the repricing cannot run out
+    /// of capacity. Baseline (VOC/pipe) deployments keep their model and
+    /// re-sync the affected links; a hose price under an unchanged model
+    /// can *rise* when the inside count drops below N/2, and if that rise
+    /// no longer fits the link, the tenant is evicted wholesale
+    /// (`evicted = true`) — its admitted reservation cannot be sustained
+    /// after the fault.
+    pub fn evacuate_failed(&mut self, topo: &mut Topology) -> Option<Evacuation> {
+        let num_tiers = self.tier_sizes().len();
+        let mut lost_entries: Vec<PlacementEntry> = Vec::new();
+        let mut lost = vec![0u32; num_tiers];
+        for (server, counts) in self.placement(topo) {
+            if !topo.is_failed(server) {
+                continue;
+            }
+            for (tier, &count) in counts.iter().enumerate() {
+                if count > 0 {
+                    lost_entries.push(PlacementEntry {
+                        server,
+                        tier,
+                        count,
+                    });
+                    lost[tier] += count;
+                }
+            }
+        }
+        if lost_entries.is_empty() {
+            return None;
+        }
+        let reserved_before = self.total_reserved_kbps();
+        let evicted = match &mut self.0 {
+            DeployedState::Tag(s) => evacuate_tag(topo, s, &lost_entries, &lost),
+            DeployedState::Voc(s) => evacuate_generic(topo, s, &lost_entries),
+            DeployedState::Pipe(s) => evacuate_generic(topo, s, &lost_entries),
+        };
+        let lost_vms = lost.iter().map(|&c| c as u64).sum();
+        Some(Evacuation {
+            lost,
+            lost_vms,
+            // A baseline fragment can end up reserving *more* than before
+            // (the hose rise above); that is a net reclaim of zero.
+            reclaimed_kbps: reserved_before.saturating_sub(self.total_reserved_kbps()),
+            evicted,
+        })
+    }
+}
+
+/// Outcome of [`Deployed::evacuate_failed`] for one tenant.
+#[derive(Debug, Clone)]
+pub struct Evacuation {
+    /// VMs lost per tier, aligned with the model's tier indices.
+    pub lost: Vec<u32>,
+    /// Total VMs lost across all tiers.
+    pub lost_vms: u64,
+    /// Reserved bandwidth reclaimed by the evacuation (out + in, summed
+    /// over links). Zero when a baseline fragment's hose repricing grew
+    /// its reservation instead of shrinking it.
+    pub reclaimed_kbps: Kbps,
+    /// True when the surviving fragment could not be kept consistent and
+    /// the whole deployment was released instead.
+    pub evicted: bool,
+}
+
+/// TAG evacuation: unplace the casualties, then swap in the tag shrunk to
+/// the surviving tier sizes (repricing every touched link downward).
+/// Returns whether the tenant had to be evicted.
+fn evacuate_tag(
+    topo: &mut Topology,
+    s: &mut TenantState<Tag>,
+    entries: &[PlacementEntry],
+    lost: &[u32],
+) -> bool {
+    let model = s.model_arc();
+    let mut shrunk: Option<Tag> = None;
+    for (t, &l) in lost.iter().enumerate() {
+        if l == 0 {
+            continue;
+        }
+        let tid = TierId(t as u16);
+        let cur = shrunk
+            .as_ref()
+            .map_or(model.tier(tid).size, |m| m.tier(tid).size);
+        if cur <= l {
+            // The tier lost every VM; a zero-size tier is not expressible,
+            // so the tenant cannot survive as a fragment.
+            s.clear(topo);
+            return true;
+        }
+        let next = shrunk
+            .as_ref()
+            .map_or_else(|| model.resized(tid, cur - l), |m| m.resized(tid, cur - l));
+        shrunk = Some(next);
+    }
+    let shrunk = shrunk.expect("evacuation with no lost VMs");
+    for e in entries {
+        s.unplace(topo, e.server, e.tier, e.count);
+    }
+    if s.replace_model(topo, std::sync::Arc::new(shrunk)).is_err() {
+        // Cannot happen for monotone TAG cuts (see caller doc), but if a
+        // model ever breaks monotonicity, degrade to eviction rather than
+        // leaving an inconsistent ledger.
+        s.clear(topo);
+        return true;
+    }
+    false
+}
+
+/// Model-preserving evacuation for the baselines: unplace the casualties
+/// and re-sync every link on a casualty's root path under the unchanged
+/// model. Returns whether the tenant had to be evicted.
+fn evacuate_generic<M: CutModel>(
+    topo: &mut Topology,
+    s: &mut TenantState<M>,
+    entries: &[PlacementEntry],
+) -> bool {
+    for e in entries {
+        s.unplace(topo, e.server, e.tier, e.count);
+    }
+    let mut affected: Vec<NodeId> = Vec::new();
+    for e in entries {
+        affected.extend(topo.path_to_root(e.server));
+    }
+    affected.sort_by_key(|&n| (topo.level(n), n));
+    affected.dedup();
+    for n in affected {
+        if n == topo.root() {
+            continue;
+        }
+        if s.sync_uplink(topo, n).is_err() {
+            s.clear(topo);
+            return true;
+        }
+    }
+    false
 }
 
 impl From<TenantState<Tag>> for Deployed {

@@ -36,7 +36,7 @@ pub use concurrent::{
 };
 pub use engine::{
     place_incremental_replace, reject_reason, search_and_place, search_and_place_traced,
-    search_and_place_with, Deployed, PlacementTrace, Placer, SearchStrategy,
+    search_and_place_with, Deployed, Evacuation, PlacementTrace, Placer, SearchStrategy,
 };
 pub use predictor::DemandPredictor;
 
@@ -211,8 +211,10 @@ pub(crate) fn per_slot_avail_kbps(
 }
 
 /// Eq. 7 cap: the most VMs of a tier of size `n` that may share one fault
-/// domain while preserving `rwcs` worst-case survivability.
-pub(crate) fn wcs_cap(n: u32, rwcs: f64) -> u32 {
+/// domain while preserving `rwcs` worst-case survivability. Public so the
+/// fault-recovery drivers can re-derive the admitted survivability bound a
+/// placement is judged against after a domain kill.
+pub fn wcs_cap(n: u32, rwcs: f64) -> u32 {
     let cap = (n as f64 * (1.0 - rwcs)).floor() as u32;
     cap.max(1)
 }

@@ -286,7 +286,8 @@ impl<M: CutModel> TenantState<M> {
 
     /// Set the reservation on a link to an exact prior value (rollback
     /// helper for [`crate::txn::ReservationTxn`]; decreases or restores
-    /// always succeed).
+    /// always succeed). Uses the topology's force path so that restoring a
+    /// reservation held before a link was degraded cannot fail.
     pub(crate) fn force_reserve(&mut self, topo: &mut Topology, node: NodeId, want: (Kbps, Kbps)) {
         let (have_out, have_in) = self.reserved_on(node);
         let d_out = want.0 as i64 - have_out as i64;
@@ -294,7 +295,7 @@ impl<M: CutModel> TenantState<M> {
         if d_out == 0 && d_in == 0 {
             return;
         }
-        topo.adjust_uplink(node, d_out, d_in)
+        topo.force_adjust_uplink(node, d_out, d_in)
             .expect("rollback to previous reservation must succeed");
         if want == (0, 0) {
             self.reserved.remove(&node);
@@ -344,7 +345,7 @@ impl<M: CutModel> TenantState<M> {
             }
         }
         for (&n, &(out, inc)) in &self.reserved {
-            topo.adjust_uplink(n, out as i64, inc as i64)
+            topo.force_adjust_uplink(n, out as i64, inc as i64)
                 .expect("snapshot reservations were just released");
         }
     }
@@ -422,6 +423,29 @@ impl<M: CutModel> TenantState<M> {
             }
         }
         Ok(())
+    }
+
+    /// [`TenantState::replace_model`] for restore paths that must not
+    /// fail: swaps the model and force-syncs every touched link to the new
+    /// prices, bypassing capacity ceilings. Only for returning to a state
+    /// the ledgers already held (transaction undo of a model swap on a
+    /// possibly-degraded topology).
+    pub(crate) fn force_replace_model(&mut self, topo: &mut Topology, new_model: Arc<M>) {
+        assert_eq!(
+            new_model.num_tiers(),
+            self.model.num_tiers(),
+            "force_replace_model cannot change the tier layout"
+        );
+        self.model = new_model;
+        let mut links: Vec<NodeId> = self.counts.keys().copied().collect();
+        links.sort_by_key(|&n| (topo.level(n), n));
+        for n in links {
+            if n == topo.root() {
+                continue;
+            }
+            let want = self.required_cut(n);
+            self.force_reserve(topo, n, want);
+        }
     }
 
     /// Worst-case survivability per tier at `level` (§4.5): the smallest

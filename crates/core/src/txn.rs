@@ -234,9 +234,10 @@ impl<'a, M: CutModel> ReservationTxn<'a, M> {
                 None
             }
             TxnOp::Model(old) => {
-                state
-                    .replace_model(topo, old)
-                    .expect("the previous model's prices were feasible");
+                // The previous model's prices were feasible when the swap
+                // was staged, but a link degraded since admission may sit
+                // below them — force-sync restores the exact prior ledger.
+                state.force_replace_model(topo, old);
                 None
             }
         }

@@ -197,6 +197,36 @@ impl TrafficEngine {
         }
     }
 
+    /// Re-read every uplink capacity from `topo` into the fluid layout —
+    /// the fault-injection hook. A degraded (or restored) uplink updates
+    /// all its ECMP sub-links to `cap / ways`, dirtying exactly the
+    /// components whose flows cross them; everything else keeps its warm
+    /// state. Returns how many fluid links changed capacity.
+    ///
+    /// Flows of VMs *lost* to a fault are dropped separately, by the
+    /// version-diffed re-expansion (`upsert_tenant`) after the evacuation
+    /// shrank the placement.
+    pub fn sync_link_caps(&mut self, topo: &Topology) -> usize {
+        let mut changed = 0;
+        for idx in 0..topo.num_nodes() {
+            let n = NodeId(idx as u32);
+            let Some((cap_up, cap_dn)) = topo.uplink_capacity(n) else {
+                continue;
+            };
+            let Some((up, dn)) = self.route.links_of(n) else {
+                continue;
+            };
+            let w = up.len() as f64;
+            for l in up {
+                changed += usize::from(self.net.set_link_cap(l, cap_up as f64 / w));
+            }
+            for l in dn {
+                changed += usize::from(self.net.set_link_cap(l, cap_dn as f64 / w));
+            }
+        }
+        changed
+    }
+
     /// The placement version tenant `id` was last expanded at, if cached.
     pub fn version_of(&self, id: u64) -> Option<u64> {
         self.tenants.get(&id).map(|t| t.version)
@@ -948,6 +978,75 @@ mod tests {
         );
         // Hash collisions can only hurt, never help.
         assert!(hashed <= split + 1e-6 * (1.0 + split), "hashed {hashed}");
+    }
+
+    /// Capacity sync after a fault: an engine that degrades links in
+    /// place (dirtying only the touched components) matches a fresh
+    /// engine built over the degraded topology, and restoring the links
+    /// returns the original rates.
+    #[test]
+    fn sync_link_caps_matches_fresh_engine_on_degraded_topology() {
+        let mut topo = topo();
+        let servers = topo.servers();
+        let mut rng = Rng(0xFA17);
+        let mut engine = TrafficEngine::new(&topo, GuaranteeModel::Tag, EcmpConfig::none());
+        let mut state = Vec::new();
+        for id in 0..4u64 {
+            let tag = random_tag(&mut rng);
+            let placement = random_placement(&mut rng, &tag, servers);
+            engine.upsert_tenant(&topo, id, 1, &tag, &placement);
+            state.push((id, tag, placement));
+        }
+        // Plus one deterministic cross-rack pair pinned through the first
+        // rack's uplink, so the kill below provably strands traffic.
+        let mut b = TagBuilder::new("canary");
+        let a = b.tier("a", 1);
+        let z = b.tier("z", 1);
+        b.edge(a, z, mbps(100.0), mbps(100.0)).unwrap();
+        let canary = Arc::new(b.build().unwrap());
+        let canary_placement = vec![(servers[0], vec![1, 0]), (servers[2], vec![0, 1])];
+        engine.upsert_tenant(&topo, 9, 1, &canary, &canary_placement);
+        state.push((9, canary, canary_placement));
+        let healthy = engine.solve_detailed(&topo);
+        let canary_before = healthy.tenants.iter().find(|t| t.id == 9).unwrap();
+        assert_eq!(canary_before.violations, 0);
+        assert!(canary_before.achieved_kbps > 0.0);
+
+        // Kill one rack uplink and halve another: the live engine syncs in
+        // place; the reference engine is built over the degraded tree.
+        let tors: Vec<NodeId> = (0..topo.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|&n| topo.level(n) == 1)
+            .collect();
+        topo.degrade_link(tors[0], 0.0).unwrap();
+        topo.degrade_link(tors[2], 0.5).unwrap();
+        let changed = engine.sync_link_caps(&topo);
+        assert!(changed > 0, "two degraded uplinks must change fluid caps");
+        let got = engine.solve_detailed(&topo);
+        let mut fresh = TrafficEngine::new(&topo, GuaranteeModel::Tag, EcmpConfig::none());
+        for (id, tag, placement) in &state {
+            fresh.upsert_tenant(&topo, *id, 1, tag, placement);
+        }
+        let want = fresh.solve_detailed(&topo);
+        assert_report_close(&got, &want, "degraded");
+        // The canary straddles the dead uplink: its traffic is provably
+        // stranded, and the solve must measure that as a violation.
+        let canary_after = got.tenants.iter().find(|t| t.id == 9).unwrap();
+        assert!(canary_after.violations > 0, "dead rack violates the canary");
+        assert!(
+            canary_after.achieved_kbps < 1e-6,
+            "no path around a tree link"
+        );
+        assert!(got.violations > healthy.violations, "dead rack violates");
+
+        // Restore: back to the healthy rates (same solver state shape).
+        topo.restore_link(tors[0]).unwrap();
+        topo.restore_link(tors[2]).unwrap();
+        assert!(engine.sync_link_caps(&topo) > 0);
+        let back = engine.solve_detailed(&topo);
+        assert_report_close(&back, &healthy, "restored");
+        // And a no-op sync touches nothing.
+        assert_eq!(engine.sync_link_caps(&topo), 0);
     }
 
     /// Model switching drops cached tenants so floors re-derive.

@@ -183,6 +183,13 @@ impl Fluid {
         self.caps[l]
     }
 
+    /// Change the capacity of link `l` (kbps) — fault injection / repair.
+    /// Rates computed before the change are stale; the caller re-solves.
+    pub fn set_link_cap(&mut self, l: usize, cap_kbps: f64) {
+        assert!(cap_kbps >= 0.0);
+        self.caps[l] = cap_kbps;
+    }
+
     /// The flows in insertion order (rate vectors index into this).
     pub fn flows(&self) -> &[FlowSpec] {
         &self.flows

@@ -266,6 +266,23 @@ impl IncrementalFluid {
         }
     }
 
+    /// Change the capacity of link `l` (fault injection / repair),
+    /// touching it so the component whose flows cross it re-solves on the
+    /// next [`IncrementalFluid::solve`]. A link no flow crosses affects no
+    /// component and is skipped by the solver's dirty marking. Returns
+    /// whether the capacity actually changed.
+    pub fn set_link_cap(&mut self, l: usize, cap_kbps: f64) -> bool {
+        if self.net.link_cap(l) == cap_kbps {
+            return false;
+        }
+        self.net.set_link_cap(l, cap_kbps);
+        if !self.touched[l] {
+            self.touched[l] = true;
+            self.touched_links.push(l as u32);
+        }
+        true
+    }
+
     /// Drop every flow; links, capacities and scratch allocations survive.
     pub fn clear_flows(&mut self) {
         self.net.clear_flows();

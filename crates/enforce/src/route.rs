@@ -197,6 +197,23 @@ impl RouteCache {
         self.link_level.len()
     }
 
+    /// The fluid sub-links of node `n`'s uplink as `(up, down)` id ranges
+    /// (each `ways_of(n)` long, contiguous), or `None` for the root. This
+    /// is the layout inverse a capacity re-sync walks: each sub-link
+    /// carries `uplink cap / ways`.
+    #[allow(clippy::type_complexity)]
+    pub fn links_of(&self, n: NodeId) -> Option<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+        let idx = n.index();
+        let up = self.up_base[idx];
+        if up == u32::MAX {
+            return None;
+        }
+        let w = self.ways_of[idx] as usize;
+        let dn = self.dn_base[idx] as usize;
+        let up = up as usize;
+        Some((up..up + w, dn..dn + w))
+    }
+
     /// Distinct server pairs memoized so far.
     pub fn cached_pairs(&self) -> usize {
         self.hops.len()

@@ -9,7 +9,7 @@
 //! `tests/cluster_decisions.rs` pins with golden fingerprints.
 
 use crate::admission::Admission;
-use crate::metrics::{RejectionCounts, WcsAccumulator, WcsStats};
+use crate::metrics::{RejectionCounts, WcsAccumulator, WcsByLevel, WcsStats};
 use cm_cluster::{Cluster, TenantId};
 use cm_core::model::Tag;
 use cm_core::placement::{Deployed, Placer, RejectReason};
@@ -68,6 +68,11 @@ pub struct SimResult {
     pub rejections: RejectionCounts,
     /// WCS across deployed components at `wcs_level`.
     pub wcs: WcsStats,
+    /// WCS across deployed components at **every** fault-domain level,
+    /// indexed by level (0 = server, 1 = ToR, …) — one fault anywhere in
+    /// the tree has a measured survivability story, not just the
+    /// configured `wcs_level`.
+    pub wcs_by_level: Vec<WcsStats>,
     /// Peak number of concurrently deployed tenants.
     pub peak_tenants: usize,
 }
@@ -193,6 +198,7 @@ fn run_sim_inner(
 
     let mut counts = RejectionCounts::default();
     let mut wcs_acc = WcsAccumulator::default();
+    let mut wcs_levels = WcsByLevel::new(cluster.topology());
     let mut departures: BinaryHeap<Reverse<Departure>> = BinaryHeap::new();
     let mut live: std::collections::HashMap<u64, TenantId> = std::collections::HashMap::new();
     let mut peak = 0usize;
@@ -224,9 +230,15 @@ fn run_sim_inner(
         match outcome {
             Ok(handle) => {
                 let deployed = cluster.deployed(handle.id()).expect("just admitted");
+                let sizes = deployed.tier_sizes();
                 wcs_acc.record(
                     &deployed.wcs_at_level(cluster.topology(), cfg.wcs_level),
-                    &deployed.tier_sizes(),
+                    &sizes,
+                );
+                wcs_levels.record(
+                    cluster.topology(),
+                    &deployed.placement(cluster.topology()),
+                    &sizes,
                 );
                 let dwell = exp_sample(&mut rng, 1.0 / cfg.td_mean);
                 departures.push(Reverse(Departure {
@@ -261,6 +273,7 @@ fn run_sim_inner(
         algo,
         rejections: counts,
         wcs: wcs_acc.finish(),
+        wcs_by_level: wcs_levels.finish(),
         peak_tenants: peak,
     }
 }
@@ -298,6 +311,13 @@ mod tests {
         assert_eq!(r.rejections.arrivals, 150);
         assert!(r.peak_tenants > 0);
         assert!(r.rejections.tenant_rate() <= 1.0);
+        // Per-level WCS: one entry per fault-domain level, and the entry at
+        // the configured level matches the classic single-level stats.
+        assert_eq!(r.wcs_by_level.len(), 3);
+        assert_eq!(r.wcs_by_level[0], r.wcs);
+        // Larger fault domains can only lower survivability.
+        assert!(r.wcs_by_level[1].mean <= r.wcs_by_level[0].mean + 1e-12);
+        assert!(r.wcs_by_level[2].mean <= r.wcs_by_level[1].mean + 1e-12);
         // The debug asserts inside run_sim verify the ledger drained clean.
     }
 

@@ -32,6 +32,7 @@
 pub mod admission;
 pub mod events;
 pub mod experiments;
+pub mod faults;
 pub mod lifecycle;
 pub mod metrics;
 pub mod parallel;
@@ -42,10 +43,14 @@ pub use admission::{
     Admission, CmAdmission, Deployed, OvocAdmission, PlacerAdmission, SecondNetAdmission,
     VcAdmission,
 };
-pub use cm_cluster::{Cluster, CmError, TagSpec, TenantHandle, TenantId};
+pub use cm_cluster::{
+    Cluster, CmError, Fault, FaultReport, RepairReport, TagSpec, TenantDamage, TenantHandle,
+    TenantId,
+};
 pub use events::{run_sim, SimConfig, SimResult};
+pub use faults::{run_churn_faults, FaultChurnConfig, FaultChurnReport};
 pub use lifecycle::{run_churn, run_churn_observed, ChurnConfig, ChurnReport, OpLatencies};
-pub use metrics::{reprice_by_level, RejectionCounts, WcsStats};
+pub use metrics::{reprice_by_level, wcs_from_placement, RejectionCounts, WcsByLevel, WcsStats};
 pub use parallel::{default_threads, par_map_indexed};
 pub use schedule::{build_schedule, run_schedule_concurrent, run_schedule_serial, Schedule};
 pub use traffic::{run_churn_traffic, TrafficChurnConfig, TrafficChurnReport, TrafficStep};

@@ -22,7 +22,7 @@
 //! bitwise, comparable with `run_sim` on the same configuration.
 
 use crate::events::SimConfig;
-use crate::metrics::{RejectionCounts, WcsAccumulator};
+use crate::metrics::{RejectionCounts, WcsAccumulator, WcsByLevel};
 use crate::SimResult;
 use cm_core::placement::{
     run_events, ConcurrentConfig, ConcurrentOutcome, Event, EventOutcome, PlacementTrace, Placer,
@@ -207,6 +207,7 @@ where
 fn fold_outcomes(schedule: &Schedule, outcomes: &[EventOutcome], algo: &'static str) -> SimResult {
     let mut counts = RejectionCounts::default();
     let mut wcs_acc = WcsAccumulator::default();
+    let mut wcs_levels = WcsByLevel::new(&schedule.topo);
     let mut live = 0usize;
     let mut peak = 0usize;
     let mut admitted = vec![false; schedule.events.len()];
@@ -219,6 +220,7 @@ fn fold_outcomes(schedule: &Schedule, outcomes: &[EventOutcome], algo: &'static 
                 match out {
                     ConcurrentOutcome::Admitted(rec) => {
                         wcs_acc.record(&rec.wcs, &rec.tier_sizes);
+                        wcs_levels.record(&schedule.topo, &rec.placement, &rec.tier_sizes);
                         admitted[ei] = true;
                         live += 1;
                         peak = peak.max(live);
@@ -249,6 +251,7 @@ fn fold_outcomes(schedule: &Schedule, outcomes: &[EventOutcome], algo: &'static 
         algo,
         rejections: counts,
         wcs: wcs_acc.finish(),
+        wcs_by_level: wcs_levels.finish(),
         peak_tenants: peak,
     }
 }
@@ -313,6 +316,7 @@ mod tests {
             assert_eq!(conc.outcomes, serial.outcomes, "threads = {threads}");
             assert_eq!(conc.result.rejections, serial.result.rejections);
             assert_eq!(conc.result.wcs, serial.result.wcs);
+            assert_eq!(conc.result.wcs_by_level, serial.result.wcs_by_level);
             assert_eq!(conc.result.peak_tenants, serial.result.peak_tenants);
         }
     }

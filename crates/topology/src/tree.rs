@@ -54,6 +54,11 @@ pub enum TopologyError {
         /// The offending node.
         node: NodeId,
     },
+    /// The target node is marked failed, so it cannot accept new resources.
+    NodeFailed {
+        /// The failed node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -75,6 +80,9 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::NotAServer { node } => {
                 write!(f, "{node} is not a server")
+            }
+            TopologyError::NodeFailed { node } => {
+                write!(f, "{node} is failed")
             }
         }
     }
@@ -114,6 +122,13 @@ struct Node {
     sub_slots_total: u64,
     /// Uplink to the parent; `None` for the root.
     up: Option<Uplink>,
+    /// Failure mask (servers only): a failed server contributes zero free
+    /// slots to every subtree aggregate and rejects allocations.
+    failed: bool,
+    /// Health of the uplink as a fraction of its nominal (spec) capacity:
+    /// 1.0 is healthy, 0.0 is dead. The uplink's `cap_*` always equal
+    /// `round(nominal × link_fraction)`.
+    link_fraction: f64,
 }
 
 /// A single-rooted datacenter tree with slot and bandwidth accounting.
@@ -154,6 +169,10 @@ pub struct Topology {
     /// §4.5 per-slot-availability pre-scan over a whole level, without the
     /// O(width) walk (per-node halving is preserved bit-for-bit).
     level_avail_half: Vec<u128>,
+    /// Number of servers currently marked failed.
+    num_failed_servers: u32,
+    /// Number of uplinks currently running below nominal capacity.
+    num_degraded_links: u32,
 }
 
 impl Topology {
@@ -174,6 +193,8 @@ impl Topology {
             level_used: vec![(0, 0); num_levels],
             level_cap: vec![0; num_levels],
             level_avail_half: vec![0; num_levels],
+            num_failed_servers: 0,
+            num_degraded_links: 0,
         };
         let root_level = (num_levels - 1) as u8;
         let root = topo.push_node(root_level, None);
@@ -267,6 +288,8 @@ impl Topology {
             sub_slots_free: 0,
             sub_slots_total: 0,
             up,
+            failed: false,
+            link_fraction: 1.0,
         });
         self.levels[level as usize].push(id);
         id
@@ -464,10 +487,14 @@ impl Topology {
         self.nodes[server.index()].slots_total
     }
 
-    /// Free slots on a server.
+    /// Free slots on a server (zero while the server is failed: failed
+    /// capacity is invisible to every placer).
     #[inline]
     pub fn slots_free(&self, server: NodeId) -> u32 {
         let n = &self.nodes[server.index()];
+        if n.failed {
+            return 0;
+        }
         n.slots_total - n.slots_used
     }
 
@@ -497,6 +524,9 @@ impl Topology {
         let node = &self.nodes[server.index()];
         if node.level != 0 {
             return Err(TopologyError::NotAServer { node: server });
+        }
+        if node.failed {
+            return Err(TopologyError::NodeFailed { node: server });
         }
         let free = node.slots_total - node.slots_used;
         if count > free {
@@ -623,12 +653,18 @@ impl Topology {
             return Err(TopologyError::ReleaseUnderflow { node: server });
         }
         self.nodes[server.index()].slots_used -= count;
-        let mut cur = Some(server);
-        while let Some(c) = cur {
-            self.nodes[c.index()].sub_slots_free += count as u64;
-            cur = self.nodes[c.index()].parent;
+        // A failed server's effective contribution to the subtree
+        // aggregates is zero and stays zero: releases (evacuating a dead
+        // machine) only shrink its private `slots_used` ledger, and
+        // `restore_server` re-publishes whatever is free at repair time.
+        if !self.nodes[server.index()].failed {
+            let mut cur = Some(server);
+            while let Some(c) = cur {
+                self.nodes[c.index()].sub_slots_free += count as u64;
+                cur = self.nodes[c.index()].parent;
+            }
+            self.refresh_max_free(server);
         }
-        self.refresh_max_free(server);
         Ok(())
     }
 
@@ -796,19 +832,49 @@ impl Topology {
         delta_up: i64,
         delta_dn: i64,
     ) -> Result<(), TopologyError> {
+        self.adjust_uplink_inner(n, delta_up, delta_dn, true)
+    }
+
+    /// [`Topology::adjust_uplink`] without the capacity ceiling (underflow
+    /// is still checked). Only for restoring a reservation that was
+    /// previously held: a fault can degrade a link's capacity below
+    /// already-accepted reservations, and rollback/re-apply paths must
+    /// still be able to return to that (previously legal) state. Placement
+    /// paths must never reserve through this.
+    pub fn force_adjust_uplink(
+        &mut self,
+        n: NodeId,
+        delta_up: i64,
+        delta_dn: i64,
+    ) -> Result<(), TopologyError> {
+        self.adjust_uplink_inner(n, delta_up, delta_dn, false)
+    }
+
+    fn adjust_uplink_inner(
+        &mut self,
+        n: NodeId,
+        delta_up: i64,
+        delta_dn: i64,
+        enforce_cap: bool,
+    ) -> Result<(), TopologyError> {
         let level = self.nodes[n.index()].level as usize;
         let node = &mut self.nodes[n.index()];
         let up = node
             .up
             .as_mut()
             .ok_or(TopologyError::InsufficientBandwidth { node: n })?;
-        let new_up = apply_delta(up.used_up, delta_up, up.cap_up, n)?;
-        let new_dn = apply_delta(up.used_dn, delta_dn, up.cap_dn, n)?;
+        let cap_up = if enforce_cap { up.cap_up } else { Kbps::MAX };
+        let cap_dn = if enforce_cap { up.cap_dn } else { Kbps::MAX };
+        let new_up = apply_delta(up.used_up, delta_up, cap_up, n)?;
+        let new_dn = apply_delta(up.used_dn, delta_dn, cap_dn, n)?;
         let old_half = (up.avail_up as u128 + up.avail_dn as u128) / 2;
         up.used_up = new_up;
         up.used_dn = new_dn;
-        up.avail_up = up.cap_up - new_up;
-        up.avail_dn = up.cap_dn - new_dn;
+        // A degraded link's cap can sit below reservations accepted before
+        // the fault, so availability saturates at zero instead of asserting
+        // `used ≤ cap`.
+        up.avail_up = up.cap_up.saturating_sub(new_up);
+        up.avail_dn = up.cap_dn.saturating_sub(new_dn);
         let new_half = (up.avail_up as u128 + up.avail_dn as u128) / 2;
         let lu = &mut self.level_used[level];
         lu.0 = (lu.0 as i64 + delta_up) as Kbps;
@@ -840,21 +906,223 @@ impl Topology {
         self.level_avail_half[level]
     }
 
+    // ------------------------------------------------------------------
+    // Failure injection
+    // ------------------------------------------------------------------
+
+    /// Whether `n` is a failed server (always `false` for switches).
+    #[inline]
+    pub fn is_failed(&self, n: NodeId) -> bool {
+        self.nodes[n.index()].failed
+    }
+
+    /// Health of `n`'s uplink as a fraction of nominal capacity (1.0 when
+    /// healthy or for the root, 0.0 when dead).
+    #[inline]
+    pub fn link_health(&self, n: NodeId) -> f64 {
+        self.nodes[n.index()].link_fraction
+    }
+
+    /// Whether any server is failed or any uplink degraded.
+    #[inline]
+    pub fn has_faults(&self) -> bool {
+        self.num_failed_servers > 0 || self.num_degraded_links > 0
+    }
+
+    /// Number of currently failed servers.
+    #[inline]
+    pub fn num_failed_servers(&self) -> u32 {
+        self.num_failed_servers
+    }
+
+    /// All currently failed servers, in DFS order.
+    pub fn failed_servers(&self) -> Vec<NodeId> {
+        self.servers
+            .iter()
+            .copied()
+            .filter(|&s| self.nodes[s.index()].failed)
+            .collect()
+    }
+
+    /// Mark a server failed: its free slots leave every subtree aggregate
+    /// (so `descend_to_level` and the placers can no longer see them) and
+    /// new allocations are rejected. Slots already allocated stay in the
+    /// `slots_used` ledger so tenants can still release (evacuate) them.
+    /// Returns `false` when the server was already failed (no-op).
+    pub fn fail_server(&mut self, server: NodeId) -> Result<bool, TopologyError> {
+        let node = &self.nodes[server.index()];
+        if node.level != 0 {
+            return Err(TopologyError::NotAServer { node: server });
+        }
+        if node.failed {
+            return Ok(false);
+        }
+        let free = (node.slots_total - node.slots_used) as u64;
+        self.nodes[server.index()].failed = true;
+        self.num_failed_servers += 1;
+        if free > 0 {
+            let mut cur = Some(server);
+            while let Some(c) = cur {
+                self.nodes[c.index()].sub_slots_free -= free;
+                cur = self.nodes[c.index()].parent;
+            }
+            self.refresh_max_free(server);
+        }
+        Ok(true)
+    }
+
+    /// Undo [`Topology::fail_server`]: whatever is free on the server at
+    /// repair time re-enters the subtree aggregates. Returns `false` when
+    /// the server was not failed (no-op).
+    pub fn restore_server(&mut self, server: NodeId) -> Result<bool, TopologyError> {
+        let node = &self.nodes[server.index()];
+        if node.level != 0 {
+            return Err(TopologyError::NotAServer { node: server });
+        }
+        if !node.failed {
+            return Ok(false);
+        }
+        let free = (node.slots_total - node.slots_used) as u64;
+        self.nodes[server.index()].failed = false;
+        self.num_failed_servers -= 1;
+        if free > 0 {
+            let mut cur = Some(server);
+            while let Some(c) = cur {
+                self.nodes[c.index()].sub_slots_free += free;
+                cur = self.nodes[c.index()].parent;
+            }
+            self.refresh_max_free(server);
+        }
+        Ok(true)
+    }
+
+    /// Set `n`'s uplink capacity to `round(nominal × fraction)` in both
+    /// directions (0.0 kills the link, 1.0 restores it exactly).
+    /// Reservations accepted before the fault are kept even when they now
+    /// exceed the degraded cap — availability saturates at zero, so no
+    /// *new* reservation can cross the link, and the per-level caches
+    /// follow the degraded capacity.
+    ///
+    /// # Panics
+    /// Panics when `fraction` is not within `[0, 1]`.
+    pub fn degrade_link(&mut self, n: NodeId, fraction: f64) -> Result<(), TopologyError> {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "link fraction must be within [0, 1]"
+        );
+        let level = self.nodes[n.index()].level as usize;
+        let nominal = self.spec.uplink_kbps[level];
+        let node = &mut self.nodes[n.index()];
+        let up = node
+            .up
+            .as_mut()
+            .ok_or(TopologyError::InsufficientBandwidth { node: n })?;
+        let new_cap = (nominal as f64 * fraction).round() as Kbps;
+        let old_cap = up.cap_up;
+        let was_degraded = node.link_fraction != 1.0;
+        let old_half = (up.avail_up as u128 + up.avail_dn as u128) / 2;
+        up.cap_up = new_cap;
+        up.cap_dn = new_cap;
+        up.avail_up = new_cap.saturating_sub(up.used_up);
+        up.avail_dn = new_cap.saturating_sub(up.used_dn);
+        let new_half = (up.avail_up as u128 + up.avail_dn as u128) / 2;
+        node.link_fraction = fraction;
+        let is_degraded = fraction != 1.0;
+        self.level_cap[level] = self.level_cap[level] - old_cap + new_cap;
+        self.level_avail_half[level] = self.level_avail_half[level] - old_half + new_half;
+        match (was_degraded, is_degraded) {
+            (false, true) => self.num_degraded_links += 1,
+            (true, false) => self.num_degraded_links -= 1,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Restore `n`'s uplink to its nominal capacity (bit-exact: the cap
+    /// comes back from the spec, not from un-scaling the degraded value).
+    pub fn restore_link(&mut self, n: NodeId) -> Result<(), TopologyError> {
+        self.degrade_link(n, 1.0)
+    }
+
+    /// Fail a whole fault domain: kill `n`'s uplink (capacity 0) and fail
+    /// every server in its subtree. Returns the servers that were newly
+    /// failed by this call (already-failed ones are skipped), which is what
+    /// a recovery layer needs to find the tenants that just lost VMs.
+    pub fn fail_domain(&mut self, n: NodeId) -> Result<Vec<NodeId>, TopologyError> {
+        self.degrade_link(n, 0.0)?;
+        let servers: Vec<NodeId> = self.servers_under(n).to_vec();
+        let mut newly = Vec::new();
+        for s in servers {
+            if self.fail_server(s)? {
+                newly.push(s);
+            }
+        }
+        Ok(newly)
+    }
+
+    /// Undo [`Topology::fail_domain`]: restore the uplink to nominal and
+    /// restore every failed server in the subtree (including any that were
+    /// failed individually before the domain kill). Returns the servers
+    /// that came back.
+    pub fn restore_domain(&mut self, n: NodeId) -> Result<Vec<NodeId>, TopologyError> {
+        self.restore_link(n)?;
+        let servers: Vec<NodeId> = self.servers_under(n).to_vec();
+        let mut restored = Vec::new();
+        for s in servers {
+            if self.restore_server(s)? {
+                restored.push(s);
+            }
+        }
+        Ok(restored)
+    }
+
     /// Check internal invariants; returns a description of the first
     /// violation. Intended for tests and debug assertions.
     pub fn check_invariants(&self) -> Result<(), String> {
+        let mut failed_servers = 0u32;
+        let mut degraded_links = 0u32;
         for (i, node) in self.nodes.iter().enumerate() {
             let id = NodeId(i as u32);
+            if node.failed {
+                if node.level != 0 {
+                    return Err(format!("{id}: failure mask set on a switch"));
+                }
+                failed_servers += 1;
+            }
+            if node.link_fraction != 1.0 {
+                if node.up.is_none() {
+                    return Err(format!("{id}: link fraction set on the root"));
+                }
+                degraded_links += 1;
+            }
             if node.slots_used > node.slots_total {
                 return Err(format!("{id}: slots_used > slots_total"));
             }
             if let Some(u) = node.up {
-                if u.used_up > u.cap_up || u.used_dn > u.cap_dn {
-                    return Err(format!("{id}: uplink over capacity"));
+                // The cap must re-derive from the spec nominal and the
+                // failure mask; `used` may exceed a degraded cap (old
+                // reservations are kept) but never the nominal.
+                let nominal = self.spec.uplink_kbps[node.level as usize];
+                let expect_cap = (nominal as f64 * node.link_fraction).round() as Kbps;
+                if u.cap_up != expect_cap || u.cap_dn != expect_cap {
+                    return Err(format!(
+                        "{id}: uplink cap {:?} != nominal × fraction {expect_cap}",
+                        (u.cap_up, u.cap_dn)
+                    ));
+                }
+                if u.used_up > nominal || u.used_dn > nominal {
+                    return Err(format!("{id}: uplink over nominal capacity"));
+                }
+                if node.link_fraction == 1.0 && (u.used_up > u.cap_up || u.used_dn > u.cap_dn) {
+                    return Err(format!("{id}: healthy uplink over capacity"));
                 }
             }
             let expect_free: u64 = if node.level == 0 {
-                (node.slots_total - node.slots_used) as u64
+                if node.failed {
+                    0
+                } else {
+                    (node.slots_total - node.slots_used) as u64
+                }
             } else {
                 self.children(id).map(|c| self.subtree_slots_free(c)).sum()
             };
@@ -865,7 +1133,9 @@ impl Topology {
                 ));
             }
             if let Some(u) = node.up {
-                if u.avail_up != u.cap_up - u.used_up || u.avail_dn != u.cap_dn - u.used_dn {
+                if u.avail_up != u.cap_up.saturating_sub(u.used_up)
+                    || u.avail_dn != u.cap_dn.saturating_sub(u.used_dn)
+                {
                     return Err(format!("{id}: cached uplink avail out of sync"));
                 }
             }
@@ -917,12 +1187,24 @@ impl Topology {
                 return Err(format!("level {level}: cached avail-half sum out of sync"));
             }
         }
+        if failed_servers != self.num_failed_servers {
+            return Err(format!(
+                "failed-server count {} != recomputed {failed_servers}",
+                self.num_failed_servers
+            ));
+        }
+        if degraded_links != self.num_degraded_links {
+            return Err(format!(
+                "degraded-link count {} != recomputed {degraded_links}",
+                self.num_degraded_links
+            ));
+        }
         Ok(())
     }
 }
 
 fn apply_delta(used: Kbps, delta: i64, cap: Kbps, node: NodeId) -> Result<Kbps, TopologyError> {
-    if delta >= 0 {
+    if delta > 0 {
         let new = used
             .checked_add(delta as u64)
             .ok_or(TopologyError::InsufficientBandwidth { node })?;
@@ -931,6 +1213,9 @@ fn apply_delta(used: Kbps, delta: i64, cap: Kbps, node: NodeId) -> Result<Kbps, 
         }
         Ok(new)
     } else {
+        // Only increases are cap-checked: a degraded link can hold
+        // reservations above its current cap, and releasing (or leaving)
+        // one direction while adjusting the other must still succeed.
         used.checked_sub(delta.unsigned_abs())
             .ok_or(TopologyError::ReleaseUnderflow { node })
     }
@@ -1256,6 +1541,93 @@ mod tests {
             .map(|(u, d)| (u as u128 + d as u128) / 2)
             .sum();
         assert_eq!(t.avail_half_sum_at_level(0), expect_half);
+    }
+
+    #[test]
+    fn fail_and_restore_server_round_trips_exactly() {
+        let mut t = paper();
+        let s = t.servers()[0];
+        let tor = t.parent(s).unwrap();
+        t.alloc_slots(s, 10).unwrap();
+        assert!(t.fail_server(s).unwrap());
+        assert!(!t.fail_server(s).unwrap(), "second fail is a no-op");
+        assert!(t.is_failed(s) && t.has_faults());
+        // Free capacity vanished from every aggregate and new allocations
+        // are rejected; the 10 allocated slots stay on the books.
+        assert_eq!(t.slots_free(s), 0);
+        assert_eq!(t.subtree_slots_free(tor), 31 * 25);
+        assert_eq!(t.max_subtree_free_at(tor, 0), 25);
+        assert!(matches!(
+            t.alloc_slots(s, 1),
+            Err(TopologyError::NodeFailed { .. })
+        ));
+        t.check_invariants().unwrap();
+        // Evacuating the dead server releases privately (aggregates see
+        // nothing until repair).
+        t.release_slots(s, 10).unwrap();
+        assert_eq!(t.subtree_slots_free(tor), 31 * 25);
+        t.check_invariants().unwrap();
+        assert!(t.restore_server(s).unwrap());
+        assert!(!t.restore_server(s).unwrap());
+        assert_eq!(t.slots_free(s), 25);
+        assert_eq!(t.subtree_slots_free(t.root()), 2048 * 25);
+        assert!(!t.has_faults());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degrade_link_keeps_old_reservations_but_blocks_new_ones() {
+        let mut t = paper();
+        let s = t.servers()[0];
+        t.adjust_uplink(s, gbps(5.0) as i64, gbps(5.0) as i64)
+            .unwrap();
+        t.degrade_link(s, 0.25).unwrap();
+        assert_eq!(t.uplink_capacity(s), Some((gbps(2.5), gbps(2.5))));
+        assert_eq!(t.uplink_used(s), Some((gbps(5.0), gbps(5.0))));
+        assert_eq!(t.uplink_avail(s), Some((0, 0)));
+        assert_eq!(t.link_health(s), 0.25);
+        t.check_invariants().unwrap();
+        // New reservations bounce; releases still work.
+        assert!(t.adjust_uplink(s, 1, 0).is_err());
+        t.adjust_uplink(s, -(gbps(5.0) as i64), -(gbps(5.0) as i64))
+            .unwrap();
+        // Restoring a previously-held reservation is allowed through the
+        // force path even though it exceeds the degraded cap.
+        assert!(t.adjust_uplink(s, gbps(5.0) as i64, 0).is_err());
+        t.force_adjust_uplink(s, gbps(5.0) as i64, 0).unwrap();
+        t.check_invariants().unwrap();
+        t.restore_link(s).unwrap();
+        assert_eq!(t.uplink_capacity(s), Some((gbps(10.0), gbps(10.0))));
+        assert_eq!(t.uplink_avail(s), Some((gbps(5.0), gbps(10.0))));
+        assert!(!t.has_faults());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failed_domain_is_invisible_to_descend() {
+        let mut t = paper();
+        let tor = t.nodes_at_level(1)[0];
+        let newly = t.fail_domain(tor).unwrap();
+        assert_eq!(newly.len(), 32);
+        assert_eq!(t.failed_servers(), newly);
+        assert_eq!(t.subtree_slots_free(tor), 0);
+        assert_eq!(t.subtree_slots_free(t.root()), (2048 - 32) * 25);
+        assert_eq!(t.uplink_capacity(tor), Some((0, 0)));
+        t.check_invariants().unwrap();
+        // Placement search never lands inside the dead domain, and still
+        // agrees with the brute-force reference.
+        for level in 0..t.num_levels() {
+            let found = t.descend_to_level(level, 25, (0, 0));
+            assert_eq!(found, linear_find(&t, level, 25, (0, 0)));
+            if let Some(n) = found {
+                assert!(!t.is_ancestor(tor, n));
+            }
+        }
+        let restored = t.restore_domain(tor).unwrap();
+        assert_eq!(restored.len(), 32);
+        assert_eq!(t.subtree_slots_free(t.root()), 2048 * 25);
+        assert!(!t.has_faults());
+        t.check_invariants().unwrap();
     }
 
     #[test]

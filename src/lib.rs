@@ -55,8 +55,8 @@ pub use cm_workloads as workloads;
 
 // Convenience re-exports of the items almost every user touches.
 pub use cm_cluster::{
-    Cluster, CmError, EcmpConfig, EcmpMode, GuaranteeModel, GuaranteeReport, TagSpec, TenantHandle,
-    TenantId, TrafficReport,
+    Cluster, CmError, EcmpConfig, EcmpMode, Fault, FaultReport, GuaranteeModel, GuaranteeReport,
+    RepairReport, TagSpec, TenantDamage, TenantHandle, TenantId, TrafficReport,
 };
 pub use cm_core::{
     CmConfig, CmPlacer, CutModel, Deployed, HaPolicy, Placer, RejectReason, ReservationTxn, Tag,

@@ -1,13 +1,14 @@
 //! Lifecycle conservation: random interleavings of admit / scale_tier /
-//! migrate / depart leave the topology exactly pristine once every tenant
-//! has departed, with `check_invariants` (topology + per-tenant ledger
+//! migrate / depart — plus fault injection and repair — leave the topology
+//! exactly pristine once every fault is repaired and every tenant has
+//! departed, with `check_invariants` (topology + per-tenant ledger
 //! recomputation) holding at every step. Driven by proptest over op
 //! scripts, for CloudMirror (exact-incremental scaling) and OVOC (the
 //! generic re-place fallback).
 
 use cloudmirror::baselines::OvocPlacer;
 use cloudmirror::workloads::mixed_pool;
-use cloudmirror::{mbps, Cluster, CmConfig, CmPlacer, Placer, TenantId, TierId, TreeSpec};
+use cloudmirror::{mbps, Cluster, CmConfig, CmPlacer, Fault, Placer, TenantId, TierId, TreeSpec};
 use proptest::prelude::*;
 
 fn small_spec() -> TreeSpec {
@@ -25,10 +26,18 @@ enum Op {
     },
     Migrate(usize),
     Depart(usize),
+    /// Kill one server (index reduced modulo the server count).
+    ServerFault(usize),
+    /// Kill one ToR-level fault domain (index modulo the ToR count).
+    DomainFault(usize),
+    /// Halve one ToR uplink's capacity.
+    Degrade(usize),
+    /// Repair the oldest outstanding fault (no-op when none).
+    Repair,
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
-    (0u8..8, 0usize..60, 0usize..4, -3i64..4).prop_map(|(kind, idx, tier, delta)| match kind {
+    (0u8..12, 0usize..60, 0usize..4, -3i64..4).prop_map(|(kind, idx, tier, delta)| match kind {
         // Admissions weighted heaviest so scripts build up live tenants.
         0..=2 => Op::Admit(idx),
         3 | 4 => Op::Scale {
@@ -37,7 +46,11 @@ fn arb_op() -> impl Strategy<Value = Op> {
             delta: if delta == 0 { 1 } else { delta },
         },
         5 => Op::Migrate(idx),
-        _ => Op::Depart(idx),
+        6 | 7 => Op::Depart(idx),
+        8 => Op::ServerFault(idx),
+        9 => Op::DomainFault(idx),
+        10 => Op::Degrade(idx),
+        _ => Op::Repair,
     })
 }
 
@@ -46,6 +59,7 @@ fn run_script<P: Placer>(placer: P, seed: u64, script: &[Op]) {
     let spec = small_spec();
     let mut cluster = Cluster::new(&spec, placer);
     let mut live: Vec<TenantId> = Vec::new();
+    let mut outstanding: Vec<Fault> = Vec::new();
     for (step, &op) in script.iter().enumerate() {
         match op {
             Op::Admit(idx) => {
@@ -95,12 +109,52 @@ fn run_script<P: Placer>(placer: P, seed: u64, script: &[Op]) {
                 let id = live.swap_remove(victim % live.len());
                 cluster.depart(id).expect("live tenant departs");
             }
+            Op::ServerFault(idx) => {
+                let servers = cluster.topology().servers();
+                let fault = Fault::Server(servers[idx % servers.len()]);
+                let report = cluster.inject_fault(fault).expect("server faults apply");
+                // Damage accounting is self-consistent.
+                assert_eq!(
+                    report.lost_vms,
+                    report.tenants.iter().map(|d| d.lost_vms).sum::<u64>(),
+                    "step {step}: fault report totals disagree"
+                );
+                outstanding.push(fault);
+            }
+            Op::DomainFault(idx) => {
+                let tors = cluster.topology().nodes_at_level(1);
+                let fault = Fault::Domain(tors[idx % tors.len()]);
+                cluster.inject_fault(fault).expect("domain faults apply");
+                outstanding.push(fault);
+            }
+            Op::Degrade(idx) => {
+                let tors = cluster.topology().nodes_at_level(1);
+                let fault = Fault::DegradeLink {
+                    node: tors[idx % tors.len()],
+                    fraction: 0.5,
+                };
+                let report = cluster.inject_fault(fault).expect("degrades apply");
+                assert_eq!(report.lost_vms, 0, "step {step}: degrade lost VMs");
+                outstanding.push(fault);
+            }
+            Op::Repair => {
+                if outstanding.is_empty() {
+                    continue;
+                }
+                let fault = outstanding.remove(0);
+                cluster.repair(fault).expect("repairing an injected fault");
+            }
         }
         cluster
             .check_invariants()
             .unwrap_or_else(|e| panic!("step {step} ({op:?}): {e}"));
     }
-    // All departures: the datacenter must be exactly pristine.
+    // Repair every outstanding fault (failed capacity reads as in-use and
+    // would otherwise break the pristine-drain accounting), then depart
+    // everyone: the datacenter must be exactly pristine.
+    for fault in outstanding {
+        cluster.repair(fault).expect("repairing an injected fault");
+    }
     for id in live {
         cluster.depart(id).unwrap();
     }
