@@ -1,0 +1,114 @@
+//! Findings and their rendering: rustc-style text and `--json` output.
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (stable identifier, also the pragma key).
+    pub rule: &'static str,
+    /// One-line description of the violation.
+    pub message: String,
+    /// Why the convention exists / how to fix, rendered as a `note:`.
+    pub note: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Render one finding in rustc style.
+pub fn render_text(f: &Finding) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("error[{}]: {}\n", f.rule, f.message));
+    s.push_str(&format!("  --> {}:{}\n", f.path, f.line));
+    s.push_str(&format!("   | {}\n", f.snippet));
+    if !f.note.is_empty() {
+        s.push_str(&format!("   = note: {}\n", f.note));
+    }
+    s.push_str(&format!(
+        "   = help: fix it, or annotate `// cm-analyze: allow({}) -- <reason>`\n",
+        f.rule
+    ));
+    s
+}
+
+/// Render the full report as a JSON object (hand-rolled — no serde in the
+/// offline container). Schema:
+/// `{"version":1,"files_scanned":N,"elapsed_ms":M,"findings":[{...}]}`.
+pub fn render_json(findings: &[Finding], files_scanned: usize, elapsed_ms: u128) -> String {
+    let mut s = String::from("{");
+    s.push_str("\"version\":1,");
+    s.push_str(&format!("\"files_scanned\":{files_scanned},"));
+    s.push_str(&format!("\"elapsed_ms\":{elapsed_ms},"));
+    s.push_str(&format!("\"finding_count\":{},", findings.len()));
+    s.push_str("\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('{');
+        s.push_str(&format!("\"rule\":{},", json_str(f.rule)));
+        s.push_str(&format!("\"path\":{},", json_str(&f.path)));
+        s.push_str(&format!("\"line\":{},", f.line));
+        s.push_str(&format!("\"message\":{},", json_str(&f.message)));
+        s.push_str(&format!("\"note\":{},", json_str(&f.note)));
+        s.push_str(&format!("\"snippet\":{}", json_str(&f.snippet)));
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: "float-eq",
+            message: "float `==`".into(),
+            note: "use tol()".into(),
+            snippet: "if a == b {".into(),
+        }
+    }
+
+    #[test]
+    fn text_has_rule_path_line_and_help() {
+        let t = render_text(&finding());
+        assert!(t.contains("error[float-eq]"));
+        assert!(t.contains("--> crates/x/src/lib.rs:7"));
+        assert!(t.contains("allow(float-eq)"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut f = finding();
+        f.snippet = "say \"hi\"\\".into();
+        let j = render_json(&[f], 3, 12);
+        assert!(j.contains("\"finding_count\":1"));
+        assert!(j.contains("\"files_scanned\":3"));
+        assert!(j.contains("say \\\"hi\\\"\\\\"));
+    }
+}

@@ -1,0 +1,103 @@
+//! `cm-analyze` CLI: run the workspace convention checks and gate on the
+//! result.
+//!
+//! ```text
+//! cargo run -p cm-analyze --              # human-readable diagnostics
+//! cargo run -p cm-analyze -- --json       # machine output for CI
+//! cargo run -p cm-analyze -- --rule float-eq --rule pub-doc
+//! cargo run -p cm-analyze -- --root /path/to/workspace
+//! cargo run -p cm-analyze -- --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/IO error.
+
+use cm_analyze::{analyze_root, config::Config, diag, find_workspace_root, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut rule_filter: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => return usage("--root needs a path"),
+            },
+            "--rule" => match args.next() {
+                Some(r) => {
+                    if !rules::ALL_RULES.contains(&r.as_str()) {
+                        return usage(&format!("unknown rule `{r}` (try --list-rules)"));
+                    }
+                    rule_filter.push(r);
+                }
+                None => return usage("--rule needs a rule name"),
+            },
+            "--list-rules" => {
+                for r in rules::ALL_RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "cm-analyze — repo-specific static analysis (see ANALYSIS.md)\n\n\
+                     USAGE: cm-analyze [--json] [--root DIR] [--rule NAME]... [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage("no workspace root found (pass --root)"),
+    };
+
+    let t0 = Instant::now();
+    let report = match analyze_root(&root, &Config::cloudmirror(), &rule_filter) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cm-analyze: IO error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = t0.elapsed();
+
+    if json {
+        println!(
+            "{}",
+            diag::render_json(&report.findings, report.files_scanned, elapsed.as_millis())
+        );
+    } else {
+        for f in &report.findings {
+            print!("{}", diag::render_text(f));
+            println!();
+        }
+        println!(
+            "cm-analyze: {} finding(s) across {} files in {:.0} ms",
+            report.findings.len(),
+            report.files_scanned,
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cm-analyze: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,201 @@
+//! Suppression pragmas and machine-readable headers.
+//!
+//! Two comment forms are recognized (anywhere a comment is legal):
+//!
+//! * `// cm-analyze: allow(<rule>[, <rule>…]) -- <reason>` — suppress the
+//!   named rule(s) on the same line, or — when the pragma sits on a line
+//!   with no code — on the next code-carrying line. The ` -- <reason>` is
+//!   **mandatory**: a suppression without a recorded justification is
+//!   itself a finding ([`crate::rules::PRAGMA_SYNTAX`]), and a pragma that
+//!   suppresses nothing is flagged too ([`crate::rules::PRAGMA_UNUSED`]) so
+//!   stale exemptions cannot linger after the code they excused is fixed.
+//! * `// cm-analyze: lock-order(a < b < …)` — declares the file's lock
+//!   acquisition order for the `lock-order` rule.
+
+use crate::scan::SourceFile;
+
+/// One parsed `allow(...)` pragma.
+#[derive(Debug)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    /// Rule names inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Whether a ` -- reason` followed the closing paren.
+    pub has_reason: bool,
+    /// Whether the pragma's own line carries code (trailing pragma) or
+    /// stands alone (applies to the next code line).
+    pub own_line: bool,
+    /// Set when the pragma suppressed at least one finding.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// All pragmas plus the optional lock-order header of one file.
+#[derive(Debug, Default)]
+pub struct FilePragmas {
+    /// `allow(...)` pragmas in line order.
+    pub allows: Vec<Pragma>,
+    /// Declared lock names, outermost-first, with the header's line.
+    pub lock_order: Option<(usize, Vec<String>)>,
+    /// Lines holding a `cm-analyze:` comment that parses as neither form.
+    pub malformed: Vec<usize>,
+}
+
+const MARKER: &str = "cm-analyze:";
+
+/// Parse every `cm-analyze:` comment in `file`.
+pub fn parse(file: &SourceFile) -> FilePragmas {
+    let mut out = FilePragmas::default();
+    for (idx, line) in file.lines.iter().enumerate() {
+        // Doc comments (`///…`, `//!…`) are prose and may legitimately
+        // quote the pragma syntax; only plain comments carry pragmas. The
+        // scanner strips the leading `//`, so a doc comment's text starts
+        // with the third `/` or the `!`.
+        if line.comment.starts_with('/') || line.comment.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = line.comment.find(MARKER) else {
+            continue;
+        };
+        let body = line.comment[pos + MARKER.len()..].trim();
+        let lineno = idx + 1;
+        if let Some(rest) = body.strip_prefix("allow(") {
+            let Some(close) = rest.find(')') else {
+                out.malformed.push(lineno);
+                continue;
+            };
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            if rules.is_empty() {
+                out.malformed.push(lineno);
+                continue;
+            }
+            let tail = rest[close + 1..].trim_start();
+            let has_reason = tail
+                .strip_prefix("--")
+                .is_some_and(|r| !r.trim().is_empty());
+            out.allows.push(Pragma {
+                line: lineno,
+                rules,
+                has_reason,
+                own_line: line.is_code_blank(),
+                used: std::cell::Cell::new(false),
+            });
+        } else if let Some(rest) = body.strip_prefix("lock-order(") {
+            let Some(close) = rest.find(')') else {
+                out.malformed.push(lineno);
+                continue;
+            };
+            let names: Vec<String> = rest[..close]
+                .split('<')
+                .map(|n| n.trim().to_string())
+                .filter(|n| !n.is_empty())
+                .collect();
+            if names.is_empty() || out.lock_order.is_some() {
+                out.malformed.push(lineno);
+                continue;
+            }
+            out.lock_order = Some((lineno, names));
+        } else {
+            out.malformed.push(lineno);
+        }
+    }
+    out
+}
+
+impl FilePragmas {
+    /// Whether a finding of `rule` at 1-based `line` is suppressed: a
+    /// pragma on the same line, or a standalone pragma on the comment-only
+    /// line(s) immediately above. Marks the matching pragma used.
+    pub fn suppresses(&self, file: &SourceFile, rule: &str, line: usize) -> bool {
+        for p in &self.allows {
+            if !p.rules.iter().any(|r| r == rule) {
+                continue;
+            }
+            let hit = if p.own_line {
+                // Standalone pragma: walk down over comment-only lines to
+                // the code line it governs.
+                let mut target = p.line; // 1-based index of pragma line
+                while target < file.lines.len() && file.lines[target].is_code_blank() {
+                    target += 1;
+                }
+                target + 1 == line || target == line
+            } else {
+                p.line == line
+            };
+            if hit {
+                p.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan(PathBuf::from("t.rs"), text)
+    }
+
+    #[test]
+    fn trailing_allow_with_reason() {
+        let f =
+            scan("x.unwrap(); // cm-analyze: allow(no-unwrap-in-hot-path) -- proven nonempty\n");
+        let p = parse(&f);
+        assert_eq!(p.allows.len(), 1);
+        assert!(p.allows[0].has_reason);
+        assert!(!p.allows[0].own_line);
+        assert!(p.suppresses(&f, "no-unwrap-in-hot-path", 1));
+        assert!(p.allows[0].used.get());
+    }
+
+    #[test]
+    fn own_line_allow_covers_next_code_line() {
+        let f = scan(
+            "// cm-analyze: allow(float-eq) -- exact identity check\n// more words\nif a == b {}\n",
+        );
+        let p = parse(&f);
+        assert!(p.allows[0].own_line);
+        assert!(p.suppresses(&f, "float-eq", 3));
+        assert!(!p.suppresses(&f, "float-eq", 5));
+    }
+
+    #[test]
+    fn reason_is_required() {
+        let f = scan("x.unwrap(); // cm-analyze: allow(no-unwrap-in-hot-path)\n");
+        let p = parse(&f);
+        assert!(!p.allows[0].has_reason);
+    }
+
+    #[test]
+    fn lock_order_header_parses() {
+        let f = scan("// cm-analyze: lock-order(log < slots)\n");
+        let p = parse(&f);
+        let (line, names) = p.lock_order.unwrap();
+        assert_eq!(line, 1);
+        assert_eq!(names, vec!["log", "slots"]);
+    }
+
+    #[test]
+    fn doc_comments_quoting_the_syntax_are_not_pragmas() {
+        let f = scan("/// Use `// cm-analyze: allow(float-eq) -- why`.\n//! See `cm-analyze: lock-order(a < b)`.\n");
+        let p = parse(&f);
+        assert!(p.allows.is_empty());
+        assert!(p.lock_order.is_none());
+        assert!(p.malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_marker_is_recorded() {
+        let f = scan("// cm-analyze: alow(typo) -- oops\n");
+        let p = parse(&f);
+        assert_eq!(p.malformed, vec![1]);
+    }
+}

@@ -1,0 +1,174 @@
+//! `pub-doc`: exported items in library crates carry doc comments.
+//!
+//! CI already builds rustdoc with `-D warnings`, but that only rejects
+//! *broken* docs, not *missing* ones. This rule requires every `pub` item
+//! in the library crates' source (fn, struct, enum, trait, type, const,
+//! static, mod) to have a `///` or `#[doc]` attached. `pub use` re-exports
+//! (docs travel with the item) and restricted visibility (`pub(crate)`,
+//! `pub(super)`) are exempt, as is test code.
+
+use super::{finding, Rule, PUB_DOC};
+use crate::config::{is_test_path, Config};
+use crate::diag::Finding;
+use crate::pragma::FilePragmas;
+use crate::scan::SourceFile;
+
+/// See the module docs.
+pub struct PubDoc;
+
+/// Item keywords that may follow `pub` (with optional qualifiers).
+const ITEM_HEADS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+];
+
+impl Rule for PubDoc {
+    fn name(&self) -> &'static str {
+        PUB_DOC
+    }
+
+    fn check(
+        &self,
+        file: &SourceFile,
+        _pragmas: &FilePragmas,
+        cfg: &Config,
+        out: &mut Vec<Finding>,
+    ) {
+        let path = file.path_str();
+        if is_test_path(&path) || !cfg.pub_doc_prefixes.iter().any(|p| path.starts_with(p)) {
+            return;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let Some(item) = pub_item(&line.code) else {
+                continue;
+            };
+            if !has_doc_above(file, idx) {
+                out.push(finding(
+                    file,
+                    idx + 1,
+                    PUB_DOC,
+                    format!("exported `{item}` has no doc comment"),
+                    "every exported item in the library crates documents its \
+                     contract (`///` or `#[doc]`); see ANALYSIS.md#pub-doc",
+                ));
+            }
+        }
+    }
+}
+
+/// If the line declares an exported item, return its head keyword.
+fn pub_item(code: &str) -> Option<&'static str> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("pub ")?;
+    // `pub(crate)` / `pub(super)` never reach here (no space after `pub`),
+    // but guard anyway; `pub use` re-exports inherit their item's docs.
+    let rest = rest.trim_start();
+    if rest.starts_with("use ") {
+        return None;
+    }
+    // Skip qualifiers (`pub const fn`, `pub unsafe trait`, `pub async fn`):
+    // `const` is a head only when not followed by `fn`.
+    let mut words = rest.split_whitespace().peekable();
+    while let Some(w) = words.next() {
+        if w == "const" {
+            return if words.peek() == Some(&"fn") {
+                Some("fn")
+            } else {
+                Some("const")
+            };
+        }
+        if let Some(h) = ITEM_HEADS.iter().find(|h| **h == w) {
+            return Some(h);
+        }
+        if !matches!(w, "unsafe" | "async" | "extern" | "\"C\"") {
+            return None;
+        }
+    }
+    None
+}
+
+/// Whether the item at 0-based `idx` has a doc comment above it (skipping
+/// attribute lines).
+fn has_doc_above(file: &SourceFile, idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let raw = file.lines[i].raw.trim();
+        if raw.starts_with("///") || raw.starts_with("#[doc") {
+            return true;
+        }
+        // Attribute lines (and multi-line attribute tails) are transparent.
+        if raw.starts_with("#[") || raw.starts_with("#![") || looks_like_attr_tail(file, i) {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Heuristic for a line that continues a multi-line attribute opened above.
+fn looks_like_attr_tail(file: &SourceFile, idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let raw = file.lines[i].raw.trim();
+        if raw.starts_with("#[") {
+            return true;
+        }
+        if !(raw.ends_with(',') || raw.ends_with('(')) {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pragma;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::scan(PathBuf::from("crates/topology/src/tree.rs"), src);
+        let p = pragma::parse(&f);
+        let mut out = Vec::new();
+        PubDoc.check(&f, &p, &Config::cloudmirror(), &mut out);
+        out
+    }
+
+    #[test]
+    fn undocumented_pub_items_fire() {
+        let out = run("pub fn naked() {}\npub struct Bare;\n");
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("`fn`"));
+        assert!(out[1].message.contains("`struct`"));
+    }
+
+    #[test]
+    fn documented_restricted_and_reexports_are_fine() {
+        let src = "/// Documented.\npub fn ok() {}\n\
+                   #[derive(Debug)]\n/// Above the attr.\npub struct S;\n\
+                   pub(crate) fn internal() {}\n\
+                   pub use other::Thing;\n";
+        // Attribute between doc and item is transparent.
+        let src2 = "/// Doc.\n#[derive(Debug)]\npub struct T;\n";
+        assert!(run(src).is_empty());
+        assert!(run(src2).is_empty());
+    }
+
+    #[test]
+    fn qualifiers_are_recognized() {
+        let out = run("pub const fn f() {}\npub unsafe fn g() {}\npub async fn h() {}\n");
+        assert_eq!(out.len(), 3);
+        assert!(run("/// A.\npub const X: u32 = 1;\n").is_empty());
+        assert_eq!(run("pub const X: u32 = 1;\n").len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n pub fn helper() {}\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! `no-unwrap-in-hot-path`: hot-path crates return typed errors.
+//!
+//! `cm-core::placement`, `cm-enforce`, and `cm-cluster` sit on the
+//! admission/solve hot path of a controller meant to run as a service: a
+//! stray panic there takes out the whole admission loop, and `unwrap()`
+//! without a message destroys the evidence. Non-test code in those crates
+//! must surface failures as `CmError`/`RejectReason`/`TopologyError`
+//! values. The escape hatch for genuine invariants ("this key was inserted
+//! two lines up") is an `expect("<invariant>")` carrying an `allow` pragma
+//! whose reason restates why the invariant holds.
+
+use super::{finding, Rule, NO_UNWRAP};
+use crate::config::{is_test_path, Config};
+use crate::diag::Finding;
+use crate::pragma::FilePragmas;
+use crate::scan::SourceFile;
+
+/// See the module docs.
+pub struct NoUnwrapInHotPath;
+
+impl Rule for NoUnwrapInHotPath {
+    fn name(&self) -> &'static str {
+        NO_UNWRAP
+    }
+
+    fn check(
+        &self,
+        file: &SourceFile,
+        _pragmas: &FilePragmas,
+        cfg: &Config,
+        out: &mut Vec<Finding>,
+    ) {
+        let path = file.path_str();
+        if is_test_path(&path) || !cfg.hot_path_prefixes.iter().any(|p| path.starts_with(p)) {
+            return;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for what in [".unwrap()", ".expect("] {
+                if line.code.contains(what) {
+                    out.push(finding(
+                        file,
+                        idx + 1,
+                        NO_UNWRAP,
+                        format!("`{what}…` in hot-path non-test code"),
+                        "hot-path crates must return typed errors \
+                         (`CmError`/`RejectReason`/`TopologyError`); a true invariant \
+                         may stay as `expect(\"<invariant>\")` under a pragma whose \
+                         reason justifies it; see ANALYSIS.md#no-unwrap-in-hot-path",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pragma;
+    use std::path::PathBuf;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::scan(PathBuf::from(path), src);
+        let p = pragma::parse(&f);
+        let mut out = Vec::new();
+        NoUnwrapInHotPath.check(&f, &p, &Config::cloudmirror(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_in_hot_crates() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); }\n";
+        assert_eq!(run("crates/enforce/src/fluid.rs", src).len(), 2);
+        assert_eq!(run("crates/cluster/src/lib.rs", src).len(), 2);
+        assert_eq!(run("crates/core/src/placement/cm.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn cold_crates_tests_and_alternatives_are_fine() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(run("crates/topology/src/tree.rs", src).is_empty());
+        assert!(run("crates/cluster/src/tests.rs", src).is_empty());
+        let ok = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.expect_err(\"no\"); }\n";
+        assert!(run("crates/enforce/src/fluid.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_mentions_do_not_fire() {
+        let src = "//! call `b.build().unwrap()` to finish\nfn f() {}\n";
+        assert!(run("crates/cluster/src/lib.rs", src).is_empty());
+    }
+}

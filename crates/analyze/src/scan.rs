@@ -1,0 +1,377 @@
+//! Hand-rolled Rust line scanner: the lexical substrate every rule runs on.
+//!
+//! This is deliberately **not** a parser. The rules in this crate are
+//! repo-specific convention checks (see `ANALYSIS.md`), and every one of
+//! them can be decided from a per-line view of the source once three
+//! lexical questions are answered exactly:
+//!
+//! 1. which bytes are *code* vs comment vs string/char-literal content
+//!    (so `".unwrap()"` inside a string or a doc comment never fires a
+//!    rule),
+//! 2. which lines sit inside a `#[cfg(test)]` item (test code is exempt
+//!    from the hot-path rules), and
+//! 3. the brace depth at each point (so lock guards can be scoped).
+//!
+//! The scanner handles nested block comments, string escapes, raw strings
+//! (`r#"…"#`), byte strings, and the char-literal/lifetime ambiguity
+//! (`'a'` vs `'a`). String and char *contents* are blanked with spaces in
+//! the code view — the delimiters survive, so `".expect("` still matches
+//! `.expect(` when (and only when) it is real code.
+
+use std::path::PathBuf;
+
+/// One scanned source line: the raw text plus the lexical views of it.
+#[derive(Debug)]
+pub struct Line {
+    /// Original line text (without the trailing newline).
+    pub raw: String,
+    /// Code-only view: comments removed, string/char contents blanked.
+    pub code: String,
+    /// Comment text on this line (line + block comment bodies, joined).
+    pub comment: String,
+    /// Whether this line is inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+    /// Brace depth at the *start* of the line (code braces only).
+    pub depth: u32,
+}
+
+impl Line {
+    /// Whether the line carries no code at all (blank or comment-only) —
+    /// used when attaching own-line pragmas to the statement below them.
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// A scanned source file: repo-relative path plus per-line lexical views.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub path: PathBuf,
+    /// The scanned lines, in order (line numbers are index + 1).
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Scan `text` into per-line code/comment views with test-region and
+    /// brace-depth annotations.
+    pub fn scan(path: PathBuf, text: &str) -> SourceFile {
+        let mut lines = lex(text);
+        mark_test_regions(&mut lines);
+        SourceFile { path, lines }
+    }
+
+    /// The repo-relative path as a `/`-separated string.
+    pub fn path_str(&self) -> String {
+        self.path.to_string_lossy().replace('\\', "/")
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    /// Nested block comment depth (Rust block comments nest).
+    Block(u32),
+    Str,
+    /// Raw string with this many `#` in the delimiter.
+    RawStr(u32),
+}
+
+fn lex(text: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    let mut depth: u32 = 0;
+    for raw in text.lines() {
+        let start_depth = depth;
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            match mode {
+                Mode::Block(n) => {
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(n + 1);
+                        i += 2;
+                    } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        mode = if n == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(n - 1)
+                        };
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if i + 1 < chars.len() {
+                            code.push(' ');
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"' && raw_str_closes(&chars, i, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment: the rest of the line is comment.
+                        comment.push_str(&chars[i + 2..].iter().collect::<String>());
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if (c == 'r' || c == 'b') && is_raw_str_start(&chars, i) {
+                        // r"…", r#"…"#, br"…", … — consume prefix + hashes.
+                        let mut j = i;
+                        if chars[j] == 'b' {
+                            code.push('b');
+                            j += 1;
+                        }
+                        code.push('r');
+                        j += 1;
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            code.push('#');
+                            hashes += 1;
+                            j += 1;
+                        }
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i = j + 1;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                        // Byte literal b'x'.
+                        code.push('b');
+                        i += 1;
+                    } else if c == '\'' {
+                        if let Some(end) = char_literal_end(&chars, i) {
+                            code.push('\'');
+                            for _ in i + 1..end {
+                                code.push(' ');
+                            }
+                            code.push('\'');
+                            i = end + 1;
+                        } else {
+                            // Lifetime: keep the tick, the ident follows.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        if c == '{' {
+                            depth += 1;
+                        } else if c == '}' {
+                            depth = depth.saturating_sub(1);
+                        }
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // An unterminated normal string at EOL is a syntax error in real
+        // Rust; reset to code so one bad line cannot poison the file.
+        if mode == Mode::Str {
+            mode = Mode::Code;
+        }
+        out.push(Line {
+            raw: raw.to_string(),
+            code,
+            comment,
+            in_test: false,
+            depth: start_depth,
+        });
+    }
+    out
+}
+
+/// Whether `chars[i..]` starts a raw string literal (`r"`, `r#`, `br"`, `br#`).
+fn is_raw_str_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    // Must not be part of a longer identifier (e.g. `for r` / `var`).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Whether the `"` at `chars[i]` closes a raw string with `hashes` hashes.
+fn raw_str_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If a char literal starts at `chars[i] == '\''`, return the index of its
+/// closing quote; `None` means it is a lifetime tick.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    let next = chars.get(i + 1)?;
+    if *next == '\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2;
+        while j < chars.len() {
+            if chars[j] == '\'' {
+                return Some(j);
+            }
+            j += 1;
+        }
+        None
+    } else if chars.get(i + 2) == Some(&'\'') && *next != '\'' {
+        Some(i + 2)
+    } else {
+        // `'a` / `'static` — a lifetime.
+        None
+    }
+}
+
+/// Mark every line inside a `#[cfg(test)]`-gated item. The attribute arms
+/// the marker; the next `{` that opens at or below the attribute's depth
+/// starts the region, which ends when the depth returns to its start.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: u32 = 0;
+    let mut armed = false;
+    let mut region: Option<u32> = None;
+    for line in lines.iter_mut() {
+        if region.is_some() || (armed && line_mentions_item(&line.code)) {
+            line.in_test = true;
+        }
+        if is_cfg_test(&line.code) {
+            armed = true;
+            line.in_test = true;
+        }
+        for c in line.code.chars() {
+            if c == '{' {
+                if armed && region.is_none() {
+                    region = Some(depth);
+                    armed = false;
+                    line.in_test = true;
+                }
+                depth += 1;
+            } else if c == '}' {
+                depth = depth.saturating_sub(1);
+                if region == Some(depth) {
+                    region = None;
+                }
+            }
+        }
+    }
+}
+
+fn is_cfg_test(code: &str) -> bool {
+    let c = code.replace(' ', "");
+    c.contains("#[cfg(test)]") || c.contains("#[cfg(all(test")
+}
+
+/// Whether the line looks like an item header (so the gap between
+/// `#[cfg(test)]` and its `{` is still marked as test code).
+fn line_mentions_item(code: &str) -> bool {
+    let t = code.trim_start();
+    t.starts_with("mod ")
+        || t.starts_with("pub mod ")
+        || t.starts_with("fn ")
+        || t.starts_with("pub fn ")
+        || t.starts_with("use ")
+        || t.starts_with("#[")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan(PathBuf::from("test.rs"), text)
+    }
+
+    #[test]
+    fn strings_are_blanked_but_delimited() {
+        let f = scan(r#"let x = v.expect("boom .unwrap() inside");"#);
+        assert!(f.lines[0].code.contains(".expect(\""));
+        assert!(!f.lines[0].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn line_comments_are_split_out() {
+        let f = scan("let a = 1; // trailing .unwrap() note");
+        assert_eq!(f.lines[0].code.trim_end(), "let a = 1;");
+        assert!(f.lines[0].comment.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn block_comments_nest_across_lines() {
+        let f = scan("/* outer /* inner */ still comment */ let y = 2;");
+        assert!(f.lines[0].code.contains("let y = 2;"));
+        assert!(!f.lines[0].code.contains("still"));
+        let f = scan("/* open\n.unwrap()\n*/ let z = 3;");
+        assert!(f.lines[1].code.is_empty());
+        assert!(f.lines[2].code.contains("let z = 3;"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let f = scan(r##"let s = r#"raw .unwrap() "quoted""#; let c = '{';"##);
+        let code = &f.lines[0].code;
+        assert!(!code.contains(".unwrap()"));
+        assert!(code.contains("let c = '"));
+        // The brace inside the char literal must not affect depth.
+        let f2 = scan("let c = '{';\nfn f() {\nlet d = 1;\n}");
+        assert_eq!(f2.lines[2].depth, 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(f.lines[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_module() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let f = scan(src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn depth_tracks_code_braces_only() {
+        let f = scan("fn f() {\n  if x { // {{{\n    y();\n  }\n}\n");
+        let depths: Vec<u32> = f.lines.iter().map(|l| l.depth).collect();
+        assert_eq!(depths, vec![0, 1, 2, 2, 1]);
+    }
+}

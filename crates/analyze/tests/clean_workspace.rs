@@ -1,0 +1,36 @@
+//! The workspace-is-clean gate: the real repository must analyze to zero
+//! findings (every violation fixed or pragma-justified), and the pass must
+//! stay fast enough to sit in CI without anyone noticing it.
+
+use cm_analyze::{analyze_root, find_workspace_root, Config};
+use std::path::Path;
+use std::time::Instant;
+
+#[test]
+fn workspace_has_zero_findings_and_analyzes_fast() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test runs from inside the workspace");
+    let t0 = Instant::now();
+    let report = analyze_root(&root, &Config::cloudmirror(), &[]).expect("workspace readable");
+    let elapsed = t0.elapsed();
+
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walker break?",
+        report.files_scanned
+    );
+    let rendered: String = report
+        .findings
+        .iter()
+        .map(cm_analyze::diag::render_text)
+        .collect();
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must analyze clean; fix or pragma-justify:\n{rendered}"
+    );
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "analysis took {:.2}s — the CI budget is 5s",
+        elapsed.as_secs_f64()
+    );
+}

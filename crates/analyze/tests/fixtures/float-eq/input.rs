@@ -1,0 +1,11 @@
+fn work_conserved(rate: f64, want: f64) -> bool {
+    rate == want
+}
+
+fn converged(used: &[f64], l: usize) -> bool {
+    used[l] != 0.25
+}
+
+fn index_compare(slot: u32, other: u32) -> bool {
+    slot == other
+}

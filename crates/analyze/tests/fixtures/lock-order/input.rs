@@ -1,0 +1,18 @@
+// cm-analyze: lock-order(queue < slots)
+
+fn inverted(queue: &Mutex<Work>, slots: &[Mutex<Out>]) {
+    let s = slots[0].lock().expect("slot");
+    let q = queue.lock().expect("queue");
+    drop((q, s));
+}
+
+fn ordered(queue: &Mutex<Work>, slots: &[Mutex<Out>]) {
+    let job = queue.lock().expect("queue").pop_front();
+    let mut s = slots[0].lock().expect("slot");
+    *s = job;
+}
+
+fn undeclared(other: &Mutex<u32>) {
+    let g = other.lock().expect("other");
+    drop(g);
+}

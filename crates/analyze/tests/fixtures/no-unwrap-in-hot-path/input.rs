@@ -1,0 +1,17 @@
+/// Hot-path unwrap: a stale cache entry panics the enforcement engine.
+fn cached_hops(cache: &HashMap<u64, Vec<u32>>, key: u64) -> Vec<u32> {
+    cache.get(&key).unwrap().clone()
+}
+
+/// Expects are flagged too; a justified one carries a pragma.
+fn first_hop(hops: &[u32]) -> u32 {
+    *hops.first().expect("routes are never empty") // cm-analyze: allow(no-unwrap-in-hot-path) -- paths always contain the source uplink
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        build().unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+fn missing_reason(a: f64, b: f64) -> bool {
+    a == b // cm-analyze: allow(float-eq)
+}
+
+fn unknown_rule(a: f64, b: f64) -> bool {
+    a != b // cm-analyze: allow(flot-eq) -- typo never suppresses
+}
+
+fn unparseable(a: f64, b: f64) -> bool {
+    a == b // cm-analyze: alow(float-eq) -- misspelled marker body
+}

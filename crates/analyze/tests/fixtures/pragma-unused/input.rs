@@ -1,0 +1,3 @@
+fn fixed_long_ago(a: f64, b: f64) -> bool {
+    (a - b).abs() < tol(a) // cm-analyze: allow(float-eq) -- stale: the exact compare was rewritten
+}

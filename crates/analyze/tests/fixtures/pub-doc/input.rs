@@ -1,0 +1,12 @@
+pub struct Undocumented {
+    pub field: u32,
+}
+
+/// Documented items pass.
+pub fn documented() {}
+
+#[derive(Debug)]
+/// Attributes between the doc and the item are fine.
+pub enum AlsoDocumented {}
+
+fn private_needs_no_doc() {}

@@ -1,0 +1,10 @@
+/// Releases a departed tenant's slots by poking the topology directly —
+/// skipping the reservation ledger, so conservation silently breaks.
+pub fn leak_release(topo: &mut Topology, server: NodeId) {
+    let _ = topo.release_slots(server, 4);
+}
+
+/// The sanctioned shape: route the mutation through a transaction.
+pub fn clean_release(txn: &mut ReservationTxn<'_>, server: NodeId) {
+    let _ = txn.release(server, 4);
+}

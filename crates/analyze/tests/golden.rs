@@ -1,0 +1,102 @@
+//! Golden-diagnostic tests: every rule has a fixture under
+//! `tests/fixtures/<rule>/` whose rendered findings must match
+//! `expected.txt` byte for byte.
+//!
+//! Each fixture directory holds:
+//!
+//! * `input.rs` — a small source file exercising the rule (violations,
+//!   near-misses, and suppressions),
+//! * `path.txt` — the *virtual* workspace path the file is analyzed under
+//!   (rule applicability is path-driven: hot-path prefixes, solver files,
+//!   lock-order required files),
+//! * `expected.txt` — the concatenated `render_text` output.
+//!
+//! Regenerate goldens after an intentional diagnostic change with
+//! `UPDATE_GOLDENS=1 cargo test -p cm-analyze --test golden`.
+
+use cm_analyze::scan::SourceFile;
+use cm_analyze::{analyze_sources, diag, Config};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn run_fixture(rule: &str) {
+    let dir = fixture_dir().join(rule);
+    let input = std::fs::read_to_string(dir.join("input.rs"))
+        .unwrap_or_else(|e| panic!("{rule}: no input.rs: {e}"));
+    let vpath = std::fs::read_to_string(dir.join("path.txt"))
+        .unwrap_or_else(|e| panic!("{rule}: no path.txt: {e}"));
+    let file = SourceFile::scan(PathBuf::from(vpath.trim()), &input);
+    let report = analyze_sources(&[file], &Config::cloudmirror(), &[]);
+
+    let mut got = String::new();
+    for f in &report.findings {
+        got.push_str(&diag::render_text(f));
+        got.push('\n');
+    }
+    // Every fixture must actually exercise its rule.
+    assert!(
+        report.findings.iter().any(|f| f.rule == rule),
+        "{rule}: fixture produced no `{rule}` finding:\n{got}"
+    );
+
+    let golden = dir.join("expected.txt");
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&golden, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("{rule}: no expected.txt (run with UPDATE_GOLDENS=1): {e}"));
+    assert_eq!(
+        got, want,
+        "{rule}: diagnostics drifted from the golden output \
+         (UPDATE_GOLDENS=1 to accept)"
+    );
+}
+
+#[test]
+fn golden_txn_discipline() {
+    run_fixture("txn-discipline");
+}
+
+#[test]
+fn golden_lock_order() {
+    run_fixture("lock-order");
+}
+
+#[test]
+fn golden_no_unwrap_in_hot_path() {
+    run_fixture("no-unwrap-in-hot-path");
+}
+
+#[test]
+fn golden_float_eq() {
+    run_fixture("float-eq");
+}
+
+#[test]
+fn golden_pub_doc() {
+    run_fixture("pub-doc");
+}
+
+#[test]
+fn golden_pragma_syntax() {
+    run_fixture("pragma-syntax");
+}
+
+#[test]
+fn golden_pragma_unused() {
+    run_fixture("pragma-unused");
+}
+
+#[test]
+fn every_rule_has_a_fixture() {
+    for rule in cm_analyze::rules::ALL_RULES {
+        assert!(
+            fixture_dir().join(rule).join("input.rs").is_file(),
+            "rule `{rule}` has no fixture under tests/fixtures/{rule}/"
+        );
+    }
+}

@@ -509,6 +509,7 @@ impl<P: Placer> Cluster<P> {
     pub fn inject_fault(&mut self, fault: Fault) -> Result<FaultReport, CmError> {
         let (failed_servers, domain_level) = match fault {
             Fault::Server(s) => {
+                // cm-analyze: allow(txn-discipline) -- fault injection mutates the substrate, not a reservation
                 let newly = if self.topo.fail_server(s)? {
                     vec![s]
                 } else {
@@ -518,10 +519,10 @@ impl<P: Placer> Cluster<P> {
             }
             Fault::Domain(n) => {
                 let level = self.topo.level(n);
-                (self.topo.fail_domain(n)?, level)
+                (self.topo.fail_domain(n)?, level) // cm-analyze: allow(txn-discipline) -- fault injection mutates the substrate, not a reservation
             }
             Fault::DegradeLink { node, fraction } => {
-                self.topo.degrade_link(node, fraction)?;
+                self.topo.degrade_link(node, fraction)?; // cm-analyze: allow(txn-discipline) -- fault injection mutates the substrate, not a reservation
                 (Vec::new(), 0u8)
             }
         };
@@ -577,15 +578,16 @@ impl<P: Placer> Cluster<P> {
     pub fn repair(&mut self, fault: Fault) -> Result<RepairReport, CmError> {
         let restored_servers = match fault {
             Fault::Server(s) => {
+                // cm-analyze: allow(txn-discipline) -- bit-exact substrate repair, not a reservation
                 if self.topo.restore_server(s)? {
                     vec![s]
                 } else {
                     Vec::new()
                 }
             }
-            Fault::Domain(n) => self.topo.restore_domain(n)?,
+            Fault::Domain(n) => self.topo.restore_domain(n)?, // cm-analyze: allow(txn-discipline) -- bit-exact substrate repair, not a reservation
             Fault::DegradeLink { node, .. } => {
-                self.topo.restore_link(node)?;
+                self.topo.restore_link(node)?; // cm-analyze: allow(txn-discipline) -- bit-exact substrate repair, not a reservation
                 Vec::new()
             }
         };
@@ -879,7 +881,7 @@ impl<P: Placer> Cluster<P> {
                 engine.upsert_tenant(&self.topo, id.raw(), entry.version, &entry.tag, &placement);
             }
         }
-        RefMut::map(slot, |s| s.as_mut().expect("engine just ensured"))
+        RefMut::map(slot, |s| s.as_mut().expect("engine just ensured")) // cm-analyze: allow(no-unwrap-in-hot-path) -- the Option is filled unconditionally above; RefMut::map cannot propagate an error
     }
 
     /// [`Cluster::traffic_report`] with explicit instantaneous
@@ -901,7 +903,7 @@ impl<P: Placer> Cluster<P> {
             let t = tenants
                 .iter_mut()
                 .find(|t| t.id == id.raw())
-                .expect("live tenant collected");
+                .ok_or(CmError::UnknownTenant(*id))?;
             let vms = t.vm_tier.len();
             if let Some(&(src, dst)) = pairs.iter().find(|&&(s, d)| s >= vms || d >= vms || s == d)
             {

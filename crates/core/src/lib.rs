@@ -55,12 +55,19 @@
 //!   sequence-numbered optimistic commit protocol that keeps decisions
 //!   bit-identical to serial admission at any thread count.
 
+/// Anti-colocation constraint tracking across fault domains.
 pub mod coloc;
+/// Min-cut bandwidth model over the tenant virtual network.
 pub mod cut;
+/// Small deterministic hash primitives for placement tie-breaking.
 pub mod fasthash;
+/// The tenant-side abstraction: TAG virtual networks and their components.
 pub mod model;
+/// Placement engines: baseline search, CloudMirror, and the concurrent admitter.
 pub mod placement;
+/// The sanctioned reservation layer: every `Topology` mutation flows through here.
 pub mod reserve;
+/// Undo-logged reservation transactions with all-or-nothing rollback.
 pub mod txn;
 
 pub use cut::CutModel;

@@ -1,9 +1,9 @@
 //! Tenant network-abstraction models.
 //!
 //! * [`Tag`] — the paper's contribution: the Tenant Application Graph (§3).
-//! * [`VocModel`] — generalized Virtual Oversubscribed Cluster and the VC
+//! * [`VocModel`](crate::model::VocModel) — generalized Virtual Oversubscribed Cluster and the VC
 //!   (generalized hose) special case, used as baselines (§2.2).
-//! * [`PipeModel`] — pairwise VM-to-VM pipes (§2.2).
+//! * [`PipeModel`](crate::model::PipeModel) — pairwise VM-to-VM pipes (§2.2).
 //!
 //! All models implement [`crate::cut::CutModel`] so that a single placement
 //! and reservation machinery serves every abstraction.

@@ -70,6 +70,11 @@
 //! crossbeam here: plain `std::thread::scope` workers, a `Mutex` +
 //! `Condvar` sequencer, and atomic tickets.
 
+// The commit log is this module's only Mutex (the Condvar sequencer waits
+// on the same guard). Any second lock added here must extend this header
+// with its acquisition position — cm-analyze checks inversions against it.
+// cm-analyze: lock-order(log)
+
 use crate::model::Tag;
 use crate::placement::{Deployed, PlacementTrace, Placer, RejectReason};
 use cm_topology::{Kbps, NodeId, PodPartition, ShardSet, Topology};
@@ -181,14 +186,15 @@ impl Delta {
     fn apply(&self, topo: &mut Topology, dir: i64) {
         for &(s, n) in &self.slots {
             let r = if dir > 0 {
-                topo.alloc_slots(s, n)
+                topo.alloc_slots(s, n) // cm-analyze: allow(txn-discipline) -- replica replay of a committed delta, not a new reservation
             } else {
-                topo.release_slots(s, n)
+                topo.release_slots(s, n) // cm-analyze: allow(txn-discipline) -- replica replay of a committed delta, not a new reservation
             };
-            r.expect("replica replay of a committed slot delta cannot fail");
+            r.expect("replica replay of a committed slot delta cannot fail"); // cm-analyze: allow(no-unwrap-in-hot-path) -- the global sequence already admitted this delta
         }
         for &(l, (o, i)) in &self.links {
-            topo.adjust_uplink(l, dir * o as i64, dir * i as i64)
+            topo.adjust_uplink(l, dir * o as i64, dir * i as i64) // cm-analyze: allow(txn-discipline) -- replica replay of a committed delta, not a new reservation
+                // cm-analyze: allow(no-unwrap-in-hot-path) -- the global sequence already admitted this delta
                 .expect("replica replay of a committed link delta cannot fail");
         }
     }
@@ -259,7 +265,7 @@ impl<P: Placer> Worker<P> {
             return;
         }
         let deltas: Vec<(Option<Arc<Delta>>, CommitKind)> = {
-            let log = shared.log.lock().expect("log lock");
+            let log = shared.log.lock().expect("log lock"); // cm-analyze: allow(no-unwrap-in-hot-path) -- poisoned log means a worker panicked; propagating is the only sound recovery
             log.commits[self.applied..upto]
                 .iter()
                 .map(|c| (c.delta.clone(), c.kind))
@@ -343,10 +349,10 @@ where
             }));
         }
         for h in handles {
-            h.join().expect("admission worker panicked");
+            h.join().expect("admission worker panicked"); // cm-analyze: allow(no-unwrap-in-hot-path) -- a panicked worker must abort the whole admission run, not be swallowed
         }
     });
-    let log = shared.log.into_inner().expect("log lock");
+    let log = shared.log.into_inner().expect("log lock"); // cm-analyze: allow(no-unwrap-in-hot-path) -- poisoned log means a worker panicked; propagating is the only sound recovery
     debug_assert_eq!(log.committed, events.len());
     log.outcomes
 }
@@ -366,9 +372,9 @@ fn worker_loop<P: Placer>(shared: &Shared<'_>, w: &mut Worker<P>) {
 
 /// Block until `committed == i`; returns with the log lock held.
 fn wait_turn<'a>(shared: &'a Shared<'_>, i: usize) -> std::sync::MutexGuard<'a, LogState> {
-    let mut log = shared.log.lock().expect("log lock");
+    let mut log = shared.log.lock().expect("log lock"); // cm-analyze: allow(no-unwrap-in-hot-path) -- poisoned log means a worker panicked; propagating is the only sound recovery
     while log.committed != i {
-        log = shared.turn.wait(log).expect("log lock");
+        log = shared.turn.wait(log).expect("log lock"); // cm-analyze: allow(no-unwrap-in-hot-path) -- poisoned log means a worker panicked; propagating is the only sound recovery
     }
     log
 }
@@ -435,7 +441,7 @@ fn process_arrival<P: Placer>(shared: &Shared<'_>, w: &mut Worker<P>, i: usize, 
     // Speculate against the freshest replica we can assemble without
     // waiting: sync to the committed prefix, then place.
     let snapshot = {
-        let log = shared.log.lock().expect("log lock");
+        let log = shared.log.lock().expect("log lock"); // cm-analyze: allow(no-unwrap-in-hot-path) -- poisoned log means a worker panicked; propagating is the only sound recovery
         log.committed.min(i)
     };
     w.sync_to(shared, snapshot);
@@ -473,7 +479,7 @@ fn process_arrival<P: Placer>(shared: &Shared<'_>, w: &mut Worker<P>, i: usize, 
     // replica: validation proved the missing deltas are disjoint from it.
     // (No-op on the recompute path, which already synced.)
     w.sync_to(shared, i);
-    let log = shared.log.lock().expect("log lock");
+    let log = shared.log.lock().expect("log lock"); // cm-analyze: allow(no-unwrap-in-hot-path) -- poisoned log means a worker panicked; propagating is the only sound recovery
     debug_assert_eq!(log.committed, i);
 
     match result {

@@ -1,7 +1,7 @@
 //! Transactional staging of placement and reservation changes.
 //!
 //! Every placement algorithm mutates the same two ledgers — VM slots on the
-//! [`Topology`] and per-uplink bandwidth in a [`TenantState`] — and every
+//! [`Topology`](cm_topology::Topology) and per-uplink bandwidth in a [`TenantState`](crate::reserve::TenantState) — and every
 //! algorithm needs the same guarantee: *a failed attempt leaves both
 //! exactly as they were*. The seed implementations each hand-rolled that
 //! (placement maps, `rollback_map`, "re-sync affected links" loops);

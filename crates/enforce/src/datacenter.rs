@@ -523,7 +523,7 @@ fn path_links(
     let mut a = src;
     while !topo.server_range(a).contains(&dst_idx) {
         out.push(up_of[a.index()]);
-        a = topo.parent(a).expect("root covers every server");
+        a = topo.parent(a).expect("root covers every server"); // cm-analyze: allow(no-unwrap-in-hot-path) -- the root's server range contains every dst, so the walk stops before it
     }
     // Descend: collect the destination-side downlinks bottom-up, then
     // reverse them into path order.
@@ -531,7 +531,7 @@ fn path_links(
     let mut b = dst;
     while b != a {
         out.push(dn_of[b.index()]);
-        b = topo.parent(b).expect("LCA is above dst");
+        b = topo.parent(b).expect("LCA is above dst"); // cm-analyze: allow(no-unwrap-in-hot-path) -- the loop target `a` is an ancestor of dst by the ascent above
     }
     out[mark..].reverse();
 }

@@ -140,7 +140,7 @@ impl Fluid {
                     .path
                     .iter()
                     .position(|&ml| ml == l)
-                    .expect("indexed flow crosses the link");
+                    .expect("indexed flow crosses the link"); // cm-analyze: allow(no-unwrap-in-hot-path) -- link_flows[l] only holds flows whose path contains l (kept in sync on insert/remove)
                 self.flow_pos[moved][slot] = p as u32;
             }
         }

@@ -272,6 +272,7 @@ impl IncrementalFluid {
     /// component and is skipped by the solver's dirty marking. Returns
     /// whether the capacity actually changed.
     pub fn set_link_cap(&mut self, l: usize, cap_kbps: f64) -> bool {
+        // cm-analyze: allow(float-eq) -- intentional bit-exact "did the stored capacity change at all" dirty check; no arithmetic feeds either side
         if self.net.link_cap(l) == cap_kbps {
             return false;
         }

@@ -43,12 +43,19 @@
 //! water levels — the step that takes the engine to 100k+-server
 //! fat-trees.
 
+/// Tenant traffic reports and per-level utilization accounting.
 pub mod datacenter;
+/// Elasticity-aware bandwidth headroom for scaling tenants.
 pub mod elastic;
+/// The enforcement engine: admission of tenant traffic onto physical links.
 pub mod engine;
+/// Exact progressive-filling max-min fairness solver.
 pub mod fluid;
+/// Warm-started, component-scoped incremental wrapper around the fluid solver.
 pub mod incremental;
+/// Physical routing: LCA path derivation and ECMP spreading.
 pub mod route;
+/// Canned enforcement scenarios reproducing the paper's figures.
 pub mod scenario;
 
 pub use datacenter::{LevelUtilization, PairFlow, TenantSummary, TenantTraffic, TrafficReport};

@@ -232,13 +232,13 @@ impl RouteCache {
             let mut a = src;
             while a != meet {
                 hops.push(a.0 << 1 | 1);
-                a = topo.parent(a).expect("LCA is above src");
+                a = topo.parent(a).expect("LCA is above src"); // cm-analyze: allow(no-unwrap-in-hot-path) -- lca() returns an ancestor of src, so the walk stops before the root
             }
             let mark = hops.len();
             let mut b = dst;
             while b != meet {
                 hops.push(b.0 << 1);
-                b = topo.parent(b).expect("LCA is above dst");
+                b = topo.parent(b).expect("LCA is above dst"); // cm-analyze: allow(no-unwrap-in-hot-path) -- lca() returns an ancestor of dst, so the walk stops before the root
             }
             hops[mark..].reverse();
             hops

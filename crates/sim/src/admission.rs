@@ -2,7 +2,7 @@
 //!
 //! The simulator drives every algorithm through [`Admission`], and there is
 //! exactly one implementation: [`PlacerAdmission`], generic over any
-//! [`Placer`] from `cm-core` or `cm-baselines`. Since the lifecycle
+//! [`Placer`](cm_core::placement::Placer) from `cm-core` or `cm-baselines`. Since the lifecycle
 //! redesign, `PlacerAdmission` is a thin shim over the
 //! [`cm_cluster`] controller's admission front door
 //! ([`cm_cluster::admit_with`]) — the same code path

@@ -265,9 +265,16 @@ fn run_sim_inner(
     // Drain remaining tenants so the topology ends clean (a cheap global
     // leak check in debug builds).
     cluster.release_all();
-    debug_assert!(cluster.check_invariants().is_ok());
-    debug_assert!((0..cluster.topology().num_levels())
-        .all(|l| cluster.topology().reserved_at_level(l) == (0, 0)));
+    crate::debug_invariant_sweep(|| {
+        cluster.check_invariants()?;
+        for l in 0..cluster.topology().num_levels() {
+            let r = cluster.topology().reserved_at_level(l);
+            if r != (0, 0) {
+                return Err(format!("drained level {l} still reserves {r:?} kbps"));
+            }
+        }
+        Ok(())
+    });
 
     SimResult {
         algo,

@@ -29,14 +29,23 @@
 //! (every live tenant's flows over the physical tree, floors from the
 //! enforcement layer).
 
+/// Arrival-driven admission simulation against a placement engine.
 pub mod admission;
+/// The discrete-event core: clock, queue, and event kinds.
 pub mod events;
+/// End-to-end experiment drivers behind the paper's figures.
 pub mod experiments;
+/// Fault injection and recovery: failures, repairs, survivability accounting.
 pub mod faults;
+/// Tenant lifecycle churn: arrivals, departures, and slot reuse.
 pub mod lifecycle;
+/// Experiment metrics: acceptance, utilization, latency summaries.
 pub mod metrics;
+/// Hand-rolled scoped worker pool for sweep parallelism.
 pub mod parallel;
+/// Workload schedules: arrival processes and tenant mixes.
 pub mod schedule;
+/// Incremental traffic engine with route caching and flow bundling.
 pub mod traffic;
 
 pub use admission::{
@@ -54,3 +63,26 @@ pub use metrics::{reprice_by_level, wcs_from_placement, RejectionCounts, WcsByLe
 pub use parallel::{default_threads, par_map_indexed};
 pub use schedule::{build_schedule, run_schedule_concurrent, run_schedule_serial, Schedule};
 pub use traffic::{run_churn_traffic, TrafficChurnConfig, TrafficChurnReport, TrafficStep};
+
+/// Debug-build invariant sweep: re-derive a conservation invariant from
+/// scratch and panic with the full violation text if it fails. Compiles to
+/// nothing in release builds.
+///
+/// This is the *dynamic* half of the `txn-discipline` convention the
+/// static pass (`cargo run -p cm-analyze`) enforces lexically: the static
+/// rule keeps every [`cm_topology::Topology`] mutation inside the
+/// reservation layer, and this sweep re-derives the ledger those
+/// transactions maintain. Both halves report under the same rule name so a
+/// failure in either greps to the same entry in `ANALYSIS.md#txn-discipline`.
+#[inline]
+pub fn debug_invariant_sweep<F>(check: F)
+where
+    F: FnOnce() -> Result<(), String>,
+{
+    #[cfg(debug_assertions)]
+    if let Err(violation) = check() {
+        panic!("txn-discipline (dynamic re-derivation): {violation}");
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = check;
+}

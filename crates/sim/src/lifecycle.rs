@@ -266,8 +266,14 @@ pub fn run_churn_prepared<P: Placer>(
         report.depart.push(t0.elapsed().as_secs_f64());
         report.departs += 1;
     }
-    debug_assert!(cluster.check_invariants().is_ok());
-    debug_assert_eq!(cluster.topology().slots_in_use(), 0);
+    crate::debug_invariant_sweep(|| {
+        cluster.check_invariants()?;
+        let in_use = cluster.topology().slots_in_use();
+        if in_use != 0 {
+            return Err(format!("drained datacenter still holds {in_use} slots"));
+        }
+        Ok(())
+    });
 
     report.wall_secs = t_run.elapsed().as_secs_f64();
     report

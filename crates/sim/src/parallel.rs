@@ -13,6 +13,12 @@
 //! simulation cell is, since each builds its own topology, RNG, and
 //! admission controller from scratch.
 
+// Acquisition order: the work queue is popped (a guard that dies at end of
+// statement) strictly before a result slot is written. Never write a slot
+// while holding the queue guard — cm-analyze checks inversions against
+// this header.
+// cm-analyze: lock-order(queue < slots)
+
 use std::collections::VecDeque;
 use std::sync::Mutex;
 

@@ -169,7 +169,7 @@ pub fn run_schedule_serial<P: Placer>(schedule: &Schedule, placer: &mut P) -> Sc
     }
     // Tenants still live at the end (a schedule need not drain) keep their
     // resources; the ledger must still be internally consistent.
-    debug_assert!(topo.check_invariants().is_ok());
+    crate::debug_invariant_sweep(|| topo.check_invariants());
     ScheduleRun {
         result: fold_outcomes(schedule, &outcomes, placer.name()),
         outcomes,

@@ -29,6 +29,7 @@
 //! figures (three-tier web app of Fig. 2, Storm job of Fig. 3, the Fig. 6
 //! rack request, the Fig. 13 enforcement scenario).
 
+/// The paper's example applications as reusable TAG builders.
 pub mod apps;
 mod bing;
 mod hpcloud;
