@@ -88,6 +88,7 @@ impl Config {
                 "crates/inference/src/",
                 "crates/sim/src/",
                 "crates/analyze/src/",
+                "crates/race/src/",
                 "src/",
             ],
         }

@@ -20,6 +20,15 @@
 //! Guard liveness is lexical: a `let g = x.lock()…;` binding lives until
 //! its scope's brace depth unwinds or `drop(g)`; an unbound acquisition
 //! (`x.lock().…` consumed in one statement) dies at end of statement.
+//!
+//! Enrollment is automatic: any non-test file that lexically takes a
+//! guard — a `.lock()` call with a nameable receiver, or `.read()`/
+//! `.write()` in a file that mentions `RwLock` — must carry the header;
+//! a missing header is itself a finding. The configured
+//! [`Config::lock_order_required`] list is a floor on top of that (those
+//! files must declare an order even if a refactor temporarily removes
+//! their locks). Test code is exempt throughout: `#[cfg(test)]` modules
+//! re-lock scratch mutexes freely and never define the file's order.
 
 use super::{finding, Rule, LOCK_ORDER};
 use crate::config::Config;
@@ -56,7 +65,7 @@ impl Rule for LockOrder {
         out: &mut Vec<Finding>,
     ) {
         let path = file.path_str();
-        let required = cfg.lock_order_required.iter().any(|p| path == *p);
+        let required = cfg.lock_order_required.iter().any(|p| path == *p) || takes_guards(file);
         let Some((_, order_names)) = &pragmas.lock_order else {
             if required {
                 out.push(finding(
@@ -72,15 +81,24 @@ impl Rule for LockOrder {
             return;
         };
         let order_of = |name: &str| order_names.iter().position(|n| n == name);
+        let patterns = guard_patterns(file);
 
         let mut guards: Vec<Guard> = Vec::new();
         for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
             let lineno = idx + 1;
             // Scope unwinding: guards bound deeper than this line die.
             guards.retain(|g| g.depth <= line.depth);
 
             let code = &line.code;
-            for (pos, _) in code.match_indices(".lock()") {
+            let mut acqs: Vec<(usize, &str)> = Vec::new();
+            for pat in &patterns {
+                acqs.extend(code.match_indices(pat).map(|(pos, _)| (pos, *pat)));
+            }
+            acqs.sort_unstable();
+            for (pos, pat) in acqs {
                 let Some(name) = receiver_name(code, pos) else {
                     continue;
                 };
@@ -131,7 +149,7 @@ impl Rule for LockOrder {
                         ));
                     }
                 }
-                if let Some(var) = binding_guard(code, pos) {
+                if let Some(var) = binding_guard(code, pos, pat) {
                     guards.push(Guard {
                         lock: name,
                         var,
@@ -147,6 +165,38 @@ impl Rule for LockOrder {
             }
         }
     }
+}
+
+/// The guard-taking call patterns in play for `file`: `.lock()` always;
+/// `.read()`/`.write()` too when the file's non-test code mentions
+/// `RwLock` (their no-arg forms are read/write guard acquisitions).
+fn guard_patterns(file: &SourceFile) -> Vec<&'static str> {
+    if mentions_rwlock(file) {
+        vec![".lock()", ".read()", ".write()"]
+    } else {
+        vec![".lock()"]
+    }
+}
+
+fn mentions_rwlock(file: &SourceFile) -> bool {
+    file.lines
+        .iter()
+        .any(|l| !l.in_test && l.code.contains("RwLock"))
+}
+
+/// Whether any non-test line takes a guard with a nameable receiver —
+/// the automatic-enrollment trigger (string literals containing the call
+/// patterns have no nameable receiver and stay exempt).
+fn takes_guards(file: &SourceFile) -> bool {
+    let patterns = guard_patterns(file);
+    file.lines.iter().any(|line| {
+        !line.in_test
+            && patterns.iter().any(|pat| {
+                line.code
+                    .match_indices(pat)
+                    .any(|(pos, _)| receiver_name(&line.code, pos).is_some())
+            })
+    })
 }
 
 /// Extract the receiver's terminal name before `.lock()` at `pos`:
@@ -180,10 +230,11 @@ fn receiver_name(code: &str, pos: usize) -> Option<String> {
 /// If the statement binds the guard (`let g = x.lock()[.expect(…)][?];`),
 /// return the bound variable name; `None` means the guard is a temporary
 /// that dies at end of statement.
-fn binding_guard(code: &str, lock_pos: usize) -> Option<String> {
-    // The chain after `.lock()` may only be expect/unwrap/`?` and then the
-    // statement must end — anything else consumes the guard immediately.
-    let mut tail = &code[lock_pos + ".lock()".len()..];
+fn binding_guard(code: &str, lock_pos: usize, pat: &str) -> Option<String> {
+    // The chain after the acquisition may only be expect/unwrap/`?` and
+    // then the statement must end — anything else consumes the guard
+    // immediately.
+    let mut tail = &code[lock_pos + pat.len()..];
     loop {
         let t = tail.trim_start();
         if let Some(rest) = t.strip_prefix(".unwrap()") {
@@ -261,11 +312,35 @@ mod tests {
     const HDR: &str = "// cm-analyze: lock-order(log < slots)\n";
 
     #[test]
-    fn required_files_must_declare_a_header() {
-        let out = run("crates/sim/src/parallel.rs", "fn f() { q.lock(); }\n");
+    fn lock_taking_files_are_auto_enrolled() {
+        // Configured floor: enrolled even with no locks in sight.
+        let out = run("crates/sim/src/parallel.rs", "fn f() {}\n");
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("no `// cm-analyze: lock-order"));
-        assert!(run("crates/sim/src/other.rs", "fn f() { q.lock(); }\n").is_empty());
+        // Any other file lexically taking a guard is enrolled too.
+        let out = run("crates/sim/src/other.rs", "fn f() { q.lock(); }\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("no `// cm-analyze: lock-order"));
+        // RwLock guard acquisitions count once the type is in play.
+        let out = run(
+            "crates/sim/src/other.rs",
+            "struct S { m: RwLock<u32> }\nfn f(s: &S) { s.m.read(); }\n",
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn lockless_and_test_only_files_are_not_enrolled() {
+        assert!(run("crates/sim/src/other.rs", "fn f() { x + 1; }\n").is_empty());
+        // String literals mentioning the call have no nameable receiver.
+        assert!(run(
+            "crates/sim/src/other.rs",
+            "fn f() { s.contains(\".lock()\"); }\n"
+        )
+        .is_empty());
+        // Test modules may lock scratch mutexes freely.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let g = m.lock().unwrap(); }\n}\n";
+        assert!(run("crates/sim/src/other.rs", src).is_empty());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! stable rule-name registry that pragmas and the dynamic invariant
 //! checker (`cm-sim`'s debug sweep) reference.
 
+mod atomic_ordering;
 mod float_eq;
 mod lock_order;
 mod pub_doc;
@@ -13,6 +14,7 @@ use crate::diag::Finding;
 use crate::pragma::FilePragmas;
 use crate::scan::SourceFile;
 
+pub use atomic_ordering::AtomicOrdering;
 pub use float_eq::FloatEq;
 pub use lock_order::LockOrder;
 pub use pub_doc::PubDoc;
@@ -29,22 +31,39 @@ pub const NO_UNWRAP: &str = "no-unwrap-in-hot-path";
 pub const FLOAT_EQ: &str = "float-eq";
 /// Rule name: undocumented exported items.
 pub const PUB_DOC: &str = "pub-doc";
+/// Rule name: weak atomic memory orderings outside test code.
+pub const ATOMIC_ORDERING: &str = "atomic-ordering";
 /// Meta rule name: malformed pragma (bad syntax, missing reason, unknown rule).
 pub const PRAGMA_SYNTAX: &str = "pragma-syntax";
 /// Meta rule name: a pragma that suppressed nothing.
 pub const PRAGMA_UNUSED: &str = "pragma-unused";
 
-/// Every rule name the engine knows, in report order. The meta rules are
-/// last: they police the suppression mechanism itself.
-pub const ALL_RULES: [&str; 7] = [
+/// Dynamic rule name (reported by `cm-race`, never by this static pass):
+/// unsynchronized conflicting accesses found by the happens-before
+/// detector over a model-checked schedule.
+pub const DATA_RACE: &str = "data-race";
+/// Dynamic rule name (reported by `cm-race`): a model-checked schedule
+/// whose outcomes diverge from serial in-order execution.
+pub const SERIAL_EQUIVALENCE: &str = "serial-equivalence";
+
+/// Every rule name the static engine knows, in report order. The meta
+/// rules are last: they police the suppression mechanism itself.
+pub const ALL_RULES: [&str; 8] = [
     TXN_DISCIPLINE,
     LOCK_ORDER,
     NO_UNWRAP,
     FLOAT_EQ,
     PUB_DOC,
+    ATOMIC_ORDERING,
     PRAGMA_SYNTAX,
     PRAGMA_UNUSED,
 ];
+
+/// Rules reported only by the dynamic checker (`cm-race`). They share the
+/// finding catalog and rendering with the static rules — `lock-order` and
+/// `txn-discipline` findings can come from either side — but have no
+/// static checker, no fixtures, and cannot be suppressed by pragmas.
+pub const DYNAMIC_RULES: [&str; 2] = [DATA_RACE, SERIAL_EQUIVALENCE];
 
 /// A convention check over one scanned file.
 pub trait Rule {
@@ -63,6 +82,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoUnwrapInHotPath),
         Box::new(FloatEq),
         Box::new(PubDoc),
+        Box::new(AtomicOrdering),
     ]
 }
 

@@ -1,0 +1,31 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bump(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+fn publish(flag: &AtomicUsize) {
+    flag.store(1, Ordering::Release);
+}
+
+fn seqcst_is_fine(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::SeqCst)
+}
+
+fn cmp_ordering_is_not_atomic(a: u32, b: u32) -> bool {
+    a.cmp(&b) == std::cmp::Ordering::Less
+}
+
+fn excused(head: &AtomicUsize) {
+    // cm-analyze: allow(atomic-ordering) -- measured hot loop; release pairs with the acquire in drain()
+    head.store(0, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_code_is_exempt(x: &AtomicUsize) -> usize {
+        x.load(Ordering::Acquire)
+    }
+}

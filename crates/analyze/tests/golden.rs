@@ -82,6 +82,11 @@ fn golden_pub_doc() {
 }
 
 #[test]
+fn golden_atomic_ordering() {
+    run_fixture("atomic-ordering");
+}
+
+#[test]
 fn golden_pragma_syntax() {
     run_fixture("pragma-syntax");
 }

@@ -18,6 +18,8 @@ use cm_baselines::{OktopusVcPlacer, OvocPlacer, SecondNetPlacer};
 use cm_bench::print_table;
 use cm_core::placement::{CmConfig, CmPlacer, HaPolicy, Placer, SearchStrategy};
 use cm_enforce::{EcmpConfig, GuaranteeModel};
+use cm_race::explore::{explore_exhaustive, Caps, ExploreReport};
+use cm_race::schedule::Mutation;
 use cm_sim::admission::PlacerAdmission;
 use cm_sim::events::run_sim_timed;
 use cm_sim::faults::{run_churn_faults, FaultChurnConfig, FaultChurnReport};
@@ -265,6 +267,43 @@ fn traffic_bench(quick: bool, full: bool, pool: &TenantPool) -> Vec<TrafficRun> 
         report: run_churn_traffic(&cfg, pool, CmPlacer::new(CmConfig::cm())),
     });
     runs
+}
+
+/// One exhaustively explored model-checking scenario plus its wall time:
+/// schedules/sec is the throughput figure the JSON tracks run-over-run.
+struct ModelCheckRun {
+    report: ExploreReport,
+    wall_secs: f64,
+}
+
+impl ModelCheckRun {
+    fn schedules_per_sec(&self) -> f64 {
+        self.report.schedules as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Exhaustive 2-worker schedule exploration over every expect-clean
+/// cm-race scenario. This is a *throughput* benchmark — correctness is
+/// CI's `race` job — but the explored-schedule counts double as a canary:
+/// a sync-shim change that adds or removes yield points shows up here as
+/// a state-space size shift before any pinned replay id goes stale.
+fn model_check_bench(quick: bool) -> Vec<ModelCheckRun> {
+    let caps = Caps::default();
+    cm_race::scenario::all()
+        .into_iter()
+        .filter(|s| s.expect_clean)
+        // --quick keeps the two cheapest state spaces (the CI smoke run
+        // budget); default/full explore everything.
+        .filter(|s| !quick || s.name == "samepod2" || s.name == "parmap")
+        .map(|scn| {
+            let start = Instant::now();
+            let report = explore_exhaustive(&scn, 2, Mutation::None, &caps);
+            ModelCheckRun {
+                report,
+                wall_secs: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
 }
 
 fn thread_scaling(cfg: &SimConfig, pool: &TenantPool, max_threads: usize) -> Vec<ScalingRow> {
@@ -571,6 +610,43 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Model checking: exhaustive 2-worker schedule exploration of the
+    // concurrent engine under the cm-race sync shim — state-space size
+    // and schedules/sec as tracked quantities.
+    // ------------------------------------------------------------------
+    let model_check = model_check_bench(quick);
+    let model_check_table: Vec<Vec<String>> = model_check
+        .iter()
+        .map(|m| {
+            let r = &m.report;
+            vec![
+                r.scenario.clone(),
+                r.workers.to_string(),
+                r.schedules.to_string(),
+                r.pruned.to_string(),
+                r.max_depth.to_string(),
+                if r.complete { "yes" } else { "NO" }.to_string(),
+                r.findings.len().to_string(),
+                format!("{:.0}", m.schedules_per_sec()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Model checking (cm-race exhaustive DFS, 2 workers)",
+        &[
+            "scenario",
+            "workers",
+            "schedules",
+            "pruned",
+            "max depth",
+            "complete",
+            "findings",
+            "schedules/sec",
+        ],
+        &model_check_table,
+    );
+
+    // ------------------------------------------------------------------
     // BENCH_placement.json
     // ------------------------------------------------------------------
     let mut json = String::new();
@@ -771,6 +847,33 @@ fn main() {
                 .iter()
                 .map(|s| s.max_link_utilization)
                 .fold(0.0, f64::max),
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"model_check\": {{");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"cm-race exhaustive DFS with sleep-set pruning over every expect-clean scenario at 2 workers (--quick keeps the two cheapest state spaces); every schedule is checked for serial equivalence, delta-log replay convergence, and topology invariants. schedules counts fully executed interleavings, pruned the sleep-set abandonments; schedules_per_sec is the tracked throughput. A shift in the schedule counts means the sync shim's yield-point structure changed — re-explore before trusting pinned replay ids.\","
+    );
+    let _ = writeln!(json, "    \"entries\": [");
+    for (i, m) in model_check.iter().enumerate() {
+        let r = &m.report;
+        let comma = if i + 1 < model_check.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"scenario\": \"{}\", \"workers\": {}, \"schedules\": {}, \
+             \"pruned\": {}, \"max_depth\": {}, \"complete\": {}, \
+             \"findings\": {}, \"wall_secs\": {:.4}, \"schedules_per_sec\": {:.1}}}{comma}",
+            r.scenario,
+            r.workers,
+            r.schedules,
+            r.pruned,
+            r.max_depth,
+            r.complete,
+            r.findings.len(),
+            m.wall_secs,
+            m.schedules_per_sec(),
         );
     }
     let _ = writeln!(json, "    ]");

@@ -67,6 +67,8 @@ pub mod model;
 pub mod placement;
 /// The sanctioned reservation layer: every `Topology` mutation flows through here.
 pub mod reserve;
+/// Synchronization shim: std passthrough, or the model scheduler under `model`.
+pub mod sync;
 /// Undo-logged reservation transactions with all-or-nothing rollback.
 pub mod txn;
 

@@ -67,8 +67,11 @@
 //! ## Constraints
 //!
 //! The build environment is offline, so there is deliberately no rayon /
-//! crossbeam here: plain `std::thread::scope` workers, a `Mutex` +
-//! `Condvar` sequencer, and atomic tickets.
+//! crossbeam here: plain scoped workers, a `Mutex` + `Condvar` sequencer,
+//! and atomic tickets. Every synchronization primitive comes from
+//! [`crate::sync`] — a zero-cost std passthrough in production, and the
+//! virtualized model scheduler under the `model` feature, which is how
+//! `cm-race` exhaustively explores this protocol's interleavings.
 
 // The commit log is this module's only Mutex (the Condvar sequencer waits
 // on the same guard). Any second lock added here must extend this header
@@ -77,9 +80,9 @@
 
 use crate::model::Tag;
 use crate::placement::{Deployed, PlacementTrace, Placer, RejectReason};
+use crate::sync::{scope, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering};
 use cm_topology::{Kbps, NodeId, PodPartition, ShardSet, Topology};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 /// One event of the admission sequence.
 #[derive(Debug, Clone)]
@@ -144,6 +147,11 @@ pub struct ConcurrentConfig {
     /// rollback + at-turn recompute path (used by the interleaving
     /// proptest; keep `false` in production).
     pub force_invalidate: bool,
+    /// Mutation-testing knob: skip the pod-conflict check when validating
+    /// a speculation against intervening admissions, i.e. deliberately
+    /// break the protocol. `cm-race`'s CI gate proves the explorer catches
+    /// the resulting stale commits; keep `false` everywhere else.
+    pub skip_conflict_validation: bool,
 }
 
 impl Default for ConcurrentConfig {
@@ -153,6 +161,7 @@ impl Default for ConcurrentConfig {
             shard_level: None,
             wcs_level: 0,
             force_invalidate: false,
+            skip_conflict_validation: false,
         }
     }
 }
@@ -184,19 +193,27 @@ impl Delta {
     /// Replay of a committed delta cannot fail: the global sequence already
     /// admitted it, and replicas replay the same sequence.
     fn apply(&self, topo: &mut Topology, dir: i64) {
+        self.try_apply(topo, dir)
+            .expect("replica replay of a committed delta cannot fail"); // cm-analyze: allow(no-unwrap-in-hot-path) -- the global sequence already admitted this delta
+    }
+
+    /// Fallible apply: the replay-convergence checker uses this so a
+    /// corrupted log (e.g. from a deliberately broken validation under
+    /// `skip_conflict_validation`) surfaces as an error, not a panic.
+    fn try_apply(&self, topo: &mut Topology, dir: i64) -> Result<(), String> {
         for &(s, n) in &self.slots {
             let r = if dir > 0 {
                 topo.alloc_slots(s, n) // cm-analyze: allow(txn-discipline) -- replica replay of a committed delta, not a new reservation
             } else {
                 topo.release_slots(s, n) // cm-analyze: allow(txn-discipline) -- replica replay of a committed delta, not a new reservation
             };
-            r.expect("replica replay of a committed slot delta cannot fail"); // cm-analyze: allow(no-unwrap-in-hot-path) -- the global sequence already admitted this delta
+            r.map_err(|e| format!("slot delta at node {s:?}: {e:?}"))?;
         }
         for &(l, (o, i)) in &self.links {
             topo.adjust_uplink(l, dir * o as i64, dir * i as i64) // cm-analyze: allow(txn-discipline) -- replica replay of a committed delta, not a new reservation
-                // cm-analyze: allow(no-unwrap-in-hot-path) -- the global sequence already admitted this delta
-                .expect("replica replay of a committed link delta cannot fail");
+                .map_err(|e| format!("link delta at node {l:?}: {e:?}"))?;
         }
+        Ok(())
     }
 
     /// The shards this delta touches ([`ShardSet::All`] when it reaches a
@@ -243,6 +260,7 @@ struct Shared<'a> {
     turn: Condvar,
     next: AtomicUsize,
     force_invalidate: bool,
+    skip_conflict_validation: bool,
     wcs_level: u8,
 }
 
@@ -331,9 +349,10 @@ where
         turn: Condvar::new(),
         next: AtomicUsize::new(0),
         force_invalidate: cfg.force_invalidate,
+        skip_conflict_validation: cfg.skip_conflict_validation,
         wcs_level: cfg.wcs_level,
     };
-    std::thread::scope(|scope| {
+    scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let shared = &shared;
@@ -357,6 +376,108 @@ where
     log.outcomes
 }
 
+/// In-order execution of the event sequence with one placer on one
+/// topology — the ground truth [`run_events`] must match bit-for-bit.
+/// Place first, note after: arrival `i` is priced with the strict-prefix
+/// predictor state, exactly like the engine's exclusive `note_upto`.
+///
+/// Exposed so equivalence harnesses (`cm-race`, the stress tests) share
+/// one reference implementation instead of each reimplementing it.
+pub fn run_events_serial<P: Placer>(
+    topo: &Topology,
+    events: &[Event],
+    wcs_level: u8,
+    mut placer: P,
+) -> Vec<EventOutcome> {
+    let mut t = topo.clone();
+    let mut live: Vec<Option<Deployed>> = Vec::new();
+    let mut out = Vec::new();
+    for e in events {
+        match e {
+            Event::Arrive { tag } => {
+                let mut trace = PlacementTrace::default();
+                let placed = placer.place_speculative(&mut t, tag, &mut trace);
+                placer.note_arrival(tag);
+                match placed {
+                    Ok(d) => {
+                        let rec = AdmitRecord {
+                            placement: d.placement(&t),
+                            reservations: d.reservations(),
+                            tier_sizes: d.tier_sizes(),
+                            wcs: d.wcs_at_level(&t, wcs_level),
+                        };
+                        live.push(Some(d));
+                        out.push(EventOutcome::Arrival(ConcurrentOutcome::Admitted(
+                            Arc::new(rec),
+                        )));
+                    }
+                    Err(r) => {
+                        live.push(None);
+                        out.push(EventOutcome::Arrival(ConcurrentOutcome::Rejected(r)));
+                    }
+                }
+            }
+            Event::Depart { arrival } => {
+                // Arrival indices count events; live is indexed by
+                // arrival order, so map through the event list.
+                let arrivals_before = events[..*arrival]
+                    .iter()
+                    .filter(|e| matches!(e, Event::Arrive { .. }))
+                    .count();
+                if let Some(d) = live[arrivals_before].take() {
+                    d.release(&mut t);
+                }
+                out.push(EventOutcome::Departure);
+            }
+        }
+    }
+    out
+}
+
+/// Replay a run's outcomes onto a fresh copy of the starting topology:
+/// every admission's delta applied in order, every departure's reverted.
+/// This is the delta-log convergence check — a healthy run replays
+/// cleanly and leaves the topology satisfying its invariants; a run that
+/// committed conflicting speculations (a protocol bug) over-allocates and
+/// surfaces here as an `Err`.
+pub fn replay_outcomes(
+    topo: &mut Topology,
+    events: &[Event],
+    outcomes: &[EventOutcome],
+) -> Result<(), String> {
+    if events.len() != outcomes.len() {
+        return Err(format!(
+            "outcome count {} does not match event count {}",
+            outcomes.len(),
+            events.len()
+        ));
+    }
+    for (i, (e, o)) in events.iter().zip(outcomes).enumerate() {
+        match (e, o) {
+            (Event::Arrive { .. }, EventOutcome::Arrival(ConcurrentOutcome::Admitted(rec))) => {
+                Delta::from_record(rec)
+                    .try_apply(topo, 1)
+                    .map_err(|err| format!("replay of admission at event {i} failed: {err}"))?;
+            }
+            (Event::Arrive { .. }, EventOutcome::Arrival(ConcurrentOutcome::Rejected(_))) => {}
+            (Event::Depart { arrival }, EventOutcome::Departure) => {
+                if let EventOutcome::Arrival(ConcurrentOutcome::Admitted(rec)) = &outcomes[*arrival]
+                {
+                    Delta::from_record(rec)
+                        .try_apply(topo, -1)
+                        .map_err(|err| format!("replay of departure at event {i} failed: {err}"))?;
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "outcome at event {i} does not match the event kind"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn worker_loop<P: Placer>(shared: &Shared<'_>, w: &mut Worker<P>) {
     loop {
         let i = shared.next.fetch_add(1, Ordering::SeqCst);
@@ -371,7 +492,7 @@ fn worker_loop<P: Placer>(shared: &Shared<'_>, w: &mut Worker<P>) {
 }
 
 /// Block until `committed == i`; returns with the log lock held.
-fn wait_turn<'a>(shared: &'a Shared<'_>, i: usize) -> std::sync::MutexGuard<'a, LogState> {
+fn wait_turn<'a>(shared: &'a Shared<'_>, i: usize) -> MutexGuard<'a, LogState> {
     let mut log = shared.log.lock().expect("log lock"); // cm-analyze: allow(no-unwrap-in-hot-path) -- poisoned log means a worker panicked; propagating is the only sound recovery
     while log.committed != i {
         log = shared.turn.wait(log).expect("log lock"); // cm-analyze: allow(no-unwrap-in-hot-path) -- poisoned log means a worker panicked; propagating is the only sound recovery
@@ -381,7 +502,7 @@ fn wait_turn<'a>(shared: &'a Shared<'_>, i: usize) -> std::sync::MutexGuard<'a, 
 
 fn append_commit(
     shared: &Shared<'_>,
-    mut log: std::sync::MutexGuard<'_, LogState>,
+    mut log: MutexGuard<'_, LogState>,
     outcome: EventOutcome,
     entry: CommitEntry,
 ) {
@@ -458,7 +579,9 @@ fn process_arrival<P: Placer>(shared: &Shared<'_>, w: &mut Worker<P>, i: usize, 
         !shared.force_invalidate
             && log.commits[snapshot..i].iter().all(|c| match c.kind {
                 CommitKind::Noop => true,
-                CommitKind::Admit => !c.touched.intersects(&reads),
+                CommitKind::Admit => {
+                    shared.skip_conflict_validation || !c.touched.intersects(&reads)
+                }
                 CommitKind::Depart => false,
             })
     };
@@ -568,55 +691,9 @@ mod tests {
         topo: &Topology,
         events: &[Event],
         wcs_level: u8,
-        mut placer: P,
+        placer: P,
     ) -> Vec<EventOutcome> {
-        // In-order execution with one placer on one topology — the ground
-        // truth the concurrent engine must match. Place first, note after:
-        // speculation prices arrival `i` with the strict-prefix predictor
-        // state, exactly like the engine's exclusive `note_upto`.
-        let mut t = topo.clone();
-        let mut live: Vec<Option<Deployed>> = Vec::new();
-        let mut out = Vec::new();
-        for e in events {
-            match e {
-                Event::Arrive { tag } => {
-                    let mut trace = PlacementTrace::default();
-                    let placed = placer.place_speculative(&mut t, tag, &mut trace);
-                    placer.note_arrival(tag);
-                    match placed {
-                        Ok(d) => {
-                            let rec = AdmitRecord {
-                                placement: d.placement(&t),
-                                reservations: d.reservations(),
-                                tier_sizes: d.tier_sizes(),
-                                wcs: d.wcs_at_level(&t, wcs_level),
-                            };
-                            live.push(Some(d));
-                            out.push(EventOutcome::Arrival(ConcurrentOutcome::Admitted(
-                                Arc::new(rec),
-                            )));
-                        }
-                        Err(r) => {
-                            live.push(None);
-                            out.push(EventOutcome::Arrival(ConcurrentOutcome::Rejected(r)));
-                        }
-                    }
-                }
-                Event::Depart { arrival } => {
-                    // Arrival indices count events; live is indexed by
-                    // arrival order, so map through the event list.
-                    let arrivals_before = events[..*arrival]
-                        .iter()
-                        .filter(|e| matches!(e, Event::Arrive { .. }))
-                        .count();
-                    if let Some(d) = live[arrivals_before].take() {
-                        d.release(&mut t);
-                    }
-                    out.push(EventOutcome::Departure);
-                }
-            }
-        }
-        out
+        run_events_serial(topo, events, wcs_level, placer)
     }
 
     fn mixed_events() -> Vec<Event> {
@@ -699,6 +776,22 @@ mod tests {
             let got = run_events(&topo, &events, make, &cfg);
             assert_eq!(got, expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn replay_outcomes_converges_and_keeps_invariants() {
+        let topo = topo();
+        let events = mixed_events();
+        let cfg = ConcurrentConfig {
+            threads: 3,
+            ..Default::default()
+        };
+        let got = run_events(&topo, &events, || CmPlacer::new(CmConfig::cm()), &cfg);
+        let mut replayed = topo.clone();
+        replay_outcomes(&mut replayed, &events, &got).expect("healthy run must replay cleanly");
+        replayed
+            .check_invariants()
+            .expect("invariants after replay");
     }
 
     #[test]

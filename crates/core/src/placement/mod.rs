@@ -32,7 +32,8 @@ mod predictor;
 
 pub use cm::CmPlacer;
 pub use concurrent::{
-    run_events, AdmitRecord, ConcurrentConfig, ConcurrentOutcome, Event, EventOutcome,
+    replay_outcomes, run_events, run_events_serial, AdmitRecord, ConcurrentConfig,
+    ConcurrentOutcome, Event, EventOutcome,
 };
 pub use engine::{
     place_incremental_replace, reject_reason, search_and_place, search_and_place_traced,

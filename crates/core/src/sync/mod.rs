@@ -1,0 +1,48 @@
+//! Synchronization shim: the engine's entire concurrency surface.
+//!
+//! Every lock acquire/release, condvar wait/notify, atomic op and scoped
+//! spawn in the concurrent admission engine (and `cm-sim`'s worker pool)
+//! goes through the types re-exported here instead of `std::sync`
+//! directly. In production builds this module is a zero-cost passthrough:
+//! the names below *are* the `std` types, so there is no wrapper, no
+//! branch, and no behavioural difference.
+//!
+//! With the `model` feature enabled the same names resolve to the
+//! virtualized implementations in [`model`]: every operation becomes a
+//! *yield point* routed through a cooperative scheduler
+//! (`model::Controller`) that runs exactly one thread at a time, records
+//! an operation trace with a virtual clock, and lets a decision procedure
+//! (exhaustive DFS with sleep-set pruning, seeded random walk, or exact
+//! replay — see `crates/race`) pick which thread moves at every
+//! scheduling choice. Threads that are not registered with a controller
+//! fall through to the real `std` primitives even under the feature, so
+//! enabling `model` anywhere in the workspace does not perturb ordinary
+//! tests.
+//!
+//! The shim is deliberately minimal: it exposes exactly what the engine
+//! uses (`Mutex`, `MutexGuard`, `Condvar`, `AtomicUsize`, `Ordering`,
+//! `scope`) and nothing more. New synchronization in the engine must be
+//! added here first so the model checker sees it.
+
+/// The virtualized implementations and the scheduler/trace machinery
+/// (only compiled under the `model` feature).
+#[cfg(feature = "model")]
+pub mod model;
+
+#[cfg(feature = "model")]
+pub use model::{scope, AtomicUsize, Condvar, Mutex, MutexGuard, Scope};
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic::AtomicUsize;
+
+#[cfg(not(feature = "model"))]
+pub use std::thread::{scope, Scope};
+
+/// Memory ordering for shim atomics. The engine only ever uses `SeqCst`
+/// (enforced by `cm-analyze`'s `atomic-ordering` rule); the model build
+/// ignores the ordering argument entirely because the controller already
+/// serializes every operation.
+pub use std::sync::atomic::Ordering;

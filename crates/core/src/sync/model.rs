@@ -1,0 +1,1141 @@
+//! Virtualized synchronization: a loom-style cooperative scheduler.
+//!
+//! Compiled only under the `model` feature. The shim types here mirror the
+//! `std::sync` API the engine uses, but when the calling thread is
+//! *registered* with a [`Controller`](crate::sync::model::Controller)
+//! every operation becomes a **yield
+//! point**: the thread parks, the controller picks which registered thread
+//! runs next (consulting a [`Decider`](crate::sync::model::Decider)
+//! whenever more than one is
+//! runnable), and exactly one model thread executes at a time. The
+//! controller stamps every operation with a virtual clock tick and records
+//! it in an operation trace that the `cm-race` crate feeds to its
+//! happens-before race detector and schedule explorer.
+//!
+//! Threads that are *not* registered (anything outside a model run, even
+//! with the feature on) fall through to the real `std` primitives, so the
+//! feature can be enabled workspace-wide without perturbing ordinary code.
+//!
+//! ## Scheduling model
+//!
+//! * Yield points: `Mutex::lock`, `Condvar::wait` (two stages: release,
+//!   re-acquire), `Condvar::notify_all`, every `AtomicUsize` op, and
+//!   thread start. Releases (`MutexGuard` drop) and data accesses through
+//!   a guard are recorded as *effects* of the running thread but do not
+//!   yield — a transition spans from one yield point to the next.
+//! * The decider is consulted only when two or more threads are runnable;
+//!   forced steps are taken silently. The sequence of consulted choices
+//!   is the schedule: replaying the same picks reproduces the run
+//!   bit-for-bit.
+//! * If no thread is runnable but live threads remain the run aborts as a
+//!   deadlock; a [`Decider`](crate::sync::model::Decider) may also
+//!   abort a run early (sleep-set pruning, replay divergence). Aborted
+//!   runs unwind every model thread with a
+//!   [`ScheduleAborted`](crate::sync::model::ScheduleAborted) panic
+//!   payload.
+//!
+//! Object identities are assigned in creation order per controller, so a
+//! given scenario names the same mutex/condvar/atomic identically across
+//! runs — sleep sets and replay IDs depend on this.
+
+// `state` is the controller's own lock; `inner` is the std mutex wrapped
+// by every model `Mutex`. They are never held together: scheduler calls
+// (`yield_op`, `cv_wait`, `release`) return before the wrapped mutex is
+// touched, and controller internals never call back into shim types.
+// cm-analyze: lock-order(state < inner)
+
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, LockResult, Mutex as StdMutex, PoisonError};
+
+/// Model thread id: the index assigned at spawn registration order.
+pub type Tid = usize;
+
+/// Model object id: assigned sequentially per controller at construction.
+pub type ObjId = u64;
+
+/// High bit tags the *data protected by* mutex `m` (distinct from the
+/// lock object itself in conflict and race analysis).
+const DATA_BIT: ObjId = 1 << 63;
+
+/// The object id for the data guarded by mutex `m`.
+pub fn data_obj(m: ObjId) -> ObjId {
+    m | DATA_BIT
+}
+
+/// Whether `id` is a guarded-data object, and if so for which mutex.
+pub fn data_obj_mutex(id: ObjId) -> Option<ObjId> {
+    if id & DATA_BIT != 0 {
+        Some(id & !DATA_BIT)
+    } else {
+        None
+    }
+}
+
+/// One instrumented operation. Yield-point ops are scheduled by the
+/// controller; effect ops are recorded as part of the running thread's
+/// current transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Thread's first schedulable step after registration.
+    Start,
+    /// Mutex acquisition (yield point).
+    Lock(ObjId),
+    /// Mutex release (effect).
+    Unlock(ObjId),
+    /// Condvar wait: atomically releases `lock` (yield point).
+    CvWait {
+        /// The condvar being waited on.
+        cv: ObjId,
+        /// The mutex released while waiting and re-acquired on wake.
+        lock: ObjId,
+    },
+    /// Condvar broadcast (yield point).
+    CvNotifyAll(ObjId),
+    /// A waiter woken by the broadcast recorded at `notify_step`
+    /// (effect, attributed to the woken thread).
+    CvWake {
+        /// The condvar that was broadcast.
+        cv: ObjId,
+        /// Virtual-clock step of the `CvNotifyAll` that woke us.
+        notify_step: u64,
+    },
+    /// Atomic read-modify-write (yield point).
+    Rmw(ObjId),
+    /// Atomic load (yield point).
+    Load(ObjId),
+    /// Atomic store (yield point).
+    Store(ObjId),
+    /// Data read through a lock guard or [`UnsyncCell`] (effect).
+    Read(ObjId),
+    /// Data write through a lock guard or [`UnsyncCell`] (effect).
+    Write(ObjId),
+    /// Thread exit (effect).
+    Exit,
+}
+
+impl Op {
+    /// The objects this op touches, each tagged write (`true`) or read.
+    fn footprint(self) -> [Option<(ObjId, bool)>; 2] {
+        match self {
+            Op::Start | Op::Exit => [None, None],
+            Op::Lock(m) | Op::Unlock(m) => [Some((m, true)), None],
+            Op::CvWait { cv, lock } => [Some((cv, true)), Some((lock, true))],
+            Op::CvNotifyAll(cv) | Op::CvWake { cv, .. } => [Some((cv, true)), None],
+            Op::Rmw(a) | Op::Store(a) => [Some((a, true)), None],
+            Op::Load(a) => [Some((a, false)), None],
+            Op::Read(d) => [Some((d, false)), None],
+            Op::Write(d) => [Some((d, true)), None],
+        }
+    }
+
+    /// Whether two ops conflict: they touch a common object and at least
+    /// one side writes it. Independent (non-conflicting) ops commute, so
+    /// schedules differing only in their order are equivalent — the basis
+    /// for sleep-set pruning in the explorer.
+    pub fn conflicts(self, other: Op) -> bool {
+        self.footprint().iter().flatten().any(|&(a, wa)| {
+            other
+                .footprint()
+                .iter()
+                .flatten()
+                .any(|&(b, wb)| a == b && (wa || wb))
+        })
+    }
+
+    /// Whether this op kind parks the thread at a scheduling point.
+    pub fn is_yield(self) -> bool {
+        matches!(
+            self,
+            Op::Start
+                | Op::Lock(_)
+                | Op::CvWait { .. }
+                | Op::CvNotifyAll(_)
+                | Op::Rmw(_)
+                | Op::Load(_)
+                | Op::Store(_)
+        )
+    }
+}
+
+/// One recorded operation with its virtual-clock step and thread.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Virtual clock: 0-based, one tick per recorded op.
+    pub step: u64,
+    /// The thread the op is attributed to.
+    pub tid: Tid,
+    /// The operation.
+    pub op: Op,
+}
+
+/// A scheduling decision offered to the [`Decider`]: every runnable
+/// thread with its pending op, in ascending tid order.
+#[derive(Debug, Clone)]
+pub struct ChoicePoint {
+    /// Runnable `(tid, pending op)` pairs, ascending by tid.
+    pub enabled: Vec<(Tid, Op)>,
+}
+
+/// A decider's verdict at a choice point.
+#[derive(Debug, Clone, Copy)]
+pub enum Choice {
+    /// Run `enabled[i]`.
+    Pick(usize),
+    /// Abandon the run (recorded as [`Abort::Pruned`]).
+    Abort,
+}
+
+/// One recorded branch: what was runnable and which index was taken.
+#[derive(Debug, Clone)]
+pub struct ChoiceRecord {
+    /// The runnable set at this point (as shown to the decider).
+    pub enabled: Vec<(Tid, Op)>,
+    /// Index into `enabled` that was taken.
+    pub chosen: usize,
+}
+
+/// Why a run was cut short.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Abort {
+    /// The decider abandoned the run (pruning or replay divergence).
+    Pruned,
+    /// No runnable thread but live threads remain; `blocked` lists them
+    /// with the op each is stuck on.
+    Deadlock {
+        /// The stuck threads and their pending ops.
+        blocked: Vec<(Tid, Op)>,
+    },
+    /// The virtual-clock budget was exhausted (livelock guard).
+    StepLimit,
+}
+
+/// Everything the controller recorded about one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// Every recorded op in virtual-clock order.
+    pub events: Vec<TraceEvent>,
+    /// Every consulted scheduling choice, in order.
+    pub choices: Vec<ChoiceRecord>,
+    /// Why the run aborted, if it did not run to quiescence.
+    pub abort: Option<Abort>,
+}
+
+impl RunTrace {
+    /// The taken branch indices — the replayable schedule.
+    pub fn schedule(&self) -> Vec<usize> {
+        self.choices.iter().map(|c| c.chosen).collect()
+    }
+}
+
+/// A scheduling policy: consulted at every choice point, shown every
+/// recorded event (for online sleep-set filtering).
+pub trait Decider: Send {
+    /// Pick which runnable thread moves, or abort the run.
+    fn choose(&mut self, point: &ChoicePoint) -> Choice;
+    /// Observe a recorded event (called for every trace event, in order).
+    fn observe(&mut self, _event: &TraceEvent) {}
+}
+
+/// The trivial decider: always runs the lowest-tid runnable thread.
+pub struct FirstEnabled;
+
+impl Decider for FirstEnabled {
+    fn choose(&mut self, _point: &ChoicePoint) -> Choice {
+        Choice::Pick(0)
+    }
+}
+
+/// Panic payload used to unwind model threads when a run aborts. The
+/// explorer treats these panics as control flow, not failures.
+#[derive(Debug)]
+pub struct ScheduleAborted;
+
+/// Install a process-wide panic hook that silences [`ScheduleAborted`]
+/// unwinds (they are routine during exploration); all other panics go to
+/// the previously installed hook. Idempotent.
+pub fn silence_schedule_aborts() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ScheduleAborted>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Status {
+    NotStarted,
+    /// Parked at a yield point with this op pending.
+    Pending(Op),
+    /// Granted the processor; executing until the next yield point.
+    Running,
+    /// Parked in `Condvar::wait` until a broadcast re-arms it.
+    Waiting {
+        cv: ObjId,
+        lock: ObjId,
+    },
+    Exited,
+}
+
+struct CtlState {
+    threads: Vec<Status>,
+    registered: usize,
+    started: usize,
+    expected: usize,
+    current: Option<Tid>,
+    mutex_owner: BTreeMap<ObjId, Tid>,
+    next_obj: ObjId,
+    steps: u64,
+    max_steps: u64,
+    events: Vec<TraceEvent>,
+    choices: Vec<ChoiceRecord>,
+    abort: Option<Abort>,
+    decider: Box<dyn Decider>,
+}
+
+/// The cooperative scheduler: owns the run state, the decider, and the
+/// trace. One controller drives exactly one run; the explorer constructs
+/// a fresh one per schedule.
+pub struct Controller {
+    state: StdMutex<CtlState>,
+    cv: StdCondvar,
+}
+
+impl Controller {
+    /// A controller expecting `expected` model threads to register. The
+    /// first scheduling decision is made only once all of them have
+    /// started, so spawn order cannot leak into the schedule. `max_steps`
+    /// bounds the virtual clock (livelock guard).
+    pub fn new(expected: usize, max_steps: u64, decider: Box<dyn Decider>) -> Controller {
+        Controller {
+            state: StdMutex::new(CtlState {
+                threads: vec![Status::NotStarted; expected],
+                registered: 0,
+                started: 0,
+                expected,
+                current: None,
+                mutex_owner: BTreeMap::new(),
+                next_obj: 1,
+                steps: 0,
+                max_steps,
+                events: Vec::new(),
+                choices: Vec::new(),
+                abort: None,
+                decider,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// Take the recorded trace (leaves the controller drained). Call
+    /// after every model thread has joined.
+    pub fn finish(&self) -> RunTrace {
+        let mut st = self.lock_state();
+        RunTrace {
+            events: std::mem::take(&mut st.events),
+            choices: std::mem::take(&mut st.choices),
+            abort: st.abort.clone(),
+        }
+    }
+
+    /// Poison-tolerant state lock: an aborting run unwinds threads whose
+    /// guards still interact with the controller, and bookkeeping must
+    /// keep working through that.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, CtlState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn alloc_obj(&self) -> ObjId {
+        let mut st = self.lock_state();
+        let id = st.next_obj;
+        st.next_obj += 1;
+        id
+    }
+
+    fn register_thread(&self) -> Tid {
+        let mut st = self.lock_state();
+        let tid = st.registered;
+        assert!(
+            tid < st.expected,
+            "model scope spawned more threads than the controller expects \
+             ({} registered, {} expected)",
+            tid + 1,
+            st.expected
+        );
+        st.registered += 1;
+        tid
+    }
+
+    /// Record `op` at the next virtual-clock step. Never panics: it is
+    /// called from guard drops during unwinding.
+    fn record(st: &mut CtlState, tid: Tid, op: Op) {
+        let ev = TraceEvent {
+            step: st.steps,
+            tid,
+            op,
+        };
+        st.steps += 1;
+        st.decider.observe(&ev);
+        st.events.push(ev);
+    }
+
+    /// Apply the state effect of a granted yield-point op and record it.
+    fn commit_op(st: &mut CtlState, tid: Tid, op: Op) {
+        match op {
+            Op::Lock(m) => {
+                debug_assert!(!st.mutex_owner.contains_key(&m), "lock granted while held");
+                st.mutex_owner.insert(m, tid);
+                Self::record(st, tid, op);
+            }
+            Op::CvWait { lock, .. } => {
+                debug_assert_eq!(st.mutex_owner.get(&lock), Some(&tid));
+                st.mutex_owner.remove(&lock);
+                Self::record(st, tid, op);
+            }
+            Op::CvNotifyAll(cv) => {
+                Self::record(st, tid, op);
+                let notify_step = st.steps - 1;
+                for waiter in 0..st.threads.len() {
+                    if let Status::Waiting { cv: wcv, lock } = st.threads[waiter] {
+                        if wcv == cv {
+                            st.threads[waiter] = Status::Pending(Op::Lock(lock));
+                            Self::record(st, waiter, Op::CvWake { cv, notify_step });
+                        }
+                    }
+                }
+            }
+            _ => Self::record(st, tid, op),
+        }
+    }
+
+    fn op_enabled(st: &CtlState, op: Op) -> bool {
+        match op {
+            Op::Lock(m) => !st.mutex_owner.contains_key(&m),
+            _ => true,
+        }
+    }
+
+    /// If no thread holds the processor, pick the next one. Called with
+    /// the state lock held; never panics (runs inside guard drops).
+    fn schedule(&self, st: &mut CtlState) {
+        if st.abort.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        if st.current.is_some() || st.started < st.expected {
+            return;
+        }
+        let enabled: Vec<(Tid, Op)> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(t, s)| match *s {
+                Status::Pending(op) if Self::op_enabled(st, op) => Some((t, op)),
+                _ => None,
+            })
+            .collect();
+        if enabled.is_empty() {
+            let blocked: Vec<(Tid, Op)> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match *s {
+                    Status::Pending(op) => Some((t, op)),
+                    Status::Waiting { cv, lock } => Some((t, Op::CvWait { cv, lock })),
+                    _ => None,
+                })
+                .collect();
+            if !blocked.is_empty() {
+                st.abort = Some(Abort::Deadlock { blocked });
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = if enabled.len() == 1 {
+            0
+        } else {
+            let point = ChoicePoint {
+                enabled: enabled.clone(),
+            };
+            match st.decider.choose(&point) {
+                Choice::Pick(i) if i < enabled.len() => {
+                    st.choices.push(ChoiceRecord {
+                        enabled: enabled.clone(),
+                        chosen: i,
+                    });
+                    i
+                }
+                // An out-of-range pick is a decider bug; treat it like an
+                // explicit prune rather than panicking with the lock held.
+                Choice::Pick(_) | Choice::Abort => {
+                    st.abort = Some(Abort::Pruned);
+                    self.cv.notify_all();
+                    return;
+                }
+            }
+        };
+        st.current = Some(enabled[chosen].0);
+        self.cv.notify_all();
+    }
+
+    /// Park until this thread is granted the processor. Unwinds with
+    /// [`ScheduleAborted`] if the run aborts while parked.
+    fn wait_granted<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, CtlState>,
+        tid: Tid,
+    ) -> std::sync::MutexGuard<'a, CtlState> {
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                std::panic::panic_any(ScheduleAborted);
+            }
+            if st.current == Some(tid) {
+                return st;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Full yield-point protocol: park with `op` pending, wait for the
+    /// grant, apply the effect, resume running.
+    fn yield_op(&self, tid: Tid, op: Op) {
+        let mut st = self.lock_state();
+        if st.abort.is_none() && st.steps >= st.max_steps {
+            st.abort = Some(Abort::StepLimit);
+        }
+        st.threads[tid] = Status::Pending(op);
+        if st.current == Some(tid) {
+            st.current = None;
+        }
+        self.schedule(&mut st);
+        st = self.wait_granted(st, tid);
+        Self::commit_op(&mut st, tid, op);
+        st.threads[tid] = Status::Running;
+    }
+
+    /// The two-stage condvar wait: yield to release the lock, park as a
+    /// waiter, then (once a broadcast re-arms us) compete to re-acquire.
+    fn cv_wait(&self, tid: Tid, cv: ObjId, lock: ObjId) {
+        let op = Op::CvWait { cv, lock };
+        let mut st = self.lock_state();
+        st.threads[tid] = Status::Pending(op);
+        if st.current == Some(tid) {
+            st.current = None;
+        }
+        self.schedule(&mut st);
+        st = self.wait_granted(st, tid);
+        Self::commit_op(&mut st, tid, op);
+        st.threads[tid] = Status::Waiting { cv, lock };
+        st.current = None;
+        self.schedule(&mut st);
+        st = self.wait_granted(st, tid);
+        Self::commit_op(&mut st, tid, Op::Lock(lock));
+        st.threads[tid] = Status::Running;
+    }
+
+    /// Record a non-yield effect of the running thread.
+    fn effect(&self, tid: Tid, op: Op) {
+        let mut st = self.lock_state();
+        Self::record(&mut st, tid, op);
+    }
+
+    /// Mutex release: bookkeeping only, the thread keeps running.
+    fn release(&self, tid: Tid, m: ObjId) {
+        let mut st = self.lock_state();
+        st.mutex_owner.remove(&m);
+        Self::record(&mut st, tid, Op::Unlock(m));
+    }
+
+    fn thread_start(&self, tid: Tid) {
+        let mut st = self.lock_state();
+        st.threads[tid] = Status::Pending(Op::Start);
+        st.started += 1;
+        self.schedule(&mut st);
+        st = self.wait_granted(st, tid);
+        Self::commit_op(&mut st, tid, Op::Start);
+        st.threads[tid] = Status::Running;
+    }
+
+    /// Thread exit (also runs during panic unwinding; must not panic).
+    fn thread_exit(&self, tid: Tid) {
+        let mut st = self.lock_state();
+        Self::record(&mut st, tid, Op::Exit);
+        st.threads[tid] = Status::Exited;
+        if st.current == Some(tid) {
+            st.current = None;
+        }
+        self.schedule(&mut st);
+    }
+}
+
+thread_local! {
+    static INSTALLED: RefCell<Option<Arc<Controller>>> = const { RefCell::new(None) };
+    static MODEL_TID: Cell<Option<Tid>> = const { Cell::new(None) };
+}
+
+/// Install `ctl` as this thread's controller for object-id assignment and
+/// scope propagation; restored on guard drop. The installing thread (the
+/// explorer) is *not* itself scheduled — only threads spawned through a
+/// shim [`scope`] while a controller is installed are.
+pub fn install(ctl: Arc<Controller>) -> InstallGuard {
+    INSTALLED.with(|c| *c.borrow_mut() = Some(ctl));
+    InstallGuard { _priv: () }
+}
+
+/// Uninstalls the thread's controller when dropped.
+pub struct InstallGuard {
+    _priv: (),
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+fn installed() -> Option<Arc<Controller>> {
+    INSTALLED.with(|c| c.borrow().clone())
+}
+
+/// The controller + tid pair if the calling thread is a registered model
+/// thread (the routing test for every shim operation).
+fn current_model() -> Option<(Arc<Controller>, Tid)> {
+    let tid = MODEL_TID.with(|t| t.get())?;
+    let ctl = installed()?;
+    Some((ctl, tid))
+}
+
+/// Marks the thread exited on drop, including during panic unwinding, so
+/// an aborting run cannot wedge the scheduler.
+struct ExitGuard {
+    ctl: Arc<Controller>,
+    tid: Tid,
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        MODEL_TID.with(|t| t.set(None));
+        self.ctl.thread_exit(self.tid);
+    }
+}
+
+/// Shim over [`std::thread::scope`]: propagates the spawner's installed
+/// controller into spawned threads, registering each as a model thread.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let ctl = installed();
+    std::thread::scope(|s| f(&Scope { inner: s, ctl }))
+}
+
+/// Shim over [`std::thread::Scope`] carrying the controller to propagate.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    ctl: Option<Arc<Controller>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. Under an installed controller the thread is
+    /// registered for cooperative scheduling and blocks at its `Start`
+    /// yield point until every expected thread has registered.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.ctl {
+            None => self.inner.spawn(f),
+            Some(ctl) => {
+                let ctl = ctl.clone();
+                let tid = ctl.register_thread();
+                self.inner.spawn(move || {
+                    let _install = install(ctl.clone());
+                    MODEL_TID.with(|t| t.set(Some(tid)));
+                    let _exit = ExitGuard {
+                        ctl: ctl.clone(),
+                        tid,
+                    };
+                    ctl.thread_start(tid);
+                    f()
+                })
+            }
+        }
+    }
+}
+
+fn fresh_obj_id() -> AtomicU64 {
+    AtomicU64::new(installed().map_or(0, |c| c.alloc_obj()))
+}
+
+/// Model mutex: API-compatible with [`std::sync::Mutex`] for the ops the
+/// engine uses. Lock acquisition is a yield point on model threads; the
+/// inner real mutex is only ever taken uncontended (the controller
+/// serializes model threads).
+pub struct Mutex<T: ?Sized> {
+    id: AtomicU64,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex; registers an object id if a controller is installed.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: fresh_obj_id(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn ensure_id(&self, ctl: &Controller) -> ObjId {
+        let id = self.id.load(StdOrdering::SeqCst);
+        if id != 0 {
+            return id;
+        }
+        let id = ctl.alloc_obj();
+        self.id.store(id, StdOrdering::SeqCst);
+        id
+    }
+
+    /// Acquire the lock (a yield point on model threads).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current_model() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    mx: self,
+                    inner: Some(g),
+                    ctl: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    mx: self,
+                    inner: Some(p.into_inner()),
+                    ctl: None,
+                })),
+            },
+            Some((ctl, tid)) => {
+                let id = self.ensure_id(&ctl);
+                ctl.yield_op(tid, Op::Lock(id));
+                let g = match self.inner.lock() {
+                    Ok(g) => g,
+                    // Poison here means a sibling model thread unwound
+                    // (run abort); the controller still serializes us.
+                    Err(p) => p.into_inner(),
+                };
+                Ok(MutexGuard {
+                    mx: self,
+                    inner: Some(g),
+                    ctl: Some((ctl, tid, id)),
+                })
+            }
+        }
+    }
+}
+
+/// Guard for the model [`Mutex`]. Dereferences record data accesses; the
+/// drop records the release and returns ownership to the scheduler.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mx: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    ctl: Option<(Arc<Controller>, Tid, ObjId)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        if let Some((ctl, tid, id)) = &self.ctl {
+            ctl.effect(*tid, Op::Read(data_obj(*id)));
+        }
+        self.inner.as_ref().expect("guard accessed after teardown")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        if let Some((ctl, tid, id)) = &self.ctl {
+            ctl.effect(*tid, Op::Write(data_obj(*id)));
+        }
+        self.inner.as_mut().expect("guard accessed after teardown")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the model release so a granted
+        // acquirer never blocks on the real mutex.
+        drop(self.inner.take());
+        if let Some((ctl, tid, id)) = self.ctl.take() {
+            ctl.release(tid, id);
+        }
+    }
+}
+
+/// Model condvar. On model threads `wait` and `notify_all` are fully
+/// controller-mediated (waiters never park on the real condvar, so a
+/// model run has no spurious wakeups and no lost-wakeup nondeterminism
+/// beyond what the schedule encodes).
+pub struct Condvar {
+    id: AtomicU64,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// A new condvar; registers an object id if a controller is installed.
+    pub fn new() -> Condvar {
+        Condvar {
+            id: fresh_obj_id(),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn ensure_id(&self, ctl: &Controller) -> ObjId {
+        let id = self.id.load(StdOrdering::SeqCst);
+        if id != 0 {
+            return id;
+        }
+        let id = ctl.alloc_obj();
+        self.id.store(id, StdOrdering::SeqCst);
+        id
+    }
+
+    /// Atomically release the guard's lock and wait for a broadcast.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.ctl.take() {
+            None => {
+                let mx = guard.mx;
+                let std_guard = guard.inner.take().expect("guard accessed after teardown");
+                drop(guard);
+                match self.inner.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        mx,
+                        inner: Some(g),
+                        ctl: None,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        mx,
+                        inner: Some(p.into_inner()),
+                        ctl: None,
+                    })),
+                }
+            }
+            Some((ctl, tid, lock_id)) => {
+                let mx = guard.mx;
+                let cv_id = self.ensure_id(&ctl);
+                // Drop the real guard first: the model still records us as
+                // owner until the CvWait commits, and we are the running
+                // thread until then, so nobody races the real mutex.
+                drop(guard.inner.take());
+                drop(guard);
+                ctl.cv_wait(tid, cv_id, lock_id);
+                let g = match mx.inner.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                Ok(MutexGuard {
+                    mx,
+                    inner: Some(g),
+                    ctl: Some((ctl, tid, lock_id)),
+                })
+            }
+        }
+    }
+
+    /// Wake all waiters (a yield point on model threads).
+    pub fn notify_all(&self) {
+        match current_model() {
+            None => self.inner.notify_all(),
+            Some((ctl, tid)) => {
+                let id = self.ensure_id(&ctl);
+                ctl.yield_op(tid, Op::CvNotifyAll(id));
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+/// Model atomic usize: every op is a yield point on model threads (the
+/// ordering argument is ignored there — the controller serializes all
+/// ops). Passthrough threads hit the real atomic with the caller's
+/// ordering.
+pub struct AtomicUsize {
+    id: AtomicU64,
+    inner: std::sync::atomic::AtomicUsize,
+}
+
+impl AtomicUsize {
+    /// A new atomic; registers an object id if a controller is installed.
+    pub fn new(value: usize) -> AtomicUsize {
+        AtomicUsize {
+            id: fresh_obj_id(),
+            inner: std::sync::atomic::AtomicUsize::new(value),
+        }
+    }
+
+    fn ensure_id(&self, ctl: &Controller) -> ObjId {
+        let id = self.id.load(StdOrdering::SeqCst);
+        if id != 0 {
+            return id;
+        }
+        let id = ctl.alloc_obj();
+        self.id.store(id, StdOrdering::SeqCst);
+        id
+    }
+
+    /// Atomic load.
+    pub fn load(&self, order: StdOrdering) -> usize {
+        match current_model() {
+            None => self.inner.load(order),
+            Some((ctl, tid)) => {
+                let id = self.ensure_id(&ctl);
+                ctl.yield_op(tid, Op::Load(id));
+                self.inner.load(StdOrdering::SeqCst)
+            }
+        }
+    }
+
+    /// Atomic store.
+    pub fn store(&self, value: usize, order: StdOrdering) {
+        match current_model() {
+            None => self.inner.store(value, order),
+            Some((ctl, tid)) => {
+                let id = self.ensure_id(&ctl);
+                ctl.yield_op(tid, Op::Store(id));
+                self.inner.store(value, StdOrdering::SeqCst)
+            }
+        }
+    }
+
+    /// Atomic fetch-add (the engine's admission ticket).
+    pub fn fetch_add(&self, value: usize, order: StdOrdering) -> usize {
+        match current_model() {
+            None => self.inner.fetch_add(value, order),
+            Some((ctl, tid)) => {
+                let id = self.ensure_id(&ctl);
+                ctl.yield_op(tid, Op::Rmw(id));
+                self.inner.fetch_add(value, StdOrdering::SeqCst)
+            }
+        }
+    }
+}
+
+/// A deliberately unsynchronized shared cell for exercising the race
+/// detector. Accesses are recorded (no yield) on model threads with **no**
+/// happens-before edges, so two threads touching the same cell without a
+/// common lock is a guaranteed `data-race` finding.
+///
+/// Soundness: on model threads the controller's own lock serializes every
+/// access (one thread runs at a time), so the unsynchronized interior
+/// access cannot actually race. Using this type outside a model run from
+/// multiple threads is not supported.
+pub struct UnsyncCell<T> {
+    id: AtomicU64,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: see type docs — model-run serialization makes cross-thread
+// access data-race-free in the only supported usage.
+unsafe impl<T: Send> Sync for UnsyncCell<T> {}
+
+impl<T: Copy> UnsyncCell<T> {
+    /// A new cell; registers an object id if a controller is installed.
+    pub fn new(value: T) -> UnsyncCell<T> {
+        UnsyncCell {
+            id: fresh_obj_id(),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Read the cell (recorded, unsynchronized).
+    pub fn get(&self) -> T {
+        if let Some((ctl, tid)) = current_model() {
+            let id = self.id.load(StdOrdering::SeqCst);
+            ctl.effect(tid, Op::Read(id));
+        }
+        // SAFETY: serialized by the controller in supported usage.
+        unsafe { *self.value.get() }
+    }
+
+    /// Write the cell (recorded, unsynchronized).
+    pub fn set(&self, value: T) {
+        if let Some((ctl, tid)) = current_model() {
+            let id = self.id.load(StdOrdering::SeqCst);
+            ctl.effect(tid, Op::Write(id));
+        }
+        // SAFETY: serialized by the controller in supported usage.
+        unsafe {
+            *self.value.get() = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pick plan[i] at choice i, first-enabled once the plan runs out.
+    struct PickPlan(Vec<usize>, usize);
+
+    impl Decider for PickPlan {
+        fn choose(&mut self, point: &ChoicePoint) -> Choice {
+            let i = self.1;
+            self.1 += 1;
+            let pick = self.0.get(i).copied().unwrap_or(0);
+            Choice::Pick(pick.min(point.enabled.len() - 1))
+        }
+    }
+
+    /// Prefer any thread other than the most recently granted one.
+    struct PingPong(Option<Tid>);
+
+    impl Decider for PingPong {
+        fn choose(&mut self, point: &ChoicePoint) -> Choice {
+            let idx = point
+                .enabled
+                .iter()
+                .position(|(t, _)| Some(*t) != self.0)
+                .unwrap_or(0);
+            self.0 = Some(point.enabled[idx].0);
+            Choice::Pick(idx)
+        }
+    }
+
+    fn run_model<F>(threads: usize, decider: Box<dyn Decider>, body: F) -> RunTrace
+    where
+        F: Fn(Tid) + Sync,
+    {
+        silence_schedule_aborts();
+        let ctl = Arc::new(Controller::new(threads, 100_000, decider));
+        let guard = install(ctl.clone());
+        let body = &body;
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(|s| {
+                let handles: Vec<_> = (0..threads).map(|t| s.spawn(move || body(t))).collect();
+                for h in handles {
+                    let _ = h.join();
+                }
+            });
+        }));
+        drop(guard);
+        ctl.finish()
+    }
+
+    #[test]
+    fn passthrough_without_controller() {
+        let m = Mutex::new(0usize);
+        let cv = Condvar::new();
+        let a = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut g = m.lock().expect("lock");
+                *g += 1;
+                a.fetch_add(1, StdOrdering::SeqCst);
+                cv.notify_all();
+            });
+            s.spawn(|| {
+                let mut g = m.lock().expect("lock");
+                while *g == 0 {
+                    g = cv.wait(g).expect("wait");
+                }
+            });
+        });
+        assert_eq!(*m.lock().expect("lock"), 1);
+        assert_eq!(a.load(StdOrdering::SeqCst), 1);
+    }
+
+    #[test]
+    fn model_serializes_counter_increments() {
+        let m = Mutex::new(0usize);
+        let trace = run_model(3, Box::new(FirstEnabled), |_t| {
+            let mut g = m.lock().expect("lock");
+            *g += 1;
+        });
+        assert!(trace.abort.is_none(), "clean run: {:?}", trace.abort);
+        assert_eq!(*m.lock().expect("lock"), 3);
+        let locks = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.op, Op::Lock(_)))
+            .count();
+        assert_eq!(locks, 3);
+    }
+
+    #[test]
+    fn lock_order_inversion_deadlocks_under_ping_pong() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let trace = run_model(2, Box::new(PingPong(None)), |t| {
+            let (first, second) = if t == 0 { (&a, &b) } else { (&b, &a) };
+            let _g1 = first.lock().expect("lock");
+            let _g2 = second.lock().expect("lock");
+        });
+        assert!(
+            matches!(trace.abort, Some(Abort::Deadlock { .. })),
+            "expected deadlock, got {:?}",
+            trace.abort
+        );
+    }
+
+    #[test]
+    fn choices_replay_identically() {
+        let m = Mutex::new(Vec::<usize>::new());
+        let order = |plan: Vec<usize>| {
+            let trace = run_model(2, Box::new(PickPlan(plan, 0)), |t| {
+                m.lock().expect("lock").push(t);
+                m.lock().expect("lock").push(t + 10);
+            });
+            assert!(trace.abort.is_none());
+            let got = std::mem::take(&mut *m.lock().expect("lock"));
+            (got, trace.schedule())
+        };
+        let (o1, s1) = order(vec![0, 0, 0, 0, 0, 0]);
+        let (o2, s2) = order(s1.clone());
+        assert_eq!(o1, o2, "same schedule must reproduce the same order");
+        assert_eq!(s1, s2);
+        let (o3, _s3) = order(vec![1, 1, 1, 1, 1, 1]);
+        assert_ne!(o1, o3, "different schedule should reorder the pushes");
+    }
+
+    #[test]
+    fn condvar_handoff_is_scheduled() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let trace = run_model(2, Box::new(PingPong(None)), |t| {
+            if t == 0 {
+                let mut g = m.lock().expect("lock");
+                while !*g {
+                    g = cv.wait(g).expect("wait");
+                }
+            } else {
+                *m.lock().expect("lock") = true;
+                cv.notify_all();
+            }
+        });
+        assert!(trace.abort.is_none(), "clean run: {:?}", trace.abort);
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.op, Op::CvWake { .. })));
+    }
+}

@@ -1,0 +1,332 @@
+//! Vector-clock happens-before analysis over a recorded model trace.
+//!
+//! The controller serializes model threads, so a run's trace is a total
+//! order — but a *data race* is a property of the synchronization, not of
+//! the order: two conflicting data accesses race iff neither happens
+//! before the other under the trace's lock/condvar/atomic edges. This
+//! module rebuilds that partial order with vector clocks and flags:
+//!
+//! * **data races** — conflicting accesses to the same object (guarded
+//!   data or an [`cm_core::sync::model::UnsyncCell`]) with no
+//!   happens-before edge between them, and
+//! * **lock-order inversions** — cycles in the lock acquisition graph
+//!   (lock `b` taken while `a` is held *and*, somewhere else, `a` while
+//!   `b` is held), which deadlock only under the right interleaving; the
+//!   graph check catches them on every interleaving.
+//!
+//! Happens-before edges, all sound for the engine's SeqCst-only usage
+//! (`cm-analyze`'s `atomic-ordering` rule keeps it that way):
+//! release→acquire per mutex, broadcast→wake per condvar notification,
+//! and every atomic op joins (and then updates) its object's clock —
+//! conservative sequential consistency.
+
+use cm_core::sync::model::{data_obj_mutex, ObjId, Op, Tid, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Two conflicting, happens-before-unordered accesses to one object.
+#[derive(Debug, Clone, Copy)]
+pub struct Race {
+    /// The object both accesses touch.
+    pub obj: ObjId,
+    /// The earlier access in trace order.
+    pub first: TraceEvent,
+    /// The later access (the one the finding anchors to).
+    pub second: TraceEvent,
+}
+
+/// A cycle in the lock acquisition graph, listed in acquisition order
+/// (the last element is acquired while the first is held).
+#[derive(Debug, Clone)]
+pub struct LockCycle {
+    /// The locks forming the cycle.
+    pub locks: Vec<ObjId>,
+}
+
+/// Everything the happens-before pass found in one trace.
+#[derive(Debug, Default)]
+pub struct HbAnalysis {
+    /// Unsynchronized conflicting accesses (first race per object).
+    pub races: Vec<Race>,
+    /// Lock acquisition cycles (each node set reported once).
+    pub cycles: Vec<LockCycle>,
+}
+
+/// Human-readable name for a model object id in findings.
+pub fn describe_obj(obj: ObjId) -> String {
+    match data_obj_mutex(obj) {
+        Some(m) => format!("data guarded by mutex #{m}"),
+        None => format!("object #{obj}"),
+    }
+}
+
+type Clock = Vec<u64>;
+
+fn join(into: &mut Clock, other: &Clock) {
+    for (a, b) in into.iter_mut().zip(other) {
+        *a = (*a).max(*b);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    tid: Tid,
+    /// The accessor's own clock component at the access.
+    at: u64,
+    ev: TraceEvent,
+}
+
+#[derive(Debug)]
+struct ObjState {
+    last_write: Option<Access>,
+    /// Last read per thread.
+    reads: Vec<Option<Access>>,
+    /// One race report per object keeps findings readable.
+    reported: bool,
+}
+
+/// Run the happens-before pass over a trace with `nthreads` threads.
+pub fn analyze(events: &[TraceEvent], nthreads: usize) -> HbAnalysis {
+    let mut clocks: Vec<Clock> = vec![vec![0; nthreads]; nthreads];
+    let mut release: BTreeMap<ObjId, Clock> = BTreeMap::new();
+    let mut atomic: BTreeMap<ObjId, Clock> = BTreeMap::new();
+    let mut notify: BTreeMap<u64, Clock> = BTreeMap::new();
+    let mut objects: BTreeMap<ObjId, ObjState> = BTreeMap::new();
+    let mut held: Vec<Vec<ObjId>> = vec![Vec::new(); nthreads];
+    let mut edges: BTreeMap<ObjId, Vec<ObjId>> = BTreeMap::new();
+    let mut races = Vec::new();
+
+    for &ev in events {
+        let t = ev.tid;
+        debug_assert!(t < nthreads, "trace tid out of range");
+        // Incoming edges join the thread's clock *before* its own tick.
+        match ev.op {
+            Op::Lock(m) => {
+                if let Some(r) = release.get(&m) {
+                    join(&mut clocks[t], &r.clone());
+                }
+            }
+            Op::CvWake { notify_step, .. } => {
+                if let Some(n) = notify.get(&notify_step) {
+                    join(&mut clocks[t], &n.clone());
+                }
+            }
+            Op::Load(a) | Op::Store(a) | Op::Rmw(a) => {
+                if let Some(c) = atomic.get(&a) {
+                    join(&mut clocks[t], &c.clone());
+                }
+            }
+            _ => {}
+        }
+        clocks[t][t] += 1;
+        let now = clocks[t][t];
+        // Outgoing edges snapshot the clock *after* the tick.
+        match ev.op {
+            Op::Lock(m) => {
+                for &h in &held[t] {
+                    let out = edges.entry(h).or_default();
+                    if !out.contains(&m) {
+                        out.push(m);
+                    }
+                }
+                held[t].push(m);
+            }
+            Op::Unlock(m) => {
+                held[t].retain(|&x| x != m);
+                release.insert(m, clocks[t].clone());
+            }
+            Op::CvWait { lock, .. } => {
+                held[t].retain(|&x| x != lock);
+                release.insert(lock, clocks[t].clone());
+            }
+            Op::CvNotifyAll(_) => {
+                notify.insert(ev.step, clocks[t].clone());
+            }
+            Op::Load(a) | Op::Store(a) | Op::Rmw(a) => {
+                atomic.insert(a, clocks[t].clone());
+            }
+            Op::Read(d) | Op::Write(d) => {
+                let is_write = matches!(ev.op, Op::Write(_));
+                let st = objects.entry(d).or_insert_with(|| ObjState {
+                    last_write: None,
+                    reads: vec![None; nthreads],
+                    reported: false,
+                });
+                if !st.reported {
+                    let mut conflict: Option<Access> = None;
+                    if let Some(w) = st.last_write {
+                        if w.tid != t && clocks[t][w.tid] < w.at {
+                            conflict = Some(w);
+                        }
+                    }
+                    if is_write && conflict.is_none() {
+                        for r in st.reads.iter().flatten() {
+                            if r.tid != t && clocks[t][r.tid] < r.at {
+                                conflict = Some(*r);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(prev) = conflict {
+                        st.reported = true;
+                        races.push(Race {
+                            obj: d,
+                            first: prev.ev,
+                            second: ev,
+                        });
+                    }
+                }
+                let access = Access {
+                    tid: t,
+                    at: now,
+                    ev,
+                };
+                if is_write {
+                    st.last_write = Some(access);
+                } else {
+                    st.reads[t] = Some(access);
+                }
+            }
+            Op::Start | Op::Exit | Op::CvWake { .. } => {}
+        }
+    }
+
+    HbAnalysis {
+        races,
+        cycles: find_cycles(&edges),
+    }
+}
+
+/// All distinct cycles reachable in the acquisition graph, deduplicated
+/// by node set. The graph has one node per lock ever nested, so this
+/// stays tiny.
+fn find_cycles(edges: &BTreeMap<ObjId, Vec<ObjId>>) -> Vec<LockCycle> {
+    let mut cycles: Vec<LockCycle> = Vec::new();
+    let mut seen_sets: Vec<Vec<ObjId>> = Vec::new();
+    for &start in edges.keys() {
+        // DFS from each node, tracking the path; a path hit = a cycle.
+        let successors = |n: ObjId| edges.get(&n).map(|v| v.as_slice()).unwrap_or(&[]).iter();
+        let mut path: Vec<ObjId> = vec![start];
+        let mut stack: Vec<std::slice::Iter<'_, ObjId>> = vec![successors(start)];
+        while let Some(it) = stack.last_mut() {
+            match it.next() {
+                None => {
+                    path.pop();
+                    stack.pop();
+                }
+                Some(&next) => {
+                    if let Some(pos) = path.iter().position(|&n| n == next) {
+                        let mut set: Vec<ObjId> = path[pos..].to_vec();
+                        set.sort_unstable();
+                        if !seen_sets.contains(&set) {
+                            seen_sets.push(set);
+                            cycles.push(LockCycle {
+                                locks: path[pos..].to_vec(),
+                            });
+                        }
+                    } else if path.len() < 16 {
+                        path.push(next);
+                        stack.push(successors(next));
+                    }
+                }
+            }
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(step: u64, tid: Tid, op: Op) -> TraceEvent {
+        TraceEvent { step, tid, op }
+    }
+
+    #[test]
+    fn guarded_accesses_do_not_race() {
+        // t0: lock, write, unlock; t1: lock, write, unlock — ordered by
+        // the release→acquire edge.
+        let m = 1;
+        let d = cm_core::sync::model::data_obj(m);
+        let trace = vec![
+            ev(0, 0, Op::Lock(m)),
+            ev(1, 0, Op::Write(d)),
+            ev(2, 0, Op::Unlock(m)),
+            ev(3, 1, Op::Lock(m)),
+            ev(4, 1, Op::Write(d)),
+            ev(5, 1, Op::Unlock(m)),
+        ];
+        let a = analyze(&trace, 2);
+        assert!(a.races.is_empty(), "{:?}", a.races);
+        assert!(a.cycles.is_empty());
+    }
+
+    #[test]
+    fn unguarded_conflicting_accesses_race() {
+        let trace = vec![ev(0, 0, Op::Write(9)), ev(1, 1, Op::Read(9))];
+        let a = analyze(&trace, 2);
+        assert_eq!(a.races.len(), 1);
+        assert_eq!(a.races[0].obj, 9);
+    }
+
+    #[test]
+    fn atomics_order_subsequent_accesses() {
+        // t0 writes d then stores flag; t1 loads flag then reads d: the
+        // conservative-SC atomic edge orders the accesses.
+        let trace = vec![
+            ev(0, 0, Op::Write(9)),
+            ev(1, 0, Op::Store(2)),
+            ev(2, 1, Op::Load(2)),
+            ev(3, 1, Op::Read(9)),
+        ];
+        let a = analyze(&trace, 2);
+        assert!(a.races.is_empty(), "{:?}", a.races);
+    }
+
+    #[test]
+    fn notify_wake_edge_orders_waiter() {
+        let m = 1;
+        let cv = 2;
+        let d = cm_core::sync::model::data_obj(m);
+        let trace = vec![
+            ev(0, 0, Op::Lock(m)),
+            ev(1, 0, Op::CvWait { cv, lock: m }),
+            ev(2, 1, Op::Lock(m)),
+            ev(3, 1, Op::Write(d)),
+            ev(4, 1, Op::Unlock(m)),
+            ev(5, 1, Op::CvNotifyAll(cv)),
+            ev(6, 0, Op::CvWake { cv, notify_step: 5 }),
+            ev(7, 0, Op::Lock(m)),
+            ev(8, 0, Op::Read(d)),
+            ev(9, 0, Op::Unlock(m)),
+        ];
+        let a = analyze(&trace, 2);
+        assert!(a.races.is_empty(), "{:?}", a.races);
+    }
+
+    #[test]
+    fn opposite_nesting_is_a_cycle_even_without_deadlocking() {
+        let trace = vec![
+            ev(0, 0, Op::Lock(1)),
+            ev(1, 0, Op::Lock(2)),
+            ev(2, 0, Op::Unlock(2)),
+            ev(3, 0, Op::Unlock(1)),
+            ev(4, 1, Op::Lock(2)),
+            ev(5, 1, Op::Lock(1)),
+            ev(6, 1, Op::Unlock(1)),
+            ev(7, 1, Op::Unlock(2)),
+        ];
+        let a = analyze(&trace, 2);
+        assert_eq!(a.cycles.len(), 1);
+        let mut set = a.cycles[0].locks.clone();
+        set.sort_unstable();
+        assert_eq!(set, vec![1, 2]);
+    }
+
+    #[test]
+    fn object_descriptions_distinguish_guarded_data() {
+        let m = 5;
+        assert!(describe_obj(cm_core::sync::model::data_obj(m)).contains("mutex #5"));
+        assert!(describe_obj(7).contains("object #7"));
+    }
+}

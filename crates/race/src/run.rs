@@ -1,0 +1,442 @@
+//! One schedule: execute a scenario under a decider, then check it.
+//!
+//! Every non-pruned run is judged on four axes, each mapped onto a rule
+//! name shared with `cm-analyze` so findings render and gate uniformly:
+//!
+//! | check | rule |
+//! |-------|------|
+//! | deadlock / step-limit livelock | `lock-order` |
+//! | lock acquisition cycles (HB pass) | `lock-order` |
+//! | worker panic, replay divergence, broken invariants | `txn-discipline` |
+//! | outcomes differ from in-order serial execution | `serial-equivalence` |
+//! | unsynchronized conflicting accesses (HB pass) | `data-race` |
+//!
+//! Findings carry the schedule id as their location, so
+//! `cm-race --replay <id>` reproduces any of them deterministically.
+
+// The only lock here is the panic-message mailbox (`LAST_PANIC`), plus the
+// racy-cell scenario's counter (`total`); neither ever nests in the other.
+// cm-analyze: lock-order(LAST_PANIC < total)
+
+use crate::hb;
+use crate::scenario::{Kind, Scenario};
+use crate::schedule::{Mutation, ScheduleId};
+use cm_analyze::rules::{DATA_RACE, LOCK_ORDER, SERIAL_EQUIVALENCE, TXN_DISCIPLINE};
+use cm_analyze::Finding;
+use cm_core::placement::{
+    replay_outcomes, run_events, run_events_serial, CmConfig, CmPlacer, ConcurrentConfig, Event,
+    EventOutcome,
+};
+use cm_core::sync::model::{
+    self, Abort, Controller, Decider, RunTrace, ScheduleAborted, UnsyncCell,
+};
+use cm_core::sync::{scope, Mutex};
+use cm_topology::Topology;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc, Mutex as StdMutex, Once};
+
+/// Virtual-clock budget per run; hitting it is reported as a livelock.
+/// The deepest scenario uses well under a thousand steps, so the margin
+/// is ~20×.
+pub const MAX_STEPS: u64 = 20_000;
+
+/// Everything one schedule run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The replayable identity of the schedule that actually ran.
+    pub id: ScheduleId,
+    /// The recorded trace.
+    pub trace: RunTrace,
+    /// Check failures (empty for a healthy schedule).
+    pub findings: Vec<Finding>,
+    /// The run was abandoned by the decider (sleep-set prune or replay
+    /// divergence) — no checks were performed and nothing was explored.
+    pub pruned: bool,
+}
+
+// Runs in flight (unit tests run schedules concurrently) and the message
+// of the first interesting panic during one. Model runs routinely unwind
+// worker threads, so the hook stays quiet while any run is active and the
+// payload travels via this mailbox instead of stderr.
+static ACTIVE_RUNS: StdAtomicUsize = StdAtomicUsize::new(0);
+static LAST_PANIC: StdMutex<Option<String>> = StdMutex::new(None);
+
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        model::silence_schedule_aborts();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if ACTIVE_RUNS.load(StdOrdering::SeqCst) == 0 {
+                prev(info);
+                return;
+            }
+            if info.payload().downcast_ref::<ScheduleAborted>().is_some() {
+                return; // routine abort unwind
+            }
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            let mut slot = match LAST_PANIC.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if slot.is_none() {
+                *slot = Some(msg);
+            }
+        }));
+    });
+}
+
+fn take_last_panic() -> String {
+    let mut slot = match LAST_PANIC.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    slot.take()
+        .unwrap_or_else(|| "panic message unavailable".to_string())
+}
+
+struct QuietGuard;
+
+impl QuietGuard {
+    fn enter() -> QuietGuard {
+        ACTIVE_RUNS.fetch_add(1, StdOrdering::SeqCst);
+        QuietGuard
+    }
+}
+
+impl Drop for QuietGuard {
+    fn drop(&mut self) {
+        ACTIVE_RUNS.fetch_sub(1, StdOrdering::SeqCst);
+    }
+}
+
+/// What the scenario body produced (checking needs the inputs too).
+enum Body {
+    Engine {
+        topo: Box<Topology>,
+        events: Vec<Event>,
+        serial: Vec<EventOutcome>,
+        /// `Err` means a worker panicked out of the run.
+        outcomes: Result<Vec<EventOutcome>, ()>,
+    },
+    ParMap {
+        /// Whether results came back complete and in input order.
+        matched: Result<bool, ()>,
+    },
+    Cell {
+        completed: Result<(), ()>,
+    },
+}
+
+/// Execute one schedule of `scn` with `workers` model threads under
+/// `decider`, then run every check. The decider sees each scheduling
+/// choice; the returned [`RunOutcome::id`] records the picks it made.
+pub fn run_schedule(
+    scn: &Scenario,
+    workers: usize,
+    mutation: Mutation,
+    decider: Box<dyn Decider>,
+) -> RunOutcome {
+    install_quiet_hook();
+    let expected = scn.expected_threads(workers);
+    let ctl = Arc::new(Controller::new(expected, MAX_STEPS, decider));
+    let body = {
+        let _install = model::install(Arc::clone(&ctl));
+        let _quiet = QuietGuard::enter();
+        execute(scn, workers, mutation)
+    };
+    let trace = ctl.finish();
+    let id = ScheduleId {
+        scenario: scn.name.to_string(),
+        workers,
+        mutation,
+        picks: trace.schedule(),
+    };
+    let pruned = matches!(trace.abort, Some(Abort::Pruned));
+    let mut findings = Vec::new();
+    if !pruned {
+        check(&id, &trace, &body, expected, &mut findings);
+    }
+    RunOutcome {
+        id,
+        trace,
+        findings,
+        pruned,
+    }
+}
+
+/// Run the scenario body with the controller installed on this thread
+/// (so the scoped spawns inside register as model threads).
+fn execute(scn: &Scenario, workers: usize, mutation: Mutation) -> Body {
+    match scn.kind {
+        Kind::Engine { build } => {
+            let (topo, events) = build();
+            let make = || CmPlacer::new(CmConfig::cm());
+            // The serial ground truth involves no shim primitives, so it
+            // runs inline on this (unregistered, passthrough) thread.
+            let serial = run_events_serial(&topo, &events, 0, make());
+            let cfg = ConcurrentConfig {
+                threads: workers.max(1),
+                shard_level: None,
+                wcs_level: 0,
+                force_invalidate: mutation == Mutation::ForceInvalidate,
+                skip_conflict_validation: mutation == Mutation::SkipPodConflict,
+            };
+            let outcomes =
+                catch_unwind(AssertUnwindSafe(|| run_events(&topo, &events, make, &cfg)))
+                    .map_err(|_| ());
+            Body::Engine {
+                topo: Box::new(topo),
+                events,
+                serial,
+                outcomes,
+            }
+        }
+        Kind::ParMap { threads, items } => {
+            let input: Vec<u64> = (0..items as u64).collect();
+            let expect: Vec<u64> = input.iter().map(|&x| x * x + 7).collect();
+            let matched = catch_unwind(AssertUnwindSafe(|| {
+                cm_sim::parallel::par_map_indexed(threads, input.clone(), |_, x| x * x + 7)
+                    == expect
+            }))
+            .map_err(|_| ());
+            Body::ParMap { matched }
+        }
+        Kind::RacyCell => {
+            let completed = catch_unwind(AssertUnwindSafe(|| {
+                // Constructed under the installed controller so the cell
+                // and counter get model object ids.
+                let cell = UnsyncCell::new(0u64);
+                let total = Mutex::new(0u64);
+                scope(|s| {
+                    s.spawn(|| {
+                        cell.set(cell.get() + 1);
+                        *total.lock().expect("counter lock") += 1;
+                    });
+                    s.spawn(|| {
+                        let v = cell.get();
+                        *total.lock().expect("counter lock") += v;
+                    });
+                });
+            }))
+            .map_err(|_| ());
+            Body::Cell { completed }
+        }
+    }
+}
+
+fn finding(
+    id: &ScheduleId,
+    rule: &'static str,
+    line: usize,
+    message: String,
+    snippet: String,
+) -> Finding {
+    Finding {
+        path: id.to_string(),
+        line: line.max(1),
+        rule,
+        message,
+        note: format!("replay deterministically with `cm-race --replay {id}`"),
+        snippet,
+    }
+}
+
+fn check(id: &ScheduleId, trace: &RunTrace, body: &Body, nthreads: usize, out: &mut Vec<Finding>) {
+    let end_line = trace.events.len().max(1);
+    match &trace.abort {
+        Some(Abort::Pruned) => unreachable!("pruned runs are not checked"),
+        Some(Abort::Deadlock { blocked }) => {
+            let who: Vec<String> = blocked
+                .iter()
+                .map(|(t, op)| format!("thread {t} on {op:?}"))
+                .collect();
+            out.push(finding(
+                id,
+                LOCK_ORDER,
+                end_line,
+                format!("deadlock: no runnable thread ({})", who.join(", ")),
+                "every live thread is blocked on a lock or condvar".to_string(),
+            ));
+        }
+        Some(Abort::StepLimit) => {
+            out.push(finding(
+                id,
+                LOCK_ORDER,
+                end_line,
+                format!("livelock: virtual clock exceeded {MAX_STEPS} steps"),
+                "the schedule never quiesces".to_string(),
+            ));
+        }
+        None => check_body(id, trace, body, out),
+    }
+
+    let hb = hb::analyze(&trace.events, nthreads);
+    for race in &hb.races {
+        out.push(finding(
+            id,
+            DATA_RACE,
+            race.second.step as usize + 1,
+            format!(
+                "unsynchronized conflicting accesses to {}: thread {} {:?} at step {} vs thread {} {:?} at step {}",
+                hb::describe_obj(race.obj),
+                race.first.tid,
+                race.first.op,
+                race.first.step,
+                race.second.tid,
+                race.second.op,
+                race.second.step,
+            ),
+            format!("{:?}", race.second.op),
+        ));
+    }
+    for cycle in &hb.cycles {
+        let chain: Vec<String> = cycle.locks.iter().map(|l| format!("#{l}")).collect();
+        out.push(finding(
+            id,
+            LOCK_ORDER,
+            end_line,
+            format!(
+                "lock acquisition cycle: {} → back to {}",
+                chain.join(" → "),
+                chain[0]
+            ),
+            "opposite nesting orders deadlock under the right interleaving".to_string(),
+        ));
+    }
+}
+
+fn check_body(id: &ScheduleId, trace: &RunTrace, body: &Body, out: &mut Vec<Finding>) {
+    let end_line = trace.events.len().max(1);
+    match body {
+        Body::Engine {
+            topo,
+            events,
+            serial,
+            outcomes,
+        } => match outcomes {
+            Err(()) => out.push(finding(
+                id,
+                TXN_DISCIPLINE,
+                end_line,
+                format!("engine worker panicked: {}", take_last_panic()),
+                "a worker unwound outside any scheduler abort".to_string(),
+            )),
+            Ok(got) => {
+                if got != serial {
+                    let first = serial
+                        .iter()
+                        .zip(got)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or_else(|| serial.len().min(got.len()));
+                    out.push(finding(
+                        id,
+                        SERIAL_EQUIVALENCE,
+                        end_line,
+                        format!(
+                            "outcomes diverge from serial in-order execution (first at event {first})"
+                        ),
+                        format!("event {first}"),
+                    ));
+                }
+                let mut replayed = topo.clone();
+                match replay_outcomes(&mut replayed, events, got) {
+                    Err(e) => out.push(finding(
+                        id,
+                        TXN_DISCIPLINE,
+                        end_line,
+                        format!("delta-log replay does not converge: {e}"),
+                        "committed deltas over-allocate the topology".to_string(),
+                    )),
+                    Ok(()) => {
+                        if let Err(e) = replayed.check_invariants() {
+                            out.push(finding(
+                                id,
+                                TXN_DISCIPLINE,
+                                end_line,
+                                format!("topology invariants broken after replay: {e}"),
+                                "see Topology::check_invariants".to_string(),
+                            ));
+                        }
+                    }
+                }
+            }
+        },
+        Body::ParMap { matched } => match matched {
+            Err(()) => out.push(finding(
+                id,
+                TXN_DISCIPLINE,
+                end_line,
+                format!("worker pool panicked: {}", take_last_panic()),
+                "a pool worker unwound outside any scheduler abort".to_string(),
+            )),
+            Ok(false) => out.push(finding(
+                id,
+                SERIAL_EQUIVALENCE,
+                end_line,
+                "par_map_indexed results are not the in-order map".to_string(),
+                "the pool's determinism contract".to_string(),
+            )),
+            Ok(true) => {}
+        },
+        Body::Cell { completed } => {
+            if completed.is_err() {
+                out.push(finding(
+                    id,
+                    TXN_DISCIPLINE,
+                    end_line,
+                    format!("racy-cell body panicked: {}", take_last_panic()),
+                    "unexpected unwind".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+    use cm_core::sync::model::FirstEnabled;
+
+    fn run_first(name: &str, workers: usize, mutation: Mutation) -> RunOutcome {
+        let scn = scenario::find(name).expect("scenario exists");
+        run_schedule(&scn, workers, mutation, Box::new(FirstEnabled))
+    }
+
+    #[test]
+    fn first_enabled_engine_schedule_is_clean() {
+        let out = run_first("samepod2", 2, Mutation::None);
+        assert!(!out.pruned);
+        assert!(out.findings.is_empty(), "{:#?}", out.findings);
+        assert!(out.trace.abort.is_none());
+    }
+
+    #[test]
+    fn parmap_first_schedule_is_clean() {
+        let out = run_first("parmap", 2, Mutation::None);
+        assert!(out.findings.is_empty(), "{:#?}", out.findings);
+    }
+
+    #[test]
+    fn racy_cell_is_caught_on_any_schedule() {
+        let out = run_first("cell", 2, Mutation::None);
+        assert!(
+            out.findings.iter().any(|f| f.rule == DATA_RACE),
+            "expected a data-race finding, got {:#?}",
+            out.findings
+        );
+    }
+
+    #[test]
+    fn schedule_id_matches_scenario_and_mutation() {
+        let out = run_first("fillpod", 2, Mutation::ForceInvalidate);
+        assert!(out.id.to_string().starts_with("r1.fillpod.w2.finv."));
+    }
+}

@@ -1,0 +1,197 @@
+//! The fixed model-checking workloads.
+//!
+//! Exhaustive exploration is exponential in trace depth, so scenarios are
+//! deliberately *minimal-but-adversarial*: topologies of a handful of
+//! servers and event sequences of 3–4 events, constructed so the
+//! interesting protocol paths — same-pod speculation conflicts, departure
+//! invalidation, capacity rejections with whole-tree read sets — are all
+//! reachable within a depth the DFS covers in seconds. The stress tests
+//! cover large random workloads; this crate covers *every interleaving*
+//! of small ones.
+
+use cm_core::model::{Tag, TagBuilder};
+use cm_core::placement::Event;
+use cm_topology::{mbps, Kbps, Topology, TreeSpec};
+use std::sync::Arc;
+
+/// How a scenario's body is executed and judged (see [`crate::run`]).
+#[derive(Debug, Clone, Copy)]
+pub enum Kind {
+    /// Run `cm_core::placement::run_events` on `workers` threads and
+    /// check serial equivalence, replay convergence and invariants.
+    /// `build` constructs the topology and event sequence.
+    Engine {
+        /// Constructs the starting topology and the event sequence.
+        build: fn() -> (Topology, Vec<Event>),
+    },
+    /// Run `cm_sim::parallel::par_map_indexed` and check the results are
+    /// in input order (the pool's determinism contract).
+    ParMap {
+        /// Worker threads handed to the pool (also the model thread
+        /// count after the pool's own clamping).
+        threads: usize,
+        /// Number of work items.
+        items: usize,
+    },
+    /// Two threads touching an [`cm_core::sync::model::UnsyncCell`]
+    /// without a common lock: the race detector's positive control.
+    RacyCell,
+}
+
+/// One named model-checking workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable name (appears in schedule ids).
+    pub name: &'static str,
+    /// One-line description for `--list-scenarios`.
+    pub about: &'static str,
+    /// Whether an unmutated run must produce zero findings. The racy-cell
+    /// scenario sets this to `false`: it *exists* to produce a finding,
+    /// so the CI gate skips it and the tests assert the inverse.
+    pub expect_clean: bool,
+    /// Execution shape.
+    pub kind: Kind,
+}
+
+impl Scenario {
+    /// The number of model threads the scenario registers for `workers`
+    /// requested engine workers. Must match the spawn count exactly: the
+    /// controller blocks scheduling until all expected threads start.
+    pub fn expected_threads(&self, workers: usize) -> usize {
+        match self.kind {
+            Kind::Engine { .. } => workers.max(1),
+            // Mirrors par_map_indexed's internal clamp.
+            Kind::ParMap { threads, items } => threads.clamp(1, items.max(1)),
+            Kind::RacyCell => 2,
+        }
+    }
+}
+
+/// Uplink speeds generous enough that placement is slot-constrained, so
+/// scenario outcomes hinge on the protocol, not on bandwidth admission.
+fn wide_links() -> [Kbps; 3] {
+    [mbps(1_000.0), mbps(2_000.0), mbps(4_000.0)]
+}
+
+/// A single-tier hose tenant: `n` VMs, `rate` per-VM hose bandwidth.
+fn hose(n: u32, rate: Kbps) -> Arc<Tag> {
+    let mut b = TagBuilder::new("hose");
+    let t = b.tier("t", n);
+    b.self_loop(t, rate).expect("self loop on a fresh tier");
+    Arc::new(b.build().expect("valid single-tier TAG"))
+}
+
+/// `samepod2`: 2 pods × 1 rack × 2 servers × 2 slots; three identical
+/// 2-VM arrivals. Two workers speculating from the same empty snapshot
+/// compute the *same* placement, so every interleaving where a commit
+/// lands between a speculation and its turn exercises the pod-conflict
+/// validation. This is the scenario the `nopc` mutation gate runs: with
+/// validation skipped, the second commit double-books the first server
+/// and the run fails serial equivalence *and* replay convergence.
+fn samepod2() -> (Topology, Vec<Event>) {
+    let topo = Topology::build(&TreeSpec::small(2, 1, 2, 2, wide_links()));
+    let events = (0..3).map(|_| Event::Arrive { tag: hose(2, 50) }).collect();
+    (topo, events)
+}
+
+/// `churn`: same tree as `samepod2`, but the third event departs the
+/// first arrival. Departures always invalidate intervening speculation
+/// (freed resources are not monotone for the search), so this drives the
+/// rollback + at-turn recompute path under every interleaving.
+fn churn() -> (Topology, Vec<Event>) {
+    let topo = Topology::build(&TreeSpec::small(2, 1, 2, 2, wide_links()));
+    let events = vec![
+        Event::Arrive { tag: hose(2, 50) },
+        Event::Arrive { tag: hose(2, 50) },
+        Event::Depart { arrival: 0 },
+        Event::Arrive { tag: hose(2, 50) },
+    ];
+    (topo, events)
+}
+
+/// `fillpod`: 2 pods × 1 rack × 1 server × 4 slots; three 4-VM arrivals.
+/// The third must be rejected everywhere, and rejections carry a
+/// whole-tree read set, so this exercises conservative (`ShardSet::All`)
+/// validation and the rejection commit path.
+fn fillpod() -> (Topology, Vec<Event>) {
+    let topo = Topology::build(&TreeSpec::small(2, 1, 1, 4, wide_links()));
+    let events = (0..3).map(|_| Event::Arrive { tag: hose(4, 50) }).collect();
+    (topo, events)
+}
+
+/// Every scenario, in registry order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "samepod2",
+            about: "three same-pod arrivals; forces speculation conflicts (the nopc gate)",
+            expect_clean: true,
+            kind: Kind::Engine { build: samepod2 },
+        },
+        Scenario {
+            name: "churn",
+            about: "arrivals with an interleaved departure; drives rollback + recompute",
+            expect_clean: true,
+            kind: Kind::Engine { build: churn },
+        },
+        Scenario {
+            name: "fillpod",
+            about: "capacity exhaustion; rejection paths with whole-tree read sets",
+            expect_clean: true,
+            kind: Kind::Engine { build: fillpod },
+        },
+        Scenario {
+            name: "parmap",
+            about: "cm-sim worker pool over 3 items; determinism + guarded slots",
+            expect_clean: true,
+            kind: Kind::ParMap {
+                threads: 2,
+                items: 3,
+            },
+        },
+        Scenario {
+            name: "cell",
+            about: "unsynchronized shared cell; the race detector's positive control",
+            expect_clean: false,
+            kind: Kind::RacyCell,
+        },
+    ]
+}
+
+/// Look up a scenario by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_dot_free() {
+        let scns = all();
+        for (i, a) in scns.iter().enumerate() {
+            assert!(!a.name.contains('.'), "dots would break schedule ids");
+            for b in &scns[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_scenarios_build_valid_workloads() {
+        for s in all() {
+            if let Kind::Engine { build } = s.kind {
+                let (topo, events) = build();
+                topo.check_invariants().expect("fresh topology invariants");
+                assert!(!events.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn find_resolves_registry_names() {
+        assert!(find("samepod2").is_some());
+        assert!(find("nope").is_none());
+    }
+}

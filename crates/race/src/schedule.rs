@@ -1,0 +1,177 @@
+//! Schedule identities.
+//!
+//! A schedule is the sequence of branch indices taken at every scheduling
+//! choice point where more than one thread was runnable (forced steps are
+//! not recorded — see [`cm_core::sync::model`]). Together with the
+//! scenario name, the worker count and the engine mutation, those picks
+//! reproduce a run bit-for-bit, so they make a compact, human-pasteable
+//! failure identity:
+//!
+//! ```text
+//! r1.samepod2.w2.nopc.102
+//! └┬┘ └──┬───┘ └┬┘ └┬─┘ └┬┘
+//!  │  scenario  │ mutation picks, one base-36 digit per choice
+//!  │         workers          (`-` for the empty schedule)
+//!  └ id format version
+//! ```
+//!
+//! The `v1` prefix is bumped whenever the controller's yield-point set
+//! changes, since that silently re-indexes every choice point; a stale id
+//! replays as a prune ("schedule diverged"), never as a wrong result.
+
+use std::fmt;
+
+/// A deliberate engine defect (or coverage knob) applied during a run.
+/// Mutations are part of the schedule id so a pinned regression replays
+/// against the exact engine variant that exposed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The unmodified engine (`ok`).
+    None,
+    /// Skip the pod-conflict check when validating a speculation
+    /// (`nopc`): the seeded protocol bug the CI gate proves the explorer
+    /// catches, via `ConcurrentConfig::skip_conflict_validation`.
+    SkipPodConflict,
+    /// Treat every speculation as invalidated (`finv`): forces the
+    /// rollback + at-turn recompute path on every arrival. A coverage
+    /// knob, not a bug — runs stay serial-equivalent.
+    ForceInvalidate,
+}
+
+impl Mutation {
+    /// The id-string code for this mutation.
+    pub fn code(self) -> &'static str {
+        match self {
+            Mutation::None => "ok",
+            Mutation::SkipPodConflict => "nopc",
+            Mutation::ForceInvalidate => "finv",
+        }
+    }
+
+    /// Parse an id-string code.
+    pub fn from_code(code: &str) -> Option<Mutation> {
+        match code {
+            "ok" => Some(Mutation::None),
+            "nopc" => Some(Mutation::SkipPodConflict),
+            "finv" => Some(Mutation::ForceInvalidate),
+            _ => None,
+        }
+    }
+}
+
+/// A fully-qualified, replayable schedule identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleId {
+    /// Scenario name (see [`crate::scenario::all`]).
+    pub scenario: String,
+    /// Worker/thread count the scenario ran with.
+    pub workers: usize,
+    /// Engine mutation in effect.
+    pub mutation: Mutation,
+    /// Branch index taken at each consulted choice point, in order.
+    pub picks: Vec<usize>,
+}
+
+impl fmt::Display for ScheduleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r1.{}.w{}.{}.",
+            self.scenario,
+            self.workers,
+            self.mutation.code()
+        )?;
+        if self.picks.is_empty() {
+            return write!(f, "-");
+        }
+        for &p in &self.picks {
+            // Runnable sets are bounded by the thread count (≤ a handful),
+            // so one base-36 digit per pick always suffices.
+            let d = char::from_digit(p.min(35) as u32, 36).expect("pick < 36");
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl ScheduleId {
+    /// Parse `r1.<scenario>.w<N>.<mutation>.<picks>`; `None` on any
+    /// malformed component (including an unknown format version).
+    pub fn parse(s: &str) -> Option<ScheduleId> {
+        let mut parts = s.split('.');
+        if parts.next()? != "r1" {
+            return None;
+        }
+        let scenario = parts.next()?.to_string();
+        let workers: usize = parts.next()?.strip_prefix('w')?.parse().ok()?;
+        if workers == 0 {
+            return None;
+        }
+        let mutation = Mutation::from_code(parts.next()?)?;
+        let picks_str = parts.next()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        let picks = if picks_str == "-" {
+            Vec::new()
+        } else {
+            picks_str
+                .chars()
+                .map(|c| c.to_digit(36).map(|d| d as usize))
+                .collect::<Option<Vec<usize>>>()?
+        };
+        Some(ScheduleId {
+            scenario,
+            workers,
+            mutation,
+            picks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_display_and_parse() {
+        let id = ScheduleId {
+            scenario: "samepod2".to_string(),
+            workers: 2,
+            mutation: Mutation::SkipPodConflict,
+            picks: vec![1, 0, 2, 11],
+        };
+        let s = id.to_string();
+        assert_eq!(s, "r1.samepod2.w2.nopc.102b");
+        assert_eq!(ScheduleId::parse(&s), Some(id));
+    }
+
+    #[test]
+    fn empty_schedule_uses_a_dash() {
+        let id = ScheduleId {
+            scenario: "parmap".to_string(),
+            workers: 2,
+            mutation: Mutation::None,
+            picks: Vec::new(),
+        };
+        let s = id.to_string();
+        assert_eq!(s, "r1.parmap.w2.ok.-");
+        assert_eq!(ScheduleId::parse(&s), Some(id));
+    }
+
+    #[test]
+    fn malformed_ids_are_rejected() {
+        for bad in [
+            "",
+            "r2.samepod2.w2.ok.-",
+            "r1.samepod2.2.ok.-",
+            "r1.samepod2.w0.ok.-",
+            "r1.samepod2.w2.zz.-",
+            "r1.samepod2.w2.ok.1!2",
+            "r1.samepod2.w2.ok.12.3",
+            "r1.samepod2.w2.ok",
+        ] {
+            assert!(ScheduleId::parse(bad).is_none(), "{bad:?} should not parse");
+        }
+    }
+}

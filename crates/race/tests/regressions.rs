@@ -1,0 +1,94 @@
+//! Pinned schedule regressions.
+//!
+//! Each constant below is a schedule id that exposed a real failure when
+//! it was first explored. Pinning them here turns one-in-a-thousand
+//! interleavings into ordinary named tier-1 tests: the mutated replay
+//! must keep reproducing the failure (so the checks cannot silently rot),
+//! and the same picks against the unmutated engine must stay clean (so
+//! the failure is the mutation's fault, not the schedule's).
+//!
+//! If the sync shim gains or loses yield points these ids go stale —
+//! replay then reports a prune/divergence rather than a wrong verdict,
+//! and the fix is to re-explore (`cm-race --scenario samepod2 --workers 2
+//! --mutate nopc`) and paste the fresh ids.
+
+use cm_race::explore::replay;
+use cm_race::scenario;
+use cm_race::schedule::{Mutation, ScheduleId};
+
+/// Both workers speculate from the empty snapshot; worker 1's commit
+/// lands while worker 0 waits for its turn. With pod-conflict validation
+/// skipped, worker 0 commits its stale same-server placement: the delta
+/// log double-books server 5 and the shard replica replay panics with
+/// `InsufficientSlots` — caught as `txn-discipline`.
+const SAMEPOD2_STALE_COMMIT: &str = "r1.samepod2.w2.nopc.000000000111000";
+
+/// A later interleaving of the same conflict: the double-booking
+/// surfaces on the third arrival instead of the second.
+const SAMEPOD2_STALE_COMMIT_LATE: &str = "r1.samepod2.w2.nopc.0000000001111000";
+
+fn replay_id(id_str: &str) -> (ScheduleId, Vec<cm_analyze::Finding>) {
+    let id = ScheduleId::parse(id_str).expect("pinned id parses");
+    let scn = scenario::find(&id.scenario).expect("pinned scenario exists");
+    let out = replay(&scn, &id);
+    assert!(
+        !out.pruned && out.id == id,
+        "pinned id {id_str} is stale — the yield-point structure changed; \
+         re-explore and update the pinned ids"
+    );
+    (id, out.findings)
+}
+
+fn assert_reproduces_and_heals(id_str: &str) {
+    let (id, findings) = replay_id(id_str);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == cm_analyze::rules::TXN_DISCIPLINE),
+        "{id_str}: mutated replay no longer reproduces the txn-discipline \
+         failure: {findings:#?}"
+    );
+    // The identical picks with validation enabled must be clean — the
+    // defect is the skipped check, not the interleaving.
+    let healthy = ScheduleId {
+        mutation: Mutation::None,
+        ..id
+    };
+    let scn = scenario::find(&healthy.scenario).expect("scenario");
+    let out = replay(&scn, &healthy);
+    assert!(
+        out.pruned || out.findings.is_empty(),
+        "{id_str}: unmutated engine fails on the pinned picks: {:#?}",
+        out.findings
+    );
+}
+
+#[test]
+fn samepod2_stale_commit_double_books_a_server() {
+    assert_reproduces_and_heals(SAMEPOD2_STALE_COMMIT);
+}
+
+#[test]
+fn samepod2_stale_commit_on_third_arrival() {
+    assert_reproduces_and_heals(SAMEPOD2_STALE_COMMIT_LATE);
+}
+
+/// The `finv` coverage knob forces the rollback + at-turn recompute path
+/// on every arrival; it is not a bug, so any `finv` schedule must stay
+/// clean. First-enabled picks (all zeros) reach the deepest recompute
+/// chain.
+#[test]
+fn forced_invalidation_keeps_serial_equivalence() {
+    let id = ScheduleId {
+        scenario: "churn".to_string(),
+        workers: 2,
+        mutation: Mutation::ForceInvalidate,
+        picks: Vec::new(),
+    };
+    let scn = scenario::find("churn").expect("scenario");
+    // Empty picks + replay's pick-0 fallback = the first-enabled schedule,
+    // whatever its depth; it must run (not prune) and judge clean.
+    let out = replay(&scn, &id);
+    assert!(!out.pruned, "first-enabled schedule cannot diverge");
+    assert!(out.findings.is_empty(), "{:#?}", out.findings);
+}

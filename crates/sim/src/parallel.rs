@@ -2,9 +2,10 @@
 //!
 //! **Why hand-rolled:** this workspace builds in a network-isolated
 //! container (see `third_party/`), so rayon/crossbeam are deliberately out
-//! of reach; `std::thread::scope` plus a mutex-guarded work queue covers
+//! of reach; scoped threads plus a mutex-guarded work queue cover
 //! everything the experiment sweeps need. Contributions must keep it that
-//! way — no new external concurrency dependencies.
+//! way — no new external concurrency dependencies. The primitives come
+//! from `cm_core::sync`, so `cm-race` can model-check this pool too.
 //!
 //! [`par_map_indexed`] preserves determinism by construction: each task's
 //! result is stored at its input index, so the output order (and therefore
@@ -16,11 +17,11 @@
 // Acquisition order: the work queue is popped (a guard that dies at end of
 // statement) strictly before a result slot is written. Never write a slot
 // while holding the queue guard — cm-analyze checks inversions against
-// this header.
+// this header, and cm-race verifies it dynamically through the sync shim.
 // cm-analyze: lock-order(queue < slots)
 
+use cm_core::sync::{scope, Mutex};
 use std::collections::VecDeque;
-use std::sync::Mutex;
 
 /// Default worker count for experiment sweeps: `CM_SWEEP_THREADS` when
 /// set (0 or unparsable falls back), else the machine's available
@@ -58,7 +59,7 @@ where
     }
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
+    scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let job = queue.lock().expect("queue lock").pop_front();

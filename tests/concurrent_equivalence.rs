@@ -243,6 +243,7 @@ proptest! {
             shard_level: Some(shard_level),
             wcs_level: schedule.wcs_level,
             force_invalidate,
+            skip_conflict_validation: false,
         };
         let outcomes = run_events(
             &schedule.topo,
